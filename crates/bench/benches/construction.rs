@@ -1,0 +1,72 @@
+//! Construction micro-benchmarks: NN-Descent refinement and the C3
+//! neighbor-selection rules — the per-point costs behind Figure 5 and
+//! Table 15.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use weavess_core::components::selection::{
+    select_angle, select_closest, select_dpg, select_mst, select_rng_alpha,
+};
+use weavess_core::nndescent::{nn_descent, NnDescentParams};
+use weavess_data::ground_truth::knn_scan;
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
+
+fn dataset(n: usize) -> Dataset {
+    MixtureSpec {
+        intrinsic_dim: Some(8),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(32, n, 5, 5.0, 10)
+    }
+    .generate()
+    .0
+}
+
+fn bench_nn_descent(c: &mut Criterion) {
+    let ds = dataset(2_000);
+    c.bench_function("nn_descent_2k_iter2", |bench| {
+        bench.iter(|| {
+            let params = NnDescentParams {
+                k: 20,
+                l: 30,
+                iters: 2,
+                sample: 10,
+                reverse: 15,
+                seed: 1,
+                threads: 1,
+            };
+            black_box(nn_descent(&ds, &params, None))
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let ds = dataset(2_000);
+    let p = 7u32;
+    let candidates = knn_scan(&ds, ds.point(p), 100, Some(p));
+    c.bench_function("select_closest_100", |bench| {
+        bench.iter(|| black_box(select_closest(black_box(&candidates), 30)))
+    });
+    c.bench_function("select_rng_alpha1_100", |bench| {
+        bench.iter(|| black_box(select_rng_alpha(&ds, p, black_box(&candidates), 30, 1.0)))
+    });
+    c.bench_function("select_rng_alpha2_100", |bench| {
+        bench.iter(|| black_box(select_rng_alpha(&ds, p, black_box(&candidates), 30, 2.0)))
+    });
+    c.bench_function("select_angle60_100", |bench| {
+        bench.iter(|| black_box(select_angle(&ds, p, black_box(&candidates), 30, 60.0)))
+    });
+    c.bench_function("select_dpg_k20_100", |bench| {
+        bench.iter(|| black_box(select_dpg(&ds, p, black_box(&candidates), 20)))
+    });
+    c.bench_function("select_mst_100", |bench| {
+        bench.iter(|| black_box(select_mst(&ds, p, black_box(&candidates))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_nn_descent, bench_selection
+}
+criterion_main!(benches);

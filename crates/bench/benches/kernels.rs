@@ -1,0 +1,36 @@
+//! Distance-kernel micro-benchmarks: the inner loop every experiment's
+//! numbers rest on. Dimensions follow the survey's datasets (SIFT 128,
+//! GIST 960).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use weavess_data::distance::{cosine_angle_at, euclidean, squared_euclidean};
+
+fn vecs(dim: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut gen = || (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    (gen(), gen(), gen())
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for dim in [128usize, 960] {
+        let (a, b, p) = vecs(dim);
+        c.bench_function(&format!("squared_euclidean_d{dim}"), |bench| {
+            bench.iter(|| squared_euclidean(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("euclidean_d{dim}"), |bench| {
+            bench.iter(|| euclidean(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("cosine_angle_at_d{dim}"), |bench| {
+            bench.iter(|| cosine_angle_at(black_box(&p), black_box(&a), black_box(&b)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Routing-strategy micro-benchmarks (C7): one query through each router
+//! on the same prebuilt graph — the per-query cost behind Figures 7/8.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use weavess_core::search::{Router, SearchStats, VisitedPool};
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
+use weavess_graph::base::exact_knng;
+use weavess_graph::CsrGraph;
+
+fn setup() -> (Dataset, Dataset, CsrGraph) {
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(8),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(32, 5_000, 5, 5.0, 16)
+    };
+    let (base, queries) = spec.generate();
+    let graph = exact_knng(&base, 20, 4);
+    (base, queries, graph)
+}
+
+fn bench_routers(c: &mut Criterion) {
+    let (base, queries, graph) = setup();
+    let mut visited = VisitedPool::new(base.len());
+    let seeds: Vec<u32> = (0..8u32).map(|i| i * 617 % base.len() as u32).collect();
+    let routers = [
+        ("best_first", Router::BestFirst),
+        ("range_eps0.1", Router::Range { epsilon: 0.1 }),
+        ("backtrack_8", Router::Backtrack { extra: 8 }),
+        ("guided", Router::Guided),
+        (
+            "two_stage",
+            Router::TwoStage {
+                stage1_beam_frac: 0.4,
+            },
+        ),
+    ];
+    for (name, router) in &routers {
+        c.bench_function(&format!("route_{name}_beam60"), |bench| {
+            let mut qi = 0u32;
+            bench.iter(|| {
+                let q = queries.point(qi % queries.len() as u32);
+                qi += 1;
+                visited.next_epoch();
+                let mut stats = SearchStats::default();
+                black_box(router.search(
+                    &base,
+                    &graph,
+                    black_box(q),
+                    &seeds,
+                    60,
+                    &mut visited,
+                    &mut stats,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_routers
+}
+criterion_main!(benches);

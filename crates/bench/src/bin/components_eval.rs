@@ -1,0 +1,270 @@
+//! Component study (§5.4) on the unified benchmark algorithm (Table 13),
+//! one simple and one hard dataset (SIFT1M / GIST1M stand-ins):
+//!
+//! - **Figure 10(a–f)** — search performance when exactly one component
+//!   is swapped (C1, C2, C3, C4/C6, C5, C7);
+//! - **Table 15** — construction time per component variant;
+//! - **Figure 15 / Table 14** — NN-Descent iteration-count study
+//!   (Appendix L).
+
+use weavess_bench::datasets::{simple_and_hard, NamedDataset};
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::runner::{default_beams, SweepPoint};
+use weavess_bench::{env_scale, env_threads};
+use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_core::nndescent::NnDescentParams;
+use weavess_core::pipeline::{
+    CandidateChoice, ConnectivityChoice, InitChoice, PipelineBuilder, SeedChoice, SelectionChoice,
+};
+use weavess_core::search::Router;
+use weavess_data::metrics::recall;
+
+const K: usize = 10;
+
+fn sweep_flat(idx: &weavess_core::index::FlatIndex, ds: &NamedDataset) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &beam in &default_beams(K) {
+        let mut ctx = SearchContext::new(ds.base.len());
+        let t0 = std::time::Instant::now();
+        let mut total = 0.0;
+        for qi in 0..ds.queries.len() as u32 {
+            let res = idx.search(&ds.base, ds.queries.point(qi), K, beam, &mut ctx);
+            let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+            total += recall(&ids, &ds.gt[qi as usize][..K]);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = ctx.take_stats();
+        let nq = ds.queries.len() as f64;
+        out.push(SweepPoint {
+            beam,
+            recall: total / nq,
+            qps: nq / secs.max(1e-9),
+            ndc: stats.ndc as f64 / nq,
+            hops: stats.hops as f64 / nq,
+            speedup: ds.base.len() as f64 / (stats.ndc as f64 / nq).max(1e-9),
+        });
+    }
+    out
+}
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let sets = simple_and_hard(scale, threads);
+    banner(&format!("Component study (scale={scale})"));
+
+    let nd = move |iters: usize| NnDescentParams {
+        k: 40,
+        l: 60,
+        iters,
+        sample: 15,
+        reverse: 30,
+        seed: 0xBE11C4,
+        threads,
+    };
+
+    // (component, variant label, mutator)
+    type Mutator = Box<dyn Fn(&mut PipelineBuilder)>;
+    let variants: Vec<(&str, &str, Mutator)> = vec![
+        ("C1", "C1_NSG", Box::new(|_b: &mut PipelineBuilder| {})),
+        (
+            "C1",
+            "C1_KGraph",
+            Box::new(|b| b.init = InitChoice::Random { k: 40 }),
+        ),
+        (
+            "C1",
+            "C1_EFANNA",
+            Box::new(move |b| {
+                b.init = InitChoice::KdTree {
+                    n_trees: 4,
+                    checks_per_tree: 100,
+                    nd: nd(4),
+                }
+            }),
+        ),
+        ("C2", "C2_NSSG", Box::new(|_b| {})),
+        (
+            "C2",
+            "C2_DPG",
+            Box::new(|b| b.candidates = CandidateChoice::Direct),
+        ),
+        (
+            "C2",
+            "C2_NSW",
+            Box::new(|b| b.candidates = CandidateChoice::Search { beam: 60, cap: 100 }),
+        ),
+        ("C3", "C3_HNSW", Box::new(|_b| {})),
+        (
+            "C3",
+            "C3_KGraph",
+            Box::new(|b| b.selection = SelectionChoice::Closest { degree: 30 }),
+        ),
+        (
+            "C3",
+            "C3_NSSG",
+            Box::new(|b| {
+                b.selection = SelectionChoice::Angle {
+                    degree: 30,
+                    min_deg: 60.0,
+                }
+            }),
+        ),
+        (
+            "C3",
+            "C3_DPG",
+            Box::new(|b| b.selection = SelectionChoice::Dpg { kappa: 20 }),
+        ),
+        (
+            "C3",
+            "C3_Vamana",
+            Box::new(|b| {
+                b.selection = SelectionChoice::RngAlpha {
+                    degree: 30,
+                    alpha: 2.0,
+                }
+            }),
+        ),
+        ("C4", "C4_NSSG", Box::new(|_b| {})),
+        ("C4", "C4_NSG", Box::new(|b| b.seeds = SeedChoice::Medoid)),
+        (
+            "C4",
+            "C4_HCNNG",
+            Box::new(|b| {
+                b.seeds = SeedChoice::KdLeaf {
+                    n_trees: 4,
+                    count: 8,
+                }
+            }),
+        ),
+        (
+            "C4",
+            "C4_IEH",
+            Box::new(|b| {
+                b.seeds = SeedChoice::Lsh {
+                    tables: 4,
+                    bits: 12,
+                    count: 8,
+                }
+            }),
+        ),
+        (
+            "C4",
+            "C4_NGT",
+            Box::new(|b| {
+                b.seeds = SeedChoice::VpTree {
+                    count: 8,
+                    checks: 128,
+                }
+            }),
+        ),
+        (
+            "C4",
+            "C4_SPTAG-BKT",
+            Box::new(|b| {
+                b.seeds = SeedChoice::BkTree {
+                    count: 8,
+                    checks: 128,
+                }
+            }),
+        ),
+        (
+            "C4",
+            "C4_OPQ(Douze)",
+            Box::new(|b| b.seeds = SeedChoice::Pq { m: 8, count: 8 }),
+        ),
+        ("C5", "C5_IEH(none)", Box::new(|_b| {})),
+        (
+            "C5",
+            "C5_NSG(dfs)",
+            Box::new(|b| b.connectivity = ConnectivityChoice::DfsRepair),
+        ),
+        ("C7", "C7_NSW", Box::new(|_b| {})),
+        (
+            "C7",
+            "C7_NGT",
+            Box::new(|b| b.router = Router::Range { epsilon: 0.1 }),
+        ),
+        (
+            "C7",
+            "C7_FANNG",
+            Box::new(|b| b.router = Router::Backtrack { extra: 8 }),
+        ),
+        ("C7", "C7_HCNNG", Box::new(|b| b.router = Router::Guided)),
+    ];
+
+    let mut fig10 = Table::new(vec![
+        "Component",
+        "Variant",
+        "Dataset",
+        "beam",
+        "Recall@10",
+        "QPS",
+        "Speedup",
+    ]);
+    let mut table15 = Table::new(vec!["Component", "Variant", "Dataset", "Build(s)"]);
+
+    for (component, label, mutate) in &variants {
+        for ds in &sets {
+            let mut b = PipelineBuilder::benchmark(8, threads);
+            mutate(&mut b);
+            let (idx, _, total_secs) = b.build_timed(&ds.base);
+            table15.row(vec![
+                component.to_string(),
+                label.to_string(),
+                ds.name.clone(),
+                f(total_secs, 2),
+            ]);
+            for p in sweep_flat(&idx, ds) {
+                fig10.row(vec![
+                    component.to_string(),
+                    label.to_string(),
+                    ds.name.clone(),
+                    p.beam.to_string(),
+                    f(p.recall, 4),
+                    f(p.qps, 0),
+                    f(p.speedup, 1),
+                ]);
+            }
+            eprintln!("{label} on {} done", ds.name);
+        }
+    }
+
+    banner("Figure 10: component search performance");
+    fig10.print();
+    fig10.write_csv("fig10_components").expect("csv");
+    banner("Table 15: component construction time");
+    table15.print();
+    table15.write_csv("table15_component_build").expect("csv");
+
+    // --- Figure 15 / Table 14: NN-Descent iterations ---
+    let mut fig15 = Table::new(vec!["iters", "Dataset", "beam", "Recall@10", "QPS"]);
+    let mut table14 = Table::new(vec!["Dataset", "iter=4", "iter=6", "iter=8", "iter=10"]);
+    for ds in &sets {
+        let mut times = vec![ds.name.clone()];
+        for iters in [4usize, 6, 8, 10] {
+            let b = PipelineBuilder::benchmark(iters, threads);
+            let (idx, _, total_secs) = b.build_timed(&ds.base);
+            times.push(f(total_secs, 2));
+            for p in sweep_flat(&idx, ds) {
+                fig15.row(vec![
+                    iters.to_string(),
+                    ds.name.clone(),
+                    p.beam.to_string(),
+                    f(p.recall, 4),
+                    f(p.qps, 0),
+                ]);
+            }
+            eprintln!("iters={iters} on {} done", ds.name);
+        }
+        table14.row(times);
+    }
+    banner("Figure 15: search performance vs NN-Descent iterations");
+    fig15.print();
+    fig15.write_csv("fig15_iterations").expect("csv");
+    banner("Table 14: construction time vs NN-Descent iterations (s)");
+    table14.print();
+    table14
+        .write_csv("table14_iteration_build_time")
+        .expect("csv");
+}

@@ -1,0 +1,114 @@
+//! §6 "Improvement" + Appendix P — the optimized algorithm (OA) against
+//! the state of the art (NSG, NSSG, HCNNG, HNSW, DPG) on the simple/hard
+//! dataset pair:
+//!
+//! - **Table 19** — construction time;
+//! - **Table 20** — index size;
+//! - **Table 21** — GQ / AD / CC;
+//! - **Table 22** — CS / PL / MO at target recall;
+//! - **Figures 11 & 16** — Speedup vs Recall@10 curves.
+
+use weavess_bench::datasets::simple_and_hard;
+use weavess_bench::report::{banner, f, mb, Table};
+use weavess_bench::runner::{at_target_recall, build_timed, default_beams, graph_report, sweep};
+use weavess_bench::{env_scale, env_threads};
+use weavess_core::algorithms::Algo;
+use weavess_data::ground_truth::exact_knn_graph;
+
+const K: usize = 10;
+const TARGET_RECALL: f64 = 0.99;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let sets = simple_and_hard(scale, threads);
+    let algos = [
+        Algo::Oa,
+        Algo::Nsg,
+        Algo::Nssg,
+        Algo::Hcnng,
+        Algo::Hnsw,
+        Algo::Dpg,
+    ];
+    banner(&format!("OA vs state of the art (scale={scale})"));
+
+    let mut t19 = Table::new(vec!["Alg", "Dataset", "Build(s)"]);
+    let mut t20 = Table::new(vec!["Alg", "Dataset", "Size(MB)"]);
+    let mut t21 = Table::new(vec!["Alg", "Dataset", "GQ", "AD", "CC"]);
+    let mut t22 = Table::new(vec!["Alg", "Dataset", "CS", "PL", "MO(MB)", "Recall"]);
+    let mut fig11 = Table::new(vec![
+        "Alg",
+        "Dataset",
+        "beam",
+        "Recall@10",
+        "Speedup",
+        "QPS",
+    ]);
+
+    for ds in &sets {
+        let exact = exact_knn_graph(&ds.base, 10, threads);
+        for &algo in &algos {
+            let report = build_timed(algo, ds, threads, 1);
+            t19.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                f(report.build_secs, 2),
+            ]);
+            t20.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                mb(report.index_bytes),
+            ]);
+            let g = graph_report(report.index.as_ref(), &exact);
+            t21.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                f(g.gq, 3),
+                f(g.degrees.avg, 1),
+                g.cc.to_string(),
+            ]);
+            let (pt, reached) = at_target_recall(report.index.as_ref(), ds, K, TARGET_RECALL);
+            t22.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                if reached {
+                    pt.beam.to_string()
+                } else {
+                    format!("{}+", pt.beam)
+                },
+                f(pt.hops, 0),
+                mb(report.index_bytes + ds.base.memory_bytes()),
+                f(pt.recall, 3),
+            ]);
+            for p in sweep(report.index.as_ref(), ds, K, &default_beams(K)) {
+                fig11.row(vec![
+                    algo.name().to_string(),
+                    ds.name.clone(),
+                    p.beam.to_string(),
+                    f(p.recall, 4),
+                    f(p.speedup, 1),
+                    f(p.qps, 0),
+                ]);
+            }
+            eprintln!("{} on {} done", algo.name(), ds.name);
+        }
+    }
+
+    banner("Table 19: construction time (s)");
+    t19.print();
+    t19.write_csv("table19_oa_build_time").expect("csv");
+    banner("Table 20: index size (MB)");
+    t20.print();
+    t20.write_csv("table20_oa_index_size").expect("csv");
+    banner("Table 21: GQ / AD / CC");
+    t21.print();
+    t21.write_csv("table21_oa_graph_stats").expect("csv");
+    banner(&format!(
+        "Table 22: CS / PL / MO at Recall@10 >= {TARGET_RECALL}"
+    ));
+    t22.print();
+    t22.write_csv("table22_oa_search_stats").expect("csv");
+    banner("Figures 11/16: Speedup vs Recall@10");
+    fig11.print();
+    fig11.write_csv("fig11_optimized").expect("csv");
+}

@@ -1,0 +1,88 @@
+//! Appendix D / Table 2 / Figure 14 — empirical complexity: build time and
+//! search NDC (at a fixed recall) as the cardinality grows, with log-log
+//! slope fits recovering each algorithm's exponents.
+//!
+//! Dataset characteristics follow Table 8: d=32, 10 clusters, sd=5; the
+//! cardinality ladder is scaled to the harness (`WEAVESS_SCALE` multiplies
+//! the base size).
+
+use weavess_bench::datasets::NamedDataset;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::runner::{at_target_recall, build_timed};
+use weavess_bench::{env_scale, env_threads, select_algos};
+use weavess_core::algorithms::Algo;
+use weavess_data::synthetic::MixtureSpec;
+
+const TARGET_RECALL: f64 = 0.99;
+
+/// Least-squares slope of log(y) vs log(x).
+fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.max(1e-12).ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = lx.iter().map(|a| (a - mx) * (a - mx)).sum();
+    cov / var.max(1e-12)
+}
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let algos = select_algos(Algo::all());
+    // Table 8 ladder, scaled: 1x, 2x, 4x, 8x around a small base.
+    let base_n = ((100_000.0 * scale) as usize).clamp(1_000, 100_000);
+    let sizes: Vec<usize> = vec![base_n, base_n * 2, base_n * 4, base_n * 8];
+    banner(&format!(
+        "Complexity fits over n = {sizes:?} (d=32, 10 clusters, sd=5)"
+    ));
+
+    let sets: Vec<NamedDataset> = sizes
+        .iter()
+        .map(|&n| {
+            let spec = MixtureSpec::table10(32, n, 10, 5.0, 200);
+            NamedDataset::from_spec(&format!("n={n}"), &spec, threads)
+        })
+        .collect();
+
+    let mut raw = Table::new(vec!["Alg", "n", "Build(s)", "NDC@0.9", "Recall"]);
+    let mut fits = Table::new(vec!["Alg", "build exponent", "search exponent (NDC)"]);
+
+    for &algo in &algos {
+        let mut build_secs = Vec::new();
+        let mut ndcs = Vec::new();
+        for ds in &sets {
+            let report = build_timed(algo, ds, threads, 1);
+            let (pt, _) = at_target_recall(report.index.as_ref(), ds, 10, TARGET_RECALL);
+            raw.row(vec![
+                algo.name().to_string(),
+                ds.base.len().to_string(),
+                f(report.build_secs, 2),
+                f(pt.ndc, 0),
+                f(pt.recall, 3),
+            ]);
+            build_secs.push(report.build_secs.max(1e-6));
+            ndcs.push(pt.ndc);
+            eprintln!("{} at n={} done", algo.name(), ds.base.len());
+        }
+        let xs: Vec<f64> = sets.iter().map(|s| s.base.len() as f64).collect();
+        fits.row(vec![
+            algo.name().to_string(),
+            f(loglog_slope(&xs, &build_secs), 2),
+            f(loglog_slope(&xs, &ndcs), 2),
+        ]);
+    }
+
+    banner("Figure 14 raw points");
+    raw.print();
+    raw.write_csv("fig14_complexity_points").expect("csv");
+    banner("Table 2 (empirical): log-log exponents");
+    fits.print();
+    fits.write_csv("table02_complexity_fits").expect("csv");
+    println!(
+        "\nNote: build exponents compare against Table 2's |S|-powers; the\n\
+         search exponent is the slope of NDC (the cost measure behind\n\
+         speedup) at Recall@10 >= {TARGET_RECALL}."
+    );
+}

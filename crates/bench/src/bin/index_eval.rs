@@ -1,0 +1,95 @@
+//! Index-construction evaluation (§5.2) over all algorithms and all
+//! stand-in datasets, from one build pass:
+//!
+//! - **Figure 5** — construction time;
+//! - **Figure 6** — index size (MB);
+//! - **Table 4** — graph quality (GQ), average out-degree (AD), weakly
+//!   connected components (CC);
+//! - **Table 11** — maximum/minimum out-degree.
+
+use weavess_bench::datasets::real_world_standins;
+use weavess_bench::report::{banner, f, mb, Table};
+use weavess_bench::runner::{build_timed, graph_report};
+use weavess_bench::{env_scale, env_threads, select_algos};
+use weavess_core::algorithms::Algo;
+use weavess_data::ground_truth::exact_knn_graph;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let algos = select_algos(Algo::all());
+    let sets = weavess_bench::select_datasets(real_world_standins(scale, threads));
+    banner(&format!(
+        "Index construction evaluation: {} algorithms x {} datasets (scale={scale})",
+        algos.len(),
+        sets.len()
+    ));
+
+    let mut fig5 = Table::new(
+        std::iter::once("Alg".to_string())
+            .chain(sets.iter().map(|s| s.name.clone()))
+            .collect::<Vec<_>>(),
+    );
+    let mut fig6 = fig5_clone_header(&sets, "Alg");
+    let mut table4 = Table::new(vec!["Alg", "Dataset", "GQ", "AD", "CC"]);
+    let mut table11 = Table::new(vec!["Alg", "Dataset", "D_max", "D_min"]);
+
+    // Exact KNNG (K=10) per dataset for the GQ metric.
+    let exacts: Vec<Vec<Vec<u32>>> = sets
+        .iter()
+        .map(|s| exact_knn_graph(&s.base, 10, threads))
+        .collect();
+
+    for &algo in &algos {
+        let mut secs_row = vec![algo.name().to_string()];
+        let mut size_row = vec![algo.name().to_string()];
+        for (ds, exact) in sets.iter().zip(&exacts) {
+            let report = build_timed(algo, ds, threads, 1);
+            secs_row.push(f(report.build_secs, 2));
+            size_row.push(mb(report.index_bytes));
+            let g = graph_report(report.index.as_ref(), exact);
+            table4.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                f(g.gq, 3),
+                f(g.degrees.avg, 1),
+                g.cc.to_string(),
+            ]);
+            table11.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                g.degrees.max.to_string(),
+                g.degrees.min.to_string(),
+            ]);
+            eprintln!(
+                "built {} on {} in {:.2}s",
+                algo.name(),
+                ds.name,
+                report.build_secs
+            );
+        }
+        fig5.row(secs_row);
+        fig6.row(size_row);
+    }
+
+    banner("Figure 5: index construction time (s)");
+    fig5.print();
+    fig5.write_csv("fig05_construction_time").expect("csv");
+    banner("Figure 6: index size (MB)");
+    fig6.print();
+    fig6.write_csv("fig06_index_size").expect("csv");
+    banner("Table 4: graph quality / average out-degree / connected components");
+    table4.print();
+    table4.write_csv("table04_graph_stats").expect("csv");
+    banner("Table 11: maximum and minimum out-degree");
+    table11.print();
+    table11.write_csv("table11_degrees").expect("csv");
+}
+
+fn fig5_clone_header(sets: &[weavess_bench::datasets::NamedDataset], first: &str) -> Table {
+    Table::new(
+        std::iter::once(first.to_string())
+            .chain(sets.iter().map(|s| s.name.clone()))
+            .collect::<Vec<_>>(),
+    )
+}

@@ -1,0 +1,89 @@
+//! Renders the Figure 7/8-style curves from `results/fig07_08_search_curves.csv`
+//! as terminal plots (run `search_eval` first). Optional args: a dataset
+//! name and a metric (`qps` or `speedup`).
+//!
+//! ```sh
+//! cargo run --release -p weavess-bench --bin plot_curves            # all
+//! cargo run --release -p weavess-bench --bin plot_curves -- GIST1M speedup
+//! ```
+
+use std::collections::BTreeMap;
+use weavess_bench::plot::{ascii_plot, Series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only_dataset = args.first().cloned();
+    let metric = args.get(1).cloned().unwrap_or_else(|| "qps".into());
+    let path = "results/fig07_08_search_curves.csv";
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("missing {path}; run the search_eval binary first");
+        std::process::exit(1);
+    };
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next().unwrap_or("").split(',').collect();
+    let col = |name: &str| header.iter().position(|h| *h == name);
+    let (Some(c_ds), Some(c_alg), Some(c_recall)) = (col("Dataset"), col("Alg"), col("Recall@10"))
+    else {
+        eprintln!("unexpected csv header in {path}");
+        std::process::exit(1);
+    };
+    let c_metric = match metric.as_str() {
+        "speedup" => col("Speedup"),
+        _ => col("QPS"),
+    }
+    .expect("metric column");
+
+    // dataset -> algorithm -> points
+    let mut data: BTreeMap<String, BTreeMap<String, Vec<(f64, f64)>>> = BTreeMap::new();
+    for line in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() <= c_metric {
+            continue;
+        }
+        let ds = cells[c_ds].to_string();
+        if let Some(only) = &only_dataset {
+            if !ds.eq_ignore_ascii_case(only) {
+                continue;
+            }
+        }
+        let (Ok(x), Ok(y)) = (
+            cells[c_recall].parse::<f64>(),
+            cells[c_metric].parse::<f64>(),
+        ) else {
+            continue;
+        };
+        data.entry(ds)
+            .or_default()
+            .entry(cells[c_alg].to_string())
+            .or_default()
+            .push((x, y));
+    }
+    if data.is_empty() {
+        eprintln!("no rows matched");
+        std::process::exit(1);
+    }
+    for (ds, algs) in &data {
+        let series: Vec<Series> = algs
+            .iter()
+            .map(|(alg, pts)| Series {
+                label: alg.clone(),
+                points: pts.clone(),
+            })
+            .collect();
+        println!(
+            "{}",
+            ascii_plot(
+                &format!(
+                    "{} vs Recall@10 on {ds} (high-precision region, log y)",
+                    metric
+                ),
+                "Recall@10",
+                &metric,
+                &series,
+                100,
+                24,
+                true,
+            )
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Search-performance evaluation (§5.3) over all algorithms and all
+//! stand-in datasets, from one build pass:
+//!
+//! - **Figures 7 & 20** — QPS vs Recall@10 curves (single thread);
+//! - **Figures 8 & 21** — Speedup (=|S|/NDC) vs Recall@10 curves;
+//! - **Table 5** — candidate set size (CS), query path length (PL), and
+//!   memory overhead (MO) at the target recall (0.90 at harness scale;
+//!   a trailing `+` marks an algorithm that hit its recall ceiling first,
+//!   like the paper's `+` entries).
+
+use weavess_bench::datasets::real_world_standins;
+use weavess_bench::report::{banner, f, mb, Table};
+use weavess_bench::runner::{at_target_recall, build_timed, default_beams, sweep};
+use weavess_bench::{env_scale, env_threads, select_algos};
+use weavess_core::algorithms::Algo;
+
+const K: usize = 10;
+const TARGET_RECALL: f64 = 0.99;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let algos = select_algos(Algo::all());
+    let sets = weavess_bench::select_datasets(real_world_standins(scale, threads));
+    banner(&format!(
+        "Search evaluation: {} algorithms x {} datasets (scale={scale}, Recall@{K})",
+        algos.len(),
+        sets.len()
+    ));
+
+    let mut curves = Table::new(vec![
+        "Dataset",
+        "Alg",
+        "beam",
+        "Recall@10",
+        "QPS",
+        "Speedup",
+        "NDC",
+        "PL",
+    ]);
+    let mut table5 = Table::new(vec!["Dataset", "Alg", "CS", "PL", "MO(MB)", "Recall"]);
+
+    for ds in &sets {
+        banner(&format!("dataset {}", ds.name));
+        for &algo in &algos {
+            let report = build_timed(algo, ds, threads, 1);
+            let points = sweep(report.index.as_ref(), ds, K, &default_beams(K));
+            for p in &points {
+                curves.row(vec![
+                    ds.name.clone(),
+                    algo.name().to_string(),
+                    p.beam.to_string(),
+                    f(p.recall, 4),
+                    f(p.qps, 0),
+                    f(p.speedup, 1),
+                    f(p.ndc, 0),
+                    f(p.hops, 1),
+                ]);
+            }
+            let (pt, reached) = at_target_recall(report.index.as_ref(), ds, K, TARGET_RECALL);
+            let cs = if reached {
+                pt.beam.to_string()
+            } else {
+                format!("{}+", pt.beam)
+            };
+            table5.row(vec![
+                ds.name.clone(),
+                algo.name().to_string(),
+                cs,
+                f(pt.hops, 0),
+                mb(report.index_bytes + ds.base.memory_bytes()),
+                f(pt.recall, 3),
+            ]);
+            eprintln!(
+                "{} on {}: best recall {:.3} at beam {}",
+                algo.name(),
+                ds.name,
+                points.last().map(|p| p.recall).unwrap_or(0.0),
+                points.last().map(|p| p.beam).unwrap_or(0)
+            );
+        }
+    }
+
+    banner("Figures 7/8/20/21: QPS & Speedup vs Recall@10 (all series)");
+    curves.print();
+    curves.write_csv("fig07_08_search_curves").expect("csv");
+    banner(&format!(
+        "Table 5: CS / PL / MO at Recall@10 >= {TARGET_RECALL} ('+' = ceiling)"
+    ));
+    table5.print();
+    table5.write_csv("table05_search_stats").expect("csv");
+}

@@ -1,0 +1,30 @@
+//! Tables 2 & 9 — the taxonomy summary: base graph, construction strategy,
+//! edge type, and routing family per algorithm, straight from the
+//! implementation's own metadata (the Figure 3 roadmap in table form).
+//! Empirical complexity exponents come from `fig14_complexity`.
+
+use weavess_bench::report::{banner, Table};
+use weavess_core::algorithms::Algo;
+
+fn main() {
+    banner("Tables 2/9: algorithm taxonomy");
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "Base graph",
+        "Construction",
+        "Edge",
+        "Routing",
+    ]);
+    for &algo in Algo::all() {
+        t.row(vec![
+            algo.name().to_string(),
+            algo.base_graph().to_string(),
+            algo.construction_strategy().to_string(),
+            algo.edge_type().to_string(),
+            algo.routing().to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv("table02_taxonomy").expect("csv");
+    println!("\n(empirical build/search exponents: run fig14_complexity)");
+}

@@ -1,0 +1,72 @@
+//! Table 3 — statistics of the (stand-in) real-world datasets: dimension,
+//! cardinality, query count, and measured MLE-LID, next to the paper's
+//! reported LID. The reproduction target is the LID *ranking* (difficulty
+//! order), which drives every "simple vs hard dataset" finding in §5.
+
+use weavess_bench::datasets::real_world_standins;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::{env_scale, env_threads};
+use weavess_data::synthetic::standins;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    banner(&format!("Table 3: dataset statistics (scale={scale})"));
+    let paper: Vec<(String, f32)> = standins::all(scale)
+        .iter()
+        .map(|s| (s.name.to_string(), s.paper_lid))
+        .collect();
+    let sets = weavess_bench::select_datasets(real_world_standins(scale, threads));
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Dimension",
+        "# Base",
+        "# Query",
+        "LID (paper)",
+        "LID (measured)",
+    ]);
+    let mut measured: Vec<(String, f64)> = Vec::new();
+    for ds in &sets {
+        let lid = ds.lid(threads);
+        let paper_lid = paper
+            .iter()
+            .find(|(n, _)| *n == ds.name)
+            .map(|(_, l)| *l)
+            .unwrap_or(f32::NAN);
+        measured.push((ds.name.clone(), lid));
+        t.row(vec![
+            ds.name.clone(),
+            ds.base.dim().to_string(),
+            ds.base.len().to_string(),
+            ds.queries.len().to_string(),
+            f(paper_lid as f64, 1),
+            f(lid, 1),
+        ]);
+    }
+    t.print();
+    let path = t.write_csv("table03_datasets").expect("write csv");
+    println!("csv: {}", path.display());
+
+    // Rank agreement between paper LID and measured LID.
+    let mut by_paper: Vec<&String> = paper.iter().map(|(n, _)| n).collect();
+    by_paper.sort_by(|a, b| {
+        let la = paper.iter().find(|(n, _)| n == *a).unwrap().1;
+        let lb = paper.iter().find(|(n, _)| n == *b).unwrap().1;
+        la.total_cmp(&lb)
+    });
+    let mut by_measured: Vec<&String> = measured.iter().map(|(n, _)| n).collect();
+    by_measured.sort_by(|a, b| {
+        let la = measured.iter().find(|(n, _)| n == *a).unwrap().1;
+        let lb = measured.iter().find(|(n, _)| n == *b).unwrap().1;
+        la.total_cmp(&lb)
+    });
+    let agree = by_paper
+        .iter()
+        .zip(&by_measured)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "difficulty-order agreement: {agree}/{} positions",
+        by_paper.len()
+    );
+}

@@ -1,0 +1,139 @@
+//! Table 7 — scenario recommendations, recomputed from measurements on
+//! the simple/hard dataset pair rather than copied from the paper:
+//!
+//! - S1 frequent updates → smallest construction time + index size;
+//! - S2 rapid KNNG construction → highest GQ per construction second;
+//! - S3 external memory → smallest query path length at target recall;
+//! - S4 hard datasets → best speedup at target recall on the hard set;
+//! - S5 simple datasets → best speedup at target recall on the simple set;
+//! - S6 GPU (cache-bound) → smallest candidate set at target recall;
+//! - S7 limited memory → smallest average degree + memory overhead.
+
+use weavess_bench::datasets::simple_and_hard;
+use weavess_bench::report::{banner, Table};
+use weavess_bench::runner::{at_target_recall, build_timed, graph_report};
+use weavess_bench::{env_scale, env_threads, select_algos};
+use weavess_core::algorithms::Algo;
+use weavess_data::ground_truth::exact_knn_graph;
+
+const K: usize = 10;
+const TARGET_RECALL: f64 = 0.99;
+
+struct Row {
+    name: &'static str,
+    dataset: String,
+    build_secs: f64,
+    bytes: usize,
+    gq: f64,
+    ad: f64,
+    cs: usize,
+    pl: f64,
+    speedup: f64,
+    reached: bool,
+}
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let algos = select_algos(Algo::all());
+    let sets = simple_and_hard(scale, threads);
+    banner(&format!("Table 7 inputs (scale={scale})"));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for ds in &sets {
+        let exact = exact_knn_graph(&ds.base, 10, threads);
+        for &algo in &algos {
+            let report = build_timed(algo, ds, threads, 1);
+            let g = graph_report(report.index.as_ref(), &exact);
+            let (pt, reached) = at_target_recall(report.index.as_ref(), ds, K, TARGET_RECALL);
+            rows.push(Row {
+                name: algo.name(),
+                dataset: ds.name.clone(),
+                build_secs: report.build_secs,
+                bytes: report.index_bytes,
+                gq: g.gq,
+                ad: g.degrees.avg,
+                cs: pt.beam,
+                pl: pt.hops,
+                speedup: pt.speedup,
+                reached,
+            });
+            eprintln!("{} on {} done", algo.name(), ds.name);
+        }
+    }
+
+    let top3 = |scored: Vec<(&str, f64)>| -> String {
+        // Aggregate per algorithm (mean over datasets), then rank.
+        let mut agg: Vec<(&str, f64, usize)> = Vec::new();
+        for (name, v) in scored {
+            match agg.iter_mut().find(|(n, _, _)| *n == name) {
+                Some(slot) => {
+                    slot.1 += v;
+                    slot.2 += 1;
+                }
+                None => agg.push((name, v, 1)),
+            }
+        }
+        let mut means: Vec<(&str, f64)> =
+            agg.iter().map(|&(n, sum, c)| (n, sum / c as f64)).collect();
+        means.sort_by(|a, b| b.1.total_cmp(&a.1));
+        means
+            .iter()
+            .take(3)
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let on = |pred: &dyn Fn(&Row) -> bool, score: &dyn Fn(&Row) -> f64| -> Vec<(&str, f64)> {
+        rows.iter()
+            .filter(|r| pred(r))
+            .map(|r| (r.name, score(r)))
+            .collect()
+    };
+    let any = |_: &Row| true;
+    let reached = |r: &Row| r.reached;
+    let hard = |r: &Row| r.dataset == "GIST1M" && r.reached;
+    let simple = |r: &Row| r.dataset == "SIFT1M" && r.reached;
+
+    let mut t = Table::new(vec!["Scenario", "Measured top-3", "Paper (Table 7)"]);
+    t.row(vec![
+        "S1 frequent updates".to_string(),
+        top3(on(&any, &|r| {
+            -(r.build_secs + r.bytes as f64 / 50_000_000.0)
+        })),
+        "NSG, NSSG".to_string(),
+    ]);
+    t.row(vec![
+        "S2 rapid KNNG construction".to_string(),
+        top3(on(&any, &|r| r.gq / r.build_secs.max(1e-3))),
+        "KGraph, EFANNA, DPG".to_string(),
+    ]);
+    t.row(vec![
+        "S3 external memory (small PL)".to_string(),
+        top3(on(&reached, &|r| -r.pl)),
+        "DPG, HCNNG".to_string(),
+    ]);
+    t.row(vec![
+        "S4 hard datasets".to_string(),
+        top3(on(&hard, &|r| r.speedup)),
+        "HNSW, NSG, HCNNG".to_string(),
+    ]);
+    t.row(vec![
+        "S5 simple datasets".to_string(),
+        top3(on(&simple, &|r| r.speedup)),
+        "DPG, NSG, HCNNG, NSSG".to_string(),
+    ]);
+    t.row(vec![
+        "S6 GPU / small candidate set".to_string(),
+        top3(on(&reached, &|r| -(r.cs as f64))),
+        "NGT".to_string(),
+    ]);
+    t.row(vec![
+        "S7 limited memory".to_string(),
+        top3(on(&any, &|r| -(r.ad + r.bytes as f64 / 10_000_000.0))),
+        "NSG, NSSG".to_string(),
+    ]);
+    banner("Table 7: scenario recommendations (measured vs paper)");
+    t.print();
+    t.write_csv("table07_recommendations").expect("csv");
+}

@@ -1,0 +1,114 @@
+//! Appendix J / Table 12 — scalability over the synthetic-dataset axes:
+//! dimensionality (8/32/128), cardinality (¼x/1x/4x), cluster count
+//! (1/10/100), and per-cluster standard deviation (1/5/10). Reports
+//! construction time (CT) and QPS at the target recall for every
+//! algorithm on every variant.
+
+use weavess_bench::datasets::NamedDataset;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::runner::{at_target_recall, build_timed};
+use weavess_bench::{env_scale, env_threads, select_algos};
+use weavess_core::algorithms::Algo;
+use weavess_data::synthetic::MixtureSpec;
+
+const TARGET_RECALL: f64 = 0.99;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let algos = select_algos(Algo::all());
+    let base_n = ((100_000.0 * scale) as usize).clamp(1_000, 100_000);
+    let nq = (base_n / 20).clamp(100, 1_000);
+
+    // (axis, label, spec)
+    let variants: Vec<(&str, String, MixtureSpec)> = vec![
+        (
+            "dim",
+            "d=8".into(),
+            MixtureSpec::table10(8, base_n, 10, 5.0, nq),
+        ),
+        (
+            "dim",
+            "d=32".into(),
+            MixtureSpec::table10(32, base_n, 10, 5.0, nq),
+        ),
+        (
+            "dim",
+            "d=128".into(),
+            MixtureSpec::table10(128, base_n, 10, 5.0, nq),
+        ),
+        (
+            "cardinality",
+            format!("n={}", base_n / 4),
+            MixtureSpec::table10(32, base_n / 4, 10, 5.0, nq / 2),
+        ),
+        (
+            "cardinality",
+            format!("n={base_n}"),
+            MixtureSpec::table10(32, base_n, 10, 5.0, nq),
+        ),
+        (
+            "cardinality",
+            format!("n={}", base_n * 4),
+            MixtureSpec::table10(32, base_n * 4, 10, 5.0, nq),
+        ),
+        (
+            "clusters",
+            "c=1".into(),
+            MixtureSpec::table10(32, base_n, 1, 5.0, nq),
+        ),
+        (
+            "clusters",
+            "c=10".into(),
+            MixtureSpec::table10(32, base_n, 10, 5.0, nq),
+        ),
+        (
+            "clusters",
+            "c=100".into(),
+            MixtureSpec::table10(32, base_n, 100, 5.0, nq),
+        ),
+        (
+            "std",
+            "sd=1".into(),
+            MixtureSpec::table10(32, base_n, 10, 1.0, nq),
+        ),
+        (
+            "std",
+            "sd=5".into(),
+            MixtureSpec::table10(32, base_n, 10, 5.0, nq),
+        ),
+        (
+            "std",
+            "sd=10".into(),
+            MixtureSpec::table10(32, base_n, 10, 10.0, nq),
+        ),
+    ];
+
+    banner(&format!(
+        "Table 12: scalability over d / n / clusters / sd (base n={base_n})"
+    ));
+    let mut t = Table::new(vec!["Axis", "Variant", "Alg", "CT(s)", "QPS@0.9", "Recall"]);
+    for (axis, label, spec) in &variants {
+        let ds = NamedDataset::from_spec(label, spec, threads);
+        for &algo in &algos {
+            let report = build_timed(algo, &ds, threads, 1);
+            let (pt, reached) = at_target_recall(report.index.as_ref(), &ds, 10, TARGET_RECALL);
+            t.row(vec![
+                axis.to_string(),
+                label.clone(),
+                algo.name().to_string(),
+                f(report.build_secs, 2),
+                if reached {
+                    f(pt.qps, 0)
+                } else {
+                    format!("{}*", f(pt.qps, 0))
+                },
+                f(pt.recall, 3),
+            ]);
+            eprintln!("{} on {label} done", algo.name());
+        }
+    }
+    t.print();
+    t.write_csv("table12_scalability").expect("csv");
+    println!("('*' = recall target not reached; QPS at the best achieved recall)");
+}

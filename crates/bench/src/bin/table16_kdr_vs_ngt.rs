@@ -1,0 +1,77 @@
+//! Appendix N / Tables 16–18 — k-DR against both NGT variants on every
+//! stand-in dataset: construction time and index size (Table 16), index
+//! and search characteristics (Table 17), plus speedup-recall curve rows
+//! (the appendix's Figures 20/21 series for these algorithms).
+
+use weavess_bench::datasets::real_world_standins;
+use weavess_bench::report::{banner, f, mb, Table};
+use weavess_bench::runner::{at_target_recall, build_timed, default_beams, graph_report, sweep};
+use weavess_bench::{env_scale, env_threads};
+use weavess_core::algorithms::Algo;
+use weavess_data::ground_truth::exact_knn_graph;
+
+const K: usize = 10;
+const TARGET_RECALL: f64 = 0.99;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let sets = weavess_bench::select_datasets(real_world_standins(scale, threads));
+    let algos = [Algo::Kdr, Algo::NgtPanng, Algo::NgtOnng];
+    banner(&format!("k-DR vs NGT (scale={scale})"));
+
+    let mut t16 = Table::new(vec!["Alg", "Dataset", "ICT(s)", "IS(MB)"]);
+    let mut t17 = Table::new(vec![
+        "Alg", "Dataset", "GQ", "AD", "CC", "CS", "PL", "MO(MB)",
+    ]);
+    let mut curves = Table::new(vec!["Alg", "Dataset", "beam", "Recall@10", "Speedup"]);
+
+    for ds in &sets {
+        let exact = exact_knn_graph(&ds.base, 10, threads);
+        for &algo in &algos {
+            let report = build_timed(algo, ds, threads, 1);
+            t16.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                f(report.build_secs, 2),
+                mb(report.index_bytes),
+            ]);
+            let g = graph_report(report.index.as_ref(), &exact);
+            let (pt, reached) = at_target_recall(report.index.as_ref(), ds, K, TARGET_RECALL);
+            t17.row(vec![
+                algo.name().to_string(),
+                ds.name.clone(),
+                f(g.gq, 3),
+                f(g.degrees.avg, 1),
+                g.cc.to_string(),
+                if reached {
+                    pt.beam.to_string()
+                } else {
+                    format!("{}+", pt.beam)
+                },
+                f(pt.hops, 0),
+                mb(report.index_bytes + ds.base.memory_bytes()),
+            ]);
+            for p in sweep(report.index.as_ref(), ds, K, &default_beams(K)) {
+                curves.row(vec![
+                    algo.name().to_string(),
+                    ds.name.clone(),
+                    p.beam.to_string(),
+                    f(p.recall, 4),
+                    f(p.speedup, 1),
+                ]);
+            }
+            eprintln!("{} on {} done", algo.name(), ds.name);
+        }
+    }
+
+    banner("Table 16: construction time and index size");
+    t16.print();
+    t16.write_csv("table16_kdr_ngt_build").expect("csv");
+    banner("Table 17: index and search characteristics");
+    t17.print();
+    t17.write_csv("table17_kdr_ngt_stats").expect("csv");
+    banner("Speedup vs Recall@10 series (k-DR / NGT rows of Figs 20-21)");
+    curves.print();
+    curves.write_csv("table18_kdr_ngt_curves").expect("csv");
+}

@@ -1,0 +1,96 @@
+//! Parameter tuning demo (§5.1 "Parameters"): grid-search NSG's `R`/`L`
+//! and HNSW's `M` on a validation split sampled from the base set, and
+//! report the winning settings — the procedure behind every "optimal
+//! parameters" claim in the paper's evaluation.
+
+use weavess_bench::datasets::simple_and_hard;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::tuning::{grid_search, validation_split, Candidate};
+use weavess_bench::{env_scale, env_threads};
+use weavess_core::algorithms::{hnsw, nsg};
+use weavess_core::index::AnnIndex;
+use weavess_data::Dataset;
+
+fn main() {
+    let scale = env_scale();
+    let threads = env_threads();
+    let sets = simple_and_hard(scale, threads);
+    banner(&format!(
+        "Parameter tuning on validation splits (scale={scale})"
+    ));
+
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Algorithm",
+        "Setting",
+        "Recall@10",
+        "NDC",
+        "Build(s)",
+        "rank",
+    ]);
+    for ds in &sets {
+        let split = validation_split(ds, 0.05, 10, threads);
+
+        // NSG grid: R x L.
+        let mut nsg_candidates = Vec::new();
+        for r in [20usize, 30, 40] {
+            for l in [40usize, 60, 80] {
+                nsg_candidates.push(Candidate {
+                    label: format!("R={r},L={l}"),
+                    build: Box::new(move |base: &Dataset| {
+                        let mut p = nsg::NsgParams::tuned(threads, 1);
+                        p.r = r;
+                        p.l = l;
+                        Box::new(nsg::build(base, &p)) as Box<dyn AnnIndex>
+                    }),
+                });
+            }
+        }
+        for (rank, res) in grid_search(ds, &split, nsg_candidates, 10, 60)
+            .iter()
+            .enumerate()
+        {
+            t.row(vec![
+                ds.name.clone(),
+                "NSG".to_string(),
+                res.label.clone(),
+                f(res.recall, 4),
+                f(res.ndc, 0),
+                f(res.build_secs, 2),
+                (rank + 1).to_string(),
+            ]);
+        }
+
+        // HNSW grid: M.
+        let mut hnsw_candidates = Vec::new();
+        for m in [8usize, 16, 24] {
+            hnsw_candidates.push(Candidate {
+                label: format!("M={m}"),
+                build: Box::new(move |base: &Dataset| {
+                    let mut p = hnsw::HnswParams::tuned(1);
+                    p.m = m;
+                    p.m0 = 2 * m;
+                    Box::new(hnsw::build(base, &p)) as Box<dyn AnnIndex>
+                }),
+            });
+        }
+        for (rank, res) in grid_search(ds, &split, hnsw_candidates, 10, 60)
+            .iter()
+            .enumerate()
+        {
+            t.row(vec![
+                ds.name.clone(),
+                "HNSW".to_string(),
+                res.label.clone(),
+                f(res.recall, 4),
+                f(res.ndc, 0),
+                f(res.build_secs, 2),
+                (rank + 1).to_string(),
+            ]);
+        }
+        eprintln!("{} tuned", ds.name);
+    }
+    banner("Validation-split grid search (rank 1 = chosen setting)");
+    t.print();
+    t.write_csv("tune_params").expect("csv");
+}

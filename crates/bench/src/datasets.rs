@@ -1,0 +1,97 @@
+//! Named evaluation datasets with ground truth attached.
+
+use weavess_data::ground_truth::ground_truth;
+use weavess_data::metrics::dataset_lid;
+use weavess_data::synthetic::{standins, table10_specs, MixtureSpec};
+use weavess_data::Dataset;
+
+/// Ground-truth depth computed for every dataset (covers Recall@1 and
+/// Recall@10; the paper precomputes 20/100).
+pub const GT_K: usize = 20;
+
+/// One evaluation dataset, ready to run.
+pub struct NamedDataset {
+    /// Name as printed in the paper's tables.
+    pub name: String,
+    /// Base vectors.
+    pub base: Dataset,
+    /// Query vectors.
+    pub queries: Dataset,
+    /// Exact `GT_K` nearest neighbors per query.
+    pub gt: Vec<Vec<u32>>,
+}
+
+impl NamedDataset {
+    /// Builds from a generated pair.
+    pub fn from_pair(name: &str, base: Dataset, queries: Dataset, threads: usize) -> Self {
+        let gt = ground_truth(&base, &queries, GT_K, threads);
+        NamedDataset {
+            name: name.to_string(),
+            base,
+            queries,
+            gt,
+        }
+    }
+
+    /// Builds from a [`MixtureSpec`].
+    pub fn from_spec(name: &str, spec: &MixtureSpec, threads: usize) -> Self {
+        let (base, queries) = spec.generate();
+        Self::from_pair(name, base, queries, threads)
+    }
+
+    /// Measured MLE-LID (Table 3's difficulty column). The neighborhood
+    /// size scales with cardinality so small harness-scale datasets still
+    /// probe *local* structure.
+    pub fn lid(&self, threads: usize) -> f64 {
+        let k = (self.base.len() / 40).clamp(20, 100);
+        dataset_lid(&self.base, k, 200, threads)
+    }
+}
+
+/// The eight real-world stand-ins at `scale` (Table 3), hardest last.
+pub fn real_world_standins(scale: f64, threads: usize) -> Vec<NamedDataset> {
+    standins::all(scale)
+        .iter()
+        .map(|s| NamedDataset::from_spec(s.name, &s.spec, threads))
+        .collect()
+}
+
+/// A fast two-dataset subset mirroring the paper's §5.4 choice of "one
+/// simple (SIFT1M), one hard (GIST1M)" dataset.
+pub fn simple_and_hard(scale: f64, threads: usize) -> Vec<NamedDataset> {
+    standins::all(scale)
+        .iter()
+        .filter(|s| s.name == "SIFT1M" || s.name == "GIST1M")
+        .map(|s| NamedDataset::from_spec(s.name, &s.spec, threads))
+        .collect()
+}
+
+/// The paper's 12 synthetic datasets (Table 10) at `scale`.
+pub fn synthetic_table10(scale: f64, threads: usize) -> Vec<NamedDataset> {
+    table10_specs(scale)
+        .iter()
+        .map(|(name, spec)| NamedDataset::from_spec(name, spec, threads))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standins_carry_ground_truth() {
+        let sets = real_world_standins(0.002, 4);
+        assert_eq!(sets.len(), 8);
+        for s in &sets {
+            assert_eq!(s.gt.len(), s.queries.len());
+            assert!(s.gt.iter().all(|row| row.len() == GT_K));
+        }
+    }
+
+    #[test]
+    fn simple_and_hard_picks_the_paper_pair() {
+        let pair = simple_and_hard(0.002, 4);
+        let names: Vec<&str> = pair.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["SIFT1M", "GIST1M"]);
+    }
+}

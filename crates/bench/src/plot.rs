@@ -1,0 +1,169 @@
+//! Terminal (ASCII) line plots — figure-like rendering for the
+//! recall/QPS/speedup curves without a plotting dependency.
+
+/// One plotted series: a label and its (x, y) points.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (unsorted allowed; plotted as a scatter of markers).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Marker glyphs cycled across series.
+const MARKS: &[char] = &[
+    'o', '+', 'x', '*', '#', '@', '%', '&', '$', '^', '~', '=', 'A', 'B', 'C', 'D', 'E',
+];
+
+/// Renders series into a `width × height` character grid with axis labels.
+/// `log_y` plots the y axis in log10 (the paper's QPS/speedup axes).
+pub fn ascii_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(8, 60);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|&(x, y)| x.is_finite() && y.is_finite() && (!log_y || y > 0.0))
+        .collect();
+    if all.is_empty() {
+        return format!("{title}: (no finite points)\n");
+    }
+    let ty = |y: f64| if log_y { y.log10() } else { y };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(ty(y));
+        y_max = y_max.max(ty(y));
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (log_y && y <= 0.0) {
+                continue;
+            }
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((ty(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let y_top = if log_y {
+        format!("1e{y_max:.1}")
+    } else {
+        format!("{y_max:.3}")
+    };
+    let y_bot = if log_y {
+        format!("1e{y_min:.1}")
+    } else {
+        format!("{y_min:.3}")
+    };
+    let gutter = y_top.len().max(y_bot.len());
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            y_top.clone()
+        } else if r == height - 1 {
+            y_bot.clone()
+        } else if r == height / 2 {
+            y_label.chars().take(gutter).collect()
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>gutter$} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>gutter$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>gutter$}  {:<10}{:^w$}{:>10}\n",
+        "",
+        format!("{x_min:.3}"),
+        x_label,
+        format!("{x_max:.3}"),
+        w = width.saturating_sub(20),
+    ));
+    // Legend.
+    out.push_str("  legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={} ", MARKS[si % MARKS.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series {
+                label: "up".into(),
+                points: (0..10)
+                    .map(|i| (i as f64 / 10.0, 10.0 + i as f64))
+                    .collect(),
+            },
+            Series {
+                label: "down".into(),
+                points: (0..10)
+                    .map(|i| (i as f64 / 10.0, 100.0 - i as f64))
+                    .collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn plot_contains_markers_axes_and_legend() {
+        let s = ascii_plot("t", "recall", "qps", &demo(), 40, 12, false);
+        assert!(s.contains('o'));
+        assert!(s.contains('+'));
+        assert!(s.contains("legend: o=up +=down"));
+        assert!(s.contains("recall"));
+        // Grid has height+3 framing lines plus title and legend.
+        assert!(s.lines().count() >= 15);
+    }
+
+    #[test]
+    fn log_scale_accepts_only_positive_ys() {
+        let series = vec![Series {
+            label: "s".into(),
+            points: vec![(0.0, 0.0), (0.5, 10.0), (1.0, 1000.0)],
+        }];
+        let s = ascii_plot("t", "x", "y", &series, 30, 10, true);
+        assert!(s.contains("1e3.0"), "{s}");
+        assert!(s.contains("1e1.0"), "{s}");
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let s = ascii_plot("t", "x", "y", &[], 30, 10, false);
+        assert!(s.contains("no finite points"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let series = vec![Series {
+            label: "dot".into(),
+            points: vec![(0.5, 42.0)],
+        }];
+        let s = ascii_plot("t", "x", "y", &series, 30, 10, false);
+        assert!(s.contains('o'));
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared experiment machinery: timed builds, beam sweeps, target-recall
+//! searches.
+
+use crate::datasets::NamedDataset;
+use weavess_core::algorithms::Algo;
+use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_data::metrics::recall;
+use weavess_graph::connectivity::weak_components;
+use weavess_graph::metrics::{degree_stats, graph_quality, DegreeStats};
+
+/// A built index plus its construction report.
+pub struct BuildReport {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Wall-clock build seconds.
+    pub build_secs: f64,
+    /// Total index bytes (graph + auxiliary structures).
+    pub index_bytes: usize,
+    /// The index.
+    pub index: Box<dyn AnnIndex>,
+}
+
+/// Builds one algorithm, timed.
+pub fn build_timed(algo: Algo, ds: &NamedDataset, threads: usize, seed: u64) -> BuildReport {
+    let t0 = std::time::Instant::now();
+    let index = algo.build(&ds.base, threads, seed);
+    let build_secs = t0.elapsed().as_secs_f64();
+    BuildReport {
+        name: algo.name(),
+        build_secs,
+        index_bytes: index.memory_bytes(),
+        index,
+    }
+}
+
+/// Index-structure metrics (Table 4 / Table 11 rows).
+pub struct GraphReport {
+    /// Graph quality vs the exact KNNG.
+    pub gq: f64,
+    /// Degree statistics.
+    pub degrees: DegreeStats,
+    /// Weakly-connected components.
+    pub cc: usize,
+}
+
+/// Computes Table 4 metrics for a built index. `exact` is the exact KNNG
+/// neighbor lists (see [`weavess_data::ground_truth::exact_knn_graph`]).
+pub fn graph_report(index: &dyn AnnIndex, exact: &[Vec<u32>]) -> GraphReport {
+    let g = index.graph();
+    GraphReport {
+        gq: graph_quality(g, exact),
+        degrees: degree_stats(g),
+        cc: weak_components(g),
+    }
+}
+
+/// One point of a beam sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Candidate-set size (the paper's CS).
+    pub beam: usize,
+    /// Mean Recall@k.
+    pub recall: f64,
+    /// Queries per second (single thread, like the paper).
+    pub qps: f64,
+    /// Mean distance computations per query.
+    pub ndc: f64,
+    /// Mean hops (query path length) per query.
+    pub hops: f64,
+    /// Speedup = |S| / NDC.
+    pub speedup: f64,
+}
+
+/// Runs the full query set at one beam width.
+pub fn run_at_beam(index: &dyn AnnIndex, ds: &NamedDataset, k: usize, beam: usize) -> SweepPoint {
+    let mut ctx = SearchContext::new(ds.base.len());
+    let nq = ds.queries.len();
+    let t0 = std::time::Instant::now();
+    let mut total_recall = 0.0;
+    for qi in 0..nq as u32 {
+        let res = index.search(&ds.base, ds.queries.point(qi), k, beam, &mut ctx);
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        total_recall += recall(&ids, &ds.gt[qi as usize][..k.min(ds.gt[qi as usize].len())]);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = ctx.take_stats();
+    let ndc = stats.ndc as f64 / nq as f64;
+    SweepPoint {
+        beam,
+        recall: total_recall / nq as f64,
+        qps: nq as f64 / secs.max(1e-9),
+        ndc,
+        hops: stats.hops as f64 / nq as f64,
+        speedup: ds.base.len() as f64 / ndc.max(1e-9),
+    }
+}
+
+/// The default beam schedule for recall/efficiency curves (the paper's
+/// high-precision region).
+pub fn default_beams(k: usize) -> Vec<usize> {
+    let mut beams: Vec<usize> = vec![k, 20, 30, 40, 60, 80, 120, 160, 240, 320, 480]
+        .into_iter()
+        .filter(|&b| b >= k)
+        .collect();
+    beams.dedup();
+    beams
+}
+
+/// Sweeps beams, producing one curve (Figures 7/8/20/21).
+pub fn sweep(
+    index: &dyn AnnIndex,
+    ds: &NamedDataset,
+    k: usize,
+    beams: &[usize],
+) -> Vec<SweepPoint> {
+    beams
+        .iter()
+        .map(|&b| run_at_beam(index, ds, k, b))
+        .collect()
+}
+
+/// Finds the smallest scheduled beam reaching `target` Recall@k, returning
+/// its sweep point (the Table 5 methodology: CS at a fixed recall).
+/// Returns the best achieved point when the target is never reached
+/// (the paper's "+" ceiling marker), with `reached = false`.
+pub fn at_target_recall(
+    index: &dyn AnnIndex,
+    ds: &NamedDataset,
+    k: usize,
+    target: f64,
+) -> (SweepPoint, bool) {
+    let mut best: Option<SweepPoint> = None;
+    for &beam in &default_beams(k) {
+        let p = run_at_beam(index, ds, k, beam);
+        if p.recall >= target {
+            return (p, true);
+        }
+        if best.is_none_or(|b| p.recall > b.recall) {
+            best = Some(p);
+        }
+    }
+    (best.expect("at least one beam evaluated"), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::NamedDataset;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn tiny() -> NamedDataset {
+        let spec = MixtureSpec::table10(8, 1_000, 3, 3.0, 50);
+        NamedDataset::from_spec("tiny", &spec, 4)
+    }
+
+    #[test]
+    fn build_and_sweep_produce_consistent_numbers() {
+        let ds = tiny();
+        let report = build_timed(Algo::KGraph, &ds, 2, 1);
+        assert!(report.build_secs > 0.0);
+        assert!(report.index_bytes > 0);
+        let points = sweep(report.index.as_ref(), &ds, 10, &[10, 80]);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].recall >= points[0].recall - 0.02);
+        assert!(points[1].ndc > points[0].ndc);
+        assert!(points[0].speedup > 1.0);
+    }
+
+    #[test]
+    fn target_recall_search_reports_ceiling() {
+        let ds = tiny();
+        let report = build_timed(Algo::KGraph, &ds, 2, 1);
+        let (p, reached) = at_target_recall(report.index.as_ref(), &ds, 10, 0.5);
+        assert!(reached);
+        assert!(p.recall >= 0.5);
+        let (_, reached_impossible) = at_target_recall(report.index.as_ref(), &ds, 10, 1.01);
+        assert!(!reached_impossible);
+    }
+}

@@ -1,0 +1,185 @@
+//! Parameter tuning on a validation split — the §5.1 "Parameters"
+//! methodology: "we randomly sample a certain percentage of data points
+//! from the base dataset to form a validation dataset. We search for the
+//! optimal value of all the adjustable parameters ... to make the
+//! algorithms' search performance reach the optimal level", scored in the
+//! high-recall region.
+
+use crate::datasets::NamedDataset;
+use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_data::ground_truth::ground_truth;
+use weavess_data::metrics::recall;
+use weavess_data::Dataset;
+
+/// A validation workload: held-out queries sampled from the base set with
+/// their exact neighbors (computed against the full base, like the paper).
+pub struct ValidationSplit {
+    /// Validation query vectors (sampled base points).
+    pub queries: Dataset,
+    /// Exact `k` nearest base points per validation query (the query point
+    /// itself is excluded so tuning is not rewarded for self-retrieval).
+    pub gt: Vec<Vec<u32>>,
+    /// Each validation query's own base id (excluded from scoring).
+    pub own_ids: Vec<u32>,
+}
+
+/// Samples `frac` of the base points (strided, deterministic) as
+/// validation queries and computes their ground truth.
+pub fn validation_split(ds: &NamedDataset, frac: f64, k: usize, threads: usize) -> ValidationSplit {
+    let n = ds.base.len();
+    let count = ((n as f64 * frac) as usize).clamp(20, 500);
+    let stride = (n / count).max(1);
+    let ids: Vec<u32> = (0..count).map(|i| (i * stride) as u32).collect();
+    let queries = ds.base.subset(&ids);
+    // Ground truth against the full base, excluding each query's own id.
+    let gt_with_self = ground_truth(&ds.base, &queries, k + 1, threads);
+    let gt = gt_with_self
+        .into_iter()
+        .zip(&ids)
+        .map(|(row, &own)| row.into_iter().filter(|&x| x != own).take(k).collect())
+        .collect();
+    ValidationSplit {
+        queries,
+        gt,
+        own_ids: ids,
+    }
+}
+
+/// A boxed index-builder closure.
+pub type Builder<'a> = Box<dyn Fn(&Dataset) -> Box<dyn AnnIndex> + 'a>;
+
+/// One tuning candidate: a label and a builder closure.
+pub struct Candidate<'a> {
+    /// Parameter-setting label, e.g. `"R=30,L=60"`.
+    pub label: String,
+    /// Builds the index for this setting.
+    pub build: Builder<'a>,
+}
+
+/// Tuning outcome for one candidate.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The candidate's label.
+    pub label: String,
+    /// Mean Recall@k on the validation split at the evaluation beam.
+    pub recall: f64,
+    /// Mean distance computations per validation query.
+    pub ndc: f64,
+    /// Build seconds.
+    pub build_secs: f64,
+    /// The score candidates are ranked by.
+    pub score: f64,
+}
+
+/// Grid-searches the candidates on a validation split, ranking by recall
+/// first and NDC second (the paper's "high recall areas' search
+/// performance primarily is concerned"). Returns all results sorted best
+/// first.
+pub fn grid_search(
+    ds: &NamedDataset,
+    split: &ValidationSplit,
+    candidates: Vec<Candidate<'_>>,
+    k: usize,
+    beam: usize,
+) -> Vec<TuneResult> {
+    let mut results: Vec<TuneResult> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let t0 = std::time::Instant::now();
+        let index = (c.build)(&ds.base);
+        let build_secs = t0.elapsed().as_secs_f64();
+        let mut ctx = SearchContext::new(ds.base.len());
+        let mut total_recall = 0.0;
+        for qi in 0..split.queries.len() as u32 {
+            // Ask for one extra and drop the query's own base point: a
+            // validation query retrieves itself at distance zero, which
+            // must not count for or against the setting.
+            let own = split.own_ids[qi as usize];
+            let res: Vec<u32> = index
+                .search(&ds.base, split.queries.point(qi), k + 1, beam, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .filter(|&id| id != own)
+                .take(k)
+                .collect();
+            total_recall += recall(&res, &split.gt[qi as usize]);
+        }
+        let nq = split.queries.len() as f64;
+        let r = total_recall / nq;
+        let ndc = ctx.stats.ndc as f64 / nq;
+        // Lexicographic-ish score: recall dominates (rounded to 0.005),
+        // cheaper NDC breaks ties.
+        let score = (r * 200.0).round() * 1e9 - ndc;
+        results.push(TuneResult {
+            label: c.label,
+            recall: r,
+            ndc,
+            build_secs,
+            score,
+        });
+    }
+    results.sort_by(|a, b| b.score.total_cmp(&a.score));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_core::algorithms::nsg::{self, NsgParams};
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn dataset() -> NamedDataset {
+        let spec = MixtureSpec {
+            intrinsic_dim: Some(6),
+            noise: 0.05,
+            shared_subspace: true,
+            ..MixtureSpec::table10(16, 1_500, 3, 5.0, 30)
+        };
+        NamedDataset::from_spec("tune-test", &spec, 2)
+    }
+
+    #[test]
+    fn validation_split_excludes_self_matches() {
+        let ds = dataset();
+        let split = validation_split(&ds, 0.05, 10, 2);
+        assert!(split.queries.len() >= 20);
+        // Every gt row has k entries, none at distance zero to the query
+        // (the query itself was excluded; duplicates aside).
+        for (qi, row) in split.gt.iter().enumerate() {
+            assert_eq!(row.len(), 10);
+            let q = split.queries.point(qi as u32);
+            // The nearest retained neighbor may be near but the row must
+            // not contain the query's own base id (strided: qi * stride).
+            let own = (qi * (ds.base.len() / split.queries.len()).max(1)) as u32;
+            assert!(!row.contains(&own), "row {qi} contains its own id");
+            let _ = q;
+        }
+    }
+
+    #[test]
+    fn grid_search_prefers_higher_recall_then_lower_ndc() {
+        let ds = dataset();
+        let split = validation_split(&ds, 0.05, 10, 2);
+        // Candidates: a crippled NSG (near-degenerate degree) vs a
+        // reasonable one.
+        let candidates = vec![
+            Candidate {
+                label: "R=2".into(),
+                build: Box::new(|base: &Dataset| {
+                    let mut p = NsgParams::tuned(2, 1);
+                    p.r = 2;
+                    Box::new(nsg::build(base, &p)) as Box<dyn AnnIndex>
+                }),
+            },
+            Candidate {
+                label: "R=30".into(),
+                build: Box::new(|base: &Dataset| {
+                    Box::new(nsg::build(base, &NsgParams::tuned(2, 1))) as Box<dyn AnnIndex>
+                }),
+            },
+        ];
+        let results = grid_search(&ds, &split, candidates, 10, 20);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "R=30", "{results:?}");
+        assert!(results[0].recall >= results[1].recall);
+    }
+}

@@ -1,0 +1,331 @@
+//! A2 — HNSW (Hierarchical Navigable Small World): the survey's only
+//! multi-layer index, hence its own [`AnnIndex`] implementation.
+//!
+//! Points draw a geometric level; upper layers are sparse navigation maps,
+//! layer 0 holds everyone. Inserts greedily descend to the target level,
+//! then run a beam search per layer and keep `M` neighbors by the RNG
+//! heuristic (≡ NSG's MRNG, Appendix A). Search enters at the fixed top
+//! vertex (its C4 is "top layer"), descends greedily, and beams on
+//! layer 0. The hierarchy costs memory (Figure 6's HNSW bar) — the
+//! flat-vs-hierarchy trade §3.2 discusses.
+
+use crate::components::selection::select_rng_alpha;
+use crate::index::{AnnIndex, SearchContext};
+use crate::search::{beam_search, SearchStats, VisitedPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::CsrGraph;
+
+/// HNSW parameters (`M`, `M0`, `ef_construction`).
+#[derive(Debug, Clone)]
+pub struct HnswParams {
+    /// Max neighbors per vertex on upper layers (`M`).
+    pub m: usize,
+    /// Max neighbors on layer 0 (`M0`, conventionally `2M`).
+    pub m0: usize,
+    /// Insertion-time beam width.
+    pub ef_construction: usize,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+}
+
+impl HnswParams {
+    /// Defaults tuned for the harness's dataset scales.
+    pub fn tuned(seed: u64) -> Self {
+        HnswParams {
+            m: 16,
+            m0: 32,
+            ef_construction: 60,
+            seed,
+        }
+    }
+}
+
+/// A built HNSW index: one frozen graph per layer.
+pub struct HnswIndex {
+    /// `layers[0]` is the full bottom layer; upper layers cover subsets
+    /// (absent vertices have empty neighbor lists).
+    layers: Vec<CsrGraph>,
+    /// Fixed entry vertex (a top-layer member).
+    enter: u32,
+}
+
+impl HnswIndex {
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The fixed entry point.
+    pub fn enter_point(&self) -> u32 {
+        self.enter
+    }
+
+    /// The frozen graph of one layer (0 = bottom).
+    pub fn layer(&self, l: usize) -> &CsrGraph {
+        &self.layers[l]
+    }
+
+    /// Reassembles an index from frozen layers (persistence).
+    ///
+    /// # Panics
+    /// Panics when `layers` is empty or layer vertex counts disagree.
+    pub fn from_parts(layers: Vec<CsrGraph>, enter: u32) -> Self {
+        assert!(!layers.is_empty(), "need at least the bottom layer");
+        let n = layers[0].len();
+        assert!(layers.iter().all(|l| l.len() == n), "layer size mismatch");
+        assert!((enter as usize) < n, "enter point out of range");
+        HnswIndex { layers, enter }
+    }
+}
+
+/// Builds an HNSW index.
+pub fn build(ds: &Dataset, params: &HnswParams) -> HnswIndex {
+    let n = ds.len();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let ml = 1.0 / (params.m.max(2) as f64).ln();
+    // Level per point.
+    let levels: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (-u.ln() * ml).floor() as usize
+        })
+        .collect();
+    let top = levels.iter().copied().max().unwrap_or(0);
+    // Mutable adjacency per layer.
+    let mut layers: Vec<Vec<Vec<u32>>> = (0..=top).map(|_| vec![Vec::new(); n]).collect();
+    let mut enter: u32 = 0;
+    let mut enter_level: usize = levels[0];
+    let mut visited = VisitedPool::new(n);
+    let mut stats = SearchStats::default();
+
+    for p in 1..n as u32 {
+        let lp = levels[p as usize];
+        let mut ep = enter;
+        // Greedy descent through layers above lp.
+        for l in ((lp + 1)..=enter_level).rev() {
+            ep = greedy_closest(ds, &layers[l], ds.point(p), ep, &mut stats);
+        }
+        // Beam insert on layers lp..=0.
+        for l in (0..=lp.min(enter_level)).rev() {
+            visited.next_epoch();
+            let pool = beam_search(
+                ds,
+                &layers[l],
+                ds.point(p),
+                &[ep],
+                params.ef_construction,
+                &mut visited,
+                &mut stats,
+            );
+            let max_deg = if l == 0 { params.m0 } else { params.m };
+            let selected = select_rng_alpha(ds, p, &pool, params.m, 1.0);
+            for s in &selected {
+                layers[l][p as usize].push(s.id);
+                layers[l][s.id as usize].push(p);
+                // Shrink over-full reverse lists with the same heuristic.
+                if layers[l][s.id as usize].len() > max_deg {
+                    let cands: Vec<Neighbor> = {
+                        let mut c: Vec<Neighbor> = layers[l][s.id as usize]
+                            .iter()
+                            .map(|&u| Neighbor::new(u, ds.dist(s.id, u)))
+                            .collect();
+                        c.sort_unstable();
+                        c
+                    };
+                    layers[l][s.id as usize] = select_rng_alpha(ds, s.id, &cands, max_deg, 1.0)
+                        .iter()
+                        .map(|x| x.id)
+                        .collect();
+                }
+            }
+            ep = selected.first().map(|s| s.id).unwrap_or(ep);
+        }
+        if lp > enter_level {
+            enter = p;
+            enter_level = lp;
+        }
+    }
+
+    HnswIndex {
+        layers: layers
+            .into_iter()
+            .map(|l| CsrGraph::from_lists(&l))
+            .collect(),
+        enter,
+    }
+}
+
+/// One-at-a-time greedy descent on a single layer (HNSW's upper-layer
+/// `ef = 1` search).
+fn greedy_closest(
+    ds: &Dataset,
+    layer: &[Vec<u32>],
+    query: &[f32],
+    start: u32,
+    stats: &mut SearchStats,
+) -> u32 {
+    let mut cur = start;
+    let mut cur_d = ds.dist_to(query, cur);
+    stats.ndc += 1;
+    loop {
+        let mut improved = false;
+        for &u in &layer[cur as usize] {
+            stats.ndc += 1;
+            let d = ds.dist_to(query, u);
+            if d < cur_d {
+                cur = u;
+                cur_d = d;
+                improved = true;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+        stats.hops += 1;
+    }
+}
+
+impl AnnIndex for HnswIndex {
+    fn name(&self) -> &'static str {
+        "HNSW"
+    }
+
+    fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+    ) -> Vec<Neighbor> {
+        let mut ep = self.enter;
+        for l in (1..self.layers.len()).rev() {
+            ep = greedy_closest_csr(ds, &self.layers[l], query, ep, &mut ctx.stats);
+        }
+        ctx.visited.next_epoch();
+        let mut pool = beam_search(
+            ds,
+            &self.layers[0],
+            query,
+            &[ep],
+            beam.max(k),
+            &mut ctx.visited,
+            &mut ctx.stats,
+        );
+        pool.truncate(k);
+        pool
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.layers[0]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.memory_bytes()).sum()
+    }
+}
+
+fn greedy_closest_csr(
+    ds: &Dataset,
+    layer: &CsrGraph,
+    query: &[f32],
+    start: u32,
+    stats: &mut SearchStats,
+) -> u32 {
+    let mut cur = start;
+    let mut cur_d = ds.dist_to(query, cur);
+    stats.ndc += 1;
+    loop {
+        let mut improved = false;
+        for &u in layer.neighbors(cur) {
+            stats.ndc += 1;
+            let d = ds.dist_to(query, u);
+            if d < cur_d {
+                cur = u;
+                cur_d = d;
+                improved = true;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+        stats.hops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::ground_truth::ground_truth;
+    use weavess_data::metrics::recall;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::metrics::degree_stats;
+
+    fn dataset() -> (Dataset, Dataset) {
+        MixtureSpec::table10(16, 2_000, 5, 3.0, 30).generate()
+    }
+
+    #[test]
+    fn hnsw_reaches_high_recall_from_fixed_entry() {
+        let (ds, qs) = dataset();
+        let idx = build(&ds, &HnswParams::tuned(1));
+        let gt = ground_truth(&ds, &qs, 10, 4);
+        let mut ctx = SearchContext::new(ds.len());
+        let mut total = 0.0;
+        for qi in 0..qs.len() as u32 {
+            let r: Vec<u32> = idx
+                .search(&ds, qs.point(qi), 10, 100, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            total += recall(&r, &gt[qi as usize]);
+        }
+        let r = total / qs.len() as f64;
+        assert!(r > 0.9, "recall={r}");
+    }
+
+    #[test]
+    fn hierarchy_exists_and_layer0_degree_is_bounded() {
+        let (ds, _) = dataset();
+        let p = HnswParams::tuned(1);
+        let idx = build(&ds, &p);
+        assert!(idx.num_layers() >= 2, "no hierarchy formed");
+        assert!(degree_stats(idx.graph()).max <= p.m0);
+    }
+
+    #[test]
+    fn upper_layers_are_sparser() {
+        let (ds, _) = dataset();
+        let idx = build(&ds, &HnswParams::tuned(1));
+        for l in 1..idx.num_layers() {
+            assert!(
+                idx.layers[l].num_edges() < idx.layers[l - 1].num_edges(),
+                "layer {l} not sparser"
+            );
+        }
+    }
+
+    #[test]
+    fn level_assignment_is_roughly_geometric() {
+        // With ml = 1/ln(M), P(level >= 1) = 1/M; on 2 000 points with
+        // M = 16 expect ~125 upper-layer members, well within [40, 320].
+        let (ds, _) = dataset();
+        let idx = build(&ds, &HnswParams::tuned(7));
+        let upper: usize = (0..ds.len() as u32)
+            .filter(|&v| !idx.layers[1].neighbors(v).is_empty())
+            .count();
+        assert!(
+            (40..=320).contains(&upper),
+            "upper-layer members {upper} outside geometric expectation"
+        );
+    }
+
+    #[test]
+    fn memory_exceeds_bottom_layer_alone() {
+        let (ds, _) = dataset();
+        let idx = build(&ds, &HnswParams::tuned(1));
+        assert!(idx.memory_bytes() > idx.graph().memory_bytes());
+    }
+}

@@ -1,0 +1,321 @@
+//! C4 (seed preprocessing) + C6 (seed acquisition), Definition 4.3.
+//!
+//! The two components are interlocked (§5.4): choosing the preprocessing
+//! fixes the acquisition, so one strategy object covers both. Static
+//! strategies (fixed entry, random) carry no extra index; dynamic ones own
+//! the auxiliary structure and *charge its distance computations to the
+//! query's NDC* — the accounting that makes tree-based seeds expensive on
+//! hard datasets in Figure 10(d).
+
+use crate::search::SearchStats;
+use rand::rngs::StdRng;
+use rand::Rng;
+use weavess_data::Dataset;
+use weavess_trees::{BkTree, KdForest, LshTable, VpTree};
+
+/// A seed (entry point) strategy.
+pub enum SeedStrategy {
+    /// `count` uniformly random vertices per query (KGraph, NSW, FANNG, DPG).
+    Random {
+        /// Seeds per query.
+        count: usize,
+    },
+    /// A fixed seed set chosen at build time: NSG/Vamana's medoid, NSSG/OA's
+    /// random-but-fixed entries, HNSW's top-layer enter point.
+    Fixed(Vec<u32>),
+    /// Distance-free KD-forest leaf lookup (HCNNG): descend each tree by
+    /// value comparisons and seed from the reached leaves. Zero NDC.
+    KdLeaf {
+        /// The forest.
+        forest: KdForest,
+        /// Seeds per query.
+        count: usize,
+    },
+    /// Budgeted KD-forest search (EFANNA, SPTAG-KDT): better seeds, paid
+    /// for with distance computations.
+    KdSearch {
+        /// The forest.
+        forest: KdForest,
+        /// Seeds per query.
+        count: usize,
+        /// Distance budget per tree.
+        checks_per_tree: usize,
+    },
+    /// VP-tree search (NGT).
+    Vp {
+        /// The tree.
+        tree: VpTree,
+        /// Seeds per query.
+        count: usize,
+        /// Distance budget.
+        checks: usize,
+    },
+    /// Balanced k-means tree search (SPTAG-BKT).
+    Bk {
+        /// The tree.
+        tree: BkTree,
+        /// Seeds per query.
+        count: usize,
+        /// Distance budget.
+        checks: usize,
+    },
+    /// LSH bucket probe (IEH).
+    Lsh {
+        /// The hash tables.
+        table: LshTable,
+        /// Seeds per query.
+        count: usize,
+        /// Fallback seeds when buckets come up empty.
+        fallback: Vec<u32>,
+    },
+    /// PQ-compressed linear scan (the §4.1 reference to Douze et al.:
+    /// "compresses the original vector by OPQ to obtain the seeds by
+    /// quickly calculating the compressed vector"). A full scan over
+    /// `m`-byte codes costs `n·m/dim` full-distance equivalents.
+    Pq {
+        /// The trained quantizer + codes.
+        pq: weavess_data::pq::PqDataset,
+        /// Seeds per query.
+        count: usize,
+    },
+}
+
+impl SeedStrategy {
+    /// Produces this query's seeds, charging any distance computations the
+    /// auxiliary structure spent to `stats`.
+    pub fn seeds(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        rng: &mut StdRng,
+        stats: &mut SearchStats,
+    ) -> Vec<u32> {
+        match self {
+            SeedStrategy::Random { count } => {
+                let n = ds.len() as u32;
+                let count = (*count).min(ds.len()).max(1);
+                let mut out = Vec::with_capacity(count);
+                while out.len() < count {
+                    let c = rng.gen_range(0..n);
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+            SeedStrategy::Fixed(v) => v.clone(),
+            SeedStrategy::KdLeaf { forest, count } => {
+                let s = forest.leaf_seeds(query, *count);
+                if s.is_empty() {
+                    vec![0]
+                } else {
+                    s
+                }
+            }
+            SeedStrategy::KdSearch {
+                forest,
+                count,
+                checks_per_tree,
+            } => {
+                let (pool, ndc) = forest.search(ds, query, *count, *checks_per_tree);
+                stats.ndc += ndc;
+                pool.iter().map(|n| n.id).collect()
+            }
+            SeedStrategy::Vp {
+                tree,
+                count,
+                checks,
+            } => {
+                let (pool, ndc) = tree.search(ds, query, *count, *checks);
+                stats.ndc += ndc;
+                pool.iter().map(|n| n.id).collect()
+            }
+            SeedStrategy::Bk {
+                tree,
+                count,
+                checks,
+            } => {
+                let (pool, ndc) = tree.search(ds, query, *count, *checks);
+                stats.ndc += ndc;
+                pool.iter().map(|n| n.id).collect()
+            }
+            SeedStrategy::Lsh {
+                table,
+                count,
+                fallback,
+            } => {
+                let (mut s, cost) = table.seeds(query, *count);
+                stats.ndc += cost;
+                if s.is_empty() {
+                    s.extend_from_slice(fallback);
+                }
+                s
+            }
+            SeedStrategy::Pq { pq, count } => {
+                let t = pq.tables(query);
+                let mut pool: Vec<weavess_data::Neighbor> = Vec::with_capacity(count + 1);
+                for id in 0..pq.len() as u32 {
+                    weavess_data::neighbor::insert_into_pool(
+                        &mut pool,
+                        *count,
+                        weavess_data::Neighbor::new(id, pq.dist_with(&t, id)),
+                    );
+                }
+                // Charge the scan at its true cost in full-distance
+                // equivalents (m lookups per point vs dim mults).
+                stats.ndc += ((pq.len() * pq.m()) as f64 / ds.dim() as f64).ceil() as u64;
+                pool.iter().map(|n| n.id).collect()
+            }
+        }
+    }
+
+    /// Bytes of auxiliary index this strategy adds (Figure 6 / Table 5 MO).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            SeedStrategy::Random { .. } => 0,
+            SeedStrategy::Fixed(v) => v.len() * 4,
+            SeedStrategy::KdLeaf { forest, .. } => forest.memory_bytes(),
+            SeedStrategy::KdSearch { forest, .. } => forest.memory_bytes(),
+            SeedStrategy::Vp { tree, .. } => tree.memory_bytes(),
+            SeedStrategy::Bk { tree, .. } => tree.memory_bytes(),
+            SeedStrategy::Lsh {
+                table, fallback, ..
+            } => table.memory_bytes() + fallback.len() * 4,
+            SeedStrategy::Pq { pq, .. } => pq.memory_bytes(),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SeedStrategy::Random { .. } => "random",
+            SeedStrategy::Fixed(_) => "fixed",
+            SeedStrategy::KdLeaf { .. } => "kd-leaf",
+            SeedStrategy::KdSearch { .. } => "kd-search",
+            SeedStrategy::Vp { .. } => "vp-tree",
+            SeedStrategy::Bk { .. } => "bk-tree",
+            SeedStrategy::Lsh { .. } => "lsh",
+            SeedStrategy::Pq { .. } => "pq-scan",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn dataset() -> (Dataset, Dataset) {
+        MixtureSpec::table10(8, 400, 4, 3.0, 10).generate()
+    }
+
+    #[test]
+    fn random_seeds_are_distinct_and_in_range() {
+        let (ds, qs) = dataset();
+        let s = SeedStrategy::Random { count: 6 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::default();
+        let seeds = s.seeds(&ds, qs.point(0), &mut rng, &mut stats);
+        assert_eq!(seeds.len(), 6);
+        assert!(seeds.iter().all(|&x| (x as usize) < ds.len()));
+        let mut d = seeds.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 6);
+        assert_eq!(stats.ndc, 0); // no preprocessing cost
+    }
+
+    #[test]
+    fn fixed_seeds_do_not_consume_rng() {
+        let (ds, qs) = dataset();
+        let s = SeedStrategy::Fixed(vec![3, 1, 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::default();
+        assert_eq!(
+            s.seeds(&ds, qs.point(0), &mut rng, &mut stats),
+            vec![3, 1, 4]
+        );
+    }
+
+    #[test]
+    fn tree_strategies_charge_ndc() {
+        let (ds, qs) = dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let forest = KdForest::build(&ds, 2, 16, &mut rng);
+        let leaf = SeedStrategy::KdLeaf { forest, count: 8 };
+        let mut stats = SearchStats::default();
+        let seeds = leaf.seeds(&ds, qs.point(0), &mut rng, &mut stats);
+        assert!(!seeds.is_empty());
+        assert_eq!(stats.ndc, 0, "leaf lookup is distance-free");
+
+        let forest2 = KdForest::build(&ds, 2, 16, &mut rng);
+        let search = SeedStrategy::KdSearch {
+            forest: forest2,
+            count: 8,
+            checks_per_tree: 64,
+        };
+        let mut stats2 = SearchStats::default();
+        let seeds2 = search.seeds(&ds, qs.point(0), &mut rng, &mut stats2);
+        assert!(!seeds2.is_empty());
+        assert!(stats2.ndc > 0, "budgeted search must charge NDC");
+    }
+
+    #[test]
+    fn vp_and_bk_strategies_return_close_seeds() {
+        let (ds, qs) = dataset();
+        let q = qs.point(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stats = SearchStats::default();
+        let vp = SeedStrategy::Vp {
+            tree: VpTree::build(&ds, 8),
+            count: 4,
+            checks: 200,
+        };
+        let bk = SeedStrategy::Bk {
+            tree: BkTree::build(&ds, 4, 16),
+            count: 4,
+            checks: 200,
+        };
+        for s in [vp, bk] {
+            let seeds = s.seeds(&ds, q, &mut rng, &mut stats);
+            assert!(!seeds.is_empty(), "{}", s.label());
+        }
+        assert!(stats.ndc > 0);
+    }
+
+    #[test]
+    fn pq_seeds_are_close_and_charge_scan_cost() {
+        let (ds, qs) = dataset();
+        let pq = weavess_data::pq::PqDataset::train(&ds, 4, 300);
+        let s = SeedStrategy::Pq { pq, count: 8 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stats = SearchStats::default();
+        let q = qs.point(0);
+        let seeds = s.seeds(&ds, q, &mut rng, &mut stats);
+        assert_eq!(seeds.len(), 8);
+        assert!(stats.ndc > 0, "PQ scan must charge NDC");
+        // PQ seeds should beat random strided picks on average distance.
+        let seed_avg: f32 =
+            seeds.iter().map(|&x| ds.dist_to(q, x)).sum::<f32>() / seeds.len() as f32;
+        let rand_avg: f32 = (0..8)
+            .map(|i| ds.dist_to(q, (i * ds.len() / 8) as u32))
+            .sum::<f32>()
+            / 8.0;
+        assert!(seed_avg < rand_avg, "{seed_avg} !< {rand_avg}");
+        assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_accounting_is_nonzero_for_dynamic_strategies() {
+        let (ds, _) = dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(SeedStrategy::Random { count: 4 }.memory_bytes(), 0);
+        let s = SeedStrategy::Lsh {
+            table: LshTable::build(&ds, 2, 8, &mut rng),
+            count: 8,
+            fallback: vec![0],
+        };
+        assert!(s.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! C3 — neighbor selection (Definition 4.5): pick a point's final
+//! neighbors from its candidates, balancing the *distance* factor against
+//! the *space-distribution* factor (§4.1).
+//!
+//! Appendix A proves HNSW's heuristic and NSG's MRNG rule are equivalent;
+//! here both are [`select_rng_alpha`] with `alpha = 1` (Vamana's `α`
+//! generalization relaxes the occlusion test). A property test in this
+//! module exercises the Appendix A equivalence directly.
+
+use weavess_data::distance::cosine_angle_at;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::base::mst_prim;
+
+/// Distance-only selection (KGraph, EFANNA, IEH, NSW, SPTAG-KDT): the
+/// `max_degree` closest candidates.
+pub fn select_closest(candidates: &[Neighbor], max_degree: usize) -> Vec<Neighbor> {
+    candidates.iter().take(max_degree).copied().collect()
+}
+
+/// The RNG-rule selection of HNSW / NSG / FANNG, generalized with Vamana's
+/// `alpha ≥ 1`.
+///
+/// Candidates must be sorted nearest-first. A candidate `m` is kept iff for
+/// every already-kept neighbor `n`: `alpha · δ(m, n) > δ(m, p)` — i.e. no
+/// kept neighbor occludes it. `alpha = 1` is exactly HNSW's heuristic and
+/// NSG's MRNG rule (Appendix A); larger `alpha` keeps more, longer edges.
+pub fn select_rng_alpha(
+    ds: &Dataset,
+    p: u32,
+    candidates: &[Neighbor],
+    max_degree: usize,
+    alpha: f32,
+) -> Vec<Neighbor> {
+    debug_assert!(alpha >= 1.0);
+    // Distances are squared, so the α scale applies squared too.
+    let a2 = alpha * alpha;
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(max_degree);
+    for &m in candidates {
+        if m.id == p {
+            continue;
+        }
+        if kept.len() >= max_degree {
+            break;
+        }
+        let occluded = kept.iter().any(|n| a2 * ds.dist(m.id, n.id) <= m.dist);
+        if !occluded {
+            kept.push(m);
+        }
+    }
+    kept
+}
+
+/// NSSG's angle-threshold selection: keep a candidate iff the angle at `p`
+/// between it and every kept neighbor is at least `min_angle_deg`
+/// (the paper recommends 60°).
+pub fn select_angle(
+    ds: &Dataset,
+    p: u32,
+    candidates: &[Neighbor],
+    max_degree: usize,
+    min_angle_deg: f32,
+) -> Vec<Neighbor> {
+    let cos_max = min_angle_deg.to_radians().cos();
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(max_degree);
+    let pp = ds.point(p);
+    for &m in candidates {
+        if m.id == p {
+            continue;
+        }
+        if kept.len() >= max_degree {
+            break;
+        }
+        let too_close = kept.iter().any(|n| {
+            // angle < threshold  <=>  cos(angle) > cos(threshold)
+            cosine_angle_at(pp, ds.point(m.id), ds.point(n.id)) > cos_max
+        });
+        if !too_close {
+            kept.push(m);
+        }
+    }
+    kept
+}
+
+/// DPG's angular diversification: greedily pick `kappa` candidates
+/// maximizing the accumulated sum of pairwise angles at `p` (Appendix C
+/// shows this approximates the RNG rule).
+pub fn select_dpg(ds: &Dataset, p: u32, candidates: &[Neighbor], kappa: usize) -> Vec<Neighbor> {
+    let cands: Vec<Neighbor> = candidates.iter().filter(|n| n.id != p).copied().collect();
+    if cands.len() <= kappa {
+        return cands;
+    }
+    let pp = ds.point(p);
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(kappa);
+    let mut remaining = cands;
+    // Seed with the closest candidate (the DPG paper's first iteration).
+    kept.push(remaining.remove(0));
+    // angle_sum[i] accumulates Σ angle(remaining[i], kept_j) incrementally,
+    // giving the O(c²·κ) cost derived in Appendix D.
+    let mut angle_sum: Vec<f32> = vec![0.0; remaining.len()];
+    while kept.len() < kappa && !remaining.is_empty() {
+        let last = *kept.last().unwrap();
+        let mut best = 0usize;
+        let mut best_sum = f32::NEG_INFINITY;
+        for (i, cand) in remaining.iter().enumerate() {
+            let cos = cosine_angle_at(pp, ds.point(cand.id), ds.point(last.id));
+            angle_sum[i] += cos.acos();
+            if angle_sum[i] > best_sum {
+                best_sum = angle_sum[i];
+                best = i;
+            }
+        }
+        kept.push(remaining.remove(best));
+        angle_sum.remove(best);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+/// HCNNG-style MST selection: build an MST over `{p} ∪ candidates` and keep
+/// the vertices adjacent to `p` in the tree.
+pub fn select_mst(ds: &Dataset, p: u32, candidates: &[Neighbor]) -> Vec<Neighbor> {
+    let mut ids: Vec<u32> = vec![p];
+    ids.extend(candidates.iter().filter(|n| n.id != p).map(|n| n.id));
+    let edges = mst_prim(ds, &ids);
+    let mut kept: Vec<Neighbor> = edges
+        .iter()
+        .filter_map(|e| {
+            if e.a == p {
+                Some(Neighbor::new(e.b, e.w))
+            } else if e.b == p {
+                Some(Neighbor::new(e.a, e.w))
+            } else {
+                None
+            }
+        })
+        .collect();
+    kept.sort_unstable();
+    kept
+}
+
+/// The HNSW-heuristic formulation of the RNG rule, written exactly as the
+/// paper's *Condition 1* (Appendix A): keep `m` iff
+/// `∀ n ∈ N(p): δ(m, n) > δ(m, p)`. Used by the property test proving the
+/// Appendix A equivalence with the lune-based MRNG formulation.
+pub fn select_hnsw_heuristic(
+    ds: &Dataset,
+    p: u32,
+    candidates: &[Neighbor],
+    max_degree: usize,
+) -> Vec<Neighbor> {
+    select_rng_alpha(ds, p, candidates, max_degree, 1.0)
+}
+
+/// NSG's lune-based MRNG formulation, written exactly as the paper's
+/// *Condition 2* (Appendix A): keep `m` iff no *kept* neighbor lies in
+/// `lune(p, m) ∩ C`.
+pub fn select_nsg_mrng(
+    ds: &Dataset,
+    p: u32,
+    candidates: &[Neighbor],
+    max_degree: usize,
+) -> Vec<Neighbor> {
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(max_degree);
+    for &m in candidates {
+        if m.id == p {
+            continue;
+        }
+        if kept.len() >= max_degree {
+            break;
+        }
+        // lune_pm = B(p, δ(p,m)) ∩ B(m, δ(m,p)); kept n occludes m iff
+        // n ∈ lune_pm.
+        let occluded = kept
+            .iter()
+            .any(|n| ds.dist(p, n.id) < m.dist && ds.dist(m.id, n.id) < m.dist);
+        if !occluded {
+            kept.push(m);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_data::Dataset;
+
+    fn dataset() -> Dataset {
+        MixtureSpec::table10(4, 200, 2, 5.0, 5).generate().0
+    }
+
+    fn candidates_for(ds: &Dataset, p: u32, count: usize) -> Vec<Neighbor> {
+        knn_scan(ds, ds.point(p), count, Some(p))
+    }
+
+    #[test]
+    fn closest_takes_prefix() {
+        let ds = dataset();
+        let c = candidates_for(&ds, 0, 10);
+        assert_eq!(select_closest(&c, 4), c[..4].to_vec());
+    }
+
+    #[test]
+    fn rng_rule_spreads_neighbors() {
+        let ds = Dataset::from_rows(&[
+            vec![0.0, 0.0], // p
+            vec![1.0, 0.0],
+            vec![1.2, 0.1], // occluded by point 1
+            vec![0.0, 1.0],
+        ]);
+        let c = candidates_for(&ds, 0, 3);
+        let kept = select_rng_alpha(&ds, 0, &c, 8, 1.0);
+        let ids: Vec<u32> = kept.iter().map(|n| n.id).collect();
+        assert!(ids.contains(&1) && ids.contains(&3));
+        assert!(!ids.contains(&2), "occluded candidate survived: {ids:?}");
+    }
+
+    #[test]
+    fn larger_alpha_keeps_no_fewer_neighbors() {
+        let ds = dataset();
+        for p in [0u32, 17, 55] {
+            let c = candidates_for(&ds, p, 30);
+            let tight = select_rng_alpha(&ds, p, &c, 30, 1.0);
+            let loose = select_rng_alpha(&ds, p, &c, 30, 2.0);
+            assert!(loose.len() >= tight.len());
+            // α=1 selections all survive α=2.
+            for n in &tight {
+                assert!(loose.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn angle_selection_enforces_minimum_angle() {
+        let ds = dataset();
+        let c = candidates_for(&ds, 3, 30);
+        let kept = select_angle(&ds, 3, &c, 30, 60.0);
+        let pp = ds.point(3);
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                let cos = cosine_angle_at(pp, ds.point(kept[i].id), ds.point(kept[j].id));
+                // Later-kept node was accepted against earlier ones, so all
+                // pairwise angles are >= 60° (cos <= 0.5) up to fp slack.
+                assert!(cos <= 0.5 + 1e-4, "pair ({i},{j}) cos={cos}");
+            }
+        }
+    }
+
+    #[test]
+    fn dpg_keeps_kappa_diverse_neighbors() {
+        let ds = dataset();
+        let c = candidates_for(&ds, 9, 20);
+        let kept = select_dpg(&ds, 9, &c, 6);
+        assert_eq!(kept.len(), 6);
+        // Closest candidate always survives (seeded first).
+        assert!(kept.contains(&c[0]));
+    }
+
+    #[test]
+    fn mst_selection_returns_tree_adjacent() {
+        let ds = Dataset::from_rows(&[
+            vec![0.0, 0.0], // p
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+        ]);
+        let c = candidates_for(&ds, 0, 3);
+        let kept = select_mst(&ds, 0, &c);
+        // On a line the MST is the path; p touches only point 1.
+        assert_eq!(kept.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1]);
+    }
+
+    /// Appendix C: DPG's angular diversification approximates the RNG
+    /// rule. The proof gives a directional property (>= 60° pairwise
+    /// separation), not set equality, so the expected overlap is
+    /// substantial rather than total.
+    #[test]
+    fn dpg_selection_approximates_rng_selection() {
+        let ds = MixtureSpec::table10(6, 400, 2, 8.0, 1).generate().0;
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for p in (0..ds.len() as u32).step_by(11) {
+            let c = knn_scan(&ds, ds.point(p), 30, Some(p));
+            let rng_kept = select_rng_alpha(&ds, p, &c, 30, 1.0);
+            let kappa = rng_kept.len().max(2);
+            let dpg_kept = select_dpg(&ds, p, &c, kappa);
+            total += dpg_kept.len();
+            overlap += dpg_kept.iter().filter(|n| rng_kept.contains(n)).count();
+        }
+        assert!(
+            overlap as f64 / total as f64 > 0.4,
+            "DPG/RNG overlap {overlap}/{total}"
+        );
+    }
+
+    proptest! {
+        /// Appendix A: the HNSW heuristic (Condition 1) and NSG's MRNG rule
+        /// (Condition 2) select identical neighbor sets.
+        #[test]
+        fn hnsw_heuristic_equals_nsg_mrng(seed in 0u64..500) {
+            let ds = MixtureSpec::table10(6, 80, 2, 8.0, 1).with_seed(seed).generate().0;
+            for p in [0u32, 13, 41] {
+                let c = knn_scan(&ds, ds.point(p), 25, Some(p));
+                let h = select_hnsw_heuristic(&ds, p, &c, 25);
+                let m = select_nsg_mrng(&ds, p, &c, 25);
+                prop_assert_eq!(h, m);
+            }
+        }
+
+        /// Selected neighborhoods always satisfy the defining occlusion
+        /// invariant: for kept m (in kept order), no earlier-kept n has
+        /// δ(m, n) ≤ δ(m, p).
+        #[test]
+        fn rng_selection_invariant_holds(seed in 0u64..500) {
+            let ds = MixtureSpec::table10(6, 60, 2, 8.0, 1).with_seed(seed).generate().0;
+            let p = 7u32;
+            let c = knn_scan(&ds, ds.point(p), 20, Some(p));
+            let kept = select_rng_alpha(&ds, p, &c, 20, 1.0);
+            for (i, m) in kept.iter().enumerate() {
+                for n in &kept[..i] {
+                    prop_assert!(ds.dist(m.id, n.id) > m.dist,
+                        "kept {} occluded by kept {}", m.id, n.id);
+                }
+            }
+        }
+
+        /// Lemma 7.1: RNG-rule-selected neighbors are pairwise >= 60° apart
+        /// as seen from p.
+        #[test]
+        fn rng_selection_respects_sixty_degrees(seed in 0u64..300) {
+            let ds = MixtureSpec::table10(4, 60, 2, 8.0, 1).with_seed(seed).generate().0;
+            let p = 3u32;
+            let c = knn_scan(&ds, ds.point(p), 20, Some(p));
+            let kept = select_rng_alpha(&ds, p, &c, 20, 1.0);
+            let pp = ds.point(p);
+            for i in 0..kept.len() {
+                for j in (i + 1)..kept.len() {
+                    let cos = cosine_angle_at(pp, ds.point(kept[i].id), ds.point(kept[j].id));
+                    prop_assert!(cos <= 0.5 + 1e-4, "cos={cos}");
+                }
+            }
+        }
+    }
+}

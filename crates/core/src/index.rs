@@ -1,0 +1,256 @@
+//! The uniform index interface every algorithm builds to.
+
+use crate::components::SeedStrategy;
+use crate::search::{Router, SearchStats, VisitedPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::CsrGraph;
+
+/// Per-thread reusable search state: the epoch-stamped visited pool, the
+/// seed RNG, and the work counters. One context serves any number of
+/// queries against indexes over the same dataset size.
+pub struct SearchContext {
+    /// Visited set (sized to the dataset).
+    pub visited: VisitedPool,
+    /// RNG used by random seed strategies.
+    pub rng: StdRng,
+    /// Accumulated work counters; callers may reset between queries or
+    /// batches.
+    pub stats: SearchStats,
+}
+
+impl SearchContext {
+    /// A context for a dataset of `n` points.
+    pub fn new(n: usize) -> Self {
+        SearchContext {
+            visited: VisitedPool::new(n),
+            rng: StdRng::seed_from_u64(0xC0FFEE),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Resets the counters and returns the previous totals.
+    pub fn take_stats(&mut self) -> SearchStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Common interface of every built ANNS index.
+pub trait AnnIndex: Send + Sync {
+    /// Algorithm name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Searches for `k` nearest neighbors of `query` with candidate-set
+    /// size `beam` (the paper's CS; `beam ≥ k`). Results are nearest-first.
+    fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+    ) -> Vec<Neighbor>;
+
+    /// The (bottom-layer) search graph — the object of the Table 4 / 11
+    /// index metrics.
+    fn graph(&self) -> &CsrGraph;
+
+    /// Total index heap bytes: adjacency + auxiliary structures (Figure 6).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// The single-layer index shape shared by every algorithm except HNSW:
+/// one frozen graph, a seed strategy, a router.
+pub struct FlatIndex {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// The frozen search graph.
+    pub graph: CsrGraph,
+    /// C4/C6 strategy.
+    pub seeds: SeedStrategy,
+    /// C7 strategy.
+    pub router: Router,
+}
+
+impl AnnIndex for FlatIndex {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+    ) -> Vec<Neighbor> {
+        let beam = beam.max(k);
+        let seeds = self.seeds.seeds(ds, query, &mut ctx.rng, &mut ctx.stats);
+        ctx.visited.next_epoch();
+        let mut pool = self.router.search(
+            ds,
+            &self.graph,
+            query,
+            &seeds,
+            beam,
+            &mut ctx.visited,
+            &mut ctx.stats,
+        );
+        pool.truncate(k);
+        pool
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.seeds.memory_bytes()
+    }
+}
+
+/// Answers a whole query batch in parallel across `threads`, returning
+/// per-query results plus the aggregated work counters.
+///
+/// The paper measures single-threaded search (its QPS columns); this is
+/// the deployment-facing counterpart — every [`AnnIndex`] is `Sync`, so
+/// queries shard freely.
+pub fn search_batch(
+    index: &dyn AnnIndex,
+    ds: &Dataset,
+    queries: &Dataset,
+    k: usize,
+    beam: usize,
+    threads: usize,
+) -> (Vec<Vec<Neighbor>>, SearchStats) {
+    let nq = queries.len();
+    let threads = threads.max(1).min(nq.max(1));
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    let mut stats_parts: Vec<SearchStats> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, slot) in results.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            handles.push(scope.spawn(move || {
+                let mut ctx = SearchContext::new(ds.len());
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let q = queries.point((start + j) as u32);
+                    *out = index.search(ds, q, k, beam, &mut ctx);
+                }
+                ctx.take_stats()
+            }));
+        }
+        for h in handles {
+            stats_parts.push(h.join().expect("search worker panicked"));
+        }
+    });
+    let mut total = SearchStats::default();
+    for s in stats_parts {
+        total.merge(s);
+    }
+    (results, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::metrics::recall;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::base::exact_knng;
+
+    fn flat() -> (Dataset, Dataset, FlatIndex) {
+        let (ds, qs) = MixtureSpec::table10(8, 500, 4, 3.0, 25).generate();
+        let graph = exact_knng(&ds, 10, 4);
+        let idx = FlatIndex {
+            name: "test",
+            graph,
+            seeds: SeedStrategy::Random { count: 8 },
+            router: Router::BestFirst,
+        };
+        (ds, qs, idx)
+    }
+
+    #[test]
+    fn flat_index_reaches_good_recall() {
+        let (ds, qs, idx) = flat();
+        let mut ctx = SearchContext::new(ds.len());
+        let mut total = 0.0;
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            let res: Vec<u32> = idx
+                .search(&ds, q, 10, 60, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
+            total += recall(&res, &truth);
+        }
+        let r = total / qs.len() as f64;
+        assert!(r > 0.8, "recall={r}");
+        assert!(ctx.stats.ndc > 0);
+    }
+
+    #[test]
+    fn search_returns_at_most_k() {
+        let (ds, qs, idx) = flat();
+        let mut ctx = SearchContext::new(ds.len());
+        let res = idx.search(&ds, qs.point(0), 5, 40, &mut ctx);
+        assert!(res.len() <= 5);
+    }
+
+    #[test]
+    fn beam_is_clamped_to_k() {
+        let (ds, qs, idx) = flat();
+        let mut ctx = SearchContext::new(ds.len());
+        // beam < k must not panic nor return fewer than beam results.
+        let res = idx.search(&ds, qs.point(0), 10, 2, &mut ctx);
+        assert_eq!(res.len(), 10);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let (ds, qs, idx) = flat();
+        let mut ctx = SearchContext::new(ds.len());
+        idx.search(&ds, qs.point(0), 5, 20, &mut ctx);
+        let s = ctx.take_stats();
+        assert!(s.ndc > 0);
+        assert_eq!(ctx.stats, SearchStats::default());
+    }
+
+    #[test]
+    fn memory_counts_graph_and_seeds() {
+        let (_, _, idx) = flat();
+        assert_eq!(idx.memory_bytes(), idx.graph.memory_bytes());
+    }
+
+    #[test]
+    fn batch_search_matches_serial_results() {
+        let (ds, qs, mut idx) = flat();
+        // Fixed seeds so serial and parallel runs are comparable.
+        idx.seeds = SeedStrategy::Fixed(vec![0, 100, 200]);
+        let mut ctx = SearchContext::new(ds.len());
+        let serial: Vec<Vec<Neighbor>> = (0..qs.len() as u32)
+            .map(|qi| idx.search(&ds, qs.point(qi), 10, 40, &mut ctx))
+            .collect();
+        for threads in [1usize, 3] {
+            let (batch, stats) = search_batch(&idx, &ds, &qs, 10, 40, threads);
+            assert_eq!(batch, serial, "threads={threads}");
+            assert_eq!(stats, ctx.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_search_handles_more_threads_than_queries() {
+        let (ds, qs, idx) = flat();
+        let two = ds.subset(&[0, 1]);
+        let _ = two;
+        let small = qs.subset(&[0, 1]);
+        let (batch, _) = search_batch(&idx, &ds, &small, 5, 20, 16);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|r| r.len() == 5));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! The survey's primary contribution, reimplemented: a unified
+//! seven-component pipeline for graph-based ANNS and the seventeen
+//! algorithms the paper analyzes through it.
+//!
+//! # Layout
+//!
+//! - [`search`]: routing strategies (C7) — best-first beam search
+//!   (Algorithm 1), NGT range search, FANNG backtracking, HCNNG guided
+//!   search, OA two-stage routing — plus the per-query accounting
+//!   ([`search::SearchStats`]) behind the paper's NDC/speedup/path-length
+//!   metrics.
+//! - [`nndescent`]: NN-Descent graph refinement (KGraph's engine; shared by
+//!   EFANNA, DPG, NSG, NSSG and the optimized algorithm).
+//! - [`components`]: the C1–C6 pipeline stages as free functions and
+//!   strategy enums, so any combination can be composed.
+//! - [`pipeline`]: the §5.4 benchmark algorithm — a
+//!   [`pipeline::PipelineBuilder`] holding one choice per component, used
+//!   for controlled single-component ablations (Figure 10).
+//! - [`index`]: the uniform [`index::AnnIndex`] trait every built index
+//!   implements, and the [`index::FlatIndex`] (graph + seeds + router) that
+//!   covers all single-layer algorithms.
+//! - [`algorithms`]: one module per surveyed algorithm (Table 2 plus the
+//!   appendix's k-DR and §6's optimized algorithm OA), and the dynamic
+//!   HNSW extension ([`algorithms::hnsw_dynamic`]).
+//! - [`persist`]: save/load built indexes without rebuilding.
+//! - [`quantized`]: SQ8-routed search with full-precision rerank (the §6
+//!   "data encoding" challenge).
+
+pub mod algorithms;
+pub mod components;
+pub mod index;
+pub mod nndescent;
+pub mod persist;
+pub mod pipeline;
+pub mod quantized;
+pub mod search;
+
+pub use index::{AnnIndex, FlatIndex, SearchContext};
+pub use search::{Router, SearchStats};

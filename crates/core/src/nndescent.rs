@@ -1,0 +1,365 @@
+//! NN-Descent (Dong et al.), the refinement engine behind KGraph and the
+//! initializer of choice (C1) for EFANNA, DPG, NSG, NSSG and the optimized
+//! algorithm.
+//!
+//! Principle: "neighbors of neighbors are likely neighbors". Each vertex
+//! keeps a bounded pool of its best known neighbors with *new/old* flags;
+//! each iteration joins every vertex's sampled new neighbors against its
+//! new+old neighbors (forward and reverse) and inserts improvements. The
+//! paper's KGraph parameters map directly: `K` (result degree), `L` (pool
+//! size), `iter`, `S` (sample), `R` (reverse sample).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use weavess_data::{Dataset, Neighbor};
+
+/// NN-Descent parameters (KGraph's five sensitive knobs, Appendix H).
+#[derive(Debug, Clone)]
+pub struct NnDescentParams {
+    /// Out-degree of the produced graph (`K`).
+    pub k: usize,
+    /// Neighbor-pool size during refinement (`L ≥ K`).
+    pub l: usize,
+    /// Number of refinement iterations (`iter`).
+    pub iters: usize,
+    /// Forward sample size per vertex per iteration (`S`).
+    pub sample: usize,
+    /// Reverse sample size per vertex per iteration (`R`).
+    pub reverse: usize,
+    /// RNG seed for the random initialization and sampling.
+    pub seed: u64,
+    /// Construction threads.
+    pub threads: usize,
+}
+
+impl Default for NnDescentParams {
+    fn default() -> Self {
+        NnDescentParams {
+            k: 20,
+            l: 30,
+            iters: 8,
+            sample: 10,
+            reverse: 20,
+            seed: 0xBEEF,
+            threads: 4,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct FlaggedNeighbor {
+    n: Neighbor,
+    new: bool,
+}
+
+/// One vertex's pool, sorted nearest-first, bounded by `l`.
+struct Pool {
+    items: Vec<FlaggedNeighbor>,
+}
+
+impl Pool {
+    /// Inserts; returns true when the pool improved.
+    fn insert(&mut self, cap: usize, n: Neighbor) -> bool {
+        let pos = self.items.partition_point(|x| x.n < n);
+        if pos < self.items.len() && self.items[pos].n == n {
+            return false;
+        }
+        if pos >= cap {
+            return false;
+        }
+        self.items.insert(pos, FlaggedNeighbor { n, new: true });
+        self.items.truncate(cap);
+        true
+    }
+}
+
+/// Runs NN-Descent and returns each vertex's `k` nearest discovered
+/// neighbors (sorted nearest-first). When `initial` is given it seeds the
+/// pools (EFANNA's KD-tree initialization); otherwise pools start random.
+pub fn nn_descent(
+    ds: &Dataset,
+    params: &NnDescentParams,
+    initial: Option<&[Vec<Neighbor>]>,
+) -> Vec<Vec<Neighbor>> {
+    let n = ds.len();
+    assert!(n >= 2, "need at least two points");
+    let l = params.l.max(params.k).max(2);
+    let k = params.k.max(1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // --- Initialization (C1): random or caller-provided pools. ---
+    let mut pools: Vec<Mutex<Pool>> = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let mut pool = Pool { items: Vec::new() };
+        if let Some(init) = initial {
+            for nb in &init[v as usize] {
+                if nb.id != v {
+                    pool.insert(l, *nb);
+                }
+            }
+        }
+        while pool.items.len() < l.min(n - 1) {
+            let cand = rng.gen_range(0..n as u32);
+            if cand != v {
+                pool.insert(l, Neighbor::new(cand, ds.dist(v, cand)));
+            }
+        }
+        pools.push(Mutex::new(pool));
+    }
+
+    let threads = params.threads.max(1);
+    for _iter in 0..params.iters {
+        // --- Sample step: per-vertex forward new/old lists. ---
+        let mut fwd_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut fwd_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let mut pool = pools[v].lock();
+            let mut sampled = 0usize;
+            for item in pool.items.iter_mut() {
+                if item.new {
+                    if sampled < params.sample {
+                        fwd_new[v].push(item.n.id);
+                        item.new = false; // consumed: old next round
+                        sampled += 1;
+                    }
+                } else {
+                    fwd_old[v].push(item.n.id);
+                }
+            }
+        }
+        // --- Reverse lists (bounded random sample of R). ---
+        let mut rev_new: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut rev_old: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            for &u in &fwd_new[v as usize] {
+                reservoir_push(&mut rev_new[u as usize], v, params.reverse, &mut rng);
+            }
+            for &u in &fwd_old[v as usize] {
+                reservoir_push(&mut rev_old[u as usize], v, params.reverse, &mut rng);
+            }
+        }
+        // --- Local join (parallel over vertices). ---
+        let updates = Mutex::new(0usize);
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                let pools = &pools;
+                let fwd_new = &fwd_new;
+                let fwd_old = &fwd_old;
+                let rev_new = &rev_new;
+                let rev_old = &rev_old;
+                let updates = &updates;
+                scope.spawn(move || {
+                    let mut local_updates = 0usize;
+                    let mut news: Vec<u32> = Vec::new();
+                    let mut olds: Vec<u32> = Vec::new();
+                    for v in start..end {
+                        news.clear();
+                        olds.clear();
+                        news.extend_from_slice(&fwd_new[v]);
+                        news.extend_from_slice(&rev_new[v]);
+                        olds.extend_from_slice(&fwd_old[v]);
+                        olds.extend_from_slice(&rev_old[v]);
+                        news.sort_unstable();
+                        news.dedup();
+                        olds.sort_unstable();
+                        olds.dedup();
+                        // new × new
+                        for (i, &a) in news.iter().enumerate() {
+                            for &b in &news[i + 1..] {
+                                local_updates += join(ds, pools, l, a, b);
+                            }
+                            // new × old
+                            for &b in olds.iter() {
+                                if a != b {
+                                    local_updates += join(ds, pools, l, a, b);
+                                }
+                            }
+                        }
+                    }
+                    *updates.lock() += local_updates;
+                });
+            }
+        });
+        if *updates.lock() < (0.001 * (n * k) as f64) as usize {
+            break; // converged early, like KGraph's delta termination
+        }
+    }
+
+    pools
+        .into_iter()
+        .map(|p| {
+            let pool = p.into_inner();
+            pool.items.iter().take(k).map(|f| f.n).collect()
+        })
+        .collect()
+}
+
+/// Tries the pair (a, b) in both pools; returns number of improvements.
+fn join(ds: &Dataset, pools: &[Mutex<Pool>], l: usize, a: u32, b: u32) -> usize {
+    let d = ds.dist(a, b);
+    let mut updates = 0usize;
+    if pools[a as usize].lock().insert(l, Neighbor::new(b, d)) {
+        updates += 1;
+    }
+    if pools[b as usize].lock().insert(l, Neighbor::new(a, d)) {
+        updates += 1;
+    }
+    updates
+}
+
+/// Bounded reservoir-style push: appends until `cap`, then replaces a
+/// random slot with probability cap/len — an O(1) approximation of
+/// KGraph's reverse-neighbor sampling.
+fn reservoir_push(list: &mut Vec<u32>, v: u32, cap: usize, rng: &mut StdRng) {
+    if list.len() < cap.max(1) {
+        list.push(v);
+    } else {
+        let slot = rng.gen_range(0..list.len() * 2);
+        if slot < list.len() {
+            list[slot] = v;
+        }
+    }
+}
+
+/// Graph quality of an NN-Descent output against the exact KNNG — a
+/// convenience used by tests and the Figure 15 iteration study.
+pub fn knn_recall(result: &[Vec<Neighbor>], exact: &[Vec<u32>]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (row, truth) in result.iter().zip(exact) {
+        let have: Vec<u32> = row.iter().map(|n| n.id).collect();
+        for t in truth.iter().take(row.len()) {
+            total += 1;
+            if have.contains(t) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::ground_truth::exact_knn_graph;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn dataset() -> Dataset {
+        MixtureSpec::table10(16, 1_000, 5, 3.0, 10).generate().0
+    }
+
+    #[test]
+    fn converges_to_high_graph_quality() {
+        let ds = dataset();
+        let params = NnDescentParams {
+            k: 10,
+            l: 30,
+            iters: 10,
+            sample: 12,
+            reverse: 20,
+            seed: 7,
+            threads: 4,
+        };
+        let g = nn_descent(&ds, &params, None);
+        let exact = exact_knn_graph(&ds, 10, 4);
+        let q = knn_recall(&g, &exact);
+        assert!(q > 0.90, "graph quality {q}");
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt_quality() {
+        let ds = dataset();
+        let exact = exact_knn_graph(&ds, 10, 4);
+        let mut qualities = Vec::new();
+        for iters in [1, 4, 10] {
+            let params = NnDescentParams {
+                k: 10,
+                l: 20,
+                iters,
+                sample: 8,
+                reverse: 10,
+                seed: 7,
+                threads: 4,
+            };
+            qualities.push(knn_recall(&nn_descent(&ds, &params, None), &exact));
+        }
+        assert!(qualities[2] >= qualities[0] - 0.02, "{qualities:?}");
+        assert!(qualities[2] > 0.7, "{qualities:?}");
+    }
+
+    #[test]
+    fn respects_k_and_excludes_self() {
+        let ds = dataset();
+        let params = NnDescentParams {
+            k: 6,
+            l: 12,
+            iters: 3,
+            ..Default::default()
+        };
+        let g = nn_descent(&ds, &params, None);
+        for (v, row) in g.iter().enumerate() {
+            assert!(row.len() <= 6);
+            assert!(row.iter().all(|n| n.id != v as u32));
+            assert!(row.windows(2).all(|w| w[0].dist <= w[1].dist));
+        }
+    }
+
+    #[test]
+    fn good_initialization_speeds_convergence() {
+        let ds = dataset();
+        let exact = exact_knn_graph(&ds, 10, 4);
+        // One iteration from random vs one iteration from the exact graph.
+        let params = NnDescentParams {
+            k: 10,
+            l: 20,
+            iters: 1,
+            sample: 8,
+            reverse: 10,
+            seed: 7,
+            threads: 2,
+        };
+        let from_random = knn_recall(&nn_descent(&ds, &params, None), &exact);
+        let init: Vec<Vec<Neighbor>> = exact
+            .iter()
+            .enumerate()
+            .map(|(v, row)| {
+                row.iter()
+                    .map(|&u| Neighbor::new(u, ds.dist(v as u32, u)))
+                    .collect()
+            })
+            .collect();
+        let from_exact = knn_recall(&nn_descent(&ds, &params, Some(&init)), &exact);
+        assert!(from_exact > from_random, "{from_exact} <= {from_random}");
+        assert!(from_exact > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let params = NnDescentParams {
+            k: 8,
+            l: 16,
+            iters: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let a = nn_descent(&ds, &params, None);
+        let b = nn_descent(&ds, &params, None);
+        assert_eq!(
+            a.iter()
+                .map(|r| r.iter().map(|n| n.id).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(|r| r.iter().map(|n| n.id).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+    }
+}

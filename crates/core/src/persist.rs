@@ -1,0 +1,435 @@
+//! Index persistence: save a built graph index to disk and reload it
+//! without rebuilding — what makes the survey's expensive constructions
+//! (Figure 5) a one-time cost in practice.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic "WVSS" | u32 version | name | router | seeds | graph
+//! ```
+//!
+//! Only self-contained seed strategies (`Random`, `Fixed`) serialize;
+//! tree-backed strategies are cheap to rebuild relative to the graph and
+//! are rejected with [`PersistError::UnsupportedSeeds`] — callers keep the
+//! tree's build recipe alongside the file.
+
+use crate::algorithms::hnsw::HnswIndex;
+use crate::components::seeds::SeedStrategy;
+use crate::index::FlatIndex;
+use crate::search::Router;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use weavess_graph::CsrGraph;
+
+const MAGIC: &[u8; 4] = b"WVSS";
+const VERSION: u32 = 1;
+const HNSW_MAGIC: &[u8; 4] = b"WVSH";
+const HNSW_VERSION: u32 = 1;
+
+/// Errors from saving or loading an index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a weavess index or has a wrong version.
+    BadFormat(String),
+    /// The index uses a seed strategy that is not self-contained.
+    UnsupportedSeeds(&'static str),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadFormat(m) => write!(f, "bad index file: {m}"),
+            PersistError::UnsupportedSeeds(s) => {
+                write!(
+                    f,
+                    "seed strategy '{s}' is not serializable; rebuild it at load time"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Saves a [`FlatIndex`] (graph + router + self-contained seeds).
+pub fn save_index(path: &Path, index: &FlatIndex) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_str(&mut w, index.name)?;
+    // Router.
+    match &index.router {
+        Router::BestFirst => {
+            w.write_all(&[0u8])?;
+        }
+        Router::Range { epsilon } => {
+            w.write_all(&[1u8])?;
+            w.write_all(&epsilon.to_le_bytes())?;
+        }
+        Router::Backtrack { extra } => {
+            w.write_all(&[2u8])?;
+            w.write_all(&(*extra as u64).to_le_bytes())?;
+        }
+        Router::Guided => {
+            w.write_all(&[3u8])?;
+        }
+        Router::TwoStage { stage1_beam_frac } => {
+            w.write_all(&[4u8])?;
+            w.write_all(&stage1_beam_frac.to_le_bytes())?;
+        }
+    }
+    // Seeds.
+    match &index.seeds {
+        SeedStrategy::Random { count } => {
+            w.write_all(&[0u8])?;
+            w.write_all(&(*count as u64).to_le_bytes())?;
+        }
+        SeedStrategy::Fixed(v) => {
+            w.write_all(&[1u8])?;
+            w.write_all(&(v.len() as u64).to_le_bytes())?;
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        other => return Err(PersistError::UnsupportedSeeds(other.label())),
+    }
+    // Graph as per-vertex lists.
+    let lists = index.graph.to_lists();
+    w.write_all(&(lists.len() as u64).to_le_bytes())?;
+    for l in &lists {
+        w.write_all(&(l.len() as u32).to_le_bytes())?;
+        for &x in l {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a [`FlatIndex`] saved by [`save_index`].
+pub fn load_index(path: &Path) -> Result<FlatIndex, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadFormat("wrong magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PersistError::BadFormat(format!(
+            "version {version}, expected {VERSION}"
+        )));
+    }
+    let name = read_str(&mut r)?;
+    let router = match read_u8(&mut r)? {
+        0 => Router::BestFirst,
+        1 => Router::Range {
+            epsilon: read_f32(&mut r)?,
+        },
+        2 => Router::Backtrack {
+            extra: read_u64(&mut r)? as usize,
+        },
+        3 => Router::Guided,
+        4 => Router::TwoStage {
+            stage1_beam_frac: read_f32(&mut r)?,
+        },
+        t => return Err(PersistError::BadFormat(format!("unknown router tag {t}"))),
+    };
+    let seeds = match read_u8(&mut r)? {
+        0 => SeedStrategy::Random {
+            count: read_u64(&mut r)? as usize,
+        },
+        1 => {
+            let len = read_u64(&mut r)? as usize;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(read_u32(&mut r)?);
+            }
+            SeedStrategy::Fixed(v)
+        }
+        t => return Err(PersistError::BadFormat(format!("unknown seed tag {t}"))),
+    };
+    let n = read_u64(&mut r)? as usize;
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let deg = read_u32(&mut r)? as usize;
+        let mut l = Vec::with_capacity(deg);
+        for _ in 0..deg {
+            let id = read_u32(&mut r)?;
+            if id as usize >= n {
+                return Err(PersistError::BadFormat(format!(
+                    "edge target {id} out of range (n={n})"
+                )));
+            }
+            l.push(id);
+        }
+        lists.push(l);
+    }
+    Ok(FlatIndex {
+        // Leak the small name string to fit FlatIndex's &'static str; index
+        // names come from a fixed set in practice.
+        name: Box::leak(name.into_boxed_str()),
+        graph: CsrGraph::from_lists(&lists),
+        seeds,
+        router,
+    })
+}
+
+/// Saves an [`HnswIndex`] (all layers + enter point).
+pub fn save_hnsw(path: &Path, index: &HnswIndex) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(HNSW_MAGIC)?;
+    w.write_all(&HNSW_VERSION.to_le_bytes())?;
+    w.write_all(&index.enter_point().to_le_bytes())?;
+    w.write_all(&(index.num_layers() as u32).to_le_bytes())?;
+    for l in 0..index.num_layers() {
+        let lists = index.layer(l).to_lists();
+        w.write_all(&(lists.len() as u64).to_le_bytes())?;
+        for list in &lists {
+            w.write_all(&(list.len() as u32).to_le_bytes())?;
+            for &x in list {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads an [`HnswIndex`] saved by [`save_hnsw`].
+pub fn load_hnsw(path: &Path) -> Result<HnswIndex, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != HNSW_MAGIC {
+        return Err(PersistError::BadFormat("wrong HNSW magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != HNSW_VERSION {
+        return Err(PersistError::BadFormat(format!(
+            "HNSW version {version}, expected {HNSW_VERSION}"
+        )));
+    }
+    let enter = read_u32(&mut r)?;
+    let n_layers = read_u32(&mut r)? as usize;
+    if n_layers == 0 || n_layers > 64 {
+        return Err(PersistError::BadFormat(format!(
+            "implausible layer count {n_layers}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    let mut n0 = 0usize;
+    for li in 0..n_layers {
+        let n = read_u64(&mut r)? as usize;
+        if li == 0 {
+            n0 = n;
+        } else if n != n0 {
+            return Err(PersistError::BadFormat("layer size mismatch".into()));
+        }
+        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deg = read_u32(&mut r)? as usize;
+            let mut l = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let id = read_u32(&mut r)?;
+                if id as usize >= n {
+                    return Err(PersistError::BadFormat(format!(
+                        "edge target {id} out of range (n={n})"
+                    )));
+                }
+                l.push(id);
+            }
+            lists.push(l);
+        }
+        layers.push(CsrGraph::from_lists(&lists));
+    }
+    if enter as usize >= n0 {
+        return Err(PersistError::BadFormat("enter point out of range".into()));
+    }
+    Ok(HnswIndex::from_parts(layers, enter))
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> Result<String, PersistError> {
+    let len = read_u32(r)? as usize;
+    if len > 1024 {
+        return Err(PersistError::BadFormat("name too long".into()));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| PersistError::BadFormat("name not utf-8".into()))
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::nsg::{self, NsgParams};
+    use crate::index::{AnnIndex, SearchContext};
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_trees::VpTree;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("weavess_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn nsg_roundtrips_and_searches_identically() {
+        let (ds, qs) = MixtureSpec::table10(8, 600, 2, 5.0, 10).generate();
+        let idx = nsg::build(&ds, &NsgParams::tuned(2, 1));
+        let path = tmp("nsg.wvss");
+        save_index(&path, &idx).unwrap();
+        let loaded = load_index(&path).unwrap();
+        assert_eq!(loaded.name, "NSG");
+        assert_eq!(loaded.graph, idx.graph);
+        assert_eq!(loaded.router, idx.router);
+        // Fixed seeds -> identical search results.
+        let mut c1 = SearchContext::new(ds.len());
+        let mut c2 = SearchContext::new(ds.len());
+        for qi in 0..qs.len() as u32 {
+            let a = idx.search(&ds, qs.point(qi), 10, 40, &mut c1);
+            let b = loaded.search(&ds, qs.point(qi), 10, 40, &mut c2);
+            assert_eq!(a, b);
+        }
+        assert_eq!(c1.stats, c2.stats);
+    }
+
+    #[test]
+    fn hnsw_roundtrips_and_searches_identically() {
+        use crate::algorithms::hnsw::{self, HnswParams};
+        let (ds, qs) = MixtureSpec::table10(8, 800, 2, 5.0, 15).generate();
+        let idx = hnsw::build(&ds, &HnswParams::tuned(1));
+        let path = tmp("hnsw.wvsh");
+        save_hnsw(&path, &idx).unwrap();
+        let loaded = load_hnsw(&path).unwrap();
+        assert_eq!(loaded.num_layers(), idx.num_layers());
+        assert_eq!(loaded.enter_point(), idx.enter_point());
+        let mut c1 = SearchContext::new(ds.len());
+        let mut c2 = SearchContext::new(ds.len());
+        for qi in 0..qs.len() as u32 {
+            let a = idx.search(&ds, qs.point(qi), 10, 40, &mut c1);
+            let b = loaded.search(&ds, qs.point(qi), 10, 40, &mut c2);
+            assert_eq!(a, b);
+        }
+        assert_eq!(c1.stats, c2.stats);
+    }
+
+    #[test]
+    fn hnsw_loader_rejects_flat_index_files() {
+        let (ds, _) = MixtureSpec::table10(4, 50, 1, 5.0, 5).generate();
+        let idx = nsg::build(&ds, &NsgParams::tuned(1, 1));
+        let path = tmp("flat_as_hnsw.wvss");
+        save_index(&path, &idx).unwrap();
+        assert!(matches!(load_hnsw(&path), Err(PersistError::BadFormat(_))));
+    }
+
+    #[test]
+    fn all_router_variants_roundtrip() {
+        let (ds, _) = MixtureSpec::table10(4, 50, 1, 5.0, 5).generate();
+        for router in [
+            Router::BestFirst,
+            Router::Range { epsilon: 0.25 },
+            Router::Backtrack { extra: 7 },
+            Router::Guided,
+            Router::TwoStage {
+                stage1_beam_frac: 0.4,
+            },
+        ] {
+            let idx = FlatIndex {
+                name: "test",
+                graph: weavess_graph::base::exact_knng(&ds, 3, 1),
+                seeds: SeedStrategy::Fixed(vec![0, 7]),
+                router: router.clone(),
+            };
+            let path = tmp("router.wvss");
+            save_index(&path, &idx).unwrap();
+            let loaded = load_index(&path).unwrap();
+            assert_eq!(loaded.router, router);
+        }
+    }
+
+    #[test]
+    fn tree_seeds_are_rejected_with_clear_error() {
+        let (ds, _) = MixtureSpec::table10(4, 50, 1, 5.0, 5).generate();
+        let idx = FlatIndex {
+            name: "test",
+            graph: weavess_graph::base::exact_knng(&ds, 3, 1),
+            seeds: SeedStrategy::Vp {
+                tree: VpTree::build(&ds, 8),
+                count: 4,
+                checks: 32,
+            },
+            router: Router::BestFirst,
+        };
+        let err = save_index(&tmp("vp.wvss"), &idx).unwrap_err();
+        assert!(matches!(err, PersistError::UnsupportedSeeds("vp-tree")));
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected() {
+        let path = tmp("corrupt.wvss");
+        std::fs::write(&path, b"NOT AN INDEX FILE AT ALL").unwrap();
+        assert!(matches!(load_index(&path), Err(PersistError::BadFormat(_))));
+        std::fs::write(&path, b"WV").unwrap();
+        assert!(matches!(load_index(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn out_of_range_edges_are_rejected() {
+        // Hand-craft a file with an edge pointing past n.
+        let (ds, _) = MixtureSpec::table10(4, 10, 1, 5.0, 2).generate();
+        let idx = FlatIndex {
+            name: "t",
+            graph: weavess_graph::base::exact_knng(&ds, 2, 1),
+            seeds: SeedStrategy::Fixed(vec![0]),
+            router: Router::BestFirst,
+        };
+        let path = tmp("oob.wvss");
+        save_index(&path, &idx).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Overwrite the final edge id with a huge value.
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(load_index(&path), Err(PersistError::BadFormat(_))));
+    }
+}

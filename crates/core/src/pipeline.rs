@@ -1,0 +1,488 @@
+//! The §5.4 unified evaluation framework: a *Refinement*-strategy builder
+//! with one pluggable choice per pipeline component.
+//!
+//! The paper's component study (Figure 10) fixes a benchmark algorithm
+//! (Table 13) and swaps exactly one component per experiment; this module
+//! is that machine. [`PipelineBuilder::benchmark`] reproduces the Table 13
+//! configuration: `C1_NSG` (NN-Descent), `C2_NSSG` (expansion), `C3_HNSW`
+//! (RNG rule), `C4_NSSG`/`C6_NSSG` (fixed random entries), `C5_IEH`
+//! (no connectivity repair), `C7_NSW` (best-first).
+
+use crate::components::candidates::{
+    candidates_by_expansion, candidates_by_search, candidates_direct,
+};
+use crate::components::connectivity::{add_reverse_edges, dfs_repair};
+use crate::components::init::{
+    init_brute_force, init_kdtree_nn_descent, init_nn_descent, init_random,
+};
+use crate::components::seeds::SeedStrategy;
+use crate::components::selection::{
+    select_angle, select_closest, select_dpg, select_mst, select_rng_alpha,
+};
+use crate::index::FlatIndex;
+use crate::nndescent::NnDescentParams;
+use crate::search::{Router, SearchStats, VisitedPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::CsrGraph;
+use weavess_trees::{BkTree, KdForest, LshTable, VpTree};
+
+/// C1 choice.
+#[derive(Debug, Clone)]
+pub enum InitChoice {
+    /// Random neighbors (KGraph / Vamana style).
+    Random {
+        /// Neighbors per point.
+        k: usize,
+    },
+    /// NN-Descent (`C1_NSG`).
+    NnDescent(NnDescentParams),
+    /// KD-forest assisted NN-Descent (`C1_EFANNA`).
+    KdTree {
+        /// Trees in the forest.
+        n_trees: usize,
+        /// Distance budget per tree per point.
+        checks_per_tree: usize,
+        /// The NN-Descent refinement that follows.
+        nd: NnDescentParams,
+    },
+    /// Exact KNNG by brute force (`C1_IEH` / `C1_FANNG`).
+    BruteForce {
+        /// Neighbors per point.
+        k: usize,
+    },
+}
+
+/// C2 choice.
+#[derive(Debug, Clone)]
+pub enum CandidateChoice {
+    /// Greedy search on the initial graph (`C2_NSW` / `C2_NSG`).
+    Search {
+        /// Search beam width (NSG's `L`).
+        beam: usize,
+        /// Candidate cap (NSG's `C`).
+        cap: usize,
+    },
+    /// Neighbors + neighbors' neighbors (`C2_NSSG`).
+    Expansion {
+        /// Candidate cap.
+        cap: usize,
+    },
+    /// Direct neighbors only (`C2_DPG`).
+    Direct,
+}
+
+/// C3 choice.
+#[derive(Debug, Clone)]
+pub enum SelectionChoice {
+    /// Distance-only top-K (`C3_KGraph`).
+    Closest {
+        /// Max degree.
+        degree: usize,
+    },
+    /// RNG rule with Vamana's α (`C3_HNSW`/`C3_NSG` at α=1, `C3_Vamana` at α>1).
+    RngAlpha {
+        /// Max degree.
+        degree: usize,
+        /// Occlusion relaxation (≥ 1).
+        alpha: f32,
+    },
+    /// NSSG's angle threshold (`C3_NSSG`).
+    Angle {
+        /// Max degree.
+        degree: usize,
+        /// Minimum pairwise angle in degrees.
+        min_deg: f32,
+    },
+    /// DPG's angular diversification (`C3_DPG`).
+    Dpg {
+        /// Neighbors kept (the DPG paper's κ).
+        kappa: usize,
+    },
+    /// MST-adjacency (`C3_HCNNG`).
+    Mst,
+}
+
+/// C4/C6 choice (built into a [`SeedStrategy`] at build time).
+#[derive(Debug, Clone)]
+pub enum SeedChoice {
+    /// Fresh random seeds every query (`C4_DPG` etc.).
+    Random {
+        /// Seeds per query.
+        count: usize,
+    },
+    /// The dataset medoid (`C4_NSG` / `C4_Vamana`).
+    Medoid,
+    /// Random but fixed at build time (`C4_NSSG`).
+    FixedRandom {
+        /// Number of fixed entries.
+        count: usize,
+    },
+    /// KD-forest leaf lookup (`C4_HCNNG`).
+    KdLeaf {
+        /// Trees.
+        n_trees: usize,
+        /// Seeds per query.
+        count: usize,
+    },
+    /// KD-forest budgeted search (`C4_EFANNA` / `C4_SPTAG-KDT`).
+    KdSearch {
+        /// Trees.
+        n_trees: usize,
+        /// Seeds per query.
+        count: usize,
+        /// Distance budget per tree.
+        checks_per_tree: usize,
+    },
+    /// VP-tree (`C4_NGT`).
+    VpTree {
+        /// Seeds per query.
+        count: usize,
+        /// Distance budget.
+        checks: usize,
+    },
+    /// Balanced k-means tree (`C4_SPTAG-BKT`).
+    BkTree {
+        /// Seeds per query.
+        count: usize,
+        /// Distance budget.
+        checks: usize,
+    },
+    /// LSH buckets (`C4_IEH`).
+    Lsh {
+        /// Hash tables.
+        tables: usize,
+        /// Bits per table.
+        bits: usize,
+        /// Seeds per query.
+        count: usize,
+    },
+    /// PQ-compressed scan (the §4.1 OPQ-seed reference).
+    Pq {
+        /// Subspaces (must divide the dimension).
+        m: usize,
+        /// Seeds per query.
+        count: usize,
+    },
+}
+
+/// C5 choice.
+#[derive(Debug, Clone)]
+pub enum ConnectivityChoice {
+    /// No repair (`C5_IEH` / `C5_Vamana`).
+    None,
+    /// NSG-style DFS repair from the medoid (`C5_NSG`).
+    DfsRepair,
+    /// DPG-style reverse edges (`C5_DPG`), bounded per vertex.
+    ReverseEdges {
+        /// Per-vertex degree cap after undirection.
+        max_degree: usize,
+    },
+}
+
+/// A full pipeline configuration.
+///
+/// ```
+/// use weavess_core::index::{AnnIndex, SearchContext};
+/// use weavess_core::pipeline::{PipelineBuilder, SeedChoice};
+/// use weavess_data::synthetic::MixtureSpec;
+///
+/// let (base, queries) = MixtureSpec::table10(8, 500, 2, 5.0, 5).generate();
+/// let mut builder = PipelineBuilder::benchmark(2, 2);
+/// builder.seeds = SeedChoice::Medoid; // swap one component (C4)
+/// let index = builder.build(&base);
+/// let mut ctx = SearchContext::new(base.len());
+/// let res = index.search(&base, queries.point(0), 5, 20, &mut ctx);
+/// assert_eq!(res.len(), 5);
+/// ```
+pub struct PipelineBuilder {
+    /// C1.
+    pub init: InitChoice,
+    /// C2.
+    pub candidates: CandidateChoice,
+    /// C3.
+    pub selection: SelectionChoice,
+    /// C4 + C6.
+    pub seeds: SeedChoice,
+    /// C5.
+    pub connectivity: ConnectivityChoice,
+    /// C7.
+    pub router: Router,
+    /// Construction threads.
+    pub threads: usize,
+    /// Seed for every randomized stage.
+    pub seed: u64,
+    /// Name stamped on the built index.
+    pub name: &'static str,
+}
+
+impl PipelineBuilder {
+    /// The Table 13 benchmark configuration, with NN-Descent running
+    /// `iters` iterations (Figure 15 studies this knob; the paper settles
+    /// on 8).
+    pub fn benchmark(iters: usize, threads: usize) -> Self {
+        PipelineBuilder {
+            init: InitChoice::NnDescent(NnDescentParams {
+                k: 40,
+                l: 60,
+                iters,
+                sample: 15,
+                reverse: 30,
+                seed: 0xBE11C4,
+                threads,
+            }),
+            candidates: CandidateChoice::Expansion { cap: 100 },
+            selection: SelectionChoice::RngAlpha {
+                degree: 30,
+                alpha: 1.0,
+            },
+            seeds: SeedChoice::FixedRandom { count: 8 },
+            connectivity: ConnectivityChoice::None,
+            router: Router::BestFirst,
+            threads,
+            seed: 0xBE11C4,
+            name: "benchmark",
+        }
+    }
+
+    /// Runs the pipeline.
+    pub fn build(&self, ds: &Dataset) -> FlatIndex {
+        self.build_timed(ds).0
+    }
+
+    /// Runs the pipeline and reports `(index, init_seconds, total_seconds)`
+    /// for the Table 15 per-component construction-time study.
+    pub fn build_timed(&self, ds: &Dataset) -> (FlatIndex, f64, f64) {
+        let t0 = std::time::Instant::now();
+        let threads = self.threads.max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // --- C1: initialization ---
+        let init_lists: Vec<Vec<Neighbor>> = match &self.init {
+            InitChoice::Random { k } => init_random(ds, *k, self.seed),
+            InitChoice::NnDescent(p) => init_nn_descent(ds, p),
+            InitChoice::KdTree {
+                n_trees,
+                checks_per_tree,
+                nd,
+            } => {
+                let forest = KdForest::build(ds, *n_trees, 32, &mut rng);
+                init_kdtree_nn_descent(ds, &forest, *checks_per_tree, nd, threads)
+            }
+            InitChoice::BruteForce { k } => init_brute_force(ds, *k, threads),
+        };
+        let init_secs = t0.elapsed().as_secs_f64();
+
+        // Entry for search-based acquisition and DFS repair.
+        let medoid = ds.medoid();
+
+        // --- C2 + C3: per-point candidate acquisition and selection ---
+        let init_csr = CsrGraph::from_lists(
+            &init_lists
+                .iter()
+                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        );
+        let n = ds.len();
+        let mut new_lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot) in new_lists.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                let init_lists = &init_lists;
+                let init_csr = &init_csr;
+                let candidates = &self.candidates;
+                let selection = &self.selection;
+                scope.spawn(move || {
+                    let mut visited = VisitedPool::new(n);
+                    let mut stats = SearchStats::default();
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let p = (start + j) as u32;
+                        let cands = match candidates {
+                            CandidateChoice::Search { beam, cap } => candidates_by_search(
+                                ds,
+                                init_csr,
+                                p,
+                                &[medoid],
+                                *beam,
+                                *cap,
+                                &mut visited,
+                                &mut stats,
+                            ),
+                            CandidateChoice::Expansion { cap } => {
+                                candidates_by_expansion(ds, init_lists, p, *cap)
+                            }
+                            CandidateChoice::Direct => candidates_direct(init_lists, p),
+                        };
+                        *out = match selection {
+                            SelectionChoice::Closest { degree } => select_closest(&cands, *degree),
+                            SelectionChoice::RngAlpha { degree, alpha } => {
+                                select_rng_alpha(ds, p, &cands, *degree, *alpha)
+                            }
+                            SelectionChoice::Angle { degree, min_deg } => {
+                                select_angle(ds, p, &cands, *degree, *min_deg)
+                            }
+                            SelectionChoice::Dpg { kappa } => select_dpg(ds, p, &cands, *kappa),
+                            SelectionChoice::Mst => select_mst(ds, p, &cands),
+                        };
+                    }
+                });
+            }
+        });
+        drop(init_csr);
+
+        // --- C5: connectivity ---
+        match &self.connectivity {
+            ConnectivityChoice::None => {}
+            ConnectivityChoice::DfsRepair => {
+                dfs_repair(ds, &mut new_lists, medoid, 64);
+            }
+            ConnectivityChoice::ReverseEdges { max_degree } => {
+                add_reverse_edges(&mut new_lists, *max_degree);
+            }
+        }
+
+        // --- C4: seed preprocessing ---
+        let seeds = match &self.seeds {
+            SeedChoice::Random { count } => SeedStrategy::Random { count: *count },
+            SeedChoice::Medoid => SeedStrategy::Fixed(vec![medoid]),
+            SeedChoice::FixedRandom { count } => {
+                let fixed: Vec<u32> = (0..*count).map(|_| rng.gen_range(0..n as u32)).collect();
+                SeedStrategy::Fixed(fixed)
+            }
+            SeedChoice::KdLeaf { n_trees, count } => SeedStrategy::KdLeaf {
+                forest: KdForest::build(ds, *n_trees, 32, &mut rng),
+                count: *count,
+            },
+            SeedChoice::KdSearch {
+                n_trees,
+                count,
+                checks_per_tree,
+            } => SeedStrategy::KdSearch {
+                forest: KdForest::build(ds, *n_trees, 32, &mut rng),
+                count: *count,
+                checks_per_tree: *checks_per_tree,
+            },
+            SeedChoice::VpTree { count, checks } => SeedStrategy::Vp {
+                tree: VpTree::build(ds, 16),
+                count: *count,
+                checks: *checks,
+            },
+            SeedChoice::BkTree { count, checks } => SeedStrategy::Bk {
+                tree: BkTree::build(ds, 8, 32),
+                count: *count,
+                checks: *checks,
+            },
+            SeedChoice::Lsh {
+                tables,
+                bits,
+                count,
+            } => SeedStrategy::Lsh {
+                table: LshTable::build(ds, *tables, *bits, &mut rng),
+                count: *count,
+                fallback: vec![medoid],
+            },
+            SeedChoice::Pq { m, count } => SeedStrategy::Pq {
+                pq: weavess_data::pq::PqDataset::train(ds, *m, ds.len().min(20_000)),
+                count: *count,
+            },
+        };
+
+        let graph = CsrGraph::from_lists(
+            &new_lists
+                .iter()
+                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        );
+        let total_secs = t0.elapsed().as_secs_f64();
+        (
+            FlatIndex {
+                name: self.name,
+                graph,
+                seeds,
+                router: self.router.clone(),
+            },
+            init_secs,
+            total_secs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{AnnIndex, SearchContext};
+    use weavess_data::ground_truth::ground_truth;
+    use weavess_data::metrics::{mean_recall, recall};
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn dataset() -> (Dataset, Dataset) {
+        MixtureSpec::table10(16, 1_500, 5, 3.0, 30).generate()
+    }
+
+    fn run_recall(idx: &FlatIndex, ds: &Dataset, qs: &Dataset, beam: usize) -> f64 {
+        let gt = ground_truth(ds, qs, 10, 4);
+        let mut ctx = SearchContext::new(ds.len());
+        let mut total = 0.0;
+        for qi in 0..qs.len() as u32 {
+            let res: Vec<u32> = idx
+                .search(ds, qs.point(qi), 10, beam, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            total += recall(&res, &gt[qi as usize]);
+        }
+        total / qs.len() as f64
+    }
+
+    #[test]
+    fn benchmark_pipeline_reaches_high_recall() {
+        let (ds, qs) = dataset();
+        let idx = PipelineBuilder::benchmark(4, 4).build(&ds);
+        let r = run_recall(&idx, &ds, &qs, 80);
+        assert!(r > 0.85, "recall={r}");
+    }
+
+    #[test]
+    fn component_swaps_produce_working_indexes() {
+        let (ds, qs) = dataset();
+        let gt = ground_truth(&ds, &qs, 10, 4);
+        let mut b = PipelineBuilder::benchmark(2, 4);
+        b.selection = SelectionChoice::Angle {
+            degree: 30,
+            min_deg: 60.0,
+        };
+        b.connectivity = ConnectivityChoice::DfsRepair;
+        b.seeds = SeedChoice::Medoid;
+        b.router = Router::Guided;
+        let idx = b.build(&ds);
+        let mut ctx = SearchContext::new(ds.len());
+        let results: Vec<Vec<u32>> = (0..qs.len() as u32)
+            .map(|qi| {
+                idx.search(&ds, qs.point(qi), 10, 80, &mut ctx)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect()
+            })
+            .collect();
+        let r = mean_recall(&results, &gt);
+        assert!(r > 0.5, "recall={r}");
+    }
+
+    #[test]
+    fn build_timed_reports_monotone_times() {
+        let (ds, _) = MixtureSpec::table10(8, 400, 3, 3.0, 5).generate();
+        let (_, init_s, total_s) = PipelineBuilder::benchmark(2, 2).build_timed(&ds);
+        assert!(init_s >= 0.0);
+        assert!(total_s >= init_s);
+    }
+
+    #[test]
+    fn rng_selection_bounds_degree() {
+        let (ds, _) = dataset();
+        let idx = PipelineBuilder::benchmark(2, 4).build(&ds);
+        let stats = weavess_graph::metrics::degree_stats(idx.graph());
+        assert!(stats.max <= 30, "max degree {}", stats.max);
+    }
+}

@@ -1,0 +1,220 @@
+//! Quantized graph search: route over SQ8 codes, rerank with raw vectors —
+//! one concrete answer to the survey's §6 challenge of combining data
+//! encoding with graph-based ANNS (the memory side of the trade-off the
+//! paper's Table 5 "MO" column measures).
+
+use crate::search::{SearchStats, VisitedPool};
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::quant::Sq8Dataset;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::CsrGraph;
+
+/// A graph index whose routing distances come from SQ8 codes.
+///
+/// The graph is built however the caller likes (full precision); only
+/// *search* touches the quantized vectors, so a deployment can drop the
+/// raw vectors from RAM and keep them on slower storage for reranking.
+pub struct QuantizedIndex {
+    graph: CsrGraph,
+    codes: Sq8Dataset,
+    entries: Vec<u32>,
+}
+
+impl QuantizedIndex {
+    /// Wraps a built graph with quantized routing.
+    pub fn new(graph: CsrGraph, ds: &Dataset, entries: Vec<u32>) -> Self {
+        assert_eq!(graph.len(), ds.len());
+        QuantizedIndex {
+            graph,
+            codes: Sq8Dataset::quantize(ds),
+            entries,
+        }
+    }
+
+    /// Best-first search over quantized distances; returns up to `beam`
+    /// candidates ordered by *quantized* distance. `stats.ndc` counts
+    /// quantized evaluations.
+    pub fn search_quantized(
+        &self,
+        query: &[f32],
+        beam: usize,
+        visited: &mut VisitedPool,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let beam = beam.max(1);
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
+        let mut expanded: Vec<bool> = Vec::with_capacity(beam + 1);
+        visited.next_epoch();
+        for &s in &self.entries {
+            if visited.visit(s) {
+                stats.ndc += 1;
+                if let Some(pos) = insert_into_pool(
+                    &mut pool,
+                    beam,
+                    Neighbor::new(s, self.codes.dist_to(query, s)),
+                ) {
+                    expanded.insert(pos, false);
+                    expanded.truncate(pool.len());
+                }
+            }
+        }
+        let mut i = 0usize;
+        while i < pool.len() {
+            if expanded[i] {
+                i += 1;
+                continue;
+            }
+            expanded[i] = true;
+            stats.hops += 1;
+            let v = pool[i].id;
+            let mut lowest = usize::MAX;
+            for &u in self.graph.neighbors(v) {
+                if !visited.visit(u) {
+                    continue;
+                }
+                stats.ndc += 1;
+                let d = self.codes.dist_to(query, u);
+                if let Some(pos) = insert_into_pool(&mut pool, beam, Neighbor::new(u, d)) {
+                    expanded.insert(pos, false);
+                    expanded.truncate(pool.len());
+                    lowest = lowest.min(pos);
+                }
+            }
+            if lowest < i {
+                i = lowest;
+            } else {
+                i += 1;
+            }
+        }
+        pool
+    }
+
+    /// Full search: quantized routing, then rerank the pool with raw
+    /// vectors from `full`. `full_evals` counts the rerank distances.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search(
+        &self,
+        full: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        visited: &mut VisitedPool,
+        stats: &mut SearchStats,
+        full_evals: &mut u64,
+    ) -> Vec<Neighbor> {
+        let pool = self.search_quantized(query, beam.max(k), visited, stats);
+        let mut rer: Vec<Neighbor> = Vec::with_capacity(pool.len());
+        for c in &pool {
+            *full_evals += 1;
+            insert_into_pool(
+                &mut rer,
+                pool.len(),
+                Neighbor::new(c.id, full.dist_to(query, c.id)),
+            );
+        }
+        rer.truncate(k);
+        rer
+    }
+
+    /// Routing memory: the graph plus codes (raw vectors excluded — that
+    /// is the point).
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.codes.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::nsg::{self, NsgParams};
+    use crate::index::{AnnIndex, SearchContext};
+    use weavess_data::ground_truth::ground_truth;
+    use weavess_data::metrics::recall;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn setup() -> (Dataset, Dataset, crate::index::FlatIndex) {
+        let spec = MixtureSpec {
+            intrinsic_dim: Some(8),
+            noise: 0.05,
+            shared_subspace: true,
+            ..MixtureSpec::table10(32, 2_000, 4, 5.0, 40)
+        };
+        let (base, queries) = spec.generate();
+        let idx = nsg::build(&base, &NsgParams::tuned(2, 1));
+        (base, queries, idx)
+    }
+
+    #[test]
+    fn quantized_routing_keeps_recall() {
+        let (ds, qs, base_idx) = setup();
+        let gt = ground_truth(&ds, &qs, 10, 2);
+        let q_idx = QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![ds.medoid()]);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let mut full_evals = 0u64;
+        let mut total = 0.0;
+        for qi in 0..qs.len() as u32 {
+            let res = q_idx.search(
+                &ds,
+                qs.point(qi),
+                10,
+                60,
+                &mut visited,
+                &mut stats,
+                &mut full_evals,
+            );
+            let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+            total += recall(&ids, &gt[qi as usize]);
+        }
+        let r = total / qs.len() as f64;
+        assert!(r > 0.9, "quantized recall {r}");
+        assert!(full_evals > 0);
+    }
+
+    #[test]
+    fn quantized_routing_memory_is_much_smaller() {
+        let (ds, _, base_idx) = setup();
+        let q_idx = QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![0]);
+        let full_route_bytes = base_idx.graph.memory_bytes() + ds.memory_bytes();
+        assert!(
+            q_idx.memory_bytes() * 2 < full_route_bytes,
+            "{} !<< {}",
+            q_idx.memory_bytes(),
+            full_route_bytes
+        );
+    }
+
+    #[test]
+    fn quantized_matches_full_precision_results_mostly() {
+        let (ds, qs, base_idx) = setup();
+        let q_idx = QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![ds.medoid()]);
+        let mut ctx = SearchContext::new(ds.len());
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let mut full_evals = 0u64;
+        let mut overlap = 0usize;
+        for qi in 0..qs.len() as u32 {
+            let a: Vec<u32> = base_idx
+                .search(&ds, qs.point(qi), 10, 60, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let b: Vec<u32> = q_idx
+                .search(
+                    &ds,
+                    qs.point(qi),
+                    10,
+                    60,
+                    &mut visited,
+                    &mut stats,
+                    &mut full_evals,
+                )
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            overlap += b.iter().filter(|id| a.contains(id)).count();
+        }
+        let frac = overlap as f64 / (10 * qs.len()) as f64;
+        assert!(frac > 0.8, "overlap {frac}");
+    }
+}

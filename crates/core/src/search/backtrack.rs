@@ -1,0 +1,197 @@
+//! FANNG's backtracking search (C7).
+//!
+//! §4.2 / §3.2 (A3): best-first search is susceptible to local optima;
+//! FANNG "uses backtrack to the second-closest vertex and considers its
+//! edges that have not been explored yet". We run best-first to
+//! convergence while recording every candidate that fell off the bounded
+//! pool, then spend up to `extra` additional expansions on the nearest of
+//! those rejected candidates — slightly better accuracy for notably more
+//! search time, the trade-off Figure 10(f) reports for `C7_FANNG`.
+
+use super::{SearchStats, VisitedPool};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::adjacency::GraphView;
+
+/// Backtracking best-first search from `seeds`.
+#[allow(clippy::too_many_arguments)]
+pub fn backtrack_search(
+    ds: &Dataset,
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    extra: usize,
+    visited: &mut VisitedPool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let beam = beam.max(1);
+    let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
+    let mut expanded: Vec<bool> = Vec::new();
+    let mut overflow: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+
+    // Plain best-first phase, tracking rejected candidates.
+    let push = |pool: &mut Vec<Neighbor>,
+                expanded: &mut Vec<bool>,
+                overflow: &mut BinaryHeap<Reverse<Neighbor>>,
+                n: Neighbor|
+     -> Option<usize> {
+        match insert_into_pool(pool, beam, n) {
+            Some(pos) => {
+                expanded.insert(pos, false);
+                if expanded.len() > pool.len() {
+                    // An entry fell off the end of the bounded pool; it is a
+                    // backtracking candidate now.
+                    expanded.truncate(pool.len());
+                }
+                Some(pos)
+            }
+            None => {
+                overflow.push(Reverse(n));
+                None
+            }
+        }
+    };
+
+    for &s in seeds {
+        if visited.visit(s) {
+            stats.ndc += 1;
+            push(
+                &mut pool,
+                &mut expanded,
+                &mut overflow,
+                Neighbor::new(s, ds.dist_to(query, s)),
+            );
+        }
+    }
+
+    let mut budget = extra;
+    loop {
+        let mut k = 0usize;
+        let mut progressed = false;
+        while k < pool.len() {
+            if expanded[k] {
+                k += 1;
+                continue;
+            }
+            expanded[k] = true;
+            progressed = true;
+            stats.hops += 1;
+            let v = pool[k].id;
+            let mut lowest = usize::MAX;
+            for &u in g.neighbors(v) {
+                if !visited.visit(u) {
+                    continue;
+                }
+                stats.ndc += 1;
+                let d = ds.dist_to(query, u);
+                if let Some(pos) =
+                    push(&mut pool, &mut expanded, &mut overflow, Neighbor::new(u, d))
+                {
+                    lowest = lowest.min(pos);
+                }
+            }
+            // <= : an insertion at exactly k means the expanded entry
+            // shifted right and an unexpanded one now sits at k.
+            if lowest <= k {
+                k = lowest;
+            } else {
+                k += 1;
+            }
+        }
+        // Converged. Backtrack into the nearest rejected candidate, if any
+        // budget remains.
+        if budget == 0 {
+            break;
+        }
+        let Some(Reverse(c)) = overflow.pop() else {
+            break;
+        };
+        budget -= 1;
+        stats.hops += 1;
+        let mut injected = false;
+        for &u in g.neighbors(c.id) {
+            if !visited.visit(u) {
+                continue;
+            }
+            stats.ndc += 1;
+            let d = ds.dist_to(query, u);
+            if push(&mut pool, &mut expanded, &mut overflow, Neighbor::new(u, d)).is_some() {
+                injected = true;
+            }
+        }
+        if !injected && !progressed {
+            // Neither the main loop nor backtracking changed anything.
+            if overflow.is_empty() {
+                break;
+            }
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::beam_search;
+    use super::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::base::exact_knng;
+    use weavess_graph::CsrGraph;
+
+    fn setup() -> (Dataset, Dataset, CsrGraph) {
+        let (base, queries) = MixtureSpec::table10(8, 400, 4, 3.0, 25).generate();
+        // A sparse graph (K=4) makes local optima likely, giving
+        // backtracking something to fix.
+        let g = exact_knng(&base, 4, 4);
+        (base, queries, g)
+    }
+
+    fn run(extra: usize) -> (usize, u64) {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let seeds = [0u32, 97, 211];
+        let mut hits = 0usize;
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            let res = backtrack_search(&ds, &g, q, &seeds, 10, extra, &mut visited, &mut stats);
+            let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
+            hits += res
+                .iter()
+                .take(10)
+                .filter(|n| truth.contains(&n.id))
+                .count();
+        }
+        (hits, stats.ndc)
+    }
+
+    #[test]
+    fn zero_extra_matches_best_first() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        let seeds = [0u32, 97];
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            let a = backtrack_search(&ds, &g, q, &seeds, 12, 0, &mut visited, &mut s1);
+            visited.next_epoch();
+            let b = beam_search(&ds, &g, q, &seeds, 12, &mut visited, &mut s2);
+            assert_eq!(a, b, "query {qi}");
+        }
+        assert_eq!(s1.ndc, s2.ndc);
+    }
+
+    #[test]
+    fn backtracking_spends_more_and_recalls_no_less() {
+        let (hits0, ndc0) = run(0);
+        let (hits16, ndc16) = run(16);
+        assert!(ndc16 > ndc0);
+        assert!(hits16 >= hits0, "{hits16} < {hits0}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Best-first search — the paper's Algorithm 1 (Appendix F), C7's
+//! dominant implementation.
+
+use super::{SearchStats, VisitedPool};
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::adjacency::GraphView;
+
+/// A pool entry: neighbor plus its expansion flag.
+#[derive(Clone, Copy)]
+struct Candidate {
+    n: Neighbor,
+    expanded: bool,
+}
+
+/// Inserts `n` (unexpanded) into the bounded nearest-first pool; returns
+/// its position, or `None` when rejected.
+fn insert_candidate(pool: &mut Vec<Candidate>, cap: usize, n: Neighbor) -> Option<usize> {
+    let pos = pool.partition_point(|c| c.n < n);
+    if pos < pool.len() && pool[pos].n == n {
+        return None;
+    }
+    if pos >= cap {
+        return None;
+    }
+    pool.insert(pos, Candidate { n, expanded: false });
+    pool.truncate(cap);
+    Some(pos)
+}
+
+/// Best-first (beam) search from `seeds`, returning up to `beam` nearest
+/// candidates nearest-first.
+///
+/// ```
+/// use weavess_core::search::{beam_search, SearchStats, VisitedPool};
+/// use weavess_data::Dataset;
+/// use weavess_graph::CsrGraph;
+///
+/// // Three points on a line, chained 0 -> 1 -> 2.
+/// let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+/// let g = CsrGraph::from_lists(&[vec![1u32], vec![0, 2], vec![1]]);
+/// let mut visited = VisitedPool::new(3);
+/// let mut stats = SearchStats::default();
+/// visited.next_epoch();
+/// let res = beam_search(&ds, &g, &[1.9], &[0], 3, &mut visited, &mut stats);
+/// assert_eq!(res[0].id, 2);
+/// assert!(stats.ndc >= 3);
+/// ```
+///
+/// The pool is a fixed-capacity sorted array; each iteration expands the
+/// nearest unexpanded candidate and inserts its neighbors, exactly the
+/// candidate-set discipline of Definition 4.7. Terminates when every pool
+/// entry is expanded (the result set can no longer improve).
+pub fn beam_search(
+    ds: &Dataset,
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    visited: &mut VisitedPool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let beam = beam.max(1);
+    let mut pool: Vec<Candidate> = Vec::with_capacity(beam + 1);
+    for &s in seeds {
+        if visited.visit(s) {
+            stats.ndc += 1;
+            insert_candidate(&mut pool, beam, Neighbor::new(s, ds.dist_to(query, s)));
+        }
+    }
+
+    let mut k = 0usize;
+    while k < pool.len() {
+        if pool[k].expanded {
+            k += 1;
+            continue;
+        }
+        pool[k].expanded = true;
+        stats.hops += 1;
+        let v = pool[k].n.id;
+        let mut lowest_insert = usize::MAX;
+        for &u in g.neighbors(v) {
+            if !visited.visit(u) {
+                continue;
+            }
+            stats.ndc += 1;
+            let d = ds.dist_to(query, u);
+            if let Some(pos) = insert_candidate(&mut pool, beam, Neighbor::new(u, d)) {
+                lowest_insert = lowest_insert.min(pos);
+            }
+        }
+        // Resume from the nearest new candidate if one arrived at or
+        // above k (an insertion at exactly k shifts the just-expanded
+        // entry right, leaving an unexpanded candidate at k).
+        if lowest_insert <= k {
+            k = lowest_insert;
+        } else {
+            k += 1;
+        }
+    }
+    pool.iter().map(|c| c.n).collect()
+}
+
+/// Best-first continuation from an already-scored pool: entries enter the
+/// pool *without* re-computing distances or touching the visited set (they
+/// must already be marked visited this epoch). The two-stage router uses
+/// this so stage 2 pays only for vertices stage 1 never scored.
+pub fn beam_search_seeded(
+    ds: &Dataset,
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    scored: &[Neighbor],
+    beam: usize,
+    visited: &mut VisitedPool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let beam = beam.max(1);
+    let mut pool: Vec<Candidate> = Vec::with_capacity(beam + 1);
+    for &n in scored {
+        debug_assert!(visited.is_visited(n.id));
+        insert_candidate(&mut pool, beam, n);
+    }
+    let mut k = 0usize;
+    while k < pool.len() {
+        if pool[k].expanded {
+            k += 1;
+            continue;
+        }
+        pool[k].expanded = true;
+        stats.hops += 1;
+        let v = pool[k].n.id;
+        let mut lowest_insert = usize::MAX;
+        for &u in g.neighbors(v) {
+            if !visited.visit(u) {
+                continue;
+            }
+            stats.ndc += 1;
+            let d = ds.dist_to(query, u);
+            if let Some(pos) = insert_candidate(&mut pool, beam, Neighbor::new(u, d)) {
+                lowest_insert = lowest_insert.min(pos);
+            }
+        }
+        if lowest_insert <= k {
+            k = lowest_insert;
+        } else {
+            k += 1;
+        }
+    }
+    pool.iter().map(|c| c.n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::base::exact_knng;
+    use weavess_graph::CsrGraph;
+
+    fn setup() -> (Dataset, Dataset, CsrGraph) {
+        let (base, queries) = MixtureSpec::table10(8, 500, 4, 3.0, 25).generate();
+        let g = exact_knng(&base, 10, 4);
+        (base, queries, g)
+    }
+
+    #[test]
+    fn finds_true_nearest_on_exact_knng() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let mut ok = 0usize;
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            // Seed from several spread points to escape disconnected KNNG parts.
+            let seeds: Vec<u32> = (0..8u32).map(|i| i * 61 % ds.len() as u32).collect();
+            let res = beam_search(&ds, &g, q, &seeds, 40, &mut visited, &mut stats);
+            let truth = knn_scan(&ds, q, 1, None)[0].id;
+            if res.first().map(|n| n.id) == Some(truth) {
+                ok += 1;
+            }
+        }
+        assert!(ok as f64 / qs.len() as f64 > 0.85, "ok={ok}/{}", qs.len());
+        assert!(stats.ndc > 0 && stats.hops > 0);
+    }
+
+    #[test]
+    fn result_is_sorted_and_bounded() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        visited.next_epoch();
+        let res = beam_search(&ds, &g, qs.point(0), &[0, 5], 16, &mut visited, &mut stats);
+        assert!(res.len() <= 16);
+        assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn ndc_counts_each_vertex_once() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        visited.next_epoch();
+        beam_search(&ds, &g, qs.point(0), &[0], 64, &mut visited, &mut stats);
+        assert!(stats.ndc <= ds.len() as u64);
+    }
+
+    #[test]
+    fn empty_seeds_give_empty_result() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        visited.next_epoch();
+        let res = beam_search(&ds, &g, qs.point(0), &[], 8, &mut visited, &mut stats);
+        assert!(res.is_empty());
+        assert_eq!(stats.ndc, 0);
+    }
+
+    /// Regression: an insertion at exactly the resume index must re-enter
+    /// the loop there. On a 1-d path graph the first expansion inserts the
+    /// next-left vertex at position 0 while expanding position 0 — with a
+    /// strict `<` resume check the search would only ever walk right.
+    #[test]
+    fn walks_both_directions_on_a_path_graph() {
+        let ds = Dataset::from_rows(&(0..100).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        // Path graph: i <-> i+1.
+        let lists: Vec<Vec<u32>> = (0..100u32)
+            .map(|i| {
+                let mut l = Vec::new();
+                if i > 0 {
+                    l.push(i - 1);
+                }
+                if i < 99 {
+                    l.push(i + 1);
+                }
+                l
+            })
+            .collect();
+        let g = CsrGraph::from_lists(&lists);
+        let mut visited = VisitedPool::new(100);
+        let mut stats = SearchStats::default();
+        visited.next_epoch();
+        // Query left of the seed: the search must walk 49 -> 42.
+        let res = beam_search(&ds, &g, &[42.4], &[49], 20, &mut visited, &mut stats);
+        assert_eq!(res[0].id, 42, "failed to walk left: {:?}", &res[..3]);
+    }
+
+    #[test]
+    fn larger_beam_never_reduces_accuracy() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let seeds: Vec<u32> = (0..4u32).collect();
+        let mut hits_small = 0;
+        let mut hits_large = 0;
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
+            let mut s = SearchStats::default();
+            visited.next_epoch();
+            let small = beam_search(&ds, &g, q, &seeds, 10, &mut visited, &mut s);
+            visited.next_epoch();
+            let large = beam_search(&ds, &g, q, &seeds, 80, &mut visited, &mut s);
+            hits_small += small
+                .iter()
+                .take(10)
+                .filter(|n| truth.contains(&n.id))
+                .count();
+            hits_large += large
+                .iter()
+                .take(10)
+                .filter(|n| truth.contains(&n.id))
+                .count();
+        }
+        assert!(hits_large >= hits_small, "{hits_large} < {hits_small}");
+    }
+}

@@ -1,0 +1,164 @@
+//! HCNNG's guided search (C7).
+//!
+//! §4.2: instead of visiting *all* neighbors of the expanded vertex like
+//! best-first search, guided search "avoids some redundant visits based on
+//! the query's location" — fewer distance computations per hop at a small
+//! accuracy cost (the S2 routing-efficiency fix, with the accuracy caveat
+//! Figure 10(f) reports).
+//!
+//! Gate (our O(1)-per-neighbor approximation, documented in DESIGN.md):
+//! for expanded vertex `x`, find the coordinate `d*` where the query
+//! deviates most from `x`; skip neighbor `n` when it moves in the opposite
+//! direction along `d*`. Neighbors aligned with the query's dominant
+//! direction always pass.
+
+use super::{SearchStats, VisitedPool};
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::adjacency::GraphView;
+
+/// Guided best-first search from `seeds`.
+pub fn guided_search(
+    ds: &Dataset,
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    visited: &mut VisitedPool,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    let beam = beam.max(1);
+    let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
+    let mut expanded: Vec<bool> = Vec::new();
+    for &s in seeds {
+        if visited.visit(s) {
+            stats.ndc += 1;
+            if let Some(pos) =
+                insert_into_pool(&mut pool, beam, Neighbor::new(s, ds.dist_to(query, s)))
+            {
+                expanded.insert(pos, false);
+                expanded.truncate(pool.len());
+            }
+        }
+    }
+    let mut k = 0usize;
+    while k < pool.len() {
+        if expanded[k] {
+            k += 1;
+            continue;
+        }
+        expanded[k] = true;
+        stats.hops += 1;
+        let v = pool[k].id;
+        let x = ds.point(v);
+        // Dominant query direction at x: one O(dim) scan per expansion.
+        let mut dstar = 0usize;
+        let mut best = 0.0f32;
+        for (d, (&qd, &xd)) in query.iter().zip(x).enumerate() {
+            let a = (qd - xd).abs();
+            if a > best {
+                best = a;
+                dstar = d;
+            }
+        }
+        let want_positive = query[dstar] >= x[dstar];
+        let mut lowest = usize::MAX;
+        for &u in g.neighbors(v) {
+            if visited.is_visited(u) {
+                continue;
+            }
+            let nu = ds.point(u);
+            let goes_positive = nu[dstar] >= x[dstar];
+            if goes_positive != want_positive {
+                continue; // gated out: moves away from the query
+            }
+            visited.visit(u);
+            stats.ndc += 1;
+            let d = ds.dist_to(query, u);
+            if let Some(pos) = insert_into_pool(&mut pool, beam, Neighbor::new(u, d)) {
+                expanded.insert(pos, false);
+                expanded.truncate(pool.len());
+                lowest = lowest.min(pos);
+            }
+        }
+        // <= : an insertion at exactly k means the expanded entry
+        // shifted right and an unexpanded one now sits at k.
+        if lowest <= k {
+            k = lowest;
+        } else {
+            k += 1;
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::beam_search;
+    use super::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::base::exact_knng;
+    use weavess_graph::CsrGraph;
+
+    fn setup() -> (Dataset, Dataset, CsrGraph) {
+        let (base, queries) = MixtureSpec::table10(8, 500, 4, 3.0, 30).generate();
+        let g = exact_knng(&base, 10, 4);
+        (base, queries, g)
+    }
+
+    #[test]
+    fn guided_search_spends_fewer_distance_computations() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let seeds: Vec<u32> = (0..8u32).map(|i| i * 59 % ds.len() as u32).collect();
+        let mut s_guided = SearchStats::default();
+        let mut s_beam = SearchStats::default();
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            guided_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_guided);
+            visited.next_epoch();
+            beam_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_beam);
+        }
+        assert!(
+            s_guided.ndc < s_beam.ndc,
+            "guided {} !< beam {}",
+            s_guided.ndc,
+            s_beam.ndc
+        );
+    }
+
+    #[test]
+    fn guided_search_accuracy_stays_reasonable() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let seeds: Vec<u32> = (0..8u32).map(|i| i * 59 % ds.len() as u32).collect();
+        let mut hits = 0usize;
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            let res = guided_search(&ds, &g, q, &seeds, 30, &mut visited, &mut stats);
+            let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
+            hits += res
+                .iter()
+                .take(10)
+                .filter(|n| truth.contains(&n.id))
+                .count();
+        }
+        let recall = hits as f64 / (10 * qs.len()) as f64;
+        assert!(recall > 0.5, "recall={recall}");
+    }
+
+    #[test]
+    fn result_sorted_and_bounded() {
+        let (ds, qs, g) = setup();
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        visited.next_epoch();
+        let res = guided_search(&ds, &g, qs.point(0), &[0, 9], 12, &mut visited, &mut stats);
+        assert!(res.len() <= 12);
+        assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+}

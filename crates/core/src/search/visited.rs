@@ -1,0 +1,107 @@
+//! Epoch-stamped visited set.
+//!
+//! Search visits thousands of vertices per query; clearing a boolean array
+//! each time would cost O(n). An epoch stamp array makes reset O(1): a
+//! vertex is visited iff its stamp equals the current epoch.
+
+/// Reusable visited-set for graphs of a fixed vertex count.
+#[derive(Debug, Clone)]
+pub struct VisitedPool {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedPool {
+    /// A pool for `n` vertices, all unvisited.
+    pub fn new(n: usize) -> Self {
+        VisitedPool {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Starts a fresh query: every vertex becomes unvisited in O(1).
+    pub fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped after ~4B queries: do the rare O(n) reset.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `v` visited; returns `true` when it was not yet visited this
+    /// epoch (i.e. the caller should process it).
+    #[inline]
+    pub fn visit(&mut self, v: u32) -> bool {
+        let s = &mut self.stamp[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+
+    /// True when `v` was already visited this epoch.
+    #[inline]
+    pub fn is_visited(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// Grows the pool to cover at least `n` vertices (new vertices start
+    /// unvisited). Needed by dynamically updated indexes.
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Number of vertices this pool covers.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// True when the pool covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_marks_once_per_epoch() {
+        let mut p = VisitedPool::new(4);
+        assert!(p.visit(2));
+        assert!(!p.visit(2));
+        assert!(p.is_visited(2));
+        assert!(!p.is_visited(1));
+    }
+
+    #[test]
+    fn next_epoch_resets_in_constant_time() {
+        let mut p = VisitedPool::new(4);
+        p.visit(0);
+        p.visit(3);
+        p.next_epoch();
+        assert!(!p.is_visited(0));
+        assert!(!p.is_visited(3));
+        assert!(p.visit(0));
+    }
+
+    #[test]
+    fn epoch_wraparound_is_handled() {
+        let mut p = VisitedPool::new(2);
+        p.epoch = u32::MAX - 1;
+        p.visit(0);
+        p.next_epoch(); // MAX
+        p.visit(1);
+        p.next_epoch(); // wraps to 0 -> reset -> 1
+        assert!(!p.is_visited(0));
+        assert!(!p.is_visited(1));
+        assert!(p.visit(0));
+    }
+}

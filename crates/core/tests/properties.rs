@@ -1,0 +1,188 @@
+//! Property tests for the search core.
+
+use proptest::prelude::*;
+use weavess_core::search::{
+    backtrack_search, beam_search, filtered_beam_search, guided_search, range_search, Router,
+    SearchStats, VisitedPool,
+};
+use weavess_data::ground_truth::knn_scan;
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
+use weavess_graph::base::exact_knng;
+use weavess_graph::CsrGraph;
+
+fn setup(seed: u64, n: usize) -> (Dataset, Dataset, CsrGraph) {
+    let spec = MixtureSpec::table10(8, n, 2, 5.0, 4).with_seed(seed);
+    let (base, queries) = spec.generate();
+    let g = exact_knng(&base, 8, 1);
+    (base, queries, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every router returns a sorted, duplicate-free, beam-bounded result
+    /// whose head is at least as close as any other returned vertex.
+    #[test]
+    fn routers_return_wellformed_results(
+        seed in 0u64..200,
+        beam in 1usize..40,
+    ) {
+        let (ds, qs, g) = setup(seed, 300);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let seeds = [0u32, 150, 299];
+        let q = qs.point(0);
+        for router in [
+            Router::BestFirst,
+            Router::Range { epsilon: 0.1 },
+            Router::Backtrack { extra: 4 },
+            Router::Guided,
+            Router::TwoStage { stage1_beam_frac: 0.5 },
+        ] {
+            visited.next_epoch();
+            let res = router.search(&ds, &g, q, &seeds, beam, &mut visited, &mut stats);
+            prop_assert!(res.len() <= beam, "{router:?}");
+            prop_assert!(res.windows(2).all(|w| w[0] < w[1]), "{router:?} unsorted");
+            for i in 0..res.len() {
+                for j in (i + 1)..res.len() {
+                    prop_assert!(res[i].id != res[j].id, "{router:?} dup id");
+                }
+            }
+            // Distances are true distances to the query.
+            for r in &res {
+                prop_assert!((r.dist - ds.dist_to(q, r.id)).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Best-first search at beam >= n degenerates to an exhaustive scan of
+    /// the seed-reachable component: it finds the exact nearest neighbor
+    /// among reached vertices.
+    #[test]
+    fn saturated_beam_is_exact_on_reachable(seed in 0u64..100) {
+        let (ds, qs, g) = setup(seed, 200);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let q = qs.point(0);
+        visited.next_epoch();
+        let res = beam_search(&ds, &g, q, &[0], ds.len(), &mut visited, &mut stats);
+        // Every returned vertex was reached; the best of them must be the
+        // true minimum over the visited set.
+        let best_visited = res
+            .iter()
+            .map(|n| n.dist)
+            .fold(f32::INFINITY, f32::min);
+        for r in &res {
+            prop_assert!(r.dist >= best_visited);
+        }
+        prop_assert_eq!(res[0].dist, best_visited);
+    }
+
+    /// A visited pool never reports a fresh vertex as visited across
+    /// epochs, and always reports repeats within one epoch.
+    #[test]
+    fn visited_pool_laws(ops in prop::collection::vec((0u32..64, prop::bool::ANY), 1..200)) {
+        let mut pool = VisitedPool::new(64);
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for &(v, new_epoch) in &ops {
+            if new_epoch {
+                pool.next_epoch();
+                seen.clear();
+            }
+            let fresh = pool.visit(v);
+            prop_assert_eq!(fresh, seen.insert(v));
+            prop_assert!(pool.is_visited(v));
+        }
+    }
+
+    /// Filtered search with predicate P returns exactly vertices of P, and
+    /// its results are never better than unfiltered top-k (distance-wise
+    /// the filtered k-th is >= the unfiltered k-th).
+    #[test]
+    fn filtered_search_is_sound(seed in 0u64..100, modulo in 2u32..5) {
+        let (ds, qs, g) = setup(seed, 300);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        let q = qs.point(0);
+        let filter = move |id: u32| id.is_multiple_of(modulo);
+        visited.next_epoch();
+        let filtered =
+            filtered_beam_search(&ds, &g, q, &[0, 150], 5, 40, &filter, &mut visited, &mut stats);
+        prop_assert!(filtered.iter().all(|n| filter(n.id)));
+        visited.next_epoch();
+        let plain = beam_search(&ds, &g, q, &[0, 150], 40, &mut visited, &mut stats);
+        if let (Some(fh), Some(ph)) = (filtered.first(), plain.first()) {
+            prop_assert!(fh.dist >= ph.dist - 1e-6);
+        }
+    }
+
+    /// Guided search's result set is a subset of what an exhaustive scan
+    /// would allow and never spends more NDC than best-first.
+    #[test]
+    fn guided_never_spends_more(seed in 0u64..100) {
+        let (ds, qs, g) = setup(seed, 300);
+        let mut visited = VisitedPool::new(ds.len());
+        let seeds = [0u32, 100, 200];
+        let q = qs.point(0);
+        let mut s_guided = SearchStats::default();
+        visited.next_epoch();
+        guided_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_guided);
+        let mut s_beam = SearchStats::default();
+        visited.next_epoch();
+        beam_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_beam);
+        prop_assert!(s_guided.ndc <= s_beam.ndc);
+    }
+
+    /// Backtracking with zero budget is identical to best-first; range
+    /// search with huge epsilon explores at least as much as best-first.
+    #[test]
+    fn router_degenerate_cases(seed in 0u64..100) {
+        let (ds, qs, g) = setup(seed, 250);
+        let mut visited = VisitedPool::new(ds.len());
+        let q = qs.point(0);
+        let seeds = [0u32, 120];
+        let mut s1 = SearchStats::default();
+        visited.next_epoch();
+        let bt = backtrack_search(&ds, &g, q, &seeds, 16, 0, &mut visited, &mut s1);
+        let mut s2 = SearchStats::default();
+        visited.next_epoch();
+        let bf = beam_search(&ds, &g, q, &seeds, 16, &mut visited, &mut s2);
+        prop_assert_eq!(bt, bf);
+
+        let mut s3 = SearchStats::default();
+        visited.next_epoch();
+        range_search(&ds, &g, q, &seeds, 16, 10.0, &mut visited, &mut s3);
+        prop_assert!(s3.ndc >= s2.ndc);
+    }
+
+    /// With an undirected connected graph and a beam the size of the
+    /// dataset, best-first search degenerates to exhaustive traversal and
+    /// must return exactly the brute-force nearest neighbor.
+    #[test]
+    fn exhaustive_beam_matches_brute_force_top1(seed in 0u64..60) {
+        let spec = MixtureSpec::table10(8, 250, 1, 5.0, 4).with_seed(seed);
+        let (ds, qs) = spec.generate();
+        // Symmetrize the KNNG so reachability is undirected.
+        let knng = exact_knng(&ds, 10, 1);
+        let mut lists: Vec<Vec<u32>> = knng.to_lists();
+        for v in 0..ds.len() as u32 {
+            for u in knng.neighbors(v).to_vec() {
+                if !lists[u as usize].contains(&v) {
+                    lists[u as usize].push(v);
+                }
+            }
+        }
+        let g = CsrGraph::from_lists(&lists);
+        prop_assume!(weavess_graph::connectivity::weak_components(&g) == 1);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            let res = beam_search(&ds, &g, q, &[0], ds.len(), &mut visited, &mut stats);
+            let truth = knn_scan(&ds, q, 1, None)[0];
+            prop_assert_eq!(res[0], truth, "query {}", qi);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Flat, row-major vector dataset.
+
+use crate::distance::squared_euclidean;
+use crate::neighbor::Neighbor;
+
+/// A dense set of `n` vectors of dimension `dim`, stored contiguously
+/// row-major. Points are addressed by `u32` ids (the survey's largest
+/// dataset is ~2M points; `u32` halves edge-list memory vs `usize`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    data: Vec<f32>,
+    n: usize,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Wraps a flat buffer of `n * dim` floats.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * dim` or `dim == 0`.
+    pub fn from_flat(data: Vec<f32>, n: usize, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len(), n * dim, "buffer length must be n * dim");
+        Dataset { data, n, dim }
+    }
+
+    /// Builds a dataset from per-point rows (testing convenience).
+    ///
+    /// # Panics
+    /// Panics if rows are empty or have inconsistent dimensions.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "dataset must contain at least one point");
+        let dim = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            assert_eq!(r.len(), dim, "all rows must share a dimension");
+            data.extend_from_slice(r);
+        }
+        Dataset {
+            data,
+            n: rows.len(),
+            dim,
+        }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th vector.
+    #[inline]
+    pub fn point(&self, i: u32) -> &[f32] {
+        let s = i as usize * self.dim;
+        &self.data[s..s + self.dim]
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Squared Euclidean distance between base points `a` and `b`.
+    #[inline]
+    pub fn dist(&self, a: u32, b: u32) -> f32 {
+        squared_euclidean(self.point(a), self.point(b))
+    }
+
+    /// Squared Euclidean distance between an external query and base point `b`.
+    #[inline]
+    pub fn dist_to(&self, query: &[f32], b: u32) -> f32 {
+        squared_euclidean(query, self.point(b))
+    }
+
+    /// Component-wise mean of all points (the "approximate centroid" used by
+    /// NSG's and Vamana's seed preprocessing).
+    pub fn centroid(&self) -> Vec<f32> {
+        let mut c = vec![0.0f64; self.dim];
+        for i in 0..self.n {
+            let p = self.point(i as u32);
+            for (acc, &x) in c.iter_mut().zip(p) {
+                *acc += x as f64;
+            }
+        }
+        c.iter().map(|&x| (x / self.n as f64) as f32).collect()
+    }
+
+    /// The base point nearest to the centroid (the *medoid*; NSG's fixed
+    /// entry point). Linear scan; used once per index build.
+    pub fn medoid(&self) -> u32 {
+        let c = self.centroid();
+        let mut best = Neighbor::new(0, f32::INFINITY);
+        for i in 0..self.n as u32 {
+            let d = self.dist_to(&c, i);
+            if d < best.dist {
+                best = Neighbor::new(i, d);
+            }
+        }
+        best.id
+    }
+
+    /// A new dataset containing the given rows of `self` (dataset-division
+    /// substrate for divide-and-conquer builders and validation splits).
+    pub fn subset(&self, ids: &[u32]) -> Dataset {
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &i in ids {
+            data.extend_from_slice(self.point(i));
+        }
+        Dataset {
+            data,
+            n: ids.len(),
+            dim: self.dim,
+        }
+    }
+
+    /// Approximate heap footprint of the raw vectors, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// An empty dataset of the given dimensionality (growable via
+    /// [`Self::push`]; the substrate for dynamically updated indexes).
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Dataset {
+            data: Vec::new(),
+            n: 0,
+            dim,
+        }
+    }
+
+    /// Appends one vector, returning its new id.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn push(&mut self, point: &[f32]) -> u32 {
+        assert_eq!(point.len(), self.dim, "dimension mismatch");
+        self.data.extend_from_slice(point);
+        self.n += 1;
+        (self.n - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let ds = square();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.point(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn distances_match_kernel() {
+        let ds = square();
+        assert_eq!(ds.dist(0, 3), 2.0);
+        assert_eq!(ds.dist_to(&[0.5, 0.0], 1), 0.25);
+    }
+
+    #[test]
+    fn centroid_and_medoid_of_square() {
+        let ds = square();
+        assert_eq!(ds.centroid(), vec![0.5, 0.5]);
+        // All four corners are equidistant from the centroid; the scan keeps
+        // the first strict improvement, i.e. point 0.
+        assert_eq!(ds.medoid(), 0);
+    }
+
+    #[test]
+    fn subset_extracts_rows() {
+        let ds = square();
+        let sub = ds.subset(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), &[1.0, 1.0]);
+        assert_eq!(sub.point(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_and_push_grow_the_dataset() {
+        let mut ds = Dataset::empty(3);
+        assert!(ds.is_empty());
+        assert_eq!(ds.push(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(ds.push(&[4.0, 5.0, 6.0]), 1);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.dist(0, 1), 27.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_dimension() {
+        let mut ds = Dataset::empty(2);
+        ds.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_flat_validates_shape() {
+        let _ = Dataset::from_flat(vec![0.0; 5], 2, 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Scalar Euclidean distance kernels.
+//!
+//! The survey strips SIMD intrinsics, prefetching, and other
+//! hardware-specific optimizations from every algorithm so that measured
+//! differences come from the graphs themselves (§5.1 "Implementation
+//! setup"). These kernels are therefore deliberately plain scalar Rust;
+//! anything the autovectorizer does applies to all algorithms equally.
+//!
+//! All graph code compares *squared* Euclidean distances: the square root is
+//! monotone, so nearest-neighbor orderings are identical and we avoid a
+//! `sqrt` per comparison.
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// True Euclidean distance (`l2` norm of the difference), Equation 1 of the
+/// paper. Only used at reporting boundaries; internal comparisons use
+/// [`squared_euclidean`].
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Inner product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine of the angle ∠(u, v) between two direction vectors, clamped to
+/// [-1, 1]. Returns 1.0 for degenerate (zero-length) inputs so that
+/// zero-offset "directions" are treated as maximally aligned (and hence
+/// pruned first by angle-based selectors such as DPG's and NSSG's).
+#[inline]
+pub fn cosine_angle(u: &[f32], v: &[f32]) -> f32 {
+    let nu = norm(u);
+    let nv = norm(v);
+    if nu == 0.0 || nv == 0.0 {
+        return 1.0;
+    }
+    (dot(u, v) / (nu * nv)).clamp(-1.0, 1.0)
+}
+
+/// Cosine of the angle at `p` formed by points `a` and `b` (∠ a-p-b),
+/// computed from the offset vectors `a - p` and `b - p` without allocating.
+#[inline]
+pub fn cosine_angle_at(p: &[f32], a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(p.len(), a.len());
+    debug_assert_eq!(p.len(), b.len());
+    let mut dab = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for i in 0..p.len() {
+        let ua = a[i] - p[i];
+        let ub = b[i] - p[i];
+        dab += ua * ub;
+        na += ua * ua;
+        nb += ub * ub;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (dab / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_matches_hand_computation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(squared_euclidean(&a, &b), 9.0 + 16.0);
+        assert_eq!(euclidean(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = [0.5, -1.5, 2.25, 0.0];
+        let b = [1.0, 0.0, -3.0, 4.0];
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn cosine_angle_of_orthogonal_vectors_is_zero() {
+        let u = [1.0, 0.0];
+        let v = [0.0, 2.0];
+        assert!(cosine_angle(&u, &v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_angle_at_matches_offset_formulation() {
+        let p = [1.0, 1.0];
+        let a = [2.0, 1.0]; // offset (1, 0)
+        let b = [1.0, 3.0]; // offset (0, 2)
+        assert!(cosine_angle_at(&p, &a, &b).abs() < 1e-6);
+        let c = [3.0, 1.0]; // offset (2, 0): parallel to a-p
+        assert!((cosine_angle_at(&p, &a, &c) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_direction_counts_as_aligned() {
+        let p = [1.0, 1.0];
+        assert_eq!(cosine_angle_at(&p, &p, &[2.0, 2.0]), 1.0);
+    }
+}

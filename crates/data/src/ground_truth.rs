@@ -1,0 +1,123 @@
+//! Exact k-nearest-neighbor ground truth by parallel brute force.
+//!
+//! The paper computes every query's true 20/100 nearest neighbors by linear
+//! scan; recall and the exact-KNNG graph-quality reference both depend on
+//! this. Work is split across threads with `std::thread::scope` — the same
+//! "parallelize only vector math, keep algorithms scalar" policy the paper
+//! applies to index construction.
+
+use crate::dataset::Dataset;
+use crate::neighbor::{insert_into_pool, Neighbor};
+
+/// Exact k nearest base points for one query vector (linear scan).
+///
+/// `exclude` skips one base id (used when the "query" is itself a base
+/// point, e.g. when building the exact KNNG).
+pub fn knn_scan(base: &Dataset, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Neighbor> {
+    let mut pool = Vec::with_capacity(k + 1);
+    for i in 0..base.len() as u32 {
+        if exclude == Some(i) {
+            continue;
+        }
+        let d = base.dist_to(query, i);
+        if pool.len() < k || d < pool.last().map_or(f32::INFINITY, |w: &Neighbor| w.dist) {
+            insert_into_pool(&mut pool, k, Neighbor::new(i, d));
+        }
+    }
+    pool
+}
+
+/// Exact k-NN ids for every query, computed in parallel across `threads`.
+pub fn ground_truth(base: &Dataset, queries: &Dataset, k: usize, threads: usize) -> Vec<Vec<u32>> {
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+    let nq = queries.len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); nq];
+    let threads = threads.max(1).min(nq.max(1));
+    let chunk = nq.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move || {
+                for (j, row) in slot.iter_mut().enumerate() {
+                    let q = queries.point((start + j) as u32);
+                    *row = knn_scan(base, q, k, None).iter().map(|n| n.id).collect();
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Exact KNN ids for every *base* point against the rest of the base set
+/// (self excluded): the exact KNNG used by the graph-quality metric and by
+/// brute-force initializers (IEH, FANNG, k-DR).
+pub fn exact_knn_graph(base: &Dataset, k: usize, threads: usize) -> Vec<Vec<u32>> {
+    let n = base.len();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let threads = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move || {
+                for (j, row) in slot.iter_mut().enumerate() {
+                    let id = (start + j) as u32;
+                    *row = knn_scan(base, base.point(id), k, Some(id))
+                        .iter()
+                        .map(|n| n.id)
+                        .collect();
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Dataset {
+        // Points at x = 0, 1, 2, 3, 4 on a line.
+        Dataset::from_rows(&(0..5).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn knn_scan_orders_by_distance() {
+        let ds = line();
+        let nn = knn_scan(&ds, &[1.9, 0.0], 3, None);
+        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn knn_scan_can_exclude_self() {
+        let ds = line();
+        let nn = knn_scan(&ds, ds.point(2), 2, Some(2));
+        let ids: Vec<u32> = nn.iter().map(|n| n.id).collect();
+        assert!(!ids.contains(&2));
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn ground_truth_matches_serial_scan() {
+        let ds = line();
+        let queries = Dataset::from_rows(&[vec![0.2, 0.0], vec![3.8, 0.0]]);
+        let gt = ground_truth(&ds, &queries, 2, 4);
+        assert_eq!(gt[0], vec![0, 1]);
+        assert_eq!(gt[1], vec![4, 3]);
+    }
+
+    #[test]
+    fn exact_knn_graph_excludes_self_and_is_parallel_safe() {
+        let ds = line();
+        for threads in [1, 3] {
+            let g = exact_knn_graph(&ds, 2, threads);
+            assert_eq!(g.len(), 5);
+            assert_eq!(g[0], vec![1, 2]);
+            assert_eq!(g[2], vec![1, 3]); // ties broken by id
+            for (i, row) in g.iter().enumerate() {
+                assert!(!row.contains(&(i as u32)));
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! TexMex `fvecs` / `ivecs` file formats.
+//!
+//! The paper's real-world datasets (SIFT1M, GIST1M, …) ship in these
+//! formats: each vector is a little-endian `i32` dimension followed by
+//! `dim` little-endian values (`f32` for fvecs, `i32` for ivecs). The
+//! evaluation here runs on synthetic stand-ins, but these loaders let the
+//! real files drop in unchanged.
+
+use crate::dataset::Dataset;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an `fvecs` file into a [`Dataset`].
+pub fn read_fvecs(path: &Path) -> io::Result<Dataset> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut data = Vec::new();
+    let mut dim = 0usize;
+    let mut n = 0usize;
+    loop {
+        let mut head = [0u8; 4];
+        match reader.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = i32::from_le_bytes(head);
+        if d <= 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-positive vector dimension {d}"),
+            ));
+        }
+        let d = d as usize;
+        if n == 0 {
+            dim = d;
+        } else if d != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("inconsistent dimensions: {dim} then {d}"),
+            ));
+        }
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf)?;
+        data.extend(
+            buf.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        n += 1;
+    }
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty fvecs file",
+        ));
+    }
+    Ok(Dataset::from_flat(data, n, dim))
+}
+
+/// Writes a [`Dataset`] as `fvecs`.
+pub fn write_fvecs(path: &Path, ds: &Dataset) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for i in 0..ds.len() as u32 {
+        w.write_all(&(ds.dim() as i32).to_le_bytes())?;
+        for &x in ds.point(i) {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads an `ivecs` file (typically ground-truth neighbor ids) into rows.
+pub fn read_ivecs(path: &Path) -> io::Result<Vec<Vec<u32>>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut rows = Vec::new();
+    loop {
+        let mut head = [0u8; 4];
+        match reader.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = i32::from_le_bytes(head);
+        if d < 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("negative row length {d}"),
+            ));
+        }
+        let mut buf = vec![0u8; d as usize * 4];
+        reader.read_exact(&mut buf)?;
+        rows.push(
+            buf.chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u32)
+                .collect(),
+        );
+    }
+    Ok(rows)
+}
+
+/// Writes ground-truth rows as `ivecs`.
+pub fn write_ivecs(path: &Path, rows: &[Vec<u32>]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in rows {
+        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        for &x in row {
+            w.write_all(&(x as i32).to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0, 3.0], vec![-4.5, 0.0, 9.75]]);
+        let dir = std::env::temp_dir().join("weavess_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.fvecs");
+        write_fvecs(&path, &ds).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let rows = vec![vec![0u32, 5, 2], vec![9, 9, 9], vec![]];
+        let dir = std::env::temp_dir().join("weavess_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ivecs");
+        write_ivecs(&path, &rows).unwrap();
+        assert_eq!(read_ivecs(&path).unwrap(), rows);
+    }
+
+    #[test]
+    fn rejects_inconsistent_dimensions() {
+        let dir = std::env::temp_dir().join("weavess_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.fvecs");
+        let mut bytes = Vec::new();
+        bytes.extend(1i32.to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2i32.to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2.0f32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        assert!(read_fvecs(&path).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Vector dataset substrate for the WEAVESS graph-ANNS reproduction.
+//!
+//! This crate owns everything the survey's evaluation layer needs *below* the
+//! graph level:
+//!
+//! - [`Dataset`]: a flat, row-major `f32` matrix of base vectors.
+//! - [`distance`]: scalar Euclidean kernels (the paper strips SIMD and other
+//!   hardware-specific tricks so that algorithmic differences dominate).
+//! - [`Neighbor`]: the ubiquitous `(id, distance)` pair ordered by distance.
+//! - [`synthetic`]: seeded Gaussian-mixture generators reproducing the
+//!   paper's synthetic datasets (Table 10) and stand-ins for its eight
+//!   real-world datasets (Table 3).
+//! - [`io`]: TexMex `fvecs`/`ivecs` readers and writers so the real datasets
+//!   drop in unchanged when available.
+//! - [`ground_truth`]: parallel brute-force exact k-NN.
+//! - [`metrics`]: `Recall@k`, local intrinsic dimensionality (LID), and the
+//!   distance-computation counter that underlies the paper's *speedup*
+//!   metric (`|S| / NDC`).
+
+pub mod dataset;
+pub mod distance;
+pub mod ground_truth;
+pub mod io;
+pub mod metrics;
+pub mod neighbor;
+pub mod pq;
+pub mod quant;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use neighbor::Neighbor;

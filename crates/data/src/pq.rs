@@ -1,0 +1,274 @@
+//! Product quantization (PQ): split vectors into `m` subspaces, k-means a
+//! 256-entry codebook per subspace, store one byte per subspace per point.
+//!
+//! Two survey hooks:
+//!
+//! - §4.1 (C4): "[Douze et al.] compresses the original vector by OPQ to
+//!   obtain the seeds by quickly calculating the compressed vector" —
+//!   PQ's asymmetric distance with per-query lookup tables is that fast
+//!   calculation.
+//! - §6 Challenges: combining data encoding with graph ANNS. PQ compresses
+//!   harder than SQ8 (`m` bytes per point instead of `dim`), trading more
+//!   distortion for less memory.
+//!
+//! Asymmetric distance: for a query, precompute `m × 256` partial
+//! distances (one table per subspace); a point's distance is then `m`
+//! table lookups — independent of `dim`.
+
+use crate::dataset::Dataset;
+use crate::distance::squared_euclidean;
+
+const CODEBOOK: usize = 256;
+const KMEANS_ITERS: usize = 8;
+
+/// A trained product quantizer plus the encoded dataset.
+#[derive(Debug, Clone)]
+pub struct PqDataset {
+    /// `m` codebooks, each `CODEBOOK × sub_dim`, concatenated.
+    codebooks: Vec<f32>,
+    /// Codes, row-major (`n × m` bytes).
+    codes: Vec<u8>,
+    n: usize,
+    dim: usize,
+    m: usize,
+    sub_dim: usize,
+}
+
+/// Per-query lookup tables for asymmetric distances.
+pub struct PqTables {
+    /// `m × CODEBOOK` partial squared distances.
+    tables: Vec<f32>,
+}
+
+impl PqDataset {
+    /// Trains on `ds` with `m` subspaces (`dim` must be divisible by `m`;
+    /// pass `m` like 4, 8, 16). Codebooks are trained on up to `sample`
+    /// strided points with plain Lloyd iterations, deterministic seeding.
+    pub fn train(ds: &Dataset, m: usize, sample: usize) -> PqDataset {
+        let dim = ds.dim();
+        assert!(
+            m >= 1 && dim.is_multiple_of(m),
+            "dim {dim} not divisible by m {m}"
+        );
+        let sub_dim = dim / m;
+        let n = ds.len();
+        let take = sample.clamp(CODEBOOK.min(n), n);
+        let stride = (n / take).max(1);
+        let train_ids: Vec<u32> = (0..take).map(|i| (i * stride) as u32).collect();
+
+        let mut codebooks = vec![0.0f32; m * CODEBOOK * sub_dim];
+        for s in 0..m {
+            let lo = s * sub_dim;
+            // Init centers by strided sampling of training sub-vectors.
+            let k = CODEBOOK.min(train_ids.len());
+            let book = &mut codebooks[s * CODEBOOK * sub_dim..(s + 1) * CODEBOOK * sub_dim];
+            for c in 0..k {
+                let id = train_ids[c * train_ids.len() / k];
+                book[c * sub_dim..(c + 1) * sub_dim]
+                    .copy_from_slice(&ds.point(id)[lo..lo + sub_dim]);
+            }
+            // Fill any unused centers with copies (only when take < 256).
+            for c in k..CODEBOOK {
+                let src = (c % k) * sub_dim;
+                let (head, tail) = book.split_at_mut(c * sub_dim);
+                tail[..sub_dim].copy_from_slice(&head[src..src + sub_dim]);
+            }
+            // Lloyd iterations.
+            let mut assign = vec![0usize; train_ids.len()];
+            for _ in 0..KMEANS_ITERS {
+                for (i, &id) in train_ids.iter().enumerate() {
+                    let v = &ds.point(id)[lo..lo + sub_dim];
+                    assign[i] = nearest_center(v, book, sub_dim);
+                }
+                let mut sums = vec![0.0f64; CODEBOOK * sub_dim];
+                let mut counts = vec![0usize; CODEBOOK];
+                for (i, &id) in train_ids.iter().enumerate() {
+                    let v = &ds.point(id)[lo..lo + sub_dim];
+                    counts[assign[i]] += 1;
+                    for (acc, &x) in sums[assign[i] * sub_dim..(assign[i] + 1) * sub_dim]
+                        .iter_mut()
+                        .zip(v)
+                    {
+                        *acc += x as f64;
+                    }
+                }
+                for c in 0..CODEBOOK {
+                    if counts[c] > 0 {
+                        for d in 0..sub_dim {
+                            book[c * sub_dim + d] =
+                                (sums[c * sub_dim + d] / counts[c] as f64) as f32;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Encode everything.
+        let mut codes = vec![0u8; n * m];
+        for i in 0..n as u32 {
+            let p = ds.point(i);
+            for s in 0..m {
+                let lo = s * sub_dim;
+                let book = &codebooks[s * CODEBOOK * sub_dim..(s + 1) * CODEBOOK * sub_dim];
+                codes[i as usize * m + s] =
+                    nearest_center(&p[lo..lo + sub_dim], book, sub_dim) as u8;
+            }
+        }
+        PqDataset {
+            codebooks,
+            codes,
+            n,
+            dim,
+            m,
+            sub_dim,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Subspace count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Builds a query's lookup tables (`m × 256` partial distances; the
+    /// "fast calculation on the compressed vector").
+    pub fn tables(&self, query: &[f32]) -> PqTables {
+        assert_eq!(query.len(), self.dim);
+        let mut tables = vec![0.0f32; self.m * CODEBOOK];
+        for s in 0..self.m {
+            let lo = s * self.sub_dim;
+            let q = &query[lo..lo + self.sub_dim];
+            let book = &self.codebooks[s * CODEBOOK * self.sub_dim..];
+            for c in 0..CODEBOOK {
+                tables[s * CODEBOOK + c] =
+                    squared_euclidean(q, &book[c * self.sub_dim..(c + 1) * self.sub_dim]);
+            }
+        }
+        PqTables { tables }
+    }
+
+    /// Asymmetric squared distance via a prepared table: `m` lookups.
+    #[inline]
+    pub fn dist_with(&self, t: &PqTables, id: u32) -> f32 {
+        let codes = &self.codes[id as usize * self.m..(id as usize + 1) * self.m];
+        let mut acc = 0.0f32;
+        for (s, &c) in codes.iter().enumerate() {
+            acc += t.tables[s * CODEBOOK + c as usize];
+        }
+        acc
+    }
+
+    /// Reconstructs one point from its codes (lossy).
+    pub fn decode(&self, id: u32) -> Vec<f32> {
+        let codes = &self.codes[id as usize * self.m..(id as usize + 1) * self.m];
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, &c) in codes.iter().enumerate() {
+            let book = &self.codebooks[s * CODEBOOK * self.sub_dim..];
+            out.extend_from_slice(
+                &book[c as usize * self.sub_dim..(c as usize + 1) * self.sub_dim],
+            );
+        }
+        out
+    }
+
+    /// Heap bytes: codes + codebooks. Compare with `4 · n · dim` raw.
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.len() + self.codebooks.len() * 4
+    }
+}
+
+fn nearest_center(v: &[f32], book: &[f32], sub_dim: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..CODEBOOK {
+        let d = squared_euclidean(v, &book[c * sub_dim..(c + 1) * sub_dim]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::knn_scan;
+    use crate::synthetic::MixtureSpec;
+
+    fn dataset() -> (Dataset, Dataset) {
+        let spec = MixtureSpec {
+            intrinsic_dim: Some(6),
+            noise: 0.05,
+            shared_subspace: true,
+            ..MixtureSpec::table10(32, 1_500, 3, 5.0, 20)
+        };
+        spec.generate()
+    }
+
+    #[test]
+    fn memory_is_far_smaller_than_raw() {
+        let (ds, _) = dataset();
+        let pq = PqDataset::train(&ds, 8, 800);
+        // 8 bytes/point vs 128 bytes/point raw; codebooks amortize.
+        assert!(pq.memory_bytes() < ds.memory_bytes() / 2);
+    }
+
+    #[test]
+    fn table_distance_equals_decoded_distance() {
+        let (ds, qs) = dataset();
+        let pq = PqDataset::train(&ds, 8, 800);
+        let q = qs.point(0);
+        let t = pq.tables(q);
+        for id in (0..ds.len() as u32).step_by(97) {
+            let via_table = pq.dist_with(&t, id);
+            let via_decode = squared_euclidean(q, &pq.decode(id));
+            assert!(
+                (via_table - via_decode).abs() / via_decode.max(1.0) < 1e-3,
+                "id {id}: {via_table} vs {via_decode}"
+            );
+        }
+    }
+
+    #[test]
+    fn pq_ranking_finds_true_neighbors_in_shortlist() {
+        let (ds, qs) = dataset();
+        let pq = PqDataset::train(&ds, 8, 800);
+        let mut hit = 0usize;
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            let t = pq.tables(q);
+            // PQ shortlist: top 50 by table distance.
+            let mut scored: Vec<(f32, u32)> = (0..ds.len() as u32)
+                .map(|id| (pq.dist_with(&t, id), id))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let shortlist: Vec<u32> = scored[..50].iter().map(|&(_, id)| id).collect();
+            let truth = knn_scan(&ds, q, 1, None)[0].id;
+            if shortlist.contains(&truth) {
+                hit += 1;
+            }
+        }
+        assert!(
+            hit as f64 / qs.len() as f64 > 0.9,
+            "true NN in PQ-50 shortlist only {hit}/{}",
+            qs.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_dim_is_rejected() {
+        let (ds, _) = MixtureSpec::table10(10, 100, 1, 5.0, 2).generate();
+        let _ = PqDataset::train(&ds, 3, 100);
+    }
+}

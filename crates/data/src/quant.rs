@@ -1,0 +1,174 @@
+//! Scalar quantization (SQ8): 8-bit codes with per-dimension affine
+//! dequantization.
+//!
+//! The survey's "Challenges" (§6) notes that graph algorithms keep raw
+//! vectors in memory — their dominant cost — and that "how to organically
+//! combine data encoding ... with graph-based ANNS algorithms is a problem
+//! worth exploring". SQ8 is the simplest such encoding: 4× smaller
+//! vectors, asymmetric (f32 query vs u8 base) distances, exact-vector
+//! reranking left to the caller.
+
+use crate::dataset::Dataset;
+
+/// A scalar-quantized dataset: one byte per dimension per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8Dataset {
+    codes: Vec<u8>,
+    n: usize,
+    dim: usize,
+    /// Per-dimension minimum (dequantization offset).
+    min: Vec<f32>,
+    /// Per-dimension step (dequantization scale).
+    step: Vec<f32>,
+}
+
+impl Sq8Dataset {
+    /// Quantizes a dataset with per-dimension min/max ranges.
+    pub fn quantize(ds: &Dataset) -> Sq8Dataset {
+        let dim = ds.dim();
+        let n = ds.len();
+        let mut min = vec![f32::INFINITY; dim];
+        let mut max = vec![f32::NEG_INFINITY; dim];
+        for i in 0..n as u32 {
+            for (d, &x) in ds.point(i).iter().enumerate() {
+                min[d] = min[d].min(x);
+                max[d] = max[d].max(x);
+            }
+        }
+        let step: Vec<f32> = min
+            .iter()
+            .zip(&max)
+            .map(|(&lo, &hi)| ((hi - lo) / 255.0).max(f32::MIN_POSITIVE))
+            .collect();
+        let mut codes = Vec::with_capacity(n * dim);
+        for i in 0..n as u32 {
+            for (d, &x) in ds.point(i).iter().enumerate() {
+                let c = ((x - min[d]) / step[d]).round().clamp(0.0, 255.0);
+                codes.push(c as u8);
+            }
+        }
+        Sq8Dataset {
+            codes,
+            n,
+            dim,
+            min,
+            step,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Asymmetric squared distance: f32 query vs quantized base point.
+    #[inline]
+    pub fn dist_to(&self, query: &[f32], id: u32) -> f32 {
+        debug_assert_eq!(query.len(), self.dim);
+        let codes = &self.codes[id as usize * self.dim..(id as usize + 1) * self.dim];
+        let mut acc = 0.0f32;
+        for d in 0..self.dim {
+            let x = self.min[d] + codes[d] as f32 * self.step[d];
+            let diff = query[d] - x;
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Reconstructs one point (lossy).
+    pub fn decode(&self, id: u32) -> Vec<f32> {
+        let codes = &self.codes[id as usize * self.dim..(id as usize + 1) * self.dim];
+        (0..self.dim)
+            .map(|d| self.min[d] + codes[d] as f32 * self.step[d])
+            .collect()
+    }
+
+    /// Worst-case squared quantization error of a single reconstructed
+    /// point: `Σ (step/2)²`.
+    pub fn max_sq_error(&self) -> f32 {
+        self.step.iter().map(|s| (s / 2.0) * (s / 2.0)).sum()
+    }
+
+    /// Heap bytes: codes + affine parameters. Compare against
+    /// [`Dataset::memory_bytes`]'s `4 × n × dim`.
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.len() + (self.min.len() + self.step.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::MixtureSpec;
+
+    fn dataset() -> Dataset {
+        MixtureSpec::table10(16, 500, 3, 5.0, 5).generate().0
+    }
+
+    #[test]
+    fn memory_is_roughly_quarter() {
+        let ds = dataset();
+        let q = Sq8Dataset::quantize(&ds);
+        assert!(q.memory_bytes() * 3 < ds.memory_bytes());
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded() {
+        let ds = dataset();
+        let q = Sq8Dataset::quantize(&ds);
+        let bound = q.max_sq_error();
+        for i in (0..ds.len() as u32).step_by(17) {
+            let rec = q.decode(i);
+            let err: f32 = ds
+                .point(i)
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(err <= bound * 1.001, "point {i}: err {err} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_distance_tracks_true_distance() {
+        let (ds, qs) = MixtureSpec::table10(16, 500, 3, 5.0, 20).generate();
+        let q = Sq8Dataset::quantize(&ds);
+        // Orderings agree on the vast majority of triples.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for qi in 0..qs.len() as u32 {
+            let query = qs.point(qi);
+            for i in (0..ds.len() as u32 - 1).step_by(23) {
+                let (a, b) = (i, i + 1);
+                let true_order = ds.dist_to(query, a) < ds.dist_to(query, b);
+                let q_order = q.dist_to(query, a) < q.dist_to(query, b);
+                total += 1;
+                if true_order == q_order {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.95, "{agree}/{total}");
+    }
+
+    #[test]
+    fn constant_dimension_does_not_divide_by_zero() {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![5.0, i as f32]); // dim 0 constant
+        }
+        let ds = Dataset::from_rows(&rows);
+        let q = Sq8Dataset::quantize(&ds);
+        assert!((q.decode(3)[0] - 5.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the data substrate.
+
+use proptest::prelude::*;
+use weavess_data::distance::{cosine_angle_at, euclidean, squared_euclidean};
+use weavess_data::metrics::{lid_mle, recall};
+use weavess_data::neighbor::{insert_into_pool, Neighbor};
+use weavess_data::Dataset;
+
+proptest! {
+    /// Squared Euclidean is a symmetric, non-negative form with zero
+    /// self-distance, and agrees with the rooted version.
+    #[test]
+    fn distance_axioms(
+        a in prop::collection::vec(-100.0f32..100.0, 1..64),
+        b_seed in 0u64..1000,
+    ) {
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + ((b_seed.wrapping_add(i as u64) % 17) as f32 - 8.0))
+            .collect();
+        let d = squared_euclidean(&a, &b);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(d, squared_euclidean(&b, &a));
+        prop_assert_eq!(squared_euclidean(&a, &a), 0.0);
+        prop_assert!((euclidean(&a, &b) - d.sqrt()).abs() < 1e-3);
+    }
+
+    /// The triangle inequality holds for the true Euclidean distance.
+    #[test]
+    fn triangle_inequality(
+        vals in prop::collection::vec(-50.0f32..50.0, 6..48),
+    ) {
+        let dim = vals.len() / 3;
+        let (a, rest) = vals.split_at(dim);
+        let (b, c) = rest.split_at(dim);
+        let c = &c[..dim];
+        let ab = euclidean(a, b);
+        let bc = euclidean(b, c);
+        let ac = euclidean(a, &c[..dim]);
+        prop_assert!(ac <= ab + bc + 1e-3, "{ac} > {ab} + {bc}");
+    }
+
+    /// Cosine of an angle is always within [-1, 1].
+    #[test]
+    fn cosine_is_bounded(
+        p in prop::collection::vec(-10.0f32..10.0, 4),
+        a in prop::collection::vec(-10.0f32..10.0, 4),
+        b in prop::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let c = cosine_angle_at(&p, &a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    /// The bounded pool is always sorted, deduplicated, and within
+    /// capacity, and keeps the globally smallest entries seen.
+    #[test]
+    fn pool_invariants(
+        entries in prop::collection::vec((0u32..64, 0.0f32..100.0), 1..80),
+        cap in 1usize..12,
+    ) {
+        let mut pool: Vec<Neighbor> = Vec::new();
+        for &(id, d) in &entries {
+            insert_into_pool(&mut pool, cap, Neighbor::new(id, d));
+        }
+        prop_assert!(pool.len() <= cap);
+        prop_assert!(pool.windows(2).all(|w| w[0] < w[1]));
+        // No (id, dist) duplicates.
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                prop_assert!(pool[i] != pool[j]);
+            }
+        }
+        // The head is the global minimum of everything inserted.
+        let min = entries
+            .iter()
+            .map(|&(id, d)| Neighbor::new(id, d))
+            .min()
+            .unwrap();
+        prop_assert_eq!(pool[0], min);
+    }
+
+    /// Recall is within [0, 1] and equals 1 on identical sets.
+    #[test]
+    fn recall_bounds(
+        truth in prop::collection::hash_set(0u32..1000, 1..20),
+    ) {
+        let truth: Vec<u32> = truth.into_iter().collect();
+        let r = recall(&truth, &truth);
+        prop_assert_eq!(r, 1.0);
+        let empty: Vec<u32> = Vec::new();
+        let r0 = recall(&empty, &truth);
+        prop_assert_eq!(r0, 0.0);
+    }
+
+    /// The LID estimator is positive on strictly increasing distances.
+    #[test]
+    fn lid_positive_on_increasing_distances(
+        start in 0.1f32..2.0,
+        steps in prop::collection::vec(0.01f32..1.0, 3..40),
+    ) {
+        let mut d = start;
+        let dists: Vec<f32> = steps
+            .iter()
+            .map(|&s| {
+                d += s;
+                d
+            })
+            .collect();
+        let lid = lid_mle(&dists).unwrap();
+        prop_assert!(lid > 0.0, "lid={lid}");
+    }
+
+    /// Subsetting a dataset preserves the selected rows exactly.
+    #[test]
+    fn subset_preserves_rows(
+        n in 2usize..30,
+        dim in 1usize..8,
+        pick_seed in 0u64..100,
+    ) {
+        let flat: Vec<f32> = (0..n * dim).map(|i| (i as f32).sin()).collect();
+        let ds = Dataset::from_flat(flat, n, dim);
+        let ids: Vec<u32> = (0..n as u32).filter(|i| (i + pick_seed as u32).is_multiple_of(3)).collect();
+        prop_assume!(!ids.is_empty());
+        let sub = ds.subset(&ids);
+        for (j, &i) in ids.iter().enumerate() {
+            prop_assert_eq!(sub.point(j as u32), ds.point(i));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Exact base graphs from §3.1 of the survey: KNNG, RNG, MST, and (in two
+//! dimensions) the Delaunay Graph.
+//!
+//! High-dimensional exact DG is impractical — the paper notes it is
+//! "almost fully connected", and every DG-based algorithm (NSW, NGT)
+//! *approximates* it by incremental insertion (in `weavess-core`). The 2-D
+//! exact construction ([`delaunay_2d`]) exists for base-graph analysis:
+//! it anchors the classic proximity-graph inclusion chain
+//! `MST ⊆ RNG ⊆ DG` that Figure 2 illustrates.
+
+use crate::adjacency::CsrGraph;
+use crate::unionfind::UnionFind;
+use weavess_data::ground_truth::exact_knn_graph;
+use weavess_data::Dataset;
+
+/// Exact directed K-nearest-neighbor graph (brute force, parallel).
+pub fn exact_knng(ds: &Dataset, k: usize, threads: usize) -> CsrGraph {
+    CsrGraph::from_lists(&exact_knn_graph(ds, k, threads))
+}
+
+/// Exact Relative Neighborhood Graph by the definition in §3.1: points
+/// `x, y` are connected iff no third point `z` lies strictly inside the lune
+/// (`δ(x,z) < δ(x,y)` and `δ(z,y) < δ(x,y)`).
+///
+/// O(n³); intended for small baselines and for property-testing the RNG
+/// approximations used by HNSW/NSG/FANNG/DPG.
+pub fn exact_rng(ds: &Dataset) -> CsrGraph {
+    let n = ds.len() as u32;
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    for x in 0..n {
+        for y in (x + 1)..n {
+            let dxy = ds.dist(x, y);
+            let occluded =
+                (0..n).any(|z| z != x && z != y && ds.dist(x, z) < dxy && ds.dist(z, y) < dxy);
+            if !occluded {
+                lists[x as usize].push(y);
+                lists[y as usize].push(x);
+            }
+        }
+    }
+    CsrGraph::from_lists(&lists)
+}
+
+/// An undirected weighted edge (`a < b` by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// Smaller endpoint.
+    pub a: u32,
+    /// Larger endpoint.
+    pub b: u32,
+    /// Squared Euclidean length.
+    pub w: f32,
+}
+
+/// Minimum spanning tree over the points listed in `ids` (global dataset
+/// ids), by Prim's algorithm in O(m²) for m points — the HCNNG leaf-cluster
+/// routine, where m is the small cluster size.
+///
+/// Returns the m-1 tree edges (empty for m < 2).
+pub fn mst_prim(ds: &Dataset, ids: &[u32]) -> Vec<WeightedEdge> {
+    let m = ids.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; m];
+    // best[i] = (cost to connect ids[i] to the tree, tree vertex achieving it)
+    let mut best = vec![(f32::INFINITY, 0usize); m];
+    let mut edges = Vec::with_capacity(m - 1);
+    in_tree[0] = true;
+    for i in 1..m {
+        best[i] = (ds.dist(ids[0], ids[i]), 0);
+    }
+    for _ in 1..m {
+        // Cheapest crossing edge.
+        let mut pick = usize::MAX;
+        let mut pick_w = f32::INFINITY;
+        for i in 0..m {
+            if !in_tree[i] && best[i].0 < pick_w {
+                pick_w = best[i].0;
+                pick = i;
+            }
+        }
+        debug_assert!(pick != usize::MAX);
+        in_tree[pick] = true;
+        let (pa, pb) = (ids[best[pick].1], ids[pick]);
+        edges.push(WeightedEdge {
+            a: pa.min(pb),
+            b: pa.max(pb),
+            w: pick_w,
+        });
+        for i in 0..m {
+            if !in_tree[i] {
+                let d = ds.dist(ids[pick], ids[i]);
+                if d < best[i].0 {
+                    best[i] = (d, pick);
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Minimum spanning tree by Kruskal (sort + union-find). Used as an
+/// independent oracle for property-testing Prim.
+pub fn mst_kruskal(ds: &Dataset, ids: &[u32]) -> Vec<WeightedEdge> {
+    let m = ids.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let mut all = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            all.push(WeightedEdge {
+                a: ids[i].min(ids[j]),
+                b: ids[i].max(ids[j]),
+                w: ds.dist(ids[i], ids[j]),
+            });
+        }
+    }
+    all.sort_by(|x, y| x.w.total_cmp(&y.w).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b)));
+    // Union-find over local indices.
+    let local: std::collections::HashMap<u32, u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u32))
+        .collect();
+    let mut uf = UnionFind::new(m);
+    let mut edges = Vec::with_capacity(m - 1);
+    for e in all {
+        if uf.union(local[&e.a], local[&e.b]) {
+            edges.push(e);
+            if edges.len() == m - 1 {
+                break;
+            }
+        }
+    }
+    edges
+}
+
+/// Total weight of an edge set.
+pub fn total_weight(edges: &[WeightedEdge]) -> f64 {
+    edges.iter().map(|e| e.w as f64).sum()
+}
+
+/// Exact Delaunay graph of a **2-D** dataset by Bowyer–Watson incremental
+/// triangulation. Returns the undirected edge adjacency (the DG of
+/// Figure 2(a)).
+///
+/// # Panics
+/// Panics when `ds.dim() != 2` or `ds.len() < 3`.
+pub fn delaunay_2d(ds: &Dataset) -> CsrGraph {
+    assert_eq!(ds.dim(), 2, "delaunay_2d requires 2-D data");
+    let n = ds.len();
+    assert!(n >= 3, "need at least three points");
+    // Vertex coordinates, with three super-triangle vertices appended.
+    let mut xs: Vec<f64> = Vec::with_capacity(n + 3);
+    let mut ys: Vec<f64> = Vec::with_capacity(n + 3);
+    let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..n as u32 {
+        let p = ds.point(i);
+        xs.push(p[0] as f64);
+        ys.push(p[1] as f64);
+        lo_x = lo_x.min(p[0] as f64);
+        hi_x = hi_x.max(p[0] as f64);
+        lo_y = lo_y.min(p[1] as f64);
+        hi_y = hi_y.max(p[1] as f64);
+    }
+    let span = (hi_x - lo_x).max(hi_y - lo_y).max(1.0);
+    let (cx, cy) = ((lo_x + hi_x) / 2.0, (lo_y + hi_y) / 2.0);
+    xs.extend([cx - 20.0 * span, cx, cx + 20.0 * span]);
+    ys.extend([cy - span, cy + 20.0 * span, cy - span]);
+    let (s0, s1, s2) = (n, n + 1, n + 2);
+
+    // Triangles as vertex-index triples.
+    let mut tris: Vec<[usize; 3]> = vec![[s0, s1, s2]];
+    let in_circumcircle = |t: &[usize; 3], p: usize| -> bool {
+        // Sign of the standard in-circle determinant, orientation-adjusted.
+        let (ax, ay) = (xs[t[0]] - xs[p], ys[t[0]] - ys[p]);
+        let (bx, by) = (xs[t[1]] - xs[p], ys[t[1]] - ys[p]);
+        let (cx2, cy2) = (xs[t[2]] - xs[p], ys[t[2]] - ys[p]);
+        let det = (ax * ax + ay * ay) * (bx * cy2 - cx2 * by)
+            - (bx * bx + by * by) * (ax * cy2 - cx2 * ay)
+            + (cx2 * cx2 + cy2 * cy2) * (ax * by - bx * ay);
+        // Orientation of the triangle itself.
+        let orient = (xs[t[1]] - xs[t[0]]) * (ys[t[2]] - ys[t[0]])
+            - (xs[t[2]] - xs[t[0]]) * (ys[t[1]] - ys[t[0]]);
+        if orient > 0.0 {
+            det > 0.0
+        } else {
+            det < 0.0
+        }
+    };
+
+    for p in 0..n {
+        // Triangles whose circumcircle contains p form the cavity.
+        let (bad, good): (Vec<[usize; 3]>, Vec<[usize; 3]>) =
+            tris.into_iter().partition(|t| in_circumcircle(t, p));
+        // Cavity boundary = edges appearing in exactly one bad triangle.
+        let mut boundary: Vec<(usize, usize)> = Vec::new();
+        for t in &bad {
+            for e in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                let key = (e.0.min(e.1), e.0.max(e.1));
+                if let Some(pos) = boundary.iter().position(|&b| b == key) {
+                    boundary.swap_remove(pos);
+                } else {
+                    boundary.push(key);
+                }
+            }
+        }
+        tris = good;
+        for (a, b) in boundary {
+            tris.push([a, b, p]);
+        }
+    }
+
+    // Collect edges between real vertices only.
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for t in &tris {
+        for e in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+            if e.0 < n && e.1 < n {
+                let (a, b) = (e.0 as u32, e.1 as u32);
+                if !lists[a as usize].contains(&b) {
+                    lists[a as usize].push(b);
+                    lists[b as usize].push(a);
+                }
+            }
+        }
+    }
+    for l in &mut lists {
+        l.sort_unstable();
+    }
+    CsrGraph::from_lists(&lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn grid() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn exact_knng_is_directed_knn() {
+        let ds = grid();
+        let g = exact_knng(&ds, 2, 2);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(4), &[2, 1]); // nearest two to (5,5)
+    }
+
+    #[test]
+    fn exact_rng_prunes_occluded_edges() {
+        // Three collinear points: the long edge 0-2 is occluded by 1.
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let g = exact_rng(&ds);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn exact_rng_is_symmetric_and_connected_enough() {
+        let ds = grid();
+        let g = exact_rng(&ds);
+        for v in 0..ds.len() as u32 {
+            for &u in g.neighbors(v) {
+                assert!(g.neighbors(u).contains(&v), "edge {v}->{u} not mutual");
+            }
+        }
+    }
+
+    #[test]
+    fn prim_spans_with_minimum_weight() {
+        let ds = grid();
+        let ids: Vec<u32> = (0..5).collect();
+        let p = mst_prim(&ds, &ids);
+        let k = mst_kruskal(&ds, &ids);
+        assert_eq!(p.len(), 4);
+        assert!((total_weight(&p) - total_weight(&k)).abs() < 1e-6);
+        // Spanning: union-find over Prim edges leaves one component.
+        let mut uf = UnionFind::new(5);
+        for e in &p {
+            uf.union(e.a, e.b);
+        }
+        assert_eq!(uf.components(), 1);
+    }
+
+    #[test]
+    fn mst_on_subset_uses_global_ids() {
+        let ds = grid();
+        let edges = mst_prim(&ds, &[2, 4]);
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].a, edges[0].b), (2, 4));
+    }
+
+    #[test]
+    fn delaunay_square_includes_hull_and_one_diagonal() {
+        let ds = Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let dg = delaunay_2d(&ds);
+        // Hull edges always present.
+        for (a, b) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+            assert!(dg.neighbors(a).contains(&b), "hull edge {a}-{b} missing");
+        }
+        // Exactly one diagonal (co-circular tie broken either way).
+        let diagonals = [dg.neighbors(0).contains(&3), dg.neighbors(1).contains(&2)];
+        assert_eq!(diagonals.iter().filter(|&&d| d).count(), 1);
+        // Symmetric.
+        for v in 0..4u32 {
+            for &u in dg.neighbors(v) {
+                assert!(dg.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn delaunay_contains_rng_contains_mst() {
+        // The Figure 2 inclusion chain, on a moderate random 2-D set.
+        let ds = MixtureSpec::table10(2, 60, 2, 8.0, 2).generate().0;
+        let dg = delaunay_2d(&ds);
+        let rng_graph = exact_rng(&ds);
+        let ids: Vec<u32> = (0..ds.len() as u32).collect();
+        let mst = mst_prim(&ds, &ids);
+        for v in 0..ds.len() as u32 {
+            for &u in rng_graph.neighbors(v) {
+                assert!(
+                    dg.neighbors(v).contains(&u),
+                    "RNG edge {v}-{u} missing from DG"
+                );
+            }
+        }
+        for e in &mst {
+            assert!(
+                rng_graph.neighbors(e.a).contains(&e.b),
+                "MST edge {}-{} missing from RNG",
+                e.a,
+                e.b
+            );
+        }
+    }
+
+    #[test]
+    fn delaunay_triangulation_has_expected_edge_count() {
+        // Planar triangulation: E <= 3n - 6.
+        let ds = MixtureSpec::table10(2, 100, 3, 5.0, 2).generate().0;
+        let dg = delaunay_2d(&ds);
+        assert!(dg.num_edges() / 2 <= 3 * ds.len() - 6);
+        // And it is connected.
+        assert_eq!(crate::connectivity::weak_components(&dg), 1);
+    }
+
+    #[test]
+    fn mst_trivial_cases() {
+        let ds = grid();
+        assert!(mst_prim(&ds, &[]).is_empty());
+        assert!(mst_prim(&ds, &[3]).is_empty());
+        assert!(mst_kruskal(&ds, &[3]).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Connectivity analysis: weakly-connected components and reachability.
+//!
+//! The survey reports the number of connected components per index
+//! (Table 4) and uses DFS-based connectivity repair as the C5 pipeline
+//! component (NSG, NSSG, OA). Directed edges are treated as undirected for
+//! component counting, matching the paper's "weakly connected" convention.
+
+use crate::adjacency::CsrGraph;
+use crate::unionfind::UnionFind;
+
+/// Number of weakly-connected components.
+pub fn weak_components(g: &CsrGraph) -> usize {
+    let mut uf = UnionFind::new(g.len());
+    for v in 0..g.len() as u32 {
+        for &u in g.neighbors(v) {
+            uf.union(v, u);
+        }
+    }
+    uf.components()
+}
+
+/// Ids of one representative per weakly-connected component, smallest id
+/// first (used by C5 repair to find unreached islands).
+pub fn component_representatives(g: &CsrGraph) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.len());
+    for v in 0..g.len() as u32 {
+        for &u in g.neighbors(v) {
+            uf.union(v, u);
+        }
+    }
+    let mut seen = vec![false; g.len()];
+    let mut reps = Vec::new();
+    for v in 0..g.len() as u32 {
+        let r = uf.find(v) as usize;
+        if !seen[r] {
+            seen[r] = true;
+            reps.push(v);
+        }
+    }
+    reps
+}
+
+/// Vertices reachable from `start` following *directed* edges (iterative
+/// DFS). The C5 component checks directed reachability from the entry
+/// point because search itself follows directed edges.
+pub fn reachable_from(g: &CsrGraph, start: u32) -> Vec<bool> {
+    let mut visited = vec![false; g.len()];
+    let mut stack = vec![start];
+    visited[start as usize] = true;
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbors(v) {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                stack.push(u);
+            }
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_islands() -> CsrGraph {
+        // 0 -> 1 -> 2 (island A), 3 <-> 4 (island B)
+        CsrGraph::from_lists(&[vec![1u32], vec![2], vec![], vec![4], vec![3]])
+    }
+
+    #[test]
+    fn counts_weak_components() {
+        assert_eq!(weak_components(&two_islands()), 2);
+    }
+
+    #[test]
+    fn representatives_one_per_component() {
+        let reps = component_representatives(&two_islands());
+        assert_eq!(reps, vec![0, 3]);
+    }
+
+    #[test]
+    fn directed_reachability() {
+        let g = two_islands();
+        let r = reachable_from(&g, 0);
+        assert_eq!(r, vec![true, true, true, false, false]);
+        // 2 has no out-edges: only itself.
+        let r2 = reachable_from(&g, 2);
+        assert_eq!(r2.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn fully_connected_graph_is_one_component() {
+        let g = CsrGraph::from_lists(&[vec![1u32], vec![2], vec![0]]);
+        assert_eq!(weak_components(&g), 1);
+        assert!(reachable_from(&g, 0).iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the WEAVESS reproduction.
+//!
+//! Owns everything graph-shaped that the algorithms share:
+//!
+//! - [`adjacency`]: the concurrent build-time graph ([`BuildGraph`]) and the
+//!   flat CSR search graph ([`CsrGraph`]).
+//! - [`unionfind`]: disjoint sets (connected components, Kruskal).
+//! - [`base`]: exact base graphs from §3.1 — KNNG, RNG, MST — used as
+//!   baselines, inside algorithms (HCNNG's per-cluster MSTs), and as the
+//!   reference for the graph-quality metric.
+//! - [`connectivity`]: weakly-connected components and DFS reachability
+//!   (the C5 component and the Table 4 "CC" column).
+//! - [`metrics`]: graph quality, degree statistics, index size.
+
+pub mod adjacency;
+pub mod base;
+pub mod connectivity;
+pub mod metrics;
+pub mod unionfind;
+
+pub use adjacency::{BuildGraph, CsrGraph};
+pub use unionfind::UnionFind;

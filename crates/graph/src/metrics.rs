@@ -1,0 +1,93 @@
+//! Index-quality metrics from §5.1: graph quality, degree statistics, and
+//! index size.
+
+use crate::adjacency::CsrGraph;
+
+/// Out-degree statistics (Table 4's AD and Table 11's D_max / D_min).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Mean out-degree.
+    pub avg: f64,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Minimum out-degree.
+    pub min: usize,
+}
+
+/// Computes out-degree statistics.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.len();
+    if n == 0 {
+        return DegreeStats {
+            avg: 0.0,
+            max: 0,
+            min: 0,
+        };
+    }
+    let mut max = 0usize;
+    let mut min = usize::MAX;
+    for v in 0..n as u32 {
+        let d = g.degree(v);
+        max = max.max(d);
+        min = min.min(d);
+    }
+    DegreeStats {
+        avg: g.num_edges() as f64 / n as f64,
+        max,
+        min,
+    }
+}
+
+/// Graph quality `|E' ∩ E| / |E|` (§5.1): the fraction of the exact KNNG's
+/// edges present in the index. `exact` is the per-vertex exact neighbor id
+/// list from [`weavess_data::ground_truth::exact_knn_graph`].
+pub fn graph_quality(index: &CsrGraph, exact: &[Vec<u32>]) -> f64 {
+    assert_eq!(index.len(), exact.len());
+    let mut total = 0usize;
+    let mut hit = 0usize;
+    for v in 0..index.len() as u32 {
+        let have = index.neighbors(v);
+        for t in &exact[v as usize] {
+            total += 1;
+            if have.contains(t) {
+                hit += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    hit as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_stats_over_uneven_lists() {
+        let g = CsrGraph::from_lists(&[vec![1u32, 2, 3], vec![0u32], vec![]]);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.min, 0);
+        assert!((s.avg - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_quality_counts_exact_edge_recall() {
+        let exact = vec![vec![1u32, 2], vec![0u32, 2], vec![1u32, 0]];
+        let perfect = CsrGraph::from_lists(&exact);
+        assert_eq!(graph_quality(&perfect, &exact), 1.0);
+        let half = CsrGraph::from_lists(&[vec![1u32], vec![0u32], vec![1u32]]);
+        assert_eq!(graph_quality(&half, &exact), 0.5);
+        let none = CsrGraph::from_lists(&[vec![], vec![], vec![]]);
+        assert_eq!(graph_quality(&none, &exact), 0.0);
+    }
+
+    #[test]
+    fn graph_quality_ignores_extra_edges() {
+        let exact = vec![vec![1u32], vec![0u32]];
+        let padded = CsrGraph::from_lists(&[vec![1u32, 0], vec![0u32, 1]]);
+        assert_eq!(graph_quality(&padded, &exact), 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Gradient-boosted decision stumps (depth-1 trees) from scratch —
+//! the regressor behind the ML2 early-termination stand-in.
+//!
+//! Squared-error boosting: each round fits one stump (feature, threshold,
+//! left/right value) to the current residuals, scaled by a learning rate.
+
+/// One stump: `x[feature] < threshold ? left : right`.
+#[derive(Debug, Clone, Copy)]
+struct Stump {
+    feature: usize,
+    threshold: f32,
+    left: f32,
+    right: f32,
+}
+
+/// A fitted gradient-boosted stump ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    base: f32,
+    stumps: Vec<Stump>,
+    learning_rate: f32,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct GbdtParams {
+    /// Boosting rounds (number of stumps).
+    pub rounds: usize,
+    /// Shrinkage per stump.
+    pub learning_rate: f32,
+    /// Candidate thresholds examined per feature (quantiles).
+    pub quantiles: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            rounds: 60,
+            learning_rate: 0.2,
+            quantiles: 16,
+        }
+    }
+}
+
+impl Gbdt {
+    /// Fits on row-major features (`n` rows × `n_features`) and targets.
+    ///
+    /// # Panics
+    /// Panics on empty or inconsistently-shaped input.
+    pub fn fit(features: &[Vec<f32>], targets: &[f32], params: &GbdtParams) -> Gbdt {
+        assert!(!features.is_empty());
+        assert_eq!(features.len(), targets.len());
+        let n = features.len();
+        let n_feat = features[0].len();
+        let base = targets.iter().sum::<f32>() / n as f32;
+        let mut residual: Vec<f32> = targets.iter().map(|&t| t - base).collect();
+        let mut stumps = Vec::with_capacity(params.rounds);
+        for _ in 0..params.rounds {
+            let mut best: Option<(f64, Stump)> = None;
+            for f in 0..n_feat {
+                // Quantile thresholds on this feature.
+                let mut vals: Vec<f32> = features.iter().map(|r| r[f]).collect();
+                vals.sort_by(|a, b| a.total_cmp(b));
+                for q in 1..params.quantiles {
+                    let threshold = vals[q * (n - 1) / params.quantiles];
+                    // Means of residuals on each side.
+                    let (mut sl, mut nl, mut sr, mut nr) = (0.0f64, 0usize, 0.0f64, 0usize);
+                    for (row, &r) in features.iter().zip(&residual) {
+                        if row[f] < threshold {
+                            sl += r as f64;
+                            nl += 1;
+                        } else {
+                            sr += r as f64;
+                            nr += 1;
+                        }
+                    }
+                    if nl == 0 || nr == 0 {
+                        continue;
+                    }
+                    let ml = sl / nl as f64;
+                    let mr = sr / nr as f64;
+                    // Variance reduction = nl·ml² + nr·mr².
+                    let gain = nl as f64 * ml * ml + nr as f64 * mr * mr;
+                    if best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((
+                            gain,
+                            Stump {
+                                feature: f,
+                                threshold,
+                                left: ml as f32,
+                                right: mr as f32,
+                            },
+                        ));
+                    }
+                }
+            }
+            let Some((_, stump)) = best else { break };
+            for (row, r) in features.iter().zip(residual.iter_mut()) {
+                let pred = if row[stump.feature] < stump.threshold {
+                    stump.left
+                } else {
+                    stump.right
+                };
+                *r -= params.learning_rate * pred;
+            }
+            stumps.push(stump);
+        }
+        Gbdt {
+            base,
+            stumps,
+            learning_rate: params.learning_rate,
+        }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        let mut y = self.base;
+        for s in &self.stumps {
+            let v = if row[s.feature] < s.threshold {
+                s.left
+            } else {
+                s.right
+            };
+            y += self.learning_rate * v;
+        }
+        y
+    }
+
+    /// Heap bytes of the fitted model.
+    pub fn memory_bytes(&self) -> usize {
+        self.stumps.len() * std::mem::size_of::<Stump>() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function() {
+        let features: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let targets: Vec<f32> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let model = Gbdt::fit(&features, &targets, &GbdtParams::default());
+        assert!((model.predict(&[10.0]) - 1.0).abs() < 0.3);
+        assert!((model.predict(&[90.0]) - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn fits_an_additive_two_feature_target() {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                features.push(vec![i as f32, j as f32]);
+                targets.push(2.0 * (i as f32) + 0.5 * (j as f32));
+            }
+        }
+        let model = Gbdt::fit(
+            &features,
+            &targets,
+            &GbdtParams {
+                rounds: 200,
+                ..Default::default()
+            },
+        );
+        // R² must be high.
+        let mean = targets.iter().sum::<f32>() / targets.len() as f32;
+        let mut ss_res = 0.0f64;
+        let mut ss_tot = 0.0f64;
+        for (row, &t) in features.iter().zip(&targets) {
+            ss_res += ((model.predict(row) - t) as f64).powi(2);
+            ss_tot += ((t - mean) as f64).powi(2);
+        }
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.9, "r2={r2}");
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let features: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let targets = vec![3.0f32; 10];
+        let model = Gbdt::fit(&features, &targets, &GbdtParams::default());
+        assert!((model.predict(&[4.2]) - 3.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Machine-learning-based optimizations for graph ANNS (§5.5, Appendix R).
+//!
+//! The paper evaluates three published ML add-ons and finds they buy a
+//! better speedup-recall trade-off at heavy preprocessing and memory cost
+//! (Table 6/24, Figures 9/19). This crate reproduces that *shape* with
+//! pure-CPU stand-ins (the originals need GPU training; DESIGN.md §5):
+//!
+//! - [`ml1`] — *learned routing* (Baranchuk et al.): routing over
+//!   PCA-compressed vectors with full-vector rerank. Same trade: extra
+//!   per-point representation memory, cheaper routing steps.
+//! - [`ml2`] — *learned adaptive early termination* (Li et al.):
+//!   from-scratch gradient-boosted decision stumps ([`gbdt`]) predict each
+//!   query's required search effort from early-search features.
+//! - [`ml3`] — *learned dimensionality reduction* (Prokhorenkova et al.):
+//!   PCA projection ([`pca`]), graph search in the reduced space,
+//!   full-dimension rerank.
+
+pub mod gbdt;
+pub mod ml1;
+pub mod ml2;
+pub mod ml3;
+pub mod pca;

@@ -1,0 +1,305 @@
+//! ML2 stand-in — *learned adaptive early termination* (Li et al.,
+//! SIGMOD'20): most queries need far less search than the worst case, so
+//! a regressor predicts each query's required effort from features of the
+//! search's early state and stops as soon as that budget is spent.
+//!
+//! Faithful to the original's recipe: gradient-boosted trees (our
+//! [`crate::gbdt`] stumps) over features collected at a fixed checkpoint,
+//! predicting the expansions needed for the true nearest neighbor; at
+//! query time the search runs to `predicted × margin` expansions.
+
+use crate::gbdt::{Gbdt, GbdtParams};
+use weavess_core::search::VisitedPool;
+use weavess_data::ground_truth::knn_scan;
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::CsrGraph;
+
+/// A resumable best-first search: expand up to a hop budget, inspect
+/// state, continue.
+struct ResumableBeam<'a> {
+    ds: &'a Dataset,
+    g: &'a CsrGraph,
+    query: &'a [f32],
+    beam: usize,
+    pool: Vec<Neighbor>,
+    expanded: Vec<bool>,
+    cursor: usize,
+    /// Total expansions so far.
+    pub hops: u64,
+    /// Total distance computations so far.
+    pub ndc: u64,
+}
+
+impl<'a> ResumableBeam<'a> {
+    fn start(
+        ds: &'a Dataset,
+        g: &'a CsrGraph,
+        query: &'a [f32],
+        seeds: &[u32],
+        beam: usize,
+        visited: &mut VisitedPool,
+    ) -> Self {
+        visited.next_epoch();
+        let mut pool = Vec::with_capacity(beam + 1);
+        let mut ndc = 0u64;
+        for &s in seeds {
+            if visited.visit(s) {
+                ndc += 1;
+                insert_into_pool(&mut pool, beam, Neighbor::new(s, ds.dist_to(query, s)));
+            }
+        }
+        let expanded = vec![false; pool.len()];
+        ResumableBeam {
+            ds,
+            g,
+            query,
+            beam,
+            pool,
+            expanded,
+            cursor: 0,
+            hops: 0,
+            ndc,
+        }
+    }
+
+    /// Expands until `max_total_hops` or convergence; returns true when
+    /// converged (no unexpanded candidate remains).
+    fn run_until(&mut self, max_total_hops: u64, visited: &mut VisitedPool) -> bool {
+        while self.hops < max_total_hops {
+            // Find the nearest unexpanded candidate.
+            let Some(k) = (0..self.pool.len()).find(|&i| !self.expanded[i]) else {
+                return true;
+            };
+            let _ = self.cursor;
+            self.cursor = k;
+            self.expanded[k] = true;
+            self.hops += 1;
+            let v = self.pool[k].id;
+            for &u in self.g.neighbors(v) {
+                if !visited.visit(u) {
+                    continue;
+                }
+                self.ndc += 1;
+                let d = self.ds.dist_to(self.query, u);
+                let n = Neighbor::new(u, d);
+                let pos = self.pool.partition_point(|c| *c < n);
+                if pos < self.pool.len() && self.pool[pos] == n {
+                    continue;
+                }
+                if pos < self.beam {
+                    self.pool.insert(pos, n);
+                    self.expanded.insert(pos, false);
+                    self.pool.truncate(self.beam);
+                    self.expanded.truncate(self.beam);
+                }
+            }
+        }
+        (0..self.pool.len()).all(|i| self.expanded[i])
+    }
+
+    /// Feature vector of the current state (the original uses the query,
+    /// the current best distances, and their ratios).
+    fn features(&self) -> Vec<f32> {
+        let d1 = self.pool.first().map_or(0.0, |n| n.dist);
+        let dk = self
+            .pool
+            .get(9.min(self.pool.len().saturating_sub(1)))
+            .map_or(0.0, |n| n.dist);
+        let dlast = self.pool.last().map_or(0.0, |n| n.dist);
+        vec![
+            d1,
+            dk,
+            dlast,
+            if dk > 0.0 { d1 / dk } else { 1.0 },
+            if dlast > 0.0 { dk / dlast } else { 1.0 },
+            self.hops as f32,
+        ]
+    }
+}
+
+/// An ML2-optimized index wrapping a base graph.
+pub struct Ml2Index {
+    graph: CsrGraph,
+    entries: Vec<u32>,
+    model: Gbdt,
+    checkpoint_hops: u64,
+    margin: f32,
+    /// Wall-clock seconds spent training.
+    pub training_secs: f64,
+}
+
+/// Training + search configuration.
+#[derive(Debug, Clone)]
+pub struct Ml2Params {
+    /// Beam width used during training and search.
+    pub beam: usize,
+    /// Fixed checkpoint (expansions) where features are read.
+    pub checkpoint_hops: u64,
+    /// Safety multiplier on the predicted budget.
+    pub margin: f32,
+    /// Boosting configuration.
+    pub gbdt: GbdtParams,
+}
+
+impl Default for Ml2Params {
+    fn default() -> Self {
+        Ml2Params {
+            beam: 60,
+            checkpoint_hops: 10,
+            margin: 1.3,
+            gbdt: GbdtParams::default(),
+        }
+    }
+}
+
+/// Trains the early-termination model on `train_queries`.
+pub fn optimize(
+    ds: &Dataset,
+    graph: CsrGraph,
+    entries: Vec<u32>,
+    train_queries: &Dataset,
+    params: &Ml2Params,
+) -> Ml2Index {
+    let t0 = std::time::Instant::now();
+    let mut visited = VisitedPool::new(ds.len());
+    let mut features = Vec::new();
+    let mut targets = Vec::new();
+    for qi in 0..train_queries.len() as u32 {
+        let q = train_queries.point(qi);
+        let truth = knn_scan(ds, q, 1, None)[0].id;
+        let mut beam = ResumableBeam::start(ds, &graph, q, &entries, params.beam, &mut visited);
+        beam.run_until(params.checkpoint_hops, &mut visited);
+        let feats = beam.features();
+        // Continue until the true NN is at the pool head (or convergence),
+        // recording how many expansions that took.
+        let needed;
+        loop {
+            if beam.pool.first().map(|n| n.id) == Some(truth) {
+                needed = beam.hops;
+                break;
+            }
+            let before = beam.hops;
+            let converged = beam.run_until(beam.hops + 5, &mut visited);
+            if beam.pool.first().map(|n| n.id) == Some(truth) {
+                needed = beam.hops;
+                break;
+            }
+            if converged || beam.hops == before {
+                needed = beam.hops; // never found: budget = full convergence
+                break;
+            }
+        }
+        features.push(feats);
+        targets.push(needed as f32);
+    }
+    let model = Gbdt::fit(&features, &targets, &params.gbdt);
+    Ml2Index {
+        graph,
+        entries,
+        model,
+        checkpoint_hops: params.checkpoint_hops,
+        margin: params.margin,
+        training_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+impl Ml2Index {
+    /// Adaptive-termination search: returns `(results, ndc, hops)`.
+    pub fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        visited: &mut VisitedPool,
+    ) -> (Vec<Neighbor>, u64, u64) {
+        let mut rb = ResumableBeam::start(ds, &self.graph, query, &self.entries, beam, visited);
+        rb.run_until(self.checkpoint_hops, visited);
+        let predicted = self.model.predict(&rb.features()).max(0.0);
+        let budget = (predicted * self.margin).ceil() as u64;
+        rb.run_until(budget.max(self.checkpoint_hops), visited);
+        let mut out = rb.pool.clone();
+        out.truncate(k);
+        (out, rb.ndc, rb.hops)
+    }
+
+    /// Extra memory the optimization adds (the model).
+    pub fn extra_memory_bytes(&self) -> usize {
+        self.model.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_core::algorithms::nsg::{self, NsgParams};
+    use weavess_core::index::{AnnIndex, SearchContext};
+    use weavess_data::ground_truth::ground_truth;
+    use weavess_data::metrics::recall;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn setup() -> (Dataset, Dataset, Dataset, weavess_core::index::FlatIndex) {
+        let (ds, qs) = MixtureSpec::table10(16, 2_000, 1, 5.0, 60).generate();
+        let train = qs.subset(&(0..30u32).collect::<Vec<_>>());
+        let test = qs.subset(&(30..60u32).collect::<Vec<_>>());
+        let idx = nsg::build(&ds, &NsgParams::tuned(4, 1));
+        (ds, train, test, idx)
+    }
+
+    #[test]
+    fn ml2_terminates_earlier_at_similar_recall() {
+        let (ds, train, test, base) = setup();
+        let entries = vec![ds.medoid()];
+        let ml2 = optimize(
+            &ds,
+            base.graph.clone(),
+            entries,
+            &train,
+            &Ml2Params::default(),
+        );
+        let gt = ground_truth(&ds, &test, 10, 4);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut ctx = SearchContext::new(ds.len());
+        let (mut r_base, mut r_ml2) = (0.0f64, 0.0f64);
+        let mut ndc_ml2 = 0u64;
+        for qi in 0..test.len() as u32 {
+            let q = test.point(qi);
+            let b: Vec<u32> = base
+                .search(&ds, q, 10, 60, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            r_base += recall(&b, &gt[qi as usize]);
+            let (m, ndc, _) = ml2.search(&ds, q, 10, 60, &mut visited);
+            let mids: Vec<u32> = m.iter().map(|n| n.id).collect();
+            r_ml2 += recall(&mids, &gt[qi as usize]);
+            ndc_ml2 += ndc;
+        }
+        let nq = test.len() as f64;
+        // Early termination must save distance computations without
+        // collapsing recall (the Figure 19 ML2 shape: slight latency
+        // reduction at high precision).
+        assert!(
+            (ndc_ml2 as f64) < ctx.stats.ndc as f64,
+            "ml2 {ndc_ml2} !< base {}",
+            ctx.stats.ndc
+        );
+        assert!(r_ml2 / nq > r_base / nq - 0.15, "{r_ml2} vs {r_base}");
+        assert!(r_ml2 / nq > 0.6, "recall {}", r_ml2 / nq);
+    }
+
+    #[test]
+    fn ml2_reports_costs() {
+        let (ds, train, _, base) = setup();
+        let ml2 = optimize(
+            &ds,
+            base.graph.clone(),
+            vec![ds.medoid()],
+            &train,
+            &Ml2Params::default(),
+        );
+        assert!(ml2.training_secs > 0.0);
+        assert!(ml2.extra_memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Principal component analysis from scratch: covariance + orthogonal
+//! power iteration, no linear-algebra dependency.
+
+use weavess_data::Dataset;
+
+/// A fitted PCA projection onto the top `m` principal components.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Component matrix, row-major (`m` rows × `dim` columns).
+    components: Vec<f32>,
+    /// Data mean subtracted before projection.
+    mean: Vec<f32>,
+    m: usize,
+    dim: usize,
+}
+
+impl Pca {
+    /// Fits on up to `sample` points of `ds` (strided, deterministic) and
+    /// keeps the top `m` components.
+    pub fn fit(ds: &Dataset, m: usize, sample: usize) -> Pca {
+        let dim = ds.dim();
+        let m = m.clamp(1, dim);
+        let n = ds.len();
+        let take = sample.clamp(2, n);
+        let stride = (n / take).max(1);
+        let ids: Vec<u32> = (0..take).map(|i| (i * stride) as u32).collect();
+
+        // Mean.
+        let mut mean = vec![0.0f64; dim];
+        for &id in &ids {
+            for (acc, &x) in mean.iter_mut().zip(ds.point(id)) {
+                *acc += x as f64;
+            }
+        }
+        for v in &mut mean {
+            *v /= ids.len() as f64;
+        }
+
+        // Covariance (d × d). Fine for the survey's dimensions (≤ 1369).
+        let mut cov = vec![0.0f64; dim * dim];
+        for &id in &ids {
+            let p = ds.point(id);
+            for i in 0..dim {
+                let ci = p[i] as f64 - mean[i];
+                let row = &mut cov[i * dim..(i + 1) * dim];
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot += ci * (p[j] as f64 - mean[j]);
+                }
+            }
+        }
+        let norm = (ids.len() - 1).max(1) as f64;
+        for v in &mut cov {
+            *v /= norm;
+        }
+
+        // Orthogonal power iteration for the top m eigenvectors.
+        let mut components = vec![0.0f64; m * dim];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for c in 0..m {
+            let mut v: Vec<f64> = (0..dim).map(|_| next()).collect();
+            for _ in 0..30 {
+                // Deflate against previous components.
+                for prev in 0..c {
+                    let row = &components[prev * dim..(prev + 1) * dim];
+                    let proj: f64 = v.iter().zip(row).map(|(a, b)| a * b).sum();
+                    for (vd, r) in v.iter_mut().zip(row) {
+                        *vd -= proj * r;
+                    }
+                }
+                // Multiply by covariance.
+                let mut w = vec![0.0f64; dim];
+                for i in 0..dim {
+                    let vi = v[i];
+                    if vi != 0.0 {
+                        let row = &cov[i * dim..(i + 1) * dim];
+                        for (wj, &cj) in w.iter_mut().zip(row) {
+                            *wj += vi * cj;
+                        }
+                    }
+                }
+                let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-30);
+                for (vd, wd) in v.iter_mut().zip(&w) {
+                    *vd = wd / norm;
+                }
+            }
+            // Final deflation + renormalization: the last covariance
+            // multiply can reintroduce tiny components along earlier
+            // eigenvectors.
+            for prev in 0..c {
+                let row = &components[prev * dim..(prev + 1) * dim];
+                let proj: f64 = v.iter().zip(row).map(|(a, b)| a * b).sum();
+                for (vd, r) in v.iter_mut().zip(row) {
+                    *vd -= proj * r;
+                }
+            }
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-30);
+            for vd in &mut v {
+                *vd /= norm;
+            }
+            components[c * dim..(c + 1) * dim].copy_from_slice(&v);
+        }
+
+        Pca {
+            components: components.iter().map(|&x| x as f32).collect(),
+            mean: mean.iter().map(|&x| x as f32).collect(),
+            m,
+            dim,
+        }
+    }
+
+    /// Projects one vector into the component space.
+    pub fn project(&self, p: &[f32]) -> Vec<f32> {
+        assert_eq!(p.len(), self.dim);
+        (0..self.m)
+            .map(|c| {
+                let row = &self.components[c * self.dim..(c + 1) * self.dim];
+                p.iter()
+                    .zip(row)
+                    .zip(&self.mean)
+                    .map(|((&x, &w), &mu)| (x - mu) * w)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a whole dataset.
+    pub fn project_dataset(&self, ds: &Dataset) -> Dataset {
+        let mut flat = Vec::with_capacity(ds.len() * self.m);
+        for i in 0..ds.len() as u32 {
+            flat.extend(self.project(ds.point(i)));
+        }
+        Dataset::from_flat(flat, ds.len(), self.m)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.m
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Heap bytes of the fitted model.
+    pub fn memory_bytes(&self) -> usize {
+        (self.components.len() + self.mean.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::synthetic::MixtureSpec;
+
+    /// Data generated on a low-dimensional subspace must be almost
+    /// perfectly preserved by a PCA of that dimension: pairwise distances
+    /// in projected space track full-space distances.
+    #[test]
+    fn pca_preserves_subspace_structure() {
+        let spec = MixtureSpec {
+            intrinsic_dim: Some(4),
+            noise: 0.01,
+            ..MixtureSpec::table10(32, 800, 1, 5.0, 10)
+        };
+        let (ds, _) = spec.generate();
+        let pca = Pca::fit(&ds, 6, 400);
+        let proj = pca.project_dataset(&ds);
+        // Compare distance orderings on a few triples.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in (0..600u32).step_by(7) {
+            let (a, b, c) = (i, i + 1, i + 2);
+            let full = ds.dist(a, b) < ds.dist(a, c);
+            let red = proj.dist(a, b) < proj.dist(a, c);
+            total += 1;
+            if full == red {
+                agree += 1;
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.9, "{agree}/{total}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let (ds, _) = MixtureSpec::table10(16, 500, 3, 5.0, 10).generate();
+        let pca = Pca::fit(&ds, 5, 300);
+        for i in 0..5 {
+            for j in 0..5 {
+                let ri = &pca.components[i * 16..(i + 1) * 16];
+                let rj = &pca.components[j * 16..(j + 1) * 16];
+                let dot: f32 = ri.iter().zip(rj).map(|(a, b)| a * b).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-2, "({i},{j}) dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_shape_and_memory() {
+        let (ds, _) = MixtureSpec::table10(16, 200, 2, 5.0, 10).generate();
+        let pca = Pca::fit(&ds, 4, 100);
+        assert_eq!(pca.out_dim(), 4);
+        let p = pca.project_dataset(&ds);
+        assert_eq!(p.len(), ds.len());
+        assert_eq!(p.dim(), 4);
+        assert_eq!(pca.memory_bytes(), (4 * 16 + 16) * 4);
+    }
+}

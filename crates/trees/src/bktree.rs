@@ -1,0 +1,272 @@
+//! Balanced k-means tree (SPTAG-BKT's seed structure).
+//!
+//! Each internal node clusters its points into `branch` groups with a few
+//! Lloyd iterations (centers initialized by strided sampling for
+//! determinism) and recurses. Search descends best-first by
+//! query-to-center distance, spending one distance computation per center
+//! visited — like the VP-tree, an inherently distance-hungry seed
+//! structure, which is why the paper finds SPTAG-BKT seeds degrade on hard
+//! datasets (§5.3, Fig 10d).
+
+use weavess_data::distance::squared_euclidean;
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::{Dataset, Neighbor};
+
+const LLOYD_ITERS: usize = 4;
+
+enum Node {
+    Internal {
+        /// `branch` centers, row-major (branch × dim floats).
+        centers: Vec<f32>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+}
+
+/// A balanced k-means tree.
+pub struct BkTree {
+    nodes: Vec<Node>,
+    ids: Vec<u32>,
+    dim: usize,
+}
+
+impl BkTree {
+    /// Builds with the given branching factor and maximum leaf size.
+    pub fn build(ds: &Dataset, branch: usize, leaf_size: usize) -> Self {
+        let mut ids: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let n = ids.len();
+        Self::build_node(
+            ds,
+            &mut ids,
+            0,
+            n,
+            branch.max(2),
+            leaf_size.max(2),
+            &mut nodes,
+        );
+        BkTree {
+            nodes,
+            ids,
+            dim: ds.dim(),
+        }
+    }
+
+    fn build_node(
+        ds: &Dataset,
+        ids: &mut [u32],
+        start: usize,
+        end: usize,
+        branch: usize,
+        leaf_size: usize,
+        nodes: &mut Vec<Node>,
+    ) -> u32 {
+        let me = nodes.len() as u32;
+        let count = end - start;
+        if count <= leaf_size || count <= branch {
+            nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return me;
+        }
+        let dim = ds.dim();
+        let k = branch;
+        // Strided deterministic seeding.
+        let mut centers = vec![0.0f32; k * dim];
+        for c in 0..k {
+            let id = ids[start + c * count / k];
+            centers[c * dim..(c + 1) * dim].copy_from_slice(ds.point(id));
+        }
+        let mut assign = vec![0u32; count];
+        for _ in 0..LLOYD_ITERS {
+            // Assignment step.
+            for (i, &id) in ids[start..end].iter().enumerate() {
+                let p = ds.point(id);
+                let mut best = 0u32;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let d = squared_euclidean(p, &centers[c * dim..(c + 1) * dim]);
+                    if d < best_d {
+                        best_d = d;
+                        best = c as u32;
+                    }
+                }
+                assign[i] = best;
+            }
+            // Update step.
+            let mut sums = vec![0.0f64; k * dim];
+            let mut counts = vec![0usize; k];
+            for (i, &id) in ids[start..end].iter().enumerate() {
+                let c = assign[i] as usize;
+                counts[c] += 1;
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(ds.point(id)) {
+                    *s += x as f64;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for d in 0..dim {
+                        centers[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                    }
+                }
+            }
+        }
+        // Balance guard: if one cluster swallowed (almost) everything, fall
+        // back to an even strided split so recursion always terminates.
+        let mut counts = vec![0usize; k];
+        for &a in &assign {
+            counts[a as usize] += 1;
+        }
+        if counts.iter().filter(|&&c| c > 0).count() < 2 {
+            for (i, a) in assign.iter_mut().enumerate() {
+                *a = (i % k) as u32;
+            }
+        }
+        // Stable-partition ids by cluster.
+        let mut order: Vec<usize> = (0..count).collect();
+        order.sort_by_key(|&i| assign[i]);
+        let reordered: Vec<u32> = order.iter().map(|&i| ids[start + i]).collect();
+        ids[start..end].copy_from_slice(&reordered);
+        let mut boundaries = vec![start];
+        {
+            let mut acc = start;
+            let mut sorted_counts = vec![0usize; k];
+            for &a in &assign {
+                sorted_counts[a as usize] += 1;
+            }
+            for &sc in sorted_counts.iter().take(k) {
+                acc += sc;
+                boundaries.push(acc);
+            }
+        }
+        nodes.push(Node::Internal {
+            centers,
+            children: Vec::new(),
+        });
+        let mut children = Vec::with_capacity(k);
+        for c in 0..k {
+            let (s, e) = (boundaries[c], boundaries[c + 1]);
+            children.push(Self::build_node(ds, ids, s, e, branch, leaf_size, nodes));
+        }
+        if let Node::Internal { children: ch, .. } = &mut nodes[me as usize] {
+            *ch = children;
+        }
+        me
+    }
+
+    /// Approximate k-NN with a distance-computation budget. Returns the
+    /// pool and the distances spent (center visits included).
+    pub fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        max_checks: usize,
+    ) -> (Vec<Neighbor>, u64) {
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        let mut checks = 0u64;
+        // Best-first frontier of (center distance, node id).
+        let mut frontier: Vec<(f32, u32)> = vec![(0.0, 0)];
+        while !frontier.is_empty() && (checks as usize) < max_checks {
+            let idx = frontier
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                .map(|(i, _)| i)
+                .unwrap();
+            let (_, node) = frontier.swap_remove(idx);
+            match &self.nodes[node as usize] {
+                Node::Leaf { start, end } => {
+                    for &id in &self.ids[*start as usize..*end as usize] {
+                        checks += 1;
+                        insert_into_pool(&mut pool, k, Neighbor::new(id, ds.dist_to(query, id)));
+                        if checks as usize >= max_checks {
+                            break;
+                        }
+                    }
+                }
+                Node::Internal { centers, children } => {
+                    for (c, &child) in children.iter().enumerate() {
+                        let d =
+                            squared_euclidean(query, &centers[c * self.dim..(c + 1) * self.dim]);
+                        checks += 1;
+                        frontier.push((d, child));
+                    }
+                }
+            }
+        }
+        (pool, checks)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let centers: usize = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Internal { centers, children } => {
+                    centers.len() * 4 + children.len() * 4 + std::mem::size_of::<Node>()
+                }
+                Node::Leaf { .. } => std::mem::size_of::<Node>(),
+            })
+            .sum();
+        centers + self.ids.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+
+    #[test]
+    fn leaves_partition_all_points() {
+        let (ds, _) = MixtureSpec::table10(8, 400, 4, 3.0, 10).generate();
+        let t = BkTree::build(&ds, 4, 16);
+        let mut seen = vec![false; ds.len()];
+        for n in &t.nodes {
+            if let Node::Leaf { start, end } = n {
+                for &id in &t.ids[*start as usize..*end as usize] {
+                    assert!(!seen[id as usize]);
+                    seen[id as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn search_quality_on_clustered_data() {
+        let (ds, q) = MixtureSpec::table10(8, 600, 4, 2.0, 20).generate();
+        let t = BkTree::build(&ds, 4, 16);
+        let mut hits = 0usize;
+        for qi in 0..q.len() as u32 {
+            let query = q.point(qi);
+            let (pool, _) = t.search(&ds, query, 5, 400);
+            let truth: Vec<u32> = knn_scan(&ds, query, 5, None).iter().map(|n| n.id).collect();
+            hits += pool.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        assert!(hits as f64 / (5 * q.len()) as f64 > 0.6, "hits={hits}");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (ds, q) = MixtureSpec::table10(8, 600, 4, 2.0, 1).generate();
+        let t = BkTree::build(&ds, 4, 16);
+        let (_, checks) = t.search(&ds, q.point(0), 5, 100);
+        assert!(checks <= 100 + 16);
+    }
+
+    #[test]
+    fn degenerate_identical_points_terminate() {
+        let ds = Dataset::from_rows(&vec![vec![1.0, 2.0]; 50]);
+        let t = BkTree::build(&ds, 4, 8);
+        let (pool, _) = t.search(&ds, &[1.0, 2.0], 3, usize::MAX);
+        assert_eq!(pool.len(), 3);
+    }
+}

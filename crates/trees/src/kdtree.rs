@@ -1,0 +1,420 @@
+//! Randomized KD-tree and KD-forest.
+//!
+//! EFANNA builds multiple KD-trees to initialize NN-Descent and to fetch
+//! query-adjacent seeds; SPTAG-KDT and HCNNG use KD-trees for seeds too.
+//! Splits follow the classic randomized-KD recipe: pick the split dimension
+//! uniformly among the top-variance dimensions of the node's points, split
+//! at the median.
+//!
+//! A KD-tree *seed* lookup is cheap on purpose — HCNNG's variant (C4
+//! evaluation, §5.4) descends by pure value comparison with **zero distance
+//! computations**, which the paper credits for its better seed performance
+//! vs NGT/SPTAG-BKT trees.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::{Dataset, Neighbor};
+
+const TOP_VARIANCE_POOL: usize = 5;
+
+enum Node {
+    Internal {
+        dim: u32,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+}
+
+/// A single randomized KD-tree over a dataset.
+pub struct KdTree {
+    nodes: Vec<Node>,
+    /// Point ids permuted so that every leaf owns a contiguous range.
+    ids: Vec<u32>,
+    leaf_size: usize,
+}
+
+impl KdTree {
+    /// Builds over all points with the given maximum leaf size.
+    pub fn build(ds: &Dataset, leaf_size: usize, rng: &mut StdRng) -> Self {
+        let mut ids: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let n = ids.len();
+        Self::build_node(ds, &mut ids, 0, n, leaf_size.max(1), &mut nodes, rng);
+        KdTree {
+            nodes,
+            ids,
+            leaf_size: leaf_size.max(1),
+        }
+    }
+
+    fn build_node(
+        ds: &Dataset,
+        ids: &mut [u32],
+        start: usize,
+        end: usize,
+        leaf_size: usize,
+        nodes: &mut Vec<Node>,
+        rng: &mut StdRng,
+    ) -> u32 {
+        let me = nodes.len() as u32;
+        if end - start <= leaf_size {
+            nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return me;
+        }
+        let slice = &ids[start..end];
+        let dim = Self::pick_dimension(ds, slice, rng);
+        // Median split on the chosen dimension.
+        let mid = start + (end - start) / 2;
+        ids[start..end].sort_unstable_by(|&a, &b| {
+            ds.point(a)[dim as usize].total_cmp(&ds.point(b)[dim as usize])
+        });
+        let threshold = ds.point(ids[mid])[dim as usize];
+        nodes.push(Node::Internal {
+            dim,
+            threshold,
+            left: 0,
+            right: 0,
+        });
+        let left = Self::build_node(ds, ids, start, mid, leaf_size, nodes, rng);
+        let right = Self::build_node(ds, ids, mid, end, leaf_size, nodes, rng);
+        if let Node::Internal {
+            left: l, right: r, ..
+        } = &mut nodes[me as usize]
+        {
+            *l = left;
+            *r = right;
+        }
+        me
+    }
+
+    /// Split dimension: uniform choice among the `TOP_VARIANCE_POOL`
+    /// highest-variance dimensions of a sample of the node's points.
+    fn pick_dimension(ds: &Dataset, ids: &[u32], rng: &mut StdRng) -> u32 {
+        let dim = ds.dim();
+        let sample: Vec<u32> = if ids.len() > 64 {
+            (0..64).map(|i| ids[i * ids.len() / 64]).collect()
+        } else {
+            ids.to_vec()
+        };
+        let mut mean = vec![0.0f64; dim];
+        for &id in &sample {
+            for (m, &x) in mean.iter_mut().zip(ds.point(id)) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= sample.len() as f64;
+        }
+        let mut var: Vec<(f64, u32)> = vec![(0.0, 0); dim];
+        for (d, v) in var.iter_mut().enumerate() {
+            v.1 = d as u32;
+        }
+        for &id in &sample {
+            for (d, &x) in ds.point(id).iter().enumerate() {
+                let c = x as f64 - mean[d];
+                var[d].0 += c * c;
+            }
+        }
+        var.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let pool = TOP_VARIANCE_POOL.min(dim);
+        var[rng.gen_range(0..pool)].1
+    }
+
+    /// Point ids of the leaf the query descends to — pure value
+    /// comparisons, zero distance computations (the HCNNG-style seed
+    /// lookup).
+    pub fn leaf_of(&self, query: &[f32]) -> &[u32] {
+        let mut node = 0u32;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { start, end } => {
+                    return &self.ids[*start as usize..*end as usize];
+                }
+                Node::Internal {
+                    dim,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if query[*dim as usize] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Approximate k-NN with a bounded number of distance computations.
+    ///
+    /// Best-first traversal over split planes; returns the pool and the
+    /// number of distance computations actually spent.
+    pub fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        max_checks: usize,
+    ) -> (Vec<Neighbor>, u64) {
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        let mut checks = 0u64;
+        // Min-heap of (plane distance, node) via sorted Vec used as stack of
+        // candidates; sizes here are small (max_checks / leaf_size entries).
+        let mut frontier: Vec<(f32, u32)> = vec![(0.0, 0)];
+        while let Some(idx) = frontier
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .map(|(i, _)| i)
+        {
+            let (bound, mut node) = frontier.swap_remove(idx);
+            if checks as usize >= max_checks {
+                break;
+            }
+            let worst = pool.last().map_or(f32::INFINITY, |w| w.dist);
+            if pool.len() == k && bound * bound > worst {
+                continue;
+            }
+            // Descend to the leaf, queueing the far side of each split.
+            loop {
+                match &self.nodes[node as usize] {
+                    Node::Leaf { start, end } => {
+                        for &id in &self.ids[*start as usize..*end as usize] {
+                            let d = ds.dist_to(query, id);
+                            checks += 1;
+                            insert_into_pool(&mut pool, k, Neighbor::new(id, d));
+                            if checks as usize >= max_checks {
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                    Node::Internal {
+                        dim,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        let diff = query[*dim as usize] - threshold;
+                        let (near, far) = if diff < 0.0 {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
+                        frontier.push((diff.abs(), far));
+                        node = near;
+                    }
+                }
+            }
+        }
+        (pool, checks)
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>() + self.ids.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Maximum leaf size this tree was built with.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+}
+
+/// A forest of randomized KD-trees (EFANNA's `nTrees`).
+pub struct KdForest {
+    trees: Vec<KdTree>,
+}
+
+impl KdForest {
+    /// Builds `n_trees` randomized trees.
+    pub fn build(ds: &Dataset, n_trees: usize, leaf_size: usize, rng: &mut StdRng) -> Self {
+        KdForest {
+            trees: (0..n_trees.max(1))
+                .map(|_| KdTree::build(ds, leaf_size, rng))
+                .collect(),
+        }
+    }
+
+    /// The trees.
+    pub fn trees(&self) -> &[KdTree] {
+        &self.trees
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Budgeted search on one tree only (SPTAG's restart routing draws a
+    /// fresh seed set from a different tree each round).
+    pub fn search_tree(
+        &self,
+        tree: usize,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        checks: usize,
+    ) -> (Vec<Neighbor>, u64) {
+        self.trees[tree % self.trees.len()].search(ds, query, k, checks)
+    }
+
+    /// Approximate k-NN across all trees with a per-tree check budget.
+    /// Returns the merged pool and total distance computations.
+    pub fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        checks_per_tree: usize,
+    ) -> (Vec<Neighbor>, u64) {
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        let mut total = 0u64;
+        for t in &self.trees {
+            let (p, c) = t.search(ds, query, k, checks_per_tree);
+            total += c;
+            for n in p {
+                insert_into_pool(&mut pool, k, n);
+            }
+        }
+        (pool, total)
+    }
+
+    /// Distance-free seed ids: the union of every tree's leaf for `query`,
+    /// truncated to `count` (HCNNG's seed acquisition).
+    pub fn leaf_seeds(&self, query: &[f32], count: usize) -> Vec<u32> {
+        let mut seeds = Vec::with_capacity(count);
+        for t in &self.trees {
+            for &id in t.leaf_of(query) {
+                if !seeds.contains(&id) {
+                    seeds.push(id);
+                    if seeds.len() == count {
+                        return seeds;
+                    }
+                }
+            }
+        }
+        seeds
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.trees.iter().map(|t| t.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn dataset() -> (Dataset, Dataset) {
+        MixtureSpec::table10(8, 600, 4, 3.0, 20).generate()
+    }
+
+    #[test]
+    fn leaves_partition_all_points() {
+        let (ds, _) = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = KdTree::build(&ds, 10, &mut rng);
+        let mut seen = vec![false; ds.len()];
+        let mut stack = vec![0u32];
+        while let Some(n) = stack.pop() {
+            match &t.nodes[n as usize] {
+                Node::Leaf { start, end } => {
+                    assert!(*end as usize - *start as usize <= 10);
+                    for &id in &t.ids[*start as usize..*end as usize] {
+                        assert!(!seen[id as usize], "id {id} in two leaves");
+                        seen[id as usize] = true;
+                    }
+                }
+                Node::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn leaf_of_agrees_with_split_planes() {
+        let (ds, q) = dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = KdTree::build(&ds, 16, &mut rng);
+        let leaf = t.leaf_of(q.point(0));
+        assert!(!leaf.is_empty());
+        assert!(leaf.len() <= 16);
+    }
+
+    #[test]
+    fn budgeted_search_finds_close_points() {
+        let (ds, q) = dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let forest = KdForest::build(&ds, 4, 16, &mut rng);
+        let mut hits = 0usize;
+        for qi in 0..q.len() as u32 {
+            let query = q.point(qi);
+            let (pool, checks) = forest.search(&ds, query, 5, 200);
+            assert!(checks <= 4 * 200);
+            assert_eq!(pool.len(), 5);
+            let truth = knn_scan(&ds, query, 5, None);
+            let truth_ids: Vec<u32> = truth.iter().map(|n| n.id).collect();
+            hits += pool.iter().filter(|n| truth_ids.contains(&n.id)).count();
+        }
+        // Clustered data + 4 trees: expect decent recall from tree search.
+        assert!(
+            hits as f64 / (5 * q.len()) as f64 > 0.5,
+            "tree recall too low: {hits}"
+        );
+    }
+
+    #[test]
+    fn search_respects_budget() {
+        let (ds, q) = dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = KdTree::build(&ds, 16, &mut rng);
+        let (_, checks) = t.search(&ds, q.point(0), 10, 50);
+        assert!(checks <= 50 + 16, "checks={checks}"); // one leaf overshoot max
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_rng_state() {
+        let (ds, q) = dataset();
+        let f1 = KdForest::build(&ds, 3, 16, &mut StdRng::seed_from_u64(42));
+        let f2 = KdForest::build(&ds, 3, 16, &mut StdRng::seed_from_u64(42));
+        for qi in 0..q.len() as u32 {
+            assert_eq!(f1.leaf_seeds(q.point(qi), 8), f2.leaf_seeds(q.point(qi), 8));
+        }
+    }
+
+    #[test]
+    fn leaf_seeds_are_unique_and_bounded() {
+        let (ds, q) = dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let forest = KdForest::build(&ds, 3, 8, &mut rng);
+        let seeds = forest.leaf_seeds(q.point(1), 10);
+        assert!(seeds.len() <= 10);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Auxiliary (non-graph) indexes used by the surveyed algorithms.
+//!
+//! Per the pipeline (§4), several algorithms attach a second index for
+//! *seed preprocessing* (C4) / *seed acquisition* (C6) or *initialization*
+//! (C1):
+//!
+//! | structure | used by | role |
+//! |-----------|---------|------|
+//! | [`kdtree::KdForest`] | EFANNA, HCNNG, SPTAG-KDT | C1 init & C6 seeds |
+//! | [`vptree::VpTree`]   | NGT                      | C6 seeds |
+//! | [`bktree::BkTree`]   | SPTAG-BKT                | C6 seeds |
+//! | [`tptree`]           | SPTAG                    | C1 dataset division |
+//! | [`lsh::LshTable`]    | IEH                      | C6 seeds |
+//!
+//! All structures are budgeted: their searches report how many distance
+//! computations they spent so the NDC/speedup accounting (§5.1) can charge
+//! seed acquisition to the query — which is exactly what makes tree-seeded
+//! algorithms lose on hard datasets in the paper (C4 evaluation, Fig 10d).
+
+pub mod bktree;
+pub mod kdtree;
+pub mod lsh;
+pub mod tptree;
+pub mod vptree;
+
+pub use bktree::BkTree;
+pub use kdtree::{KdForest, KdTree};
+pub use lsh::LshTable;
+pub use vptree::VpTree;

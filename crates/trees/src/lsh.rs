@@ -1,0 +1,206 @@
+//! Sign-random-projection LSH (IEH's seed hashing, C4/C6).
+//!
+//! IEH obtains query-adjacent seeds from hash buckets; the original paper
+//! used a MATLAB-built hash table. We substitute classic random-hyperplane
+//! LSH: `bits` random hyperplanes per table give each point a `bits`-bit
+//! signature; a query probes its own bucket and, if short of seeds,
+//! single-bit-flip neighbor buckets (multi-probe). Seed lookup costs *no*
+//! distance computations beyond `dim`-length dot products per table — we
+//! charge those as distance computations for fair NDC accounting, since a
+//! dot product and a distance have the same cost profile.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use weavess_data::distance::dot;
+use weavess_data::Dataset;
+
+/// One hash table of a sign-random-projection LSH index.
+struct Table {
+    /// `bits` hyperplane normals, row-major (bits × dim).
+    planes: Vec<f32>,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+/// A multi-table random-hyperplane LSH index.
+pub struct LshTable {
+    tables: Vec<Table>,
+    bits: usize,
+    dim: usize,
+}
+
+impl LshTable {
+    /// Builds `n_tables` tables of `bits` hyperplanes each.
+    pub fn build(ds: &Dataset, n_tables: usize, bits: usize, rng: &mut StdRng) -> Self {
+        let bits = bits.clamp(1, 63);
+        let dim = ds.dim();
+        let mut tables = Vec::with_capacity(n_tables.max(1));
+        for _ in 0..n_tables.max(1) {
+            let planes: Vec<f32> = (0..bits * dim)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
+            let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+            for id in 0..ds.len() as u32 {
+                let sig = signature(ds.point(id), &planes, bits, dim);
+                buckets.entry(sig).or_default().push(id);
+            }
+            tables.push(Table { planes, buckets });
+        }
+        LshTable { tables, bits, dim }
+    }
+
+    /// Up to `count` candidate seed ids for `query`, probing each table's
+    /// home bucket first and then single-bit-flip buckets. Also returns the
+    /// hashing cost in distance-computation equivalents (one per table:
+    /// `bits` dot products ≈ `bits/dim`·dim mults, conservatively one NDC
+    /// per table per probe level).
+    pub fn seeds(&self, query: &[f32], count: usize) -> (Vec<u32>, u64) {
+        let mut out: Vec<u32> = Vec::with_capacity(count);
+        let mut cost = 0u64;
+        for t in &self.tables {
+            cost += 1;
+            let sig = signature(query, &t.planes, self.bits, self.dim);
+            if let Some(b) = t.buckets.get(&sig) {
+                push_unique(&mut out, b, count);
+            }
+            if out.len() >= count {
+                break;
+            }
+            // Multi-probe: flip one bit at a time.
+            for bit in 0..self.bits {
+                if let Some(b) = t.buckets.get(&(sig ^ (1u64 << bit))) {
+                    push_unique(&mut out, b, count);
+                    if out.len() >= count {
+                        break;
+                    }
+                }
+            }
+            if out.len() >= count {
+                break;
+            }
+        }
+        (out, cost)
+    }
+
+    /// Approximate heap footprint in bytes (planes + bucket lists). This is
+    /// the "additional index structure" memory the paper charges IEH with
+    /// (Table 5's MO column).
+    pub fn memory_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.planes.len() * 4
+                    + t.buckets
+                        .values()
+                        .map(|v| 8 + v.len() * 4 + 16)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+fn signature(p: &[f32], planes: &[f32], bits: usize, dim: usize) -> u64 {
+    let mut sig = 0u64;
+    for b in 0..bits {
+        if dot(p, &planes[b * dim..(b + 1) * dim]) >= 0.0 {
+            sig |= 1u64 << b;
+        }
+    }
+    sig
+}
+
+fn push_unique(out: &mut Vec<u32>, src: &[u32], cap: usize) {
+    for &id in src {
+        if out.len() >= cap {
+            return;
+        }
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+
+    #[test]
+    fn every_point_is_bucketed() {
+        let (ds, _) = MixtureSpec::table10(16, 300, 3, 3.0, 10).generate();
+        let mut rng = StdRng::seed_from_u64(21);
+        let lsh = LshTable::build(&ds, 2, 8, &mut rng);
+        let total: usize = lsh.tables[0].buckets.values().map(|v| v.len()).sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn seeds_are_unique_and_bounded() {
+        let (ds, q) = MixtureSpec::table10(16, 300, 3, 3.0, 10).generate();
+        let mut rng = StdRng::seed_from_u64(22);
+        let lsh = LshTable::build(&ds, 3, 8, &mut rng);
+        let (seeds, cost) = lsh.seeds(q.point(0), 12);
+        assert!(seeds.len() <= 12);
+        assert!(cost >= 1);
+        let mut d = seeds.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), seeds.len());
+    }
+
+    #[test]
+    fn lsh_seeds_beat_random_on_average() {
+        // Seeds from LSH buckets should be closer to the query than the
+        // dataset average — that is their entire purpose in IEH.
+        let (ds, q) = MixtureSpec::table10(16, 1000, 5, 2.0, 30).generate();
+        let mut rng = StdRng::seed_from_u64(23);
+        let lsh = LshTable::build(&ds, 4, 10, &mut rng);
+        let mut seed_better = 0usize;
+        let mut tried = 0usize;
+        for qi in 0..q.len() as u32 {
+            let query = q.point(qi);
+            let (seeds, _) = lsh.seeds(query, 5);
+            if seeds.is_empty() {
+                continue;
+            }
+            tried += 1;
+            let seed_avg: f32 =
+                seeds.iter().map(|&s| ds.dist_to(query, s)).sum::<f32>() / seeds.len() as f32;
+            // Average distance to 5 random-ish points (strided sample).
+            let rand_avg: f32 = (0..5)
+                .map(|i| ds.dist_to(query, (i * ds.len() / 5) as u32))
+                .sum::<f32>()
+                / 5.0;
+            if seed_avg < rand_avg {
+                seed_better += 1;
+            }
+        }
+        assert!(tried > 0);
+        assert!(
+            seed_better as f64 / tried as f64 > 0.7,
+            "{seed_better}/{tried}"
+        );
+    }
+
+    #[test]
+    fn nearest_neighbor_often_shares_a_bucket_region() {
+        let (ds, q) = MixtureSpec::table10(16, 800, 4, 2.0, 20).generate();
+        let mut rng = StdRng::seed_from_u64(24);
+        let lsh = LshTable::build(&ds, 6, 8, &mut rng);
+        let mut found = 0usize;
+        for qi in 0..q.len() as u32 {
+            let query = q.point(qi);
+            let truth: Vec<u32> = knn_scan(&ds, query, 10, None)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let (seeds, _) = lsh.seeds(query, 50);
+            if seeds.iter().any(|s| truth.contains(s)) {
+                found += 1;
+            }
+        }
+        assert!(found as f64 / q.len() as f64 > 0.5, "found={found}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Trinary-projection-style partitioning (SPTAG's dataset division, C1).
+//!
+//! §4.1: "a partition hyperplane is formed by a linear combination of a few
+//! coordinate axes with weights being -1 or 1". Each recursive split
+//! projects the node's points onto such a sparse ±1 axis combination and
+//! splits at the median projection; recursion stops at the target leaf
+//! size. The result is a *partition* of the dataset into small subsets on
+//! which divide-and-conquer builders (SPTAG) construct exact sub-KNNGs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use weavess_data::Dataset;
+
+/// Number of axes combined into one projection direction.
+const AXES_PER_SPLIT: usize = 5;
+
+/// Recursively partitions `ids` (or the whole dataset when `ids` is `None`)
+/// into subsets of at most `leaf_size` points using TP-style median splits.
+pub fn tp_partition(
+    ds: &Dataset,
+    ids: Option<&[u32]>,
+    leaf_size: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<u32>> {
+    let mut all: Vec<u32> = match ids {
+        Some(s) => s.to_vec(),
+        None => (0..ds.len() as u32).collect(),
+    };
+    let mut leaves = Vec::new();
+    let len = all.len();
+    split(ds, &mut all, 0, len, leaf_size.max(2), rng, &mut leaves);
+    leaves
+}
+
+fn split(
+    ds: &Dataset,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    leaf_size: usize,
+    rng: &mut StdRng,
+    leaves: &mut Vec<Vec<u32>>,
+) {
+    let count = end - start;
+    if count <= leaf_size {
+        leaves.push(ids[start..end].to_vec());
+        return;
+    }
+    // Sparse ±1 projection direction over a few random axes.
+    let dim = ds.dim();
+    let n_axes = AXES_PER_SPLIT.min(dim);
+    let mut axes: Vec<usize> = (0..dim).collect();
+    axes.shuffle(rng);
+    axes.truncate(n_axes);
+    let weights: Vec<f32> = (0..n_axes)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    let project = |id: u32| -> f32 {
+        let p = ds.point(id);
+        axes.iter()
+            .zip(&weights)
+            .map(|(&a, &w)| w * p[a])
+            .sum::<f32>()
+    };
+    let mid = start + count / 2;
+    ids[start..end].select_nth_unstable_by(mid - start, |&a, &b| project(a).total_cmp(&project(b)));
+    split(ds, ids, start, mid, leaf_size, rng, leaves);
+    split(ds, ids, mid, end, leaf_size, rng, leaves);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use weavess_data::synthetic::MixtureSpec;
+
+    #[test]
+    fn partition_covers_all_points_exactly_once() {
+        let (ds, _) = MixtureSpec::table10(12, 500, 4, 3.0, 10).generate();
+        let mut rng = StdRng::seed_from_u64(11);
+        let leaves = tp_partition(&ds, None, 32, &mut rng);
+        let mut seen = vec![false; ds.len()];
+        for leaf in &leaves {
+            assert!(leaf.len() <= 32);
+            for &id in leaf {
+                assert!(!seen[id as usize], "duplicate id {id}");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn partition_respects_explicit_subset() {
+        let (ds, _) = MixtureSpec::table10(12, 200, 2, 3.0, 10).generate();
+        let subset: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        let leaves = tp_partition(&ds, Some(&subset), 8, &mut rng);
+        let total: usize = leaves.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 50);
+        assert!(leaves.iter().flatten().all(|&id| id < 50));
+    }
+
+    #[test]
+    fn splits_are_roughly_balanced() {
+        let (ds, _) = MixtureSpec::table10(12, 512, 4, 3.0, 10).generate();
+        let mut rng = StdRng::seed_from_u64(13);
+        let leaves = tp_partition(&ds, None, 64, &mut rng);
+        // Median splits on 512 points with leaf 64: all leaves in 32..=64.
+        for leaf in &leaves {
+            assert!(leaf.len() >= 32 && leaf.len() <= 64, "len={}", leaf.len());
+        }
+    }
+}

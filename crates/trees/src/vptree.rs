@@ -1,0 +1,187 @@
+//! Vantage-point tree (NGT's seed structure).
+//!
+//! Each node picks a vantage point, computes every remaining point's true
+//! distance to it, and splits at the median radius: inner child holds the
+//! closer half, outer child the farther half. Search prunes children with
+//! the triangle inequality. Unlike the KD-tree's value-comparison descent,
+//! every visited node costs one *distance computation* — the exact property
+//! that makes NGT's seed acquisition expensive on hard datasets (Fig 10d).
+
+use weavess_data::neighbor::insert_into_pool;
+use weavess_data::{Dataset, Neighbor};
+
+enum Node {
+    Internal {
+        vantage: u32,
+        radius: f32, // true (non-squared) median distance
+        inner: u32,
+        outer: u32,
+    },
+    Leaf {
+        start: u32,
+        end: u32,
+    },
+}
+
+/// A vantage-point tree over a dataset.
+pub struct VpTree {
+    nodes: Vec<Node>,
+    ids: Vec<u32>,
+}
+
+impl VpTree {
+    /// Builds with the given maximum leaf size. Vantage points are chosen
+    /// deterministically (first id of the node's range) so that equal
+    /// datasets yield equal trees.
+    pub fn build(ds: &Dataset, leaf_size: usize) -> Self {
+        let mut ids: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let n = ids.len();
+        Self::build_node(ds, &mut ids, 0, n, leaf_size.max(2), &mut nodes);
+        VpTree { nodes, ids }
+    }
+
+    fn build_node(
+        ds: &Dataset,
+        ids: &mut [u32],
+        start: usize,
+        end: usize,
+        leaf_size: usize,
+        nodes: &mut Vec<Node>,
+    ) -> u32 {
+        let me = nodes.len() as u32;
+        if end - start <= leaf_size {
+            nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return me;
+        }
+        let vantage = ids[start];
+        let rest = start + 1;
+        // Median split by distance to the vantage point.
+        let mid = rest + (end - rest) / 2;
+        ids[rest..end].select_nth_unstable_by((mid - rest).saturating_sub(1), |&a, &b| {
+            ds.dist(vantage, a).total_cmp(&ds.dist(vantage, b))
+        });
+        let radius = ds.dist(vantage, ids[mid - 1]).sqrt();
+        nodes.push(Node::Internal {
+            vantage,
+            radius,
+            inner: 0,
+            outer: 0,
+        });
+        let inner = Self::build_node(ds, ids, rest, mid, leaf_size, nodes);
+        let outer = Self::build_node(ds, ids, mid, end, leaf_size, nodes);
+        if let Node::Internal {
+            inner: i, outer: o, ..
+        } = &mut nodes[me as usize]
+        {
+            *i = inner;
+            *o = outer;
+        }
+        me
+    }
+
+    /// Approximate k-NN with a bounded number of distance computations.
+    /// Returns the pool and the number of distances spent.
+    pub fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        max_checks: usize,
+    ) -> (Vec<Neighbor>, u64) {
+        let mut pool: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        let mut checks = 0u64;
+        let mut stack = vec![0u32];
+        while let Some(node) = stack.pop() {
+            if checks as usize >= max_checks {
+                break;
+            }
+            match &self.nodes[node as usize] {
+                Node::Leaf { start, end } => {
+                    for &id in &self.ids[*start as usize..*end as usize] {
+                        checks += 1;
+                        insert_into_pool(&mut pool, k, Neighbor::new(id, ds.dist_to(query, id)));
+                        if checks as usize >= max_checks {
+                            break;
+                        }
+                    }
+                }
+                Node::Internal {
+                    vantage,
+                    radius,
+                    inner,
+                    outer,
+                } => {
+                    checks += 1;
+                    let d = ds.dist_to(query, *vantage).sqrt();
+                    insert_into_pool(&mut pool, k, Neighbor::new(*vantage, d * d));
+                    let tau = pool
+                        .last()
+                        .map_or(f32::INFINITY, |w| w.dist.sqrt().max(0.0));
+                    let tau = if pool.len() < k { f32::INFINITY } else { tau };
+                    // Push far side first so the near side pops first.
+                    if d < *radius {
+                        if d + tau >= *radius {
+                            stack.push(*outer);
+                        }
+                        stack.push(*inner);
+                    } else {
+                        if d - tau <= *radius {
+                            stack.push(*inner);
+                        }
+                        stack.push(*outer);
+                    }
+                }
+            }
+        }
+        (pool, checks)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>() + self.ids.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::synthetic::MixtureSpec;
+
+    #[test]
+    fn unbudgeted_search_is_exact() {
+        let (ds, q) = MixtureSpec::table10(6, 300, 3, 4.0, 20).generate();
+        let t = VpTree::build(&ds, 8);
+        for qi in 0..q.len() as u32 {
+            let query = q.point(qi);
+            let (pool, _) = t.search(&ds, query, 3, usize::MAX);
+            let truth = knn_scan(&ds, query, 3, None);
+            assert_eq!(
+                pool.iter().map(|n| n.id).collect::<Vec<_>>(),
+                truth.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_caps_distance_computations() {
+        let (ds, q) = MixtureSpec::table10(6, 500, 3, 4.0, 5).generate();
+        let t = VpTree::build(&ds, 8);
+        let (pool, checks) = t.search(&ds, q.point(0), 5, 60);
+        assert!(checks <= 60 + 8);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn handles_tiny_datasets() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let t = VpTree::build(&ds, 2);
+        let (pool, _) = t.search(&ds, &[0.9], 2, usize::MAX);
+        assert_eq!(pool[0].id, 1);
+    }
+}

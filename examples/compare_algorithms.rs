@@ -1,0 +1,65 @@
+//! Compare several surveyed algorithms head to head on one dataset — a
+//! miniature of the paper's Figures 5–8.
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms
+//! ```
+
+use weavess::core::algorithms::Algo;
+use weavess::core::index::SearchContext;
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::metrics::recall;
+use weavess::data::synthetic::MixtureSpec;
+
+fn main() {
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(10),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(32, 8_000, 6, 5.0, 200)
+    };
+    let (base, queries) = spec.generate();
+    let k = 10;
+    let gt = ground_truth(&base, &queries, k, 4);
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} {:>8} {:>9}",
+        "algorithm", "build(s)", "size(MB)", "Recall@10", "QPS", "speedup"
+    );
+
+    for algo in [
+        Algo::KGraph,
+        Algo::Nsw,
+        Algo::Hnsw,
+        Algo::Nsg,
+        Algo::Nssg,
+        Algo::Dpg,
+        Algo::Hcnng,
+        Algo::Oa,
+    ] {
+        let t0 = std::time::Instant::now();
+        let index = algo.build(&base, 4, 1);
+        let build = t0.elapsed().as_secs_f64();
+
+        let mut ctx = SearchContext::new(base.len());
+        let t0 = std::time::Instant::now();
+        let mut r = 0.0;
+        for qi in 0..queries.len() as u32 {
+            let res = index.search(&base, queries.point(qi), k, 60, &mut ctx);
+            let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+            r += recall(&ids, &gt[qi as usize]);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = ctx.take_stats();
+        let ndc = stats.ndc as f64 / queries.len() as f64;
+        println!(
+            "{:<10} {:>9.2} {:>9.1} {:>10.3} {:>8.0} {:>9.1}",
+            index.name(),
+            build,
+            index.memory_bytes() as f64 / 1e6,
+            r / queries.len() as f64,
+            queries.len() as f64 / secs,
+            base.len() as f64 / ndc,
+        );
+    }
+    println!("\n(beam fixed at 60; raise it for higher recall, lower for more QPS)");
+}

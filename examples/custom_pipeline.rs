@@ -1,0 +1,84 @@
+//! Compose your own graph-ANNS algorithm from the survey's seven
+//! components (§4's pipeline) — the same machinery behind the paper's
+//! Figure 10 component study and the §6 optimized algorithm.
+//!
+//! ```sh
+//! cargo run --release --example custom_pipeline
+//! ```
+
+use weavess::core::index::{AnnIndex, SearchContext};
+use weavess::core::nndescent::NnDescentParams;
+use weavess::core::pipeline::{
+    CandidateChoice, ConnectivityChoice, InitChoice, PipelineBuilder, SeedChoice, SelectionChoice,
+};
+use weavess::core::search::Router;
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::metrics::recall;
+use weavess::data::synthetic::MixtureSpec;
+
+fn main() {
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(10),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(32, 8_000, 6, 5.0, 200)
+    };
+    let (base, queries) = spec.generate();
+    let gt = ground_truth(&base, &queries, 10, 4);
+
+    // A custom recipe: EFANNA-style KD-tree initialization, NSSG-style
+    // 2-hop candidates, Vamana's relaxed alpha rule, LSH seeds like IEH,
+    // DFS connectivity like NSG, and HCNNG's guided routing.
+    let custom = PipelineBuilder {
+        init: InitChoice::KdTree {
+            n_trees: 4,
+            checks_per_tree: 150,
+            nd: NnDescentParams {
+                k: 40,
+                l: 60,
+                iters: 4,
+                sample: 15,
+                reverse: 30,
+                seed: 7,
+                threads: 4,
+            },
+        },
+        candidates: CandidateChoice::Expansion { cap: 100 },
+        selection: SelectionChoice::RngAlpha {
+            degree: 32,
+            alpha: 1.2,
+        },
+        seeds: SeedChoice::Lsh {
+            tables: 4,
+            bits: 12,
+            count: 8,
+        },
+        connectivity: ConnectivityChoice::DfsRepair,
+        router: Router::Guided,
+        threads: 4,
+        seed: 7,
+        name: "custom",
+    };
+
+    // The paper's Table 13 benchmark configuration, for reference.
+    let benchmark = PipelineBuilder::benchmark(8, 4);
+
+    for (label, builder) in [("custom", &custom), ("benchmark", &benchmark)] {
+        let t0 = std::time::Instant::now();
+        let index = builder.build(&base);
+        let build = t0.elapsed().as_secs_f64();
+        let mut ctx = SearchContext::new(base.len());
+        let mut r = 0.0;
+        for qi in 0..queries.len() as u32 {
+            let res = index.search(&base, queries.point(qi), 10, 60, &mut ctx);
+            let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+            r += recall(&ids, &gt[qi as usize]);
+        }
+        let stats = ctx.take_stats();
+        println!(
+            "{label:>10}: built {build:.2}s, Recall@10 {:.3}, {:.0} NDC/query",
+            r / queries.len() as f64,
+            stats.ndc as f64 / queries.len() as f64
+        );
+    }
+}

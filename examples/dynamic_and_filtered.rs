@@ -1,0 +1,87 @@
+//! Extension features beyond the survey's core evaluation — its §6
+//! "Tendencies/Challenges" items, implemented:
+//!
+//! 1. **Real-time updates**: a dynamic HNSW with interleaved inserts,
+//!    tombstone deletes, and searches — no rebuild.
+//! 2. **Hybrid queries**: attribute-filtered search (e.g. "nearest
+//!    products in category 2").
+//!
+//! ```sh
+//! cargo run --release --example dynamic_and_filtered
+//! ```
+
+use weavess::core::algorithms::hnsw::HnswParams;
+use weavess::core::algorithms::hnsw_dynamic::DynamicHnsw;
+use weavess::core::search::{filtered_beam_search, SearchStats, VisitedPool};
+use weavess::data::ground_truth::knn_scan;
+use weavess::data::synthetic::MixtureSpec;
+use weavess::graph::base::exact_knng;
+
+fn main() {
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(8),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(32, 6_000, 5, 5.0, 5)
+    };
+    let (stream, queries) = spec.generate();
+
+    // --- 1. Dynamic index: insert, search, delete, search again. ---
+    let mut idx = DynamicHnsw::new(stream.dim(), HnswParams::tuned(42));
+    let t0 = std::time::Instant::now();
+    for i in 0..stream.len() as u32 {
+        idx.insert(stream.point(i));
+    }
+    println!(
+        "streamed {} inserts in {:.2}s ({:.0} inserts/s)",
+        idx.len(),
+        t0.elapsed().as_secs_f64(),
+        idx.len() as f64 / t0.elapsed().as_secs_f64()
+    );
+    let q = queries.point(0);
+    let before = idx.search(q, 5, 60);
+    println!(
+        "top-5 before deletes: {:?}",
+        before.iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    for n in &before[..3] {
+        idx.delete(n.id);
+    }
+    let after = idx.search(q, 5, 60);
+    println!(
+        "top-5 after deleting the top-3: {:?} (tombstones: {:.1}%)",
+        after.iter().map(|n| n.id).collect::<Vec<_>>(),
+        idx.tombstone_fraction() * 100.0
+    );
+    assert!(after.iter().all(|n| !before[..3].contains(n)));
+
+    // --- 2. Hybrid query: nearest neighbors within one "category". ---
+    // Category = id % 4; we want the nearest category-2 items.
+    let g = exact_knng(&stream, 16, 4);
+    let category = |id: u32| id % 4 == 2;
+    let mut visited = VisitedPool::new(stream.len());
+    let mut stats = SearchStats::default();
+    visited.next_epoch();
+    let hits = filtered_beam_search(
+        &stream,
+        &g,
+        q,
+        &[0, 1500, 3000, 4500],
+        5,
+        80,
+        &category,
+        &mut visited,
+        &mut stats,
+    );
+    let exact: Vec<u32> = knn_scan(&stream, q, stream.len(), None)
+        .into_iter()
+        .filter(|n| category(n.id))
+        .take(5)
+        .map(|n| n.id)
+        .collect();
+    println!(
+        "hybrid query (category 2 only): got {:?}, exact {:?}",
+        hits.iter().map(|n| n.id).collect::<Vec<_>>(),
+        exact
+    );
+}

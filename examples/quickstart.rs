@@ -1,0 +1,56 @@
+//! Quickstart: build one graph index, search it, check the answer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use weavess::core::algorithms::hnsw::{self, HnswParams};
+use weavess::core::index::{AnnIndex, SearchContext};
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::metrics::recall;
+use weavess::data::synthetic::MixtureSpec;
+
+fn main() {
+    // 1. A dataset: 10k 32-dimensional points in 8 fuzzy clusters, plus
+    //    200 held-out queries. Swap in `weavess::data::io::read_fvecs` to
+    //    load SIFT1M-style files instead.
+    let spec = MixtureSpec::table10(32, 10_000, 8, 5.0, 200);
+    let (base, queries) = spec.generate();
+    println!("dataset: {} points, dim {}", base.len(), base.dim());
+
+    // 2. Build an HNSW index (any of the 17 surveyed algorithms works the
+    //    same way; see `weavess::core::algorithms`).
+    let t0 = std::time::Instant::now();
+    let index = hnsw::build(&base, &HnswParams::tuned(42));
+    println!(
+        "built HNSW in {:.2}s ({} layers, {:.1} MB)",
+        t0.elapsed().as_secs_f64(),
+        index.num_layers(),
+        index.memory_bytes() as f64 / 1e6
+    );
+
+    // 3. Search: k nearest neighbors per query, with a beam (candidate
+    //    set size) controlling the accuracy/speed trade-off.
+    let k = 10;
+    let beam = 60;
+    let mut ctx = SearchContext::new(base.len());
+    let gt = ground_truth(&base, &queries, k, 4);
+    let t0 = std::time::Instant::now();
+    let mut total_recall = 0.0;
+    for qi in 0..queries.len() as u32 {
+        let result = index.search(&base, queries.point(qi), k, beam, &mut ctx);
+        let ids: Vec<u32> = result.iter().map(|n| n.id).collect();
+        total_recall += recall(&ids, &gt[qi as usize]);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = ctx.take_stats();
+    println!(
+        "searched {} queries: Recall@{k} = {:.3}, {:.0} QPS, {:.0} distance \
+         computations/query (speedup {:.0}x over linear scan)",
+        queries.len(),
+        total_recall / queries.len() as f64,
+        queries.len() as f64 / secs,
+        stats.ndc as f64 / queries.len() as f64,
+        base.len() as f64 / (stats.ndc as f64 / queries.len() as f64),
+    );
+}

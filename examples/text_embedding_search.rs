@@ -1,0 +1,68 @@
+//! Domain scenario: semantic search over hard, high-LID text embeddings
+//! (a GloVe-like workload — the paper's hardest dataset).
+//!
+//! Demonstrates the survey's hard-dataset guidance in action: pick an
+//! RNG-based index (§6 Table 7 recommends HNSW/NSG/HCNNG for S4), then
+//! auto-tune the beam to hit a recall service-level objective.
+//!
+//! ```sh
+//! cargo run --release --example text_embedding_search
+//! ```
+
+use weavess::core::algorithms::Algo;
+use weavess::core::index::SearchContext;
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::metrics::recall;
+use weavess::data::synthetic::MixtureSpec;
+
+fn main() {
+    // GloVe-like: 100-dimensional, high intrinsic dimension (hard), many
+    // soft topic clusters on a shared manifold.
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(20),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(100, 10_000, 12, 5.0, 300)
+    };
+    let (base, queries) = spec.generate();
+    let gt = ground_truth(&base, &queries, 10, 4);
+    println!(
+        "text-embedding workload: {} vectors, dim 100 (hard, high LID)",
+        base.len()
+    );
+
+    // Hard-dataset picks vs a KNNG baseline the paper shows degrading.
+    for algo in [Algo::Hnsw, Algo::Nsg, Algo::Hcnng, Algo::KGraph] {
+        let index = algo.build(&base, 4, 1);
+        let mut ctx = SearchContext::new(base.len());
+        // Auto-tune: smallest beam meeting the 0.95 Recall@10 SLO.
+        let target = 0.95;
+        let mut chosen = None;
+        for beam in [10usize, 20, 40, 80, 160, 320] {
+            let mut r = 0.0;
+            ctx.take_stats();
+            let t0 = std::time::Instant::now();
+            for qi in 0..queries.len() as u32 {
+                let res = index.search(&base, queries.point(qi), 10, beam, &mut ctx);
+                let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+                r += recall(&ids, &gt[qi as usize]);
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let rec = r / queries.len() as f64;
+            if rec >= target {
+                chosen = Some((beam, rec, queries.len() as f64 / secs));
+                break;
+            }
+        }
+        match chosen {
+            Some((beam, rec, qps)) => println!(
+                "{:<8} meets Recall@10 >= {target} at beam {beam:<4} ({rec:.3}, {qps:.0} QPS)",
+                index.name()
+            ),
+            None => println!(
+                "{:<8} cannot meet Recall@10 >= {target} within beam 320 (recall ceiling)",
+                index.name()
+            ),
+        }
+    }
+}

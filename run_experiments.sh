@@ -1,0 +1,30 @@
+#!/bin/bash
+# Regenerates every table and figure of the survey at the configured scale.
+# Each binary writes CSVs into results/ and a log into results/logs/.
+set -u
+cd "$(dirname "$0")"
+SCALE="${WEAVESS_SCALE:-0.003}"
+export WEAVESS_SCALE="$SCALE"
+BINS=(
+  table02_taxonomy
+  table03_datasets
+  index_eval
+  search_eval
+  components_eval
+  fig11_optimized
+  table16_kdr_vs_ngt
+  table23_random_trials
+  table24_ml_methods
+  table12_scalability
+  fig14_complexity
+  table07_recommendations
+  ablation_oa
+  tune_params
+)
+for b in "${BINS[@]}"; do
+  echo "=== running $b (scale=$SCALE) ==="
+  cargo run --release -p weavess-bench --bin "$b" \
+    > "results/logs/$b.log" 2> "results/logs/$b.err" \
+    && echo "    ok" || echo "    FAILED (see results/logs/$b.err)"
+done
+echo "all experiments done"

@@ -1,0 +1,48 @@
+//! # weavess
+//!
+//! A from-scratch Rust reproduction of *"A Comprehensive Survey and
+//! Experimental Comparison of Graph-Based Approximate Nearest Neighbor
+//! Search"* (PVLDB 14(1), 2021): seventeen graph-ANNS algorithms, the
+//! survey's seven-component pipeline, every auxiliary index they need,
+//! and a bench harness regenerating each table and figure.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`data`] — datasets, distances, synthetic generators, ground truth,
+//!   metrics (`Recall@k`, LID, speedup).
+//! - [`graph`] — adjacency structures, exact base graphs (KNNG/RNG/MST),
+//!   connectivity, index metrics.
+//! - [`trees`] — KD-forest, VP-tree, balanced k-means tree, TP
+//!   partitioning, LSH.
+//! - [`core`] — the C1–C7 components, routing strategies, the pipeline
+//!   builder, and the algorithms (`core::algorithms::Algo` is the entry
+//!   point).
+//! - [`ml`] — the §5.5 ML-based optimizations (learned routing, adaptive
+//!   early termination, dimensionality reduction).
+//!
+//! # Example
+//!
+//! ```
+//! use weavess::core::algorithms::Algo;
+//! use weavess::core::index::SearchContext;
+//! use weavess::data::synthetic::MixtureSpec;
+//!
+//! // 2 000 points in 16 dimensions, 10 held-out queries.
+//! let (base, queries) = MixtureSpec::table10(16, 2_000, 4, 5.0, 10).generate();
+//!
+//! // Build any surveyed algorithm through the uniform interface.
+//! let index = Algo::Hnsw.build(&base, /*threads=*/2, /*seed=*/42);
+//!
+//! // Search with a beam (candidate-set size) of 40.
+//! let mut ctx = SearchContext::new(base.len());
+//! let nearest = index.search(&base, queries.point(0), /*k=*/5, /*beam=*/40, &mut ctx);
+//! assert_eq!(nearest.len(), 5);
+//! // Work accounting behind the paper's speedup metric:
+//! assert!(ctx.stats.ndc > 0);
+//! ```
+
+pub use weavess_core as core;
+pub use weavess_data as data;
+pub use weavess_graph as graph;
+pub use weavess_ml as ml;
+pub use weavess_trees as trees;

@@ -1,0 +1,91 @@
+//! Integration: every surveyed algorithm builds a working index on a
+//! realistic (shared-manifold) dataset and answers queries at a sane
+//! recall, through the public facade API only.
+
+use weavess::core::algorithms::Algo;
+use weavess::core::index::SearchContext;
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::metrics::mean_recall;
+use weavess::data::synthetic::MixtureSpec;
+use weavess::data::Dataset;
+
+fn dataset() -> (Dataset, Dataset) {
+    MixtureSpec {
+        intrinsic_dim: Some(8),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(24, 1_500, 4, 5.0, 40)
+    }
+    .generate()
+}
+
+fn run(algo: Algo, base: &Dataset, queries: &Dataset, beam: usize) -> f64 {
+    let index = algo.build(base, 2, 1);
+    let gt = ground_truth(base, queries, 10, 2);
+    let mut ctx = SearchContext::new(base.len());
+    let results: Vec<Vec<u32>> = (0..queries.len() as u32)
+        .map(|qi| {
+            index
+                .search(base, queries.point(qi), 10, beam, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+    mean_recall(&results, &gt)
+}
+
+#[test]
+fn every_algorithm_reaches_a_recall_floor() {
+    let (base, queries) = dataset();
+    for &algo in Algo::all() {
+        let r = run(algo, &base, &queries, 80);
+        // Weak uniform floor: every index must be functional. Stronger
+        // per-algorithm floors live in each algorithm's unit tests.
+        assert!(r > 0.6, "{} recall {r}", algo.name());
+    }
+}
+
+#[test]
+fn rng_based_algorithms_reach_high_recall() {
+    let (base, queries) = dataset();
+    for algo in [Algo::Hnsw, Algo::Nsg, Algo::Nssg, Algo::Dpg, Algo::Oa] {
+        let r = run(algo, &base, &queries, 80);
+        assert!(r > 0.9, "{} recall {r}", algo.name());
+    }
+}
+
+#[test]
+fn builds_are_deterministic_given_seed() {
+    let (base, _) = dataset();
+    for algo in [Algo::KGraph, Algo::Nsg, Algo::Hcnng, Algo::Vamana] {
+        let a = algo.build(&base, 1, 7);
+        let b = algo.build(&base, 1, 7);
+        assert_eq!(
+            a.graph().to_lists(),
+            b.graph().to_lists(),
+            "{} not deterministic",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_randomized_builds() {
+    let (base, _) = dataset();
+    let a = Algo::Vamana.build(&base, 1, 7);
+    let b = Algo::Vamana.build(&base, 1, 8);
+    assert_ne!(a.graph().to_lists(), b.graph().to_lists());
+}
+
+#[test]
+fn search_stats_accumulate_across_queries() {
+    let (base, queries) = dataset();
+    let index = Algo::Hnsw.build(&base, 2, 1);
+    let mut ctx = SearchContext::new(base.len());
+    index.search(&base, queries.point(0), 10, 40, &mut ctx);
+    let after_one = ctx.stats;
+    index.search(&base, queries.point(1), 10, 40, &mut ctx);
+    assert!(ctx.stats.ndc > after_one.ndc);
+    assert!(ctx.stats.hops >= after_one.hops);
+}

@@ -1,0 +1,80 @@
+//! Integration: the dataset-file workflow — write a base/query/ground-truth
+//! triple in the TexMex formats, read it back, build and search — exactly
+//! what a user with real SIFT1M files would do.
+
+use weavess::core::algorithms::Algo;
+use weavess::core::index::SearchContext;
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::io::{read_fvecs, read_ivecs, write_fvecs, write_ivecs};
+use weavess::data::metrics::mean_recall;
+use weavess::data::synthetic::MixtureSpec;
+
+#[test]
+fn fvecs_workflow_end_to_end() {
+    let dir = std::env::temp_dir().join("weavess_it_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (base, queries) = MixtureSpec {
+        intrinsic_dim: Some(6),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(16, 1_000, 3, 5.0, 20)
+    }
+    .generate();
+    let gt = ground_truth(&base, &queries, 10, 2);
+
+    // Persist the triple.
+    write_fvecs(&dir.join("base.fvecs"), &base).unwrap();
+    write_fvecs(&dir.join("query.fvecs"), &queries).unwrap();
+    write_ivecs(&dir.join("gt.ivecs"), &gt).unwrap();
+
+    // Reload and verify bit-exactness.
+    let base2 = read_fvecs(&dir.join("base.fvecs")).unwrap();
+    let queries2 = read_fvecs(&dir.join("query.fvecs")).unwrap();
+    let gt2 = read_ivecs(&dir.join("gt.ivecs")).unwrap();
+    assert_eq!(base, base2);
+    assert_eq!(queries, queries2);
+    assert_eq!(gt, gt2);
+
+    // Build + search from the reloaded data.
+    let index = Algo::Hnsw.build(&base2, 2, 1);
+    let mut ctx = SearchContext::new(base2.len());
+    let results: Vec<Vec<u32>> = (0..queries2.len() as u32)
+        .map(|qi| {
+            index
+                .search(&base2, queries2.point(qi), 10, 60, &mut ctx)
+                .iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+    assert!(mean_recall(&results, &gt2) > 0.9);
+}
+
+#[test]
+fn ground_truth_matches_between_runs_and_thread_counts() {
+    let (base, queries) = MixtureSpec::table10(8, 500, 2, 4.0, 25).generate();
+    let a = ground_truth(&base, &queries, 10, 1);
+    let b = ground_truth(&base, &queries, 10, 3);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn stand_in_difficulty_ranks_simple_below_hard() {
+    // The substitution contract (DESIGN.md §5): SIFT-like must measure
+    // easier than GIST-like, which must measure easier than GloVe-like.
+    use weavess::data::metrics::dataset_lid;
+    use weavess::data::synthetic::standins;
+    let sets = standins::all(0.002);
+    let lid_of = |name: &str| {
+        let s = sets.iter().find(|s| s.name == name).unwrap();
+        let (base, _) = s.spec.generate();
+        dataset_lid(&base, 50, 100, 2)
+    };
+    let sift = lid_of("SIFT1M");
+    let gist = lid_of("GIST1M");
+    let glove = lid_of("GloVe");
+    let audio = lid_of("Audio");
+    assert!(audio < sift, "audio {audio} !< sift {sift}");
+    assert!(sift < gist, "sift {sift} !< gist {gist}");
+    assert!(gist < glove + 1.5, "gist {gist} vs glove {glove}");
+}

@@ -1,0 +1,103 @@
+//! Integration: the Table 2/9 taxonomy metadata is consistent with the
+//! built indexes' actual behavior.
+
+use weavess::core::algorithms::Algo;
+use weavess::data::synthetic::MixtureSpec;
+use weavess::data::Dataset;
+
+fn dataset() -> Dataset {
+    MixtureSpec {
+        intrinsic_dim: Some(6),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(16, 800, 3, 5.0, 10)
+    }
+    .generate()
+    .0
+}
+
+#[test]
+fn registry_covers_the_paper_plus_appendices() {
+    assert_eq!(Algo::all().len(), 17);
+    assert_eq!(Algo::core_thirteen().len(), 13);
+    // Every core-13 entry is in the full registry.
+    for a in Algo::core_thirteen() {
+        assert!(Algo::all().contains(a));
+    }
+    // Names are unique.
+    let mut names: Vec<&str> = Algo::all().iter().map(|a| a.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 17);
+}
+
+#[test]
+fn undirected_algorithms_build_mostly_mutual_edges() {
+    let ds = dataset();
+    for &algo in Algo::all() {
+        if algo.edge_type() != "undirected" {
+            continue;
+        }
+        let index = algo.build(&ds, 1, 1);
+        let g = index.graph();
+        let mut mutual = 0usize;
+        let mut total = 0usize;
+        for v in 0..g.len() as u32 {
+            for &u in g.neighbors(v) {
+                total += 1;
+                if g.neighbors(u).contains(&v) {
+                    mutual += 1;
+                }
+            }
+        }
+        assert!(
+            mutual as f64 / total as f64 > 0.75,
+            "{}: only {mutual}/{total} mutual",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn rng_approximating_algorithms_have_lower_degree_than_knng_ones() {
+    // The Table 4 pattern: RNG pruning cuts the average out-degree well
+    // below the pure-KNNG algorithms at comparable parameters.
+    let ds = dataset();
+    let deg = |algo: Algo| {
+        let index = algo.build(&ds, 1, 1);
+        weavess::graph::metrics::degree_stats(index.graph()).avg
+    };
+    let nsg = deg(Algo::Nsg);
+    let kgraph = deg(Algo::KGraph);
+    assert!(nsg < kgraph, "NSG {nsg} !< KGraph {kgraph}");
+}
+
+#[test]
+fn increment_strategy_names_match_module_behavior() {
+    // Spot-check the strategy labels against structural facts: increment
+    // builders have no refinement passes and stay connected (NSW).
+    assert_eq!(Algo::Nsw.construction_strategy(), "increment");
+    assert_eq!(Algo::Hnsw.construction_strategy(), "increment");
+    assert_eq!(Algo::Nsg.construction_strategy(), "refinement");
+    assert_eq!(Algo::Hcnng.construction_strategy(), "divide-and-conquer");
+    let ds = dataset();
+    let nsw = Algo::Nsw.build(&ds, 1, 1);
+    assert_eq!(
+        weavess::graph::connectivity::weak_components(nsw.graph()),
+        1,
+        "increment strategy must keep NSW connected"
+    );
+}
+
+#[test]
+fn base_graph_labels_are_from_the_four_classics() {
+    for &algo in Algo::all() {
+        for part in algo.base_graph().split('+') {
+            assert!(
+                ["KNNG", "RNG", "DG", "MST"].contains(&part),
+                "{}: unexpected base graph '{part}'",
+                algo.name()
+            );
+        }
+    }
+}
