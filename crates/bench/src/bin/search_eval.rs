@@ -6,12 +6,17 @@
 //! - **Table 5** — candidate set size (CS), query path length (PL), and
 //!   memory overhead (MO) at the target recall (0.90 at harness scale;
 //!   a trailing `+` marks an algorithm that hit its recall ceiling first,
-//!   like the paper's `+` entries).
+//!   like the paper's `+` entries);
+//! - **Batch serving** — QPS and p50/p95/p99 latency through the
+//!   concurrent [`weavess_core::serve::QueryEngine`] at the Table 5 beam,
+//!   measured at 1 worker and at `WEAVESS_QUERY_THREADS` workers.
 
 use weavess_bench::datasets::real_world_standins;
 use weavess_bench::report::{banner, f, mb, Table};
-use weavess_bench::runner::{at_target_recall, build_timed, default_beams, sweep};
-use weavess_bench::{env_scale, env_threads, select_algos};
+use weavess_bench::runner::{
+    at_target_recall, build_timed, default_beams, run_batch_at_beam, sweep,
+};
+use weavess_bench::{env_query_threads, env_scale, env_threads, select_algos};
 use weavess_core::algorithms::Algo;
 
 const K: usize = 10;
@@ -39,6 +44,18 @@ fn main() {
         "PL",
     ]);
     let mut table5 = Table::new(vec!["Dataset", "Alg", "CS", "PL", "MO(MB)", "Recall"]);
+    let query_threads = env_query_threads();
+    let mut serving = Table::new(vec![
+        "Dataset",
+        "Alg",
+        "beam",
+        "threads",
+        "Recall@10",
+        "QPS",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+    ]);
 
     for ds in &sets {
         banner(&format!("dataset {}", ds.name));
@@ -71,6 +88,24 @@ fn main() {
                 mb(report.index_bytes + ds.base.memory_bytes()),
                 f(pt.recall, 3),
             ]);
+            let mut worker_counts = vec![1usize];
+            if query_threads > 1 {
+                worker_counts.push(query_threads);
+            }
+            for &w in &worker_counts {
+                let sp = run_batch_at_beam(report.index.as_ref(), ds, K, pt.beam, w);
+                serving.row(vec![
+                    ds.name.clone(),
+                    algo.name().to_string(),
+                    sp.beam.to_string(),
+                    sp.threads.to_string(),
+                    f(sp.recall, 4),
+                    f(sp.qps, 0),
+                    f(sp.p50_ms, 3),
+                    f(sp.p95_ms, 3),
+                    f(sp.p99_ms, 3),
+                ]);
+            }
             eprintln!(
                 "{} on {}: best recall {:.3} at beam {}",
                 algo.name(),
@@ -89,4 +124,12 @@ fn main() {
     ));
     table5.print();
     table5.write_csv("table05_search_stats").expect("csv");
+    let serving_title = if query_threads > 1 {
+        format!("Batch serving at the Table 5 beam: QPS and latency, 1 vs {query_threads} workers")
+    } else {
+        "Batch serving at the Table 5 beam: QPS and latency, 1 worker".to_string()
+    };
+    banner(&serving_title);
+    serving.print();
+    serving.write_csv("serving_batch").expect("csv");
 }

@@ -16,6 +16,8 @@
 //! - `WEAVESS_SCALE` — cardinality scale for the stand-ins (default 0.003,
 //!   i.e. SIFT1M → 3 000 points; raise on bigger machines).
 //! - `WEAVESS_THREADS` — construction threads (default: all cores).
+//! - `WEAVESS_QUERY_THREADS` — batch-serving worker threads for the
+//!   threaded QPS/latency tables (default: all cores).
 //! - `WEAVESS_ALGOS` — comma-separated algorithm filter (default: all).
 
 pub mod datasets;
@@ -35,6 +37,21 @@ pub fn env_scale() -> f64 {
 /// Reads the construction thread count from `WEAVESS_THREADS`.
 pub fn env_threads() -> usize {
     std::env::var("WEAVESS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Reads the batch-serving worker count from `WEAVESS_QUERY_THREADS`
+/// (default: all cores). This is the thread count the serving tables
+/// (`search_eval`'s QPS/latency columns) are measured at; construction
+/// threads are governed separately by `WEAVESS_THREADS`.
+pub fn env_query_threads() -> usize {
+    std::env::var("WEAVESS_QUERY_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| {
@@ -107,6 +124,11 @@ mod tests {
         assert_eq!(env_threads(), 3);
         std::env::remove_var("WEAVESS_THREADS");
         assert!(env_threads() >= 1);
+
+        std::env::set_var("WEAVESS_QUERY_THREADS", "5");
+        assert_eq!(env_query_threads(), 5);
+        std::env::remove_var("WEAVESS_QUERY_THREADS");
+        assert!(env_query_threads() >= 1);
 
         std::env::set_var("WEAVESS_ALGOS", "nsg, HNSW ,kgraph");
         let picked = select_algos(Algo::all());

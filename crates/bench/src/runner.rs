@@ -4,6 +4,7 @@
 use crate::datasets::NamedDataset;
 use weavess_core::algorithms::Algo;
 use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_core::serve::{EngineOptions, QueryEngine};
 use weavess_data::metrics::recall;
 use weavess_graph::connectivity::weak_components;
 use weavess_graph::metrics::{degree_stats, graph_quality, DegreeStats};
@@ -95,6 +96,65 @@ pub fn run_at_beam(index: &dyn AnnIndex, ds: &NamedDataset, k: usize, beam: usiz
     }
 }
 
+/// One point of a threaded serving sweep: the batch engine's throughput
+/// and latency distribution at a fixed beam and worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingPoint {
+    /// Candidate-set size (the paper's CS).
+    pub beam: usize,
+    /// Worker threads serving the batch.
+    pub threads: usize,
+    /// Mean Recall@k over the batch.
+    pub recall: f64,
+    /// Queries per second over the batch wall-clock.
+    pub qps: f64,
+    /// Median per-query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean distance computations per query.
+    pub ndc: f64,
+}
+
+/// Runs the full query set through the batch [`QueryEngine`] at one beam
+/// width and worker count (the threaded counterpart of [`run_at_beam`]).
+pub fn run_batch_at_beam(
+    index: &dyn AnnIndex,
+    ds: &NamedDataset,
+    k: usize,
+    beam: usize,
+    threads: usize,
+) -> ServingPoint {
+    let engine = QueryEngine::with_options(
+        index,
+        &ds.base,
+        EngineOptions {
+            workers: threads,
+            ..EngineOptions::default()
+        },
+    );
+    let report = engine.search_batch(&ds.queries, k, beam);
+    let nq = ds.queries.len().max(1);
+    let mut total_recall = 0.0;
+    for (qi, res) in report.results.iter().enumerate() {
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        total_recall += recall(&ids, &ds.gt[qi][..k.min(ds.gt[qi].len())]);
+    }
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    ServingPoint {
+        beam,
+        threads: report.workers,
+        recall: total_recall / nq as f64,
+        qps: report.qps(),
+        p50_ms: ms(report.latency.p50),
+        p95_ms: ms(report.latency.p95),
+        p99_ms: ms(report.latency.p99),
+        ndc: report.stats.ndc as f64 / nq as f64,
+    }
+}
+
 /// The default beam schedule for recall/efficiency curves (the paper's
 /// high-precision region).
 pub fn default_beams(k: usize) -> Vec<usize> {
@@ -164,6 +224,29 @@ mod tests {
         assert!(points[1].recall >= points[0].recall - 0.02);
         assert!(points[1].ndc > points[0].ndc);
         assert!(points[0].speedup > 1.0);
+    }
+
+    #[test]
+    fn batch_sweep_matches_serial_recall_and_ndc() {
+        let ds = tiny();
+        let report = build_timed(Algo::KGraph, &ds, 2, 1);
+        let serial = run_at_beam(report.index.as_ref(), &ds, 10, 60);
+        for threads in [1usize, 4] {
+            let p = run_batch_at_beam(report.index.as_ref(), &ds, 10, 60, threads);
+            assert_eq!(p.threads, threads);
+            assert!(p.qps > 0.0);
+            assert!(p.p50_ms <= p.p95_ms && p.p95_ms <= p.p99_ms);
+            // Engine reseeds per query, so recall can differ slightly from
+            // the shared-RNG serial loop on random-seeded indexes, but the
+            // two measurements describe the same index and beam.
+            assert!(
+                (p.recall - serial.recall).abs() < 0.05,
+                "{} vs {}",
+                p.recall,
+                serial.recall
+            );
+            assert!((p.ndc - serial.ndc).abs() / serial.ndc < 0.2);
+        }
     }
 
     #[test]

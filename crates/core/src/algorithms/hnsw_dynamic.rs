@@ -183,6 +183,12 @@ impl DynamicHnsw {
     }
 
     /// Searches the live points for `k` nearest neighbors.
+    ///
+    /// When tombstones smother the query's neighborhood (e.g. a whole
+    /// deleted cluster), a fixed-width traversal can converge without ever
+    /// touching a live vertex; the beam is doubled until `k` live results
+    /// are found or the pool covers the whole dataset, so a connected
+    /// graph always yields every reachable live point.
     pub fn search(&mut self, query: &[f32], k: usize, beam: usize) -> Vec<Neighbor> {
         if self.data.is_empty() || self.live == 0 {
             return Vec::new();
@@ -191,21 +197,28 @@ impl DynamicHnsw {
         for l in (1..=self.enter_level).rev() {
             ep = self.greedy_closest(l, query, ep);
         }
-        self.visited.next_epoch();
         let deleted = &self.deleted;
         // Borrow dance: split disjoint fields for the filtered search.
         let mut stats = self.stats;
-        let res = filtered_beam_search(
-            &self.data,
-            self.layers[0].as_slice(),
-            query,
-            &[ep],
-            k,
-            beam.max(k),
-            &|id| !deleted[id as usize],
-            &mut self.visited,
-            &mut stats,
-        );
+        let mut beam = beam.max(k);
+        let res = loop {
+            self.visited.next_epoch();
+            let res = filtered_beam_search(
+                &self.data,
+                self.layers[0].as_slice(),
+                query,
+                &[ep],
+                k,
+                beam,
+                &|id| !deleted[id as usize],
+                &mut self.visited,
+                &mut stats,
+            );
+            if res.len() >= k.min(self.live) || beam >= self.data.len() {
+                break res;
+            }
+            beam = (beam * 2).min(self.data.len());
+        };
         self.stats = stats;
         res
     }

@@ -2,17 +2,16 @@
 //! come from the 2-hop neighborhood of the initial graph (no per-point
 //! graph search — the big construction-time win) and selection uses the
 //! relaxed SSG angle rule (default 60°), yielding a larger out-degree than
-//! MRNG. Entries are random but fixed at build time.
+//! MRNG. Entries are fixed at build time, spread by farthest-point
+//! sampling so clustered datasets keep an entry near every cluster.
 
 use crate::components::candidates::candidates_by_expansion;
 use crate::components::connectivity::dfs_repair;
-use crate::components::seeds::SeedStrategy;
+use crate::components::seeds::{spread_entries, SeedStrategy};
 use crate::components::selection::select_angle;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::search::Router;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -74,10 +73,9 @@ pub fn build(ds: &Dataset, params: &NssgParams) -> FlatIndex {
         }
     });
     // DFS connectivity from a fixed entry (NSSG attaches DFS like NSG).
-    let mut rng = StdRng::seed_from_u64(params.nd.seed ^ 0x7556);
-    let entries: Vec<u32> = (0..params.entries.max(1))
-        .map(|_| rng.gen_range(0..n as u32))
-        .collect();
+    // Entries are fixed at build time; farthest-point sampling spreads them
+    // across the dataset so each cluster has a nearby entry.
+    let entries = spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x7556);
     dfs_repair(ds, &mut lists, entries[0], params.l.min(64));
     let graph = CsrGraph::from_lists(
         &lists

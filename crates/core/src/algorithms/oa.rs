@@ -4,7 +4,8 @@
 //! - C1: NN-Descent at moderate quality (H1 — don't over-pay for GQ);
 //! - C2: NSSG's 2-hop expansion (fast, no per-point graph search);
 //! - C3: NSG's MRNG rule (H2 — diversified, low out-degree);
-//! - C4/C6: a fixed set of random entries (no auxiliary index, L4);
+//! - C4/C6: a fixed entry set spread by farthest-point sampling (no
+//!   auxiliary index, L4);
 //! - C5: DFS repair (H3 — every vertex reachable);
 //! - C7: two-stage routing — guided search to approach cheaply, best-first
 //!   to finish precisely (H2 + H3).
@@ -14,13 +15,11 @@
 
 use crate::components::candidates::candidates_by_expansion;
 use crate::components::connectivity::dfs_repair;
-use crate::components::seeds::SeedStrategy;
+use crate::components::seeds::{spread_entries, SeedStrategy};
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::search::Router;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -81,10 +80,7 @@ pub fn build(ds: &Dataset, params: &OaParams) -> FlatIndex {
             });
         }
     });
-    let mut rng = StdRng::seed_from_u64(params.nd.seed ^ 0x0A0A);
-    let entries: Vec<u32> = (0..params.entries.max(1))
-        .map(|_| rng.gen_range(0..n as u32))
-        .collect();
+    let entries = spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x0A0A);
     dfs_repair(ds, &mut lists, entries[0], 64);
     let graph = CsrGraph::from_lists(
         &lists

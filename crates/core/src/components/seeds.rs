@@ -9,7 +9,7 @@
 
 use crate::search::SearchStats;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use weavess_data::Dataset;
 use weavess_trees::{BkTree, KdForest, LshTable, VpTree};
 
@@ -78,6 +78,39 @@ pub enum SeedStrategy {
         /// Seeds per query.
         count: usize,
     },
+}
+
+/// Picks `count` well-spread fixed entries by greedy farthest-point
+/// (k-center) sampling: start from a seeded random vertex, then repeatedly
+/// add the vertex maximizing the distance to the chosen set. Deterministic
+/// given `seed`, costs `count·n` distance computations once at build time,
+/// and — unlike uniform random draws — covers every cluster of a clustered
+/// dataset, so beam search never depends on sparse repair bridges to cross
+/// between clusters. NSSG and OA use this for their fixed entry sets.
+pub fn spread_entries(ds: &Dataset, count: usize, seed: u64) -> Vec<u32> {
+    let n = ds.len();
+    let count = count.clamp(1, n.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first = rng.gen_range(0..n as u32);
+    let mut chosen = Vec::with_capacity(count);
+    chosen.push(first);
+    let mut min_d: Vec<f32> = (0..n as u32).map(|i| ds.dist(first, i)).collect();
+    while chosen.len() < count {
+        let far = min_d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as u32)
+            .expect("non-empty dataset");
+        chosen.push(far);
+        for (i, slot) in min_d.iter_mut().enumerate() {
+            let d = ds.dist(far, i as u32);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    chosen
 }
 
 impl SeedStrategy {

@@ -27,6 +27,9 @@
 //! - [`persist`]: save/load built indexes without rebuilding.
 //! - [`quantized`]: SQ8-routed search with full-precision rerank (the §6
 //!   "data encoding" challenge).
+//! - [`serve`]: the concurrent batch query engine
+//!   ([`serve::QueryEngine`]) — per-worker scratch pooling, deterministic
+//!   results at any worker count, batch QPS/latency accounting.
 
 pub mod algorithms;
 pub mod components;
@@ -36,6 +39,8 @@ pub mod persist;
 pub mod pipeline;
 pub mod quantized;
 pub mod search;
+pub mod serve;
 
 pub use index::{AnnIndex, FlatIndex, SearchContext};
 pub use search::{Router, SearchStats};
+pub use serve::{BatchReport, EngineOptions, LatencySummary, QueryEngine};

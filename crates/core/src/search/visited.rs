@@ -49,6 +49,18 @@ impl VisitedPool {
         self.stamp[v as usize] == self.epoch
     }
 
+    /// Fast-forwards so the epoch counter wraps after `remaining` more
+    /// [`next_epoch`](Self::next_epoch) calls. Only jumps forward (stamps
+    /// stay strictly older than the new epoch), so the visible state is
+    /// exactly "fresh epoch, nothing visited" — this lets tests exercise
+    /// the u32 rollover without ~4 billion queries.
+    pub fn jump_near_rollover(&mut self, remaining: u32) {
+        let target = u32::MAX - remaining;
+        if target > self.epoch {
+            self.epoch = target;
+        }
+    }
+
     /// Grows the pool to cover at least `n` vertices (new vertices start
     /// unvisited). Needed by dynamically updated indexes.
     pub fn ensure_len(&mut self, n: usize) {

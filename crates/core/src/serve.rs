@@ -1,0 +1,466 @@
+//! Concurrent batch query serving — the deployment-facing counterpart to
+//! the paper's single-threaded evaluation loop.
+//!
+//! The survey measures every algorithm one query at a time on one core
+//! (its QPS columns); a serving system answers query *batches* on many
+//! cores. [`QueryEngine`] wraps any built [`AnnIndex`] behind a shared
+//! read-only reference and fans each batch across a fixed worker pool
+//! (`std::thread::scope` — no runtime dependency), giving every worker a
+//! reusable [`SearchContext`] checked out of a scratch pool so the hot
+//! path performs no per-query allocation of search state.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical regardless of worker count and batch
+//! order**. Two mechanisms make that hold:
+//!
+//! - every query re-seeds its context RNG from the engine's base seed
+//!   mixed with a hash of the query vector itself (not its batch
+//!   position), so random seed strategies (C4 "random" acquisition) draw
+//!   an identical stream wherever and whenever the query runs;
+//! - per-query [`SearchStats`] are summed with associative integer
+//!   addition, so the batch aggregate is independent of the partition.
+//!
+//! Fixed-seed indexes (NSG, HNSW, …) additionally match the plain
+//! [`AnnIndex::search`] serial loop exactly; random-seeded indexes match
+//! the engine's own 1-worker path (the plain loop advances one RNG
+//! across queries and is therefore order-sensitive by construction).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::index::{AnnIndex, SearchContext};
+use crate::search::SearchStats;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use weavess_data::{Dataset, Neighbor};
+
+/// Tuning knobs for a [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads per batch. `0` means one per available core.
+    pub workers: usize,
+    /// Base seed mixed into every query's RNG (affects random seed
+    /// strategies only).
+    pub seed: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            workers: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl EngineOptions {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Latency distribution of one batch, from per-query wall-clock samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median per-query latency.
+    pub p50: Duration,
+    /// 95th-percentile per-query latency.
+    pub p95: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99: Duration,
+    /// Mean per-query latency.
+    pub mean: Duration,
+    /// Worst per-query latency.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-query latency samples (nanoseconds).
+    /// Returns the zero summary for an empty batch.
+    pub fn from_nanos(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let pick = |p: f64| {
+            // Nearest-rank percentile: ceil(p * n) - 1, clamped.
+            let rank = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
+            Duration::from_nanos(samples[rank.min(samples.len() - 1)])
+        };
+        let sum: u64 = samples.iter().sum();
+        LatencySummary {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            mean: Duration::from_nanos(sum / samples.len() as u64),
+            max: Duration::from_nanos(*samples.last().unwrap()),
+        }
+    }
+}
+
+/// Everything one batch returns: per-query results in input order, the
+/// aggregated work counters, and the throughput/latency measurements.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query nearest-first results, indexed like the input batch.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Work counters summed over the whole batch (partition-independent).
+    pub stats: SearchStats,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Per-query latency distribution.
+    pub latency: LatencySummary,
+    /// Worker threads that served the batch.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Queries per second over the batch wall-clock.
+    pub fn qps(&self) -> f64 {
+        self.results.len() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// FNV-1a over the query's raw f32 bits: a stable, position-independent
+/// per-query seed component.
+fn hash_query(query: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in query {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// A concurrent batch query engine over one built index.
+///
+/// The engine is `Sync`: one instance may serve overlapping
+/// [`search_batch`](QueryEngine::search_batch) calls from many caller
+/// threads, sharing a single scratch pool of [`SearchContext`]s that is
+/// reused across batches (contexts are created on demand up to the peak
+/// worker concurrency, then recycled — the steady state allocates no
+/// search state at all).
+///
+/// ```
+/// use weavess_core::components::SeedStrategy;
+/// use weavess_core::index::FlatIndex;
+/// use weavess_core::search::Router;
+/// use weavess_core::serve::QueryEngine;
+/// use weavess_data::synthetic::MixtureSpec;
+/// use weavess_graph::base::exact_knng;
+///
+/// let (base, queries) = MixtureSpec::table10(8, 500, 4, 3.0, 25).generate();
+/// let index = FlatIndex {
+///     name: "example",
+///     graph: exact_knng(&base, 10, 2),
+///     seeds: SeedStrategy::Fixed(vec![0]),
+///     router: Router::BestFirst,
+/// };
+/// let engine = QueryEngine::new(&index, &base);
+/// let report = engine.search_batch(&queries, 10, 40);
+/// assert_eq!(report.results.len(), queries.len());
+/// assert!(report.qps() > 0.0);
+/// ```
+pub struct QueryEngine<'a> {
+    index: &'a dyn AnnIndex,
+    ds: &'a Dataset,
+    opts: EngineOptions,
+    scratch: Mutex<Vec<SearchContext>>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine with default options (one worker per core).
+    pub fn new(index: &'a dyn AnnIndex, ds: &'a Dataset) -> Self {
+        Self::with_options(index, ds, EngineOptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(index: &'a dyn AnnIndex, ds: &'a Dataset, opts: EngineOptions) -> Self {
+        QueryEngine {
+            index,
+            ds,
+            opts,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Number of pooled scratch contexts currently idle (observability;
+    /// bounded by the peak worker concurrency reached so far).
+    pub fn pooled_contexts(&self) -> usize {
+        self.scratch.lock().len()
+    }
+
+    fn checkout(&self) -> SearchContext {
+        match self.scratch.lock().pop() {
+            Some(mut ctx) => {
+                ctx.visited.ensure_len(self.ds.len());
+                ctx
+            }
+            None => SearchContext::new(self.ds.len()),
+        }
+    }
+
+    fn restore(&self, ctx: SearchContext) {
+        self.scratch.lock().push(ctx);
+    }
+
+    /// Answers one query with pooled scratch state. Results are identical
+    /// to the same query inside any [`search_batch`](Self::search_batch)
+    /// call (per-query seeding is position-independent).
+    pub fn search_one(&self, query: &[f32], k: usize, beam: usize) -> Vec<Neighbor> {
+        let mut ctx = self.checkout();
+        let out = self.run_query(query, k, beam, &mut ctx);
+        self.restore(ctx);
+        out
+    }
+
+    /// The single-query hot path: deterministic RNG reseed, then search.
+    fn run_query(
+        &self,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+    ) -> Vec<Neighbor> {
+        ctx.rng = StdRng::seed_from_u64(self.opts.seed ^ hash_query(query));
+        self.index.search(self.ds, query, k, beam, ctx)
+    }
+
+    /// Answers a whole batch across the worker pool, returning per-query
+    /// results in input order plus aggregated counters and latency.
+    ///
+    /// Queries are claimed dynamically (an atomic cursor), so stragglers
+    /// don't idle the other workers; determinism is unaffected because
+    /// per-query state never depends on the claiming worker.
+    pub fn search_batch(&self, queries: &Dataset, k: usize, beam: usize) -> BatchReport {
+        let nq = queries.len();
+        let workers = self.opts.effective_workers().min(nq).max(1);
+        let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(nq);
+        results.resize_with(nq, Vec::new);
+        let mut lat = vec![0u64; nq];
+        let mut stats = SearchStats::default();
+        let t0 = Instant::now();
+
+        if nq > 0 {
+            let cursor = AtomicUsize::new(0);
+            // Each worker returns (claimed indices, results, latencies,
+            // stats); the parent scatters them back into input order.
+            let mut parts = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut ctx = self.checkout();
+                            let mut got: Vec<(usize, Vec<Neighbor>, u64)> =
+                                Vec::with_capacity(nq / workers + 1);
+                            loop {
+                                let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                                if qi >= nq {
+                                    break;
+                                }
+                                let tq = Instant::now();
+                                let res =
+                                    self.run_query(queries.point(qi as u32), k, beam, &mut ctx);
+                                got.push((qi, res, tq.elapsed().as_nanos() as u64));
+                            }
+                            let stats = ctx.take_stats();
+                            self.restore(ctx);
+                            (got, stats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (got, part_stats) in parts.drain(..) {
+                stats.merge(part_stats);
+                for (qi, res, nanos) in got {
+                    results[qi] = res;
+                    lat[qi] = nanos;
+                }
+            }
+        }
+
+        let wall = t0.elapsed();
+        BatchReport {
+            results,
+            stats,
+            wall,
+            latency: LatencySummary::from_nanos(&mut lat),
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::SeedStrategy;
+    use crate::index::FlatIndex;
+    use crate::search::Router;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::base::exact_knng;
+
+    fn setup(seeds: SeedStrategy) -> (Dataset, Dataset, FlatIndex) {
+        let (ds, qs) = MixtureSpec::table10(8, 600, 4, 3.0, 30).generate();
+        let graph = exact_knng(&ds, 10, 4);
+        let idx = FlatIndex {
+            name: "serve-test",
+            graph,
+            seeds,
+            router: Router::BestFirst,
+        };
+        (ds, qs, idx)
+    }
+
+    #[test]
+    fn batch_matches_across_worker_counts_with_random_seeds() {
+        let (ds, qs, idx) = setup(SeedStrategy::Random { count: 8 });
+        let run = |workers: usize| {
+            let engine = QueryEngine::with_options(
+                &idx,
+                &ds,
+                EngineOptions {
+                    workers,
+                    seed: 0xFEED,
+                },
+            );
+            engine.search_batch(&qs, 10, 40)
+        };
+        let one = run(1);
+        for workers in [2usize, 4, 8] {
+            let multi = run(workers);
+            assert_eq!(multi.results, one.results, "workers={workers}");
+            assert_eq!(multi.stats, one.stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_plain_serial_loop_with_fixed_seeds() {
+        let (ds, qs, idx) = setup(SeedStrategy::Fixed(vec![0, 100, 200]));
+        let mut ctx = SearchContext::new(ds.len());
+        let serial: Vec<Vec<Neighbor>> = (0..qs.len() as u32)
+            .map(|qi| idx.search(&ds, qs.point(qi), 10, 40, &mut ctx))
+            .collect();
+        let engine = QueryEngine::with_options(
+            &idx,
+            &ds,
+            EngineOptions {
+                workers: 4,
+                seed: 1,
+            },
+        );
+        let report = engine.search_batch(&qs, 10, 40);
+        assert_eq!(report.results, serial);
+        assert_eq!(report.stats, ctx.take_stats());
+    }
+
+    #[test]
+    fn batch_order_does_not_change_per_query_results() {
+        let (ds, qs, idx) = setup(SeedStrategy::Random { count: 6 });
+        let engine = QueryEngine::with_options(
+            &idx,
+            &ds,
+            EngineOptions {
+                workers: 3,
+                seed: 9,
+            },
+        );
+        let forward = engine.search_batch(&qs, 5, 30);
+        let rev_ids: Vec<u32> = (0..qs.len() as u32).rev().collect();
+        let reversed = engine.search_batch(&qs.subset(&rev_ids), 5, 30);
+        for qi in 0..qs.len() {
+            assert_eq!(
+                forward.results[qi],
+                reversed.results[qs.len() - 1 - qi],
+                "query {qi} changed with batch order"
+            );
+        }
+    }
+
+    #[test]
+    fn search_one_agrees_with_batch() {
+        let (ds, qs, idx) = setup(SeedStrategy::Random { count: 8 });
+        let engine = QueryEngine::new(&idx, &ds);
+        let report = engine.search_batch(&qs, 10, 40);
+        for qi in 0..qs.len() as u32 {
+            assert_eq!(
+                engine.search_one(qs.point(qi), 10, 40),
+                report.results[qi as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_query_batches() {
+        let (ds, qs, idx) = setup(SeedStrategy::Fixed(vec![0]));
+        let engine = QueryEngine::new(&idx, &ds);
+        let empty = engine.search_batch(&qs.subset(&[]), 10, 40);
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.stats, SearchStats::default());
+        assert_eq!(empty.latency, LatencySummary::default());
+        let single = engine.search_batch(&qs.subset(&[3]), 10, 40);
+        assert_eq!(single.results.len(), 1);
+        assert_eq!(single.results[0].len(), 10);
+        assert!(single.latency.p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded_and_reused() {
+        let (ds, qs, idx) = setup(SeedStrategy::Fixed(vec![0]));
+        let engine = QueryEngine::with_options(
+            &idx,
+            &ds,
+            EngineOptions {
+                workers: 4,
+                seed: 0,
+            },
+        );
+        for _ in 0..5 {
+            engine.search_batch(&qs, 5, 20);
+        }
+        let pooled = engine.pooled_contexts();
+        assert!((1..=4).contains(&pooled), "pooled={pooled}");
+    }
+
+    #[test]
+    fn report_measurements_are_sane() {
+        let (ds, qs, idx) = setup(SeedStrategy::Fixed(vec![0, 50]));
+        let engine = QueryEngine::new(&idx, &ds);
+        let r = engine.search_batch(&qs, 10, 60);
+        assert!(r.qps() > 0.0);
+        assert!(r.stats.ndc > 0);
+        assert!(r.latency.p50 <= r.latency.p95);
+        assert!(r.latency.p95 <= r.latency.p99);
+        assert!(r.latency.p99 <= r.latency.max);
+        assert!(r.latency.mean <= r.latency.max);
+        assert!(r.wall >= r.latency.max / (r.workers as u32));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut nanos: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_nanos(&mut nanos);
+        assert_eq!(s.p50, Duration::from_nanos(50));
+        assert_eq!(s.p95, Duration::from_nanos(95));
+        assert_eq!(s.p99, Duration::from_nanos(99));
+        assert_eq!(s.max, Duration::from_nanos(100));
+        assert_eq!(s.mean, Duration::from_nanos(50));
+    }
+}

@@ -156,6 +156,58 @@ proptest! {
         prop_assert!(s3.ndc >= s2.ndc);
     }
 
+    /// On a fully-connected graph (every vertex adjacent to every other),
+    /// one expansion reaches the entire dataset, so beam search must
+    /// return exactly the brute-force top-`beam` — sorted nearest-first
+    /// and duplicate-free — from any seed.
+    #[test]
+    fn fully_connected_beam_search_is_brute_force(
+        seed in 0u64..60,
+        beam in 1usize..50,
+        entry in 0u32..50,
+    ) {
+        let spec = MixtureSpec::table10(8, 50, 2, 5.0, 4).with_seed(seed);
+        let (ds, qs) = spec.generate();
+        let n = ds.len() as u32;
+        let lists: Vec<Vec<u32>> = (0..n)
+            .map(|v| (0..n).filter(|&u| u != v).collect())
+            .collect();
+        let g = CsrGraph::from_lists(&lists);
+        let mut visited = VisitedPool::new(ds.len());
+        let mut stats = SearchStats::default();
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            visited.next_epoch();
+            let res = beam_search(&ds, &g, q, &[entry], beam, &mut visited, &mut stats);
+            prop_assert_eq!(res.len(), beam.min(ds.len()));
+            prop_assert!(res.windows(2).all(|w| w[0] < w[1]), "unsorted/dup");
+            let truth = knn_scan(&ds, q, beam, None);
+            prop_assert_eq!(&res, &truth, "query {}", qi);
+        }
+    }
+
+    /// Crossing the u32 epoch rollover never reports a stale visit as
+    /// fresh or a fresh visit as stale: the pool keeps obeying the same
+    /// set semantics as a per-epoch HashSet model right through the wrap.
+    #[test]
+    fn visited_pool_rollover_reports_no_stale_visits(
+        remaining in 0u32..6,
+        ops in prop::collection::vec((0u32..64, prop::bool::ANY), 1..300),
+    ) {
+        let mut pool = VisitedPool::new(64);
+        pool.jump_near_rollover(remaining);
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for &(v, new_epoch) in &ops {
+            if new_epoch {
+                pool.next_epoch();
+                seen.clear();
+            }
+            let fresh = pool.visit(v);
+            prop_assert_eq!(fresh, seen.insert(v));
+            prop_assert!(pool.is_visited(v));
+        }
+    }
+
     /// With an undirected connected graph and a beam the size of the
     /// dataset, best-first search degenerates to exhaustive traversal and
     /// must return exactly the brute-force nearest neighbor.

@@ -1,0 +1,87 @@
+//! Serve a query batch through the concurrent [`QueryEngine`] and compare
+//! throughput and tail latency across worker counts — the serving-side
+//! counterpart of the paper's single-thread QPS tables.
+//!
+//! Results are bit-identical at every worker count: the engine reseeds
+//! each query's RNG from the query vector, so neither the worker count
+//! nor the batch order changes what any query returns.
+//!
+//! ```sh
+//! cargo run --release --example batch_serving
+//! ```
+
+use weavess::core::algorithms::Algo;
+use weavess::core::serve::{EngineOptions, QueryEngine};
+use weavess::data::ground_truth::ground_truth;
+use weavess::data::metrics::recall;
+use weavess::data::synthetic::MixtureSpec;
+
+fn main() {
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(10),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(32, 8_000, 6, 5.0, 500)
+    };
+    let (base, queries) = spec.generate();
+    let k = 10;
+    let beam = 60;
+    let gt = ground_truth(&base, &queries, k, 4);
+
+    let index = Algo::Hnsw.build(&base, 4, 1);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!(
+        "Serving {} queries (k={k}, beam={beam}) on HNSW over {} points\n",
+        queries.len(),
+        base.len()
+    );
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "workers", "QPS", "p50(ms)", "p95(ms)", "p99(ms)", "NDC/q", "Recall@10"
+    );
+
+    let mut baseline: Option<Vec<Vec<weavess::data::Neighbor>>> = None;
+    for workers in [1usize, 2, cores.max(2)] {
+        let engine = QueryEngine::with_options(
+            index.as_ref(),
+            &base,
+            EngineOptions {
+                workers,
+                ..EngineOptions::default()
+            },
+        );
+        let report = engine.search_batch(&queries, k, beam);
+        let mean_recall: f64 = report
+            .results
+            .iter()
+            .enumerate()
+            .map(|(qi, res)| {
+                let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+                recall(&ids, &gt[qi])
+            })
+            .sum::<f64>()
+            / queries.len() as f64;
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{:>7} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>9.0} {:>10.4}",
+            report.workers,
+            report.qps(),
+            ms(report.latency.p50),
+            ms(report.latency.p95),
+            ms(report.latency.p99),
+            report.stats.ndc as f64 / queries.len() as f64,
+            mean_recall
+        );
+        match &baseline {
+            None => baseline = Some(report.results),
+            Some(b) => assert_eq!(
+                b, &report.results,
+                "results must be bit-identical at any worker count"
+            ),
+        }
+    }
+    println!("\nAll worker counts returned bit-identical results.");
+}

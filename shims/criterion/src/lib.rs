@@ -1,0 +1,174 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion::bench_function`] with [`Bencher::iter`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`].
+//!
+//! Measurement is intentionally simple — a timed pilot sizes a batch that
+//! fits the configured measurement time, then mean ns/iter is reported —
+//! because the workspace uses these benches as smoke tests and coarse
+//! regression signals, not as a statistics engine. `--test` (what CI
+//! passes) runs each benchmark once and skips measurement.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark registry and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(ns) if !self.test_mode => {
+                println!("{name:<40} {:>12.1} ns/iter", ns);
+            }
+            _ => println!("{name:<40} ok (test mode)"),
+        }
+        self
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, storing mean ns/iter for the caller's report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Pilot: size the batch so one sample costs roughly
+        // measurement_time / sample_size.
+        let t0 = Instant::now();
+        black_box(routine());
+        let pilot = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / (self.sample_size as u32);
+        let batch = (per_sample.as_nanos() / pilot.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch as u64;
+            if total > self.measurement_time {
+                break;
+            }
+        }
+        self.report = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Declares a benchmark group (subset of upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main` (subset of upstream
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+    }
+
+    criterion_group! {
+        name = group_with_config;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
+        targets = sample_bench
+    }
+
+    criterion_group!(plain_group, sample_bench);
+
+    #[test]
+    fn groups_are_callable() {
+        group_with_config();
+        plain_group();
+    }
+}

@@ -15,8 +15,9 @@
 //! - [`trees`] — KD-forest, VP-tree, balanced k-means tree, TP
 //!   partitioning, LSH.
 //! - [`core`] — the C1–C7 components, routing strategies, the pipeline
-//!   builder, and the algorithms (`core::algorithms::Algo` is the entry
-//!   point).
+//!   builder, the algorithms (`core::algorithms::Algo` is the entry
+//!   point), and the concurrent batch serving engine
+//!   (`core::serve::QueryEngine`).
 //! - [`ml`] — the §5.5 ML-based optimizations (learned routing, adaptive
 //!   early termination, dimensionality reduction).
 //!

@@ -58,7 +58,14 @@ fn rng_based_algorithms_reach_high_recall() {
 #[test]
 fn builds_are_deterministic_given_seed() {
     let (base, _) = dataset();
-    for algo in [Algo::KGraph, Algo::Nsg, Algo::Hcnng, Algo::Vamana] {
+    for algo in [
+        Algo::KGraph,
+        Algo::Nsg,
+        Algo::Nssg,
+        Algo::Oa,
+        Algo::Hcnng,
+        Algo::Vamana,
+    ] {
         let a = algo.build(&base, 1, 7);
         let b = algo.build(&base, 1, 7);
         assert_eq!(
