@@ -2,7 +2,7 @@
 //! on the same prebuilt graph — the per-query cost behind Figures 7/8.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use weavess_core::search::{Router, SearchStats, VisitedPool};
+use weavess_core::search::{Router, SearchScratch, SearchStats};
 use weavess_data::synthetic::MixtureSpec;
 use weavess_data::Dataset;
 use weavess_graph::base::exact_knng;
@@ -22,7 +22,7 @@ fn setup() -> (Dataset, Dataset, CsrGraph) {
 
 fn bench_routers(c: &mut Criterion) {
     let (base, queries, graph) = setup();
-    let mut visited = VisitedPool::new(base.len());
+    let mut scratch = SearchScratch::new(base.len());
     let seeds: Vec<u32> = (0..8u32).map(|i| i * 617 % base.len() as u32).collect();
     let routers = [
         ("best_first", Router::BestFirst),
@@ -42,7 +42,7 @@ fn bench_routers(c: &mut Criterion) {
             bench.iter(|| {
                 let q = queries.point(qi % queries.len() as u32);
                 qi += 1;
-                visited.next_epoch();
+                scratch.next_epoch();
                 let mut stats = SearchStats::default();
                 black_box(router.search(
                     &base,
@@ -50,7 +50,7 @@ fn bench_routers(c: &mut Criterion) {
                     black_box(q),
                     &seeds,
                     60,
-                    &mut visited,
+                    &mut scratch,
                     &mut stats,
                 ))
             })

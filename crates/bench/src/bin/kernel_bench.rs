@@ -1,0 +1,338 @@
+//! Distance-kernel microbenchmark — the perf trajectory's seed artifact.
+//!
+//! Measures, per dimension, the ns/distance of the scalar reference kernel,
+//! the unrolled multi-accumulator kernel, and the batched
+//! [`Dataset::dist_to_many`] path; then an end-to-end fixed-beam search
+//! comparison (QPS and Recall@10) driving the same best-first discipline
+//! through all three scoring paths. Emits `BENCH_kernels.json` at the repo
+//! root alongside an aligned table on stdout.
+//!
+//! Both runs use integer-valued coordinates, so every partial sum is exact
+//! in f32 and the three paths are bit-equal by construction — the results
+//! identity reported here is a hard guarantee, not a tolerance check.
+
+use std::hint::black_box;
+use std::time::Instant;
+use weavess_bench::env_threads;
+use weavess_bench::report::{banner, f, Table};
+use weavess_core::search::{beam_search, SearchScratch, SearchStats};
+use weavess_data::distance::{scalar, unrolled};
+use weavess_data::ground_truth::ground_truth;
+use weavess_data::neighbor::{insert_into_pool, Neighbor};
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
+use weavess_graph::base::exact_knng;
+use weavess_graph::CsrGraph;
+
+/// Dimensions for the ns/distance sweep (96/128 cover the acceptance bar;
+/// 960 is GIST-shaped).
+const DIMS: [usize; 6] = [8, 32, 96, 128, 256, 960];
+/// Points scored per microbench pass.
+const MICRO_N: usize = 4_096;
+/// Element-op budget per kernel per dimension (keeps each timing ~0.1-0.3 s).
+const MICRO_BUDGET: usize = 200_000_000;
+
+/// Deterministic small-integer dataset: coordinates in [-16, 16].
+fn integer_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut state = seed | 1;
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % 33) as f32 - 16.0
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_rows(&rows)
+}
+
+/// Times `passes` scans of `ds` against `query` through `kernel`; returns
+/// ns per distance.
+fn time_kernel(
+    ds: &Dataset,
+    query: &[f32],
+    passes: usize,
+    kernel: fn(&[f32], &[f32]) -> f32,
+) -> f64 {
+    let mut acc = 0.0f32;
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        for i in 0..ds.len() as u32 {
+            acc += kernel(black_box(query), ds.point(i));
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    black_box(acc);
+    ns / (passes * ds.len()) as f64
+}
+
+/// Times the batched `dist_to_many` path; returns ns per distance.
+fn time_batched(ds: &Dataset, query: &[f32], passes: usize) -> f64 {
+    let ids: Vec<u32> = (0..ds.len() as u32).collect();
+    let mut out: Vec<f32> = Vec::new();
+    let mut acc = 0.0f32;
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        ds.dist_to_many(black_box(query), &ids, &mut out);
+        acc += out.iter().sum::<f32>();
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    black_box(acc);
+    ns / (passes * ds.len()) as f64
+}
+
+/// Best-first search over an explicit per-vertex scorer — the same
+/// candidate-pool discipline as [`beam_search`], so given bit-equal
+/// distances it returns bit-equal results. Used to drive the scalar and
+/// unrolled kernels end-to-end without going through `Dataset`'s
+/// compile-time kernel dispatch.
+fn beam_search_with(
+    g: &CsrGraph,
+    n: usize,
+    seeds: &[u32],
+    beam: usize,
+    visited: &mut Vec<bool>,
+    dist: &mut dyn FnMut(u32) -> f32,
+) -> Vec<Neighbor> {
+    visited.clear();
+    visited.resize(n, false);
+    let mut pool: Vec<Neighbor> = Vec::new();
+    let mut expanded: Vec<bool> = Vec::new();
+    let push = |pool: &mut Vec<Neighbor>, expanded: &mut Vec<bool>, nb: Neighbor| {
+        let pos = insert_into_pool(pool, beam, nb)?;
+        expanded.insert(pos, false);
+        expanded.truncate(pool.len());
+        Some(pos)
+    };
+    for &s in seeds {
+        if !std::mem::replace(&mut visited[s as usize], true) {
+            push(&mut pool, &mut expanded, Neighbor::new(s, dist(s)));
+        }
+    }
+    let mut k = 0usize;
+    while k < pool.len() {
+        if expanded[k] {
+            k += 1;
+            continue;
+        }
+        expanded[k] = true;
+        let v = pool[k].id;
+        let mut lowest = usize::MAX;
+        for &u in g.neighbors(v) {
+            if !std::mem::replace(&mut visited[u as usize], true) {
+                if let Some(pos) = push(&mut pool, &mut expanded, Neighbor::new(u, dist(u))) {
+                    lowest = lowest.min(pos);
+                }
+            }
+        }
+        if lowest <= k {
+            k = lowest;
+        } else {
+            k += 1;
+        }
+    }
+    pool
+}
+
+struct EndToEnd {
+    qps_scalar: f64,
+    qps_unrolled: f64,
+    qps_batched: f64,
+    recall_at_10: f64,
+    identical: bool,
+}
+
+/// Fixed-beam end-to-end comparison on a clustered integer-quantized set.
+fn end_to_end(dim: usize, n: usize, beam: usize, threads: usize) -> EndToEnd {
+    // Clustered mixture, quantized to integers so all three scoring paths
+    // are bit-equal (coords stay small; sums stay < 2^24).
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(12),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(dim, n, 8, 5.0, 400)
+    };
+    let (fb, fq) = spec.generate();
+    let quant = |ds: &Dataset| {
+        let rows: Vec<Vec<f32>> = (0..ds.len() as u32)
+            .map(|i| ds.point(i).iter().map(|x| x.round()).collect())
+            .collect();
+        Dataset::from_rows(&rows)
+    };
+    let base = quant(&fb);
+    let queries = quant(&fq);
+    let g = exact_knng(&base, 16, threads);
+    let gt = ground_truth(&base, &queries, 10, threads);
+    let seeds = [0u32, (n / 3) as u32, (2 * n / 3) as u32];
+    let nq = queries.len() as u32;
+
+    // Per-flavor search drivers, each returning all result-id lists.
+    let run_kernel = |kernel: fn(&[f32], &[f32]) -> f32| -> (f64, Vec<Vec<u32>>) {
+        let mut visited: Vec<bool> = Vec::new();
+        let mut best = f64::INFINITY;
+        let mut ids: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..3 {
+            ids.clear();
+            let t0 = Instant::now();
+            for qi in 0..nq {
+                let q = queries.point(qi);
+                let res = beam_search_with(&g, n, &seeds, beam, &mut visited, &mut |u| {
+                    kernel(q, base.point(u))
+                });
+                ids.push(res.iter().map(|nb| nb.id).collect());
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (nq as f64 / best, ids)
+    };
+    let (qps_scalar, ids_scalar) = run_kernel(scalar::squared_euclidean);
+    let (qps_unrolled, ids_unrolled) = run_kernel(unrolled::squared_euclidean);
+
+    // Batched path: the production beam search (dispatched kernels +
+    // dist_to_many + reusable scratch).
+    let mut scratch = SearchScratch::new(n);
+    let mut stats = SearchStats::default();
+    let mut best = f64::INFINITY;
+    let mut ids_batched: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..3 {
+        ids_batched.clear();
+        let t0 = Instant::now();
+        for qi in 0..nq {
+            scratch.next_epoch();
+            let res = beam_search(
+                &base,
+                &g,
+                queries.point(qi),
+                &seeds,
+                beam,
+                &mut scratch,
+                &mut stats,
+            );
+            ids_batched.push(res.iter().map(|nb| nb.id).collect());
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let qps_batched = nq as f64 / best;
+
+    let identical = ids_scalar == ids_unrolled && ids_unrolled == ids_batched;
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (res, truth) in ids_batched.iter().zip(gt.iter()) {
+        hits += res.iter().take(10).filter(|id| truth.contains(id)).count();
+        total += truth.len().min(10);
+    }
+    EndToEnd {
+        qps_scalar,
+        qps_unrolled,
+        qps_batched,
+        recall_at_10: hits as f64 / total as f64,
+        identical,
+    }
+}
+
+fn main() {
+    let threads = env_threads();
+    let mode = if cfg!(feature = "paper-fidelity") {
+        "paper-fidelity"
+    } else {
+        "default"
+    };
+    banner(&format!("Distance kernel bench (mode={mode})"));
+
+    let mut table = Table::new(vec![
+        "dim",
+        "scalar ns/d",
+        "unrolled ns/d",
+        "batched ns/d",
+        "unrolled x",
+        "batched x",
+    ]);
+    let mut micro_json = String::new();
+    for &dim in &DIMS {
+        let ds = integer_dataset(MICRO_N, dim, 0x5eed);
+        let qds = integer_dataset(1, dim, 0xfeed);
+        let query = qds.point(0);
+        let passes = (MICRO_BUDGET / (MICRO_N * dim)).max(3);
+        // Warm-up pass, then measure; best of 3 to shed scheduler noise.
+        time_kernel(&ds, query, 1, scalar::squared_euclidean);
+        let best3 =
+            |mut m: Box<dyn FnMut() -> f64>| (0..3).map(|_| m()).fold(f64::INFINITY, f64::min);
+        let s = {
+            let (ds, q) = (&ds, query);
+            best3(Box::new(move || {
+                time_kernel(ds, q, passes, scalar::squared_euclidean)
+            }))
+        };
+        let u = {
+            let (ds, q) = (&ds, query);
+            best3(Box::new(move || {
+                time_kernel(ds, q, passes, unrolled::squared_euclidean)
+            }))
+        };
+        let b = {
+            let (ds, q) = (&ds, query);
+            best3(Box::new(move || time_batched(ds, q, passes)))
+        };
+        table.row(vec![
+            dim.to_string(),
+            f(s, 2),
+            f(u, 2),
+            f(b, 2),
+            f(s / u, 2),
+            f(s / b, 2),
+        ]);
+        micro_json.push_str(&format!(
+            "    {{\"dim\": {dim}, \"scalar_ns\": {s:.3}, \"unrolled_ns\": {u:.3}, \
+             \"batched_ns\": {b:.3}, \"speedup_unrolled\": {su:.3}, \"speedup_batched\": {sb:.3}}},\n",
+            su = s / u,
+            sb = s / b,
+        ));
+    }
+    table.print();
+    micro_json.truncate(micro_json.trim_end_matches(",\n").len());
+
+    // End-to-end: fixed beam, production-scale-ish harness set.
+    let (e2e_dim, e2e_n, e2e_beam) = (128usize, 6_000usize, 64usize);
+    println!("\nend-to-end: dim={e2e_dim} n={e2e_n} beam={e2e_beam} (single-thread search)");
+    let e = end_to_end(e2e_dim, e2e_n, e2e_beam, threads);
+    let mut t2 = Table::new(vec!["path", "QPS", "Recall@10", "identical"]);
+    t2.row(vec![
+        "scalar".to_string(),
+        f(e.qps_scalar, 0),
+        f(e.recall_at_10, 4),
+        e.identical.to_string(),
+    ]);
+    t2.row(vec![
+        "unrolled".to_string(),
+        f(e.qps_unrolled, 0),
+        f(e.recall_at_10, 4),
+        e.identical.to_string(),
+    ]);
+    t2.row(vec![
+        "batched".to_string(),
+        f(e.qps_batched, 0),
+        f(e.recall_at_10, 4),
+        e.identical.to_string(),
+    ]);
+    t2.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"mode\": \"{mode}\",\n  \"micro_n\": {MICRO_N},\n  \
+         \"ns_per_distance\": [\n{micro_json}\n  ],\n  \"end_to_end\": {{\n    \
+         \"dim\": {e2e_dim}, \"n\": {e2e_n}, \"beam\": {e2e_beam},\n    \
+         \"qps_scalar\": {:.1}, \"qps_unrolled\": {:.1}, \"qps_batched\": {:.1},\n    \
+         \"qps_speedup_batched\": {:.3}, \"recall_at_10\": {:.4}, \"results_identical\": {}\n  }}\n}}\n",
+        e.qps_scalar,
+        e.qps_unrolled,
+        e.qps_batched,
+        e.qps_batched / e.qps_scalar,
+        e.recall_at_10,
+        e.identical,
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

@@ -13,7 +13,7 @@ use weavess_bench::report::{banner, f, mb, Table};
 use weavess_bench::{env_scale, env_threads};
 use weavess_core::algorithms::nsg::{self, NsgParams};
 use weavess_core::index::{AnnIndex, SearchContext};
-use weavess_core::search::VisitedPool;
+use weavess_core::search::{SearchScratch, VisitedPool};
 use weavess_data::metrics::recall;
 use weavess_data::synthetic::MixtureSpec;
 use weavess_ml::ml1;
@@ -88,12 +88,13 @@ fn main() {
             f(base_secs + m1.preprocessing_secs, 1),
             mb(base.memory_bytes() + ds.base.memory_bytes() + m1.extra_memory_bytes()),
         ]);
+        let mut scratch = SearchScratch::new(ds.base.len());
         let mut visited = VisitedPool::new(ds.base.len());
         for &beam in &BEAMS {
             let mut r = 0.0;
             let mut eff = 0.0;
             for qi in 0..ds.queries.len() as u32 {
-                let (res, s) = m1.search(&ds.base, ds.queries.point(qi), 1, beam, &mut visited);
+                let (res, s) = m1.search(&ds.base, ds.queries.point(qi), 1, beam, &mut scratch);
                 let ids: Vec<u32> = res.iter().map(|x| x.id).collect();
                 r += recall(&ids, &ds.gt[qi as usize][..1]);
                 eff += s.effective_ndc(16, ds.base.dim());

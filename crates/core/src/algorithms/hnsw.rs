@@ -11,7 +11,7 @@
 
 use crate::components::selection::select_rng_alpha;
 use crate::index::{AnnIndex, SearchContext};
-use crate::search::{beam_search, SearchStats, VisitedPool};
+use crate::search::{beam_search, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -97,7 +97,7 @@ pub fn build(ds: &Dataset, params: &HnswParams) -> HnswIndex {
     let mut layers: Vec<Vec<Vec<u32>>> = (0..=top).map(|_| vec![Vec::new(); n]).collect();
     let mut enter: u32 = 0;
     let mut enter_level: usize = levels[0];
-    let mut visited = VisitedPool::new(n);
+    let mut scratch = SearchScratch::new(n);
     let mut stats = SearchStats::default();
 
     for p in 1..n as u32 {
@@ -109,14 +109,14 @@ pub fn build(ds: &Dataset, params: &HnswParams) -> HnswIndex {
         }
         // Beam insert on layers lp..=0.
         for l in (0..=lp.min(enter_level)).rev() {
-            visited.next_epoch();
+            scratch.next_epoch();
             let pool = beam_search(
                 ds,
                 &layers[l],
                 ds.point(p),
                 &[ep],
                 params.ef_construction,
-                &mut visited,
+                &mut scratch,
                 &mut stats,
             );
             let max_deg = if l == 0 { params.m0 } else { params.m };
@@ -204,14 +204,14 @@ impl AnnIndex for HnswIndex {
         for l in (1..self.layers.len()).rev() {
             ep = greedy_closest_csr(ds, &self.layers[l], query, ep, &mut ctx.stats);
         }
-        ctx.visited.next_epoch();
+        ctx.scratch.next_epoch();
         let mut pool = beam_search(
             ds,
             &self.layers[0],
             query,
             &[ep],
             beam.max(k),
-            &mut ctx.visited,
+            &mut ctx.scratch,
             &mut ctx.stats,
         );
         pool.truncate(k);

@@ -16,7 +16,7 @@
 
 use crate::algorithms::hnsw::HnswParams;
 use crate::components::selection::select_rng_alpha;
-use crate::search::{beam_search, filtered_beam_search, SearchStats, VisitedPool};
+use crate::search::{beam_search, filtered_beam_search, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -46,7 +46,7 @@ pub struct DynamicHnsw {
     enter_level: usize,
     params: HnswParams,
     rng: StdRng,
-    visited: VisitedPool,
+    scratch: SearchScratch,
     stats: SearchStats,
 }
 
@@ -64,7 +64,7 @@ impl DynamicHnsw {
             enter_level: 0,
             params,
             rng,
-            visited: VisitedPool::new(0),
+            scratch: SearchScratch::new(0),
             stats: SearchStats::default(),
         }
     }
@@ -102,7 +102,7 @@ impl DynamicHnsw {
         let p = self.data.push(vector);
         self.live += 1;
         self.deleted.push(false);
-        self.visited.ensure_len(self.data.len());
+        self.scratch.ensure_len(self.data.len());
         // Geometric level.
         let ml = 1.0 / (self.params.m.max(2) as f64).ln();
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
@@ -129,14 +129,14 @@ impl DynamicHnsw {
         }
         // Beam insert on lp..=0.
         for l in (0..=lp.min(self.enter_level)).rev() {
-            self.visited.next_epoch();
+            self.scratch.next_epoch();
             let pool = beam_search(
                 &self.data,
                 self.layers[l].as_slice(),
                 vector,
                 &[ep],
                 self.params.ef_construction,
-                &mut self.visited,
+                &mut self.scratch,
                 &mut self.stats,
             );
             let max_deg = if l == 0 {
@@ -202,7 +202,7 @@ impl DynamicHnsw {
         let mut stats = self.stats;
         let mut beam = beam.max(k);
         let res = loop {
-            self.visited.next_epoch();
+            self.scratch.next_epoch();
             let res = filtered_beam_search(
                 &self.data,
                 self.layers[0].as_slice(),
@@ -211,7 +211,7 @@ impl DynamicHnsw {
                 k,
                 beam,
                 &|id| !deleted[id as usize],
-                &mut self.visited,
+                &mut self.scratch,
                 &mut stats,
             );
             if res.len() >= k.min(self.live) || beam >= self.data.len() {

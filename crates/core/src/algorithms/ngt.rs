@@ -11,7 +11,7 @@
 
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
-use crate::search::{range_search, Router, SearchStats, VisitedPool};
+use crate::search::{range_search, Router, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -84,13 +84,13 @@ pub fn build(ds: &Dataset, params: &NgtParams) -> FlatIndex {
     let mut rng = StdRng::seed_from_u64(params.seed);
     // --- ANNG: incremental undirected construction via range search. ---
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut visited = VisitedPool::new(n);
+    let mut scratch = SearchScratch::new(n);
     let mut stats = SearchStats::default();
     for p in 1..n as u32 {
         let seeds: Vec<u32> = (0..4usize.min(p as usize))
             .map(|_| rng.gen_range(0..p))
             .collect();
-        visited.next_epoch();
+        scratch.next_epoch();
         let inserted = &adj[..p as usize];
         let pool = range_search(
             ds,
@@ -99,7 +99,7 @@ pub fn build(ds: &Dataset, params: &NgtParams) -> FlatIndex {
             &seeds,
             params.ef_construction,
             params.epsilon,
-            &mut visited,
+            &mut scratch,
             &mut stats,
         );
         for cand in pool.iter().take(params.k) {

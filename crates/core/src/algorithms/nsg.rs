@@ -9,7 +9,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
-use crate::search::{Router, SearchStats, VisitedPool};
+use crate::search::{Router, SearchScratch, SearchStats};
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -66,7 +66,7 @@ pub fn build(ds: &Dataset, params: &NsgParams) -> FlatIndex {
             let init_csr = &init_csr;
             let init = &init;
             scope.spawn(move || {
-                let mut visited = VisitedPool::new(n);
+                let mut scratch = SearchScratch::new(n);
                 let mut stats = SearchStats::default();
                 for (j, out) in slot.iter_mut().enumerate() {
                     let p = (start + j) as u32;
@@ -77,7 +77,7 @@ pub fn build(ds: &Dataset, params: &NsgParams) -> FlatIndex {
                         &[medoid],
                         params.l,
                         params.c,
-                        &mut visited,
+                        &mut scratch,
                         &mut stats,
                     );
                     // NSG's sync_prune merges the point's initial-graph

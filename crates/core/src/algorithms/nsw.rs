@@ -9,7 +9,7 @@
 
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
-use crate::search::{beam_search, Router, SearchStats, VisitedPool};
+use crate::search::{beam_search, Router, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::Dataset;
@@ -46,14 +46,14 @@ pub fn build(ds: &Dataset, params: &NswParams) -> FlatIndex {
     let n = ds.len();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut visited = VisitedPool::new(n);
+    let mut scratch = SearchScratch::new(n);
     let mut stats = SearchStats::default();
     for p in 1..n as u32 {
         // Random seeds among the already-inserted prefix [0, p).
         let seeds: Vec<u32> = (0..params.search_seeds.min(p as usize))
             .map(|_| rng.gen_range(0..p))
             .collect();
-        visited.next_epoch();
+        scratch.next_epoch();
         let inserted = &adj[..p as usize];
         let pool = beam_search(
             ds,
@@ -61,7 +61,7 @@ pub fn build(ds: &Dataset, params: &NswParams) -> FlatIndex {
             ds.point(p),
             &seeds,
             params.ef_construction,
-            &mut visited,
+            &mut scratch,
             &mut stats,
         );
         for cand in pool.iter().take(params.m) {

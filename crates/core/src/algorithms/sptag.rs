@@ -219,7 +219,7 @@ impl crate::index::AnnIndex for SptagIndex {
         use crate::search::beam_search;
         use weavess_data::neighbor::insert_into_pool;
         let beam = beam.max(k);
-        ctx.visited.next_epoch();
+        ctx.scratch.next_epoch();
         let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
         for round in 0..self.restarts {
             // Fresh seeds: round 0 uses the configured seed strategy, later
@@ -242,7 +242,7 @@ impl crate::index::AnnIndex for SptagIndex {
             // Skip seeds already explored this query.
             let fresh: Vec<u32> = seeds
                 .into_iter()
-                .filter(|&s| !ctx.visited.is_visited(s))
+                .filter(|&s| !ctx.scratch.visited.is_visited(s))
                 .collect();
             if fresh.is_empty() {
                 continue;
@@ -253,7 +253,7 @@ impl crate::index::AnnIndex for SptagIndex {
                 query,
                 &fresh,
                 beam,
-                &mut ctx.visited,
+                &mut ctx.scratch,
                 &mut ctx.stats,
             );
             let before = best.clone();

@@ -16,7 +16,7 @@ use crate::components::init::init_random;
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
-use crate::search::{Router, SearchStats, VisitedPool};
+use crate::search::{Router, SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -104,7 +104,7 @@ fn refine_pass_inplace(
                 let csr = &csr;
                 let lists = &*lists;
                 handles.push(scope.spawn(move || {
-                    let mut visited = VisitedPool::new(n);
+                    let mut scratch = SearchScratch::new(n);
                     let mut stats = SearchStats::default();
                     let mut out = Vec::with_capacity(id_chunk.len());
                     for &p in id_chunk {
@@ -115,7 +115,7 @@ fn refine_pass_inplace(
                             &[medoid],
                             params.l,
                             params.l * 2,
-                            &mut visited,
+                            &mut scratch,
                             &mut stats,
                         );
                         for x in &lists[p as usize] {

@@ -1,7 +1,7 @@
 //! C2 — candidate neighbor acquisition (Definition 4.4): produce the
 //! candidate set from which C3 selects a point's final neighbors.
 
-use crate::search::{beam_search, SearchStats, VisitedPool};
+use crate::search::{beam_search, SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -18,11 +18,11 @@ pub fn candidates_by_search(
     entry: &[u32],
     beam: usize,
     cap: usize,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
-    visited.next_epoch();
-    let mut pool = beam_search(ds, g, ds.point(p), entry, beam, visited, stats);
+    scratch.next_epoch();
+    let mut pool = beam_search(ds, g, ds.point(p), entry, beam, scratch, stats);
     pool.retain(|n| n.id != p);
     pool.truncate(cap);
     pool
@@ -82,9 +82,9 @@ mod tests {
     fn search_candidates_exclude_self_and_are_sorted() {
         let ds = dataset();
         let g = exact_knng(&ds, 8, 2);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        let c = candidates_by_search(&ds, &g, 7, &[0], 30, 20, &mut visited, &mut stats);
+        let c = candidates_by_search(&ds, &g, 7, &[0], 30, 20, &mut scratch, &mut stats);
         assert!(c.iter().all(|n| n.id != 7));
         assert!(c.len() <= 20);
         assert!(c.windows(2).all(|w| w[0].dist <= w[1].dist));

@@ -3,7 +3,7 @@
 //! *Increment* builders get this for free; *Refinement* builders (NSG,
 //! NSSG, OA) attach a DFS-based repair pass; DPG undirects all edges.
 
-use crate::search::{beam_search, SearchStats, VisitedPool};
+use crate::search::{beam_search, SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::connectivity::reachable_from;
@@ -17,7 +17,7 @@ use weavess_graph::CsrGraph;
 pub fn dfs_repair(ds: &Dataset, lists: &mut [Vec<Neighbor>], entry: u32, beam: usize) -> usize {
     let n = lists.len();
     let mut added = 0usize;
-    let mut visited = VisitedPool::new(n);
+    let mut scratch = SearchScratch::new(n);
     let mut stats = SearchStats::default();
     // One frozen snapshot for bridge searches; bridge targets are checked
     // against the live `reach` array, so the snapshot staying stale is fine.
@@ -36,14 +36,14 @@ pub fn dfs_repair(ds: &Dataset, lists: &mut [Vec<Neighbor>], entry: u32, beam: u
         scan = orphan; // earlier vertices are all reachable now
         let orphan = orphan as u32;
         // Approximate nearest reachable vertex to the orphan.
-        visited.next_epoch();
+        scratch.next_epoch();
         let pool = beam_search(
             ds,
             &csr,
             ds.point(orphan),
             &[entry],
             beam,
-            &mut visited,
+            &mut scratch,
             &mut stats,
         );
         let bridge = pool

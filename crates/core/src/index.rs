@@ -1,18 +1,19 @@
 //! The uniform index interface every algorithm builds to.
 
 use crate::components::SeedStrategy;
-use crate::search::{Router, SearchStats, VisitedPool};
+use crate::search::{Router, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
-/// Per-thread reusable search state: the epoch-stamped visited pool, the
-/// seed RNG, and the work counters. One context serves any number of
-/// queries against indexes over the same dataset size.
+/// Per-thread reusable search state: the search scratch (visited pool,
+/// candidate pool, batch-scoring buffers), the seed RNG, and the work
+/// counters. One context serves any number of queries against indexes
+/// over the same dataset size.
 pub struct SearchContext {
-    /// Visited set (sized to the dataset).
-    pub visited: VisitedPool,
+    /// Reusable search working memory (sized to the dataset).
+    pub scratch: SearchScratch,
     /// RNG used by random seed strategies.
     pub rng: StdRng,
     /// Accumulated work counters; callers may reset between queries or
@@ -24,7 +25,7 @@ impl SearchContext {
     /// A context for a dataset of `n` points.
     pub fn new(n: usize) -> Self {
         SearchContext {
-            visited: VisitedPool::new(n),
+            scratch: SearchScratch::new(n),
             rng: StdRng::seed_from_u64(0xC0FFEE),
             stats: SearchStats::default(),
         }
@@ -88,14 +89,14 @@ impl AnnIndex for FlatIndex {
     ) -> Vec<Neighbor> {
         let beam = beam.max(k);
         let seeds = self.seeds.seeds(ds, query, &mut ctx.rng, &mut ctx.stats);
-        ctx.visited.next_epoch();
+        ctx.scratch.next_epoch();
         let mut pool = self.router.search(
             ds,
             &self.graph,
             query,
             &seeds,
             beam,
-            &mut ctx.visited,
+            &mut ctx.scratch,
             &mut ctx.stats,
         );
         pool.truncate(k);

@@ -156,6 +156,8 @@ pub fn nn_descent(
                     let mut local_updates = 0usize;
                     let mut news: Vec<u32> = Vec::new();
                     let mut olds: Vec<u32> = Vec::new();
+                    let mut partners: Vec<u32> = Vec::new();
+                    let mut dists: Vec<f32> = Vec::new();
                     for v in start..end {
                         news.clear();
                         olds.clear();
@@ -167,16 +169,18 @@ pub fn nn_descent(
                         news.dedup();
                         olds.sort_unstable();
                         olds.dedup();
-                        // new × new
+                        // All partners of one `a` (new × new upper triangle,
+                        // then new × old) are staged and scored with a single
+                        // `dist_to_many` over `a`'s point — the same kernel as
+                        // the pairwise path, so distances are bit-equal and
+                        // the produced graph is unchanged.
                         for (i, &a) in news.iter().enumerate() {
-                            for &b in &news[i + 1..] {
-                                local_updates += join(ds, pools, l, a, b);
-                            }
-                            // new × old
-                            for &b in olds.iter() {
-                                if a != b {
-                                    local_updates += join(ds, pools, l, a, b);
-                                }
+                            partners.clear();
+                            partners.extend_from_slice(&news[i + 1..]);
+                            partners.extend(olds.iter().copied().filter(|&b| b != a));
+                            ds.dist_to_many(ds.point(a), &partners, &mut dists);
+                            for (&b, &d) in partners.iter().zip(dists.iter()) {
+                                local_updates += join_at(pools, l, a, b, d);
                             }
                         }
                     }
@@ -198,9 +202,9 @@ pub fn nn_descent(
         .collect()
 }
 
-/// Tries the pair (a, b) in both pools; returns number of improvements.
-fn join(ds: &Dataset, pools: &[Mutex<Pool>], l: usize, a: u32, b: u32) -> usize {
-    let d = ds.dist(a, b);
+/// Tries the pair (a, b), whose distance `d` is already computed, in both
+/// pools; returns number of improvements.
+fn join_at(pools: &[Mutex<Pool>], l: usize, a: u32, b: u32, d: f32) -> usize {
     let mut updates = 0usize;
     if pools[a as usize].lock().insert(l, Neighbor::new(b, d)) {
         updates += 1;

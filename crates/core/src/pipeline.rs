@@ -21,7 +21,7 @@ use crate::components::selection::{
 };
 use crate::index::FlatIndex;
 use crate::nndescent::NnDescentParams;
-use crate::search::{Router, SearchStats, VisitedPool};
+use crate::search::{Router, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -295,7 +295,7 @@ impl PipelineBuilder {
                 let candidates = &self.candidates;
                 let selection = &self.selection;
                 scope.spawn(move || {
-                    let mut visited = VisitedPool::new(n);
+                    let mut scratch = SearchScratch::new(n);
                     let mut stats = SearchStats::default();
                     for (j, out) in slot.iter_mut().enumerate() {
                         let p = (start + j) as u32;
@@ -307,7 +307,7 @@ impl PipelineBuilder {
                                 &[medoid],
                                 *beam,
                                 *cap,
-                                &mut visited,
+                                &mut scratch,
                                 &mut stats,
                             ),
                             CandidateChoice::Expansion { cap } => {

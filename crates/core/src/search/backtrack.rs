@@ -8,14 +8,17 @@
 //! those rejected candidates — slightly better accuracy for notably more
 //! search time, the trade-off Figure 10(f) reports for `C7_FANNG`.
 
-use super::{SearchStats, VisitedPool};
+use super::scratch::SearchScratch;
+use super::SearchStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::adjacency::GraphView;
 
-/// Backtracking best-first search from `seeds`.
+/// Backtracking best-first search from `seeds`. Expansion is batch-scored
+/// like [`super::beam_search`]; insertions stay in adjacency order, so
+/// results match per-neighbor scoring exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn backtrack_search(
     ds: &Dataset,
@@ -24,13 +27,22 @@ pub fn backtrack_search(
     seeds: &[u32],
     beam: usize,
     extra: usize,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
-    let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
-    let mut expanded: Vec<bool> = Vec::new();
-    let mut overflow: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+    let SearchScratch {
+        visited,
+        pool,
+        expanded,
+        heap: overflow,
+        batch_ids,
+        batch_dists,
+        ..
+    } = scratch;
+    pool.clear();
+    expanded.clear();
+    overflow.clear();
 
     // Plain best-first phase, tracking rejected candidates.
     let push = |pool: &mut Vec<Neighbor>,
@@ -59,9 +71,9 @@ pub fn backtrack_search(
         if visited.visit(s) {
             stats.ndc += 1;
             push(
-                &mut pool,
-                &mut expanded,
-                &mut overflow,
+                pool,
+                expanded,
+                overflow,
                 Neighbor::new(s, ds.dist_to(query, s)),
             );
         }
@@ -80,16 +92,17 @@ pub fn backtrack_search(
             progressed = true;
             stats.hops += 1;
             let v = pool[k].id;
-            let mut lowest = usize::MAX;
+            batch_ids.clear();
             for &u in g.neighbors(v) {
-                if !visited.visit(u) {
-                    continue;
+                if visited.visit(u) {
+                    batch_ids.push(u);
                 }
-                stats.ndc += 1;
-                let d = ds.dist_to(query, u);
-                if let Some(pos) =
-                    push(&mut pool, &mut expanded, &mut overflow, Neighbor::new(u, d))
-                {
+            }
+            stats.ndc += batch_ids.len() as u64;
+            ds.dist_to_many(query, batch_ids, batch_dists);
+            let mut lowest = usize::MAX;
+            for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+                if let Some(pos) = push(pool, expanded, overflow, Neighbor::new(u, d)) {
                     lowest = lowest.min(pos);
                 }
             }
@@ -111,14 +124,17 @@ pub fn backtrack_search(
         };
         budget -= 1;
         stats.hops += 1;
-        let mut injected = false;
+        batch_ids.clear();
         for &u in g.neighbors(c.id) {
-            if !visited.visit(u) {
-                continue;
+            if visited.visit(u) {
+                batch_ids.push(u);
             }
-            stats.ndc += 1;
-            let d = ds.dist_to(query, u);
-            if push(&mut pool, &mut expanded, &mut overflow, Neighbor::new(u, d)).is_some() {
+        }
+        stats.ndc += batch_ids.len() as u64;
+        ds.dist_to_many(query, batch_ids, batch_dists);
+        let mut injected = false;
+        for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+            if push(pool, expanded, overflow, Neighbor::new(u, d)).is_some() {
                 injected = true;
             }
         }
@@ -129,7 +145,7 @@ pub fn backtrack_search(
             }
         }
     }
-    pool
+    pool.clone()
 }
 
 #[cfg(test)]
@@ -151,14 +167,14 @@ mod tests {
 
     fn run(extra: usize) -> (usize, u64) {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let seeds = [0u32, 97, 211];
         let mut hits = 0usize;
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            let res = backtrack_search(&ds, &g, q, &seeds, 10, extra, &mut visited, &mut stats);
+            scratch.next_epoch();
+            let res = backtrack_search(&ds, &g, q, &seeds, 10, extra, &mut scratch, &mut stats);
             let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
             hits += res
                 .iter()
@@ -172,16 +188,16 @@ mod tests {
     #[test]
     fn zero_extra_matches_best_first() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut s1 = SearchStats::default();
         let mut s2 = SearchStats::default();
         let seeds = [0u32, 97];
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            let a = backtrack_search(&ds, &g, q, &seeds, 12, 0, &mut visited, &mut s1);
-            visited.next_epoch();
-            let b = beam_search(&ds, &g, q, &seeds, 12, &mut visited, &mut s2);
+            scratch.next_epoch();
+            let a = backtrack_search(&ds, &g, q, &seeds, 12, 0, &mut scratch, &mut s1);
+            scratch.next_epoch();
+            let b = beam_search(&ds, &g, q, &seeds, 12, &mut scratch, &mut s2);
             assert_eq!(a, b, "query {qi}");
         }
         assert_eq!(s1.ndc, s2.ndc);

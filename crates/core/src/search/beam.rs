@@ -1,47 +1,26 @@
 //! Best-first search — the paper's Algorithm 1 (Appendix F), C7's
 //! dominant implementation.
 
-use super::{SearchStats, VisitedPool};
+use super::scratch::{insert_unexpanded, SearchScratch};
+use super::SearchStats;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::adjacency::GraphView;
-
-/// A pool entry: neighbor plus its expansion flag.
-#[derive(Clone, Copy)]
-struct Candidate {
-    n: Neighbor,
-    expanded: bool,
-}
-
-/// Inserts `n` (unexpanded) into the bounded nearest-first pool; returns
-/// its position, or `None` when rejected.
-fn insert_candidate(pool: &mut Vec<Candidate>, cap: usize, n: Neighbor) -> Option<usize> {
-    let pos = pool.partition_point(|c| c.n < n);
-    if pos < pool.len() && pool[pos].n == n {
-        return None;
-    }
-    if pos >= cap {
-        return None;
-    }
-    pool.insert(pos, Candidate { n, expanded: false });
-    pool.truncate(cap);
-    Some(pos)
-}
 
 /// Best-first (beam) search from `seeds`, returning up to `beam` nearest
 /// candidates nearest-first.
 ///
 /// ```
-/// use weavess_core::search::{beam_search, SearchStats, VisitedPool};
+/// use weavess_core::search::{beam_search, SearchScratch, SearchStats};
 /// use weavess_data::Dataset;
 /// use weavess_graph::CsrGraph;
 ///
 /// // Three points on a line, chained 0 -> 1 -> 2.
 /// let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
 /// let g = CsrGraph::from_lists(&[vec![1u32], vec![0, 2], vec![1]]);
-/// let mut visited = VisitedPool::new(3);
+/// let mut scratch = SearchScratch::new(3);
 /// let mut stats = SearchStats::default();
-/// visited.next_epoch();
-/// let res = beam_search(&ds, &g, &[1.9], &[0], 3, &mut visited, &mut stats);
+/// scratch.next_epoch();
+/// let res = beam_search(&ds, &g, &[1.9], &[0], 3, &mut scratch, &mut stats);
 /// assert_eq!(res[0].id, 2);
 /// assert!(stats.ndc >= 3);
 /// ```
@@ -50,41 +29,59 @@ fn insert_candidate(pool: &mut Vec<Candidate>, cap: usize, n: Neighbor) -> Optio
 /// nearest unexpanded candidate and inserts its neighbors, exactly the
 /// candidate-set discipline of Definition 4.7. Terminates when every pool
 /// entry is expanded (the result set can no longer improve).
+///
+/// Expansion is batch-scored: all not-yet-visited neighbors of the
+/// expanded vertex are staged and scored with one
+/// [`Dataset::dist_to_many`] call, then inserted in the original adjacency
+/// order — visit order, distances, and hence results are bit-identical to
+/// scoring one neighbor at a time.
 pub fn beam_search(
     ds: &Dataset,
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     seeds: &[u32],
     beam: usize,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
-    let mut pool: Vec<Candidate> = Vec::with_capacity(beam + 1);
+    let SearchScratch {
+        visited,
+        pool,
+        expanded,
+        batch_ids,
+        batch_dists,
+        ..
+    } = scratch;
+    pool.clear();
+    expanded.clear();
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            insert_candidate(&mut pool, beam, Neighbor::new(s, ds.dist_to(query, s)));
+            insert_unexpanded(pool, expanded, beam, Neighbor::new(s, ds.dist_to(query, s)));
         }
     }
 
     let mut k = 0usize;
     while k < pool.len() {
-        if pool[k].expanded {
+        if expanded[k] {
             k += 1;
             continue;
         }
-        pool[k].expanded = true;
+        expanded[k] = true;
         stats.hops += 1;
-        let v = pool[k].n.id;
-        let mut lowest_insert = usize::MAX;
+        let v = pool[k].id;
+        batch_ids.clear();
         for &u in g.neighbors(v) {
-            if !visited.visit(u) {
-                continue;
+            if visited.visit(u) {
+                batch_ids.push(u);
             }
-            stats.ndc += 1;
-            let d = ds.dist_to(query, u);
-            if let Some(pos) = insert_candidate(&mut pool, beam, Neighbor::new(u, d)) {
+        }
+        stats.ndc += batch_ids.len() as u64;
+        ds.dist_to_many(query, batch_ids, batch_dists);
+        let mut lowest_insert = usize::MAX;
+        for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+            if let Some(pos) = insert_unexpanded(pool, expanded, beam, Neighbor::new(u, d)) {
                 lowest_insert = lowest_insert.min(pos);
             }
         }
@@ -97,7 +94,7 @@ pub fn beam_search(
             k += 1;
         }
     }
-    pool.iter().map(|c| c.n).collect()
+    pool.clone()
 }
 
 /// Best-first continuation from an already-scored pool: entries enter the
@@ -110,32 +107,44 @@ pub fn beam_search_seeded(
     query: &[f32],
     scored: &[Neighbor],
     beam: usize,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
-    let mut pool: Vec<Candidate> = Vec::with_capacity(beam + 1);
+    let SearchScratch {
+        visited,
+        pool,
+        expanded,
+        batch_ids,
+        batch_dists,
+        ..
+    } = scratch;
+    pool.clear();
+    expanded.clear();
     for &n in scored {
         debug_assert!(visited.is_visited(n.id));
-        insert_candidate(&mut pool, beam, n);
+        insert_unexpanded(pool, expanded, beam, n);
     }
     let mut k = 0usize;
     while k < pool.len() {
-        if pool[k].expanded {
+        if expanded[k] {
             k += 1;
             continue;
         }
-        pool[k].expanded = true;
+        expanded[k] = true;
         stats.hops += 1;
-        let v = pool[k].n.id;
-        let mut lowest_insert = usize::MAX;
+        let v = pool[k].id;
+        batch_ids.clear();
         for &u in g.neighbors(v) {
-            if !visited.visit(u) {
-                continue;
+            if visited.visit(u) {
+                batch_ids.push(u);
             }
-            stats.ndc += 1;
-            let d = ds.dist_to(query, u);
-            if let Some(pos) = insert_candidate(&mut pool, beam, Neighbor::new(u, d)) {
+        }
+        stats.ndc += batch_ids.len() as u64;
+        ds.dist_to_many(query, batch_ids, batch_dists);
+        let mut lowest_insert = usize::MAX;
+        for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+            if let Some(pos) = insert_unexpanded(pool, expanded, beam, Neighbor::new(u, d)) {
                 lowest_insert = lowest_insert.min(pos);
             }
         }
@@ -145,7 +154,7 @@ pub fn beam_search_seeded(
             k += 1;
         }
     }
-    pool.iter().map(|c| c.n).collect()
+    pool.clone()
 }
 
 #[cfg(test)]
@@ -165,15 +174,15 @@ mod tests {
     #[test]
     fn finds_true_nearest_on_exact_knng() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let mut ok = 0usize;
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
+            scratch.next_epoch();
             // Seed from several spread points to escape disconnected KNNG parts.
             let seeds: Vec<u32> = (0..8u32).map(|i| i * 61 % ds.len() as u32).collect();
-            let res = beam_search(&ds, &g, q, &seeds, 40, &mut visited, &mut stats);
+            let res = beam_search(&ds, &g, q, &seeds, 40, &mut scratch, &mut stats);
             let truth = knn_scan(&ds, q, 1, None)[0].id;
             if res.first().map(|n| n.id) == Some(truth) {
                 ok += 1;
@@ -186,10 +195,10 @@ mod tests {
     #[test]
     fn result_is_sorted_and_bounded() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        visited.next_epoch();
-        let res = beam_search(&ds, &g, qs.point(0), &[0, 5], 16, &mut visited, &mut stats);
+        scratch.next_epoch();
+        let res = beam_search(&ds, &g, qs.point(0), &[0, 5], 16, &mut scratch, &mut stats);
         assert!(res.len() <= 16);
         assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
     }
@@ -197,20 +206,20 @@ mod tests {
     #[test]
     fn ndc_counts_each_vertex_once() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        visited.next_epoch();
-        beam_search(&ds, &g, qs.point(0), &[0], 64, &mut visited, &mut stats);
+        scratch.next_epoch();
+        beam_search(&ds, &g, qs.point(0), &[0], 64, &mut scratch, &mut stats);
         assert!(stats.ndc <= ds.len() as u64);
     }
 
     #[test]
     fn empty_seeds_give_empty_result() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        visited.next_epoch();
-        let res = beam_search(&ds, &g, qs.point(0), &[], 8, &mut visited, &mut stats);
+        scratch.next_epoch();
+        let res = beam_search(&ds, &g, qs.point(0), &[], 8, &mut scratch, &mut stats);
         assert!(res.is_empty());
         assert_eq!(stats.ndc, 0);
     }
@@ -236,18 +245,18 @@ mod tests {
             })
             .collect();
         let g = CsrGraph::from_lists(&lists);
-        let mut visited = VisitedPool::new(100);
+        let mut scratch = SearchScratch::new(100);
         let mut stats = SearchStats::default();
-        visited.next_epoch();
+        scratch.next_epoch();
         // Query left of the seed: the search must walk 49 -> 42.
-        let res = beam_search(&ds, &g, &[42.4], &[49], 20, &mut visited, &mut stats);
+        let res = beam_search(&ds, &g, &[42.4], &[49], 20, &mut scratch, &mut stats);
         assert_eq!(res[0].id, 42, "failed to walk left: {:?}", &res[..3]);
     }
 
     #[test]
     fn larger_beam_never_reduces_accuracy() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let seeds: Vec<u32> = (0..4u32).collect();
         let mut hits_small = 0;
         let mut hits_large = 0;
@@ -255,10 +264,10 @@ mod tests {
             let q = qs.point(qi);
             let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
             let mut s = SearchStats::default();
-            visited.next_epoch();
-            let small = beam_search(&ds, &g, q, &seeds, 10, &mut visited, &mut s);
-            visited.next_epoch();
-            let large = beam_search(&ds, &g, q, &seeds, 80, &mut visited, &mut s);
+            scratch.next_epoch();
+            let small = beam_search(&ds, &g, q, &seeds, 10, &mut scratch, &mut s);
+            scratch.next_epoch();
+            let large = beam_search(&ds, &g, q, &seeds, 80, &mut scratch, &mut s);
             hits_small += small
                 .iter()
                 .take(10)

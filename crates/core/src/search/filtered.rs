@@ -10,7 +10,8 @@
 //! The search ends when the traversal pool converges and the result pool
 //! holds `k` passing vertices no frontier candidate can improve.
 
-use super::{SearchStats, VisitedPool};
+use super::scratch::SearchScratch;
+use super::SearchStats;
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::adjacency::GraphView;
@@ -19,7 +20,8 @@ use weavess_graph::adjacency::GraphView;
 ///
 /// `beam` bounds the traversal pool as usual; the result pool holds up to
 /// `k` accepted vertices. With a constant-true filter this returns exactly
-/// the top-k of [`super::beam_search`].
+/// the top-k of [`super::beam_search`]. Expansion is batch-scored like
+/// `beam_search`, preserving per-neighbor insertion order.
 #[allow(clippy::too_many_arguments)]
 pub fn filtered_beam_search(
     ds: &Dataset,
@@ -29,16 +31,25 @@ pub fn filtered_beam_search(
     k: usize,
     beam: usize,
     filter: &dyn Fn(u32) -> bool,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let k = k.max(1);
-    // Traversal pool (unfiltered) with expansion flags.
-    let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
-    let mut expanded: Vec<bool> = Vec::with_capacity(beam + 1);
-    // Result pool (filtered).
-    let mut results: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    let SearchScratch {
+        visited,
+        pool,
+        expanded,
+        results,
+        batch_ids,
+        batch_dists,
+        ..
+    } = scratch;
+    // Traversal pool (unfiltered) with expansion flags; result pool
+    // (filtered).
+    pool.clear();
+    expanded.clear();
+    results.clear();
 
     let push = |pool: &mut Vec<Neighbor>,
                 expanded: &mut Vec<bool>,
@@ -60,9 +71,9 @@ pub fn filtered_beam_search(
         if visited.visit(s) {
             stats.ndc += 1;
             push(
-                &mut pool,
-                &mut expanded,
-                &mut results,
+                pool,
+                expanded,
+                results,
                 Neighbor::new(s, ds.dist_to(query, s)),
             );
         }
@@ -77,14 +88,17 @@ pub fn filtered_beam_search(
         expanded[i] = true;
         stats.hops += 1;
         let v = pool[i].id;
-        let mut lowest = usize::MAX;
+        batch_ids.clear();
         for &u in g.neighbors(v) {
-            if !visited.visit(u) {
-                continue;
+            if visited.visit(u) {
+                batch_ids.push(u);
             }
-            stats.ndc += 1;
-            let d = ds.dist_to(query, u);
-            if let Some(pos) = push(&mut pool, &mut expanded, &mut results, Neighbor::new(u, d)) {
+        }
+        stats.ndc += batch_ids.len() as u64;
+        ds.dist_to_many(query, batch_ids, batch_dists);
+        let mut lowest = usize::MAX;
+        for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+            if let Some(pos) = push(pool, expanded, results, Neighbor::new(u, d)) {
                 lowest = lowest.min(pos);
             }
         }
@@ -96,7 +110,7 @@ pub fn filtered_beam_search(
             i += 1;
         }
     }
-    results
+    results.clone()
 }
 
 #[cfg(test)]
@@ -123,17 +137,17 @@ mod tests {
     #[test]
     fn constant_true_filter_matches_plain_beam_search() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut s1 = SearchStats::default();
         let mut s2 = SearchStats::default();
         let seeds = [0u32, 300, 700];
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
+            scratch.next_epoch();
             let filtered =
-                filtered_beam_search(&ds, &g, q, &seeds, 10, 40, &|_| true, &mut visited, &mut s1);
-            visited.next_epoch();
-            let mut plain = beam_search(&ds, &g, q, &seeds, 40, &mut visited, &mut s2);
+                filtered_beam_search(&ds, &g, q, &seeds, 10, 40, &|_| true, &mut scratch, &mut s1);
+            scratch.next_epoch();
+            let mut plain = beam_search(&ds, &g, q, &seeds, 40, &mut scratch, &mut s2);
             plain.truncate(10);
             assert_eq!(filtered, plain, "query {qi}");
         }
@@ -142,11 +156,11 @@ mod tests {
     #[test]
     fn results_satisfy_the_predicate() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let filter = |id: u32| id.is_multiple_of(3);
         for qi in 0..qs.len() as u32 {
-            visited.next_epoch();
+            scratch.next_epoch();
             let res = filtered_beam_search(
                 &ds,
                 &g,
@@ -155,7 +169,7 @@ mod tests {
                 10,
                 60,
                 &filter,
-                &mut visited,
+                &mut scratch,
                 &mut stats,
             );
             assert!(res.iter().all(|n| filter(n.id)));
@@ -167,7 +181,7 @@ mod tests {
     fn filtered_recall_against_filtered_ground_truth() {
         let (ds, qs, g) = setup();
         let filter = |id: u32| id.is_multiple_of(2);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let mut hits = 0usize;
         let mut total = 0usize;
@@ -180,7 +194,7 @@ mod tests {
                 .take(10)
                 .map(|n| n.id)
                 .collect();
-            visited.next_epoch();
+            scratch.next_epoch();
             let res = filtered_beam_search(
                 &ds,
                 &g,
@@ -189,7 +203,7 @@ mod tests {
                 10,
                 80,
                 &filter,
-                &mut visited,
+                &mut scratch,
                 &mut stats,
             );
             hits += res.iter().filter(|n| truth.contains(&n.id)).count();
@@ -202,9 +216,9 @@ mod tests {
     #[test]
     fn highly_selective_filter_still_returns_something() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        visited.next_epoch();
+        scratch.next_epoch();
         let res = filtered_beam_search(
             &ds,
             &g,
@@ -213,7 +227,7 @@ mod tests {
             5,
             100,
             &|id| id < 20, // 2% selectivity
-            &mut visited,
+            &mut scratch,
             &mut stats,
         );
         // The traversal may not reach every passing vertex, but with a 100

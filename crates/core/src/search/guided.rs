@@ -12,8 +12,8 @@
 //! direction along `d*`. Neighbors aligned with the query's dominant
 //! direction always pass.
 
-use super::{SearchStats, VisitedPool};
-use weavess_data::neighbor::insert_into_pool;
+use super::scratch::{insert_unexpanded, SearchScratch};
+use super::SearchStats;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::adjacency::GraphView;
 
@@ -24,21 +24,24 @@ pub fn guided_search(
     query: &[f32],
     seeds: &[u32],
     beam: usize,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
-    let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
-    let mut expanded: Vec<bool> = Vec::new();
+    let SearchScratch {
+        visited,
+        pool,
+        expanded,
+        batch_ids,
+        batch_dists,
+        ..
+    } = scratch;
+    pool.clear();
+    expanded.clear();
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            if let Some(pos) =
-                insert_into_pool(&mut pool, beam, Neighbor::new(s, ds.dist_to(query, s)))
-            {
-                expanded.insert(pos, false);
-                expanded.truncate(pool.len());
-            }
+            insert_unexpanded(pool, expanded, beam, Neighbor::new(s, ds.dist_to(query, s)));
         }
     }
     let mut k = 0usize;
@@ -62,7 +65,10 @@ pub fn guided_search(
             }
         }
         let want_positive = query[dstar] >= x[dstar];
-        let mut lowest = usize::MAX;
+        // Stage the neighbors that survive the direction gate, then score
+        // them in one batched pass (order preserved, so results are
+        // identical to per-neighbor scoring).
+        batch_ids.clear();
         for &u in g.neighbors(v) {
             if visited.is_visited(u) {
                 continue;
@@ -73,11 +79,13 @@ pub fn guided_search(
                 continue; // gated out: moves away from the query
             }
             visited.visit(u);
-            stats.ndc += 1;
-            let d = ds.dist_to(query, u);
-            if let Some(pos) = insert_into_pool(&mut pool, beam, Neighbor::new(u, d)) {
-                expanded.insert(pos, false);
-                expanded.truncate(pool.len());
+            batch_ids.push(u);
+        }
+        stats.ndc += batch_ids.len() as u64;
+        ds.dist_to_many(query, batch_ids, batch_dists);
+        let mut lowest = usize::MAX;
+        for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+            if let Some(pos) = insert_unexpanded(pool, expanded, beam, Neighbor::new(u, d)) {
                 lowest = lowest.min(pos);
             }
         }
@@ -89,7 +97,7 @@ pub fn guided_search(
             k += 1;
         }
     }
-    pool
+    pool.clone()
 }
 
 #[cfg(test)]
@@ -110,16 +118,16 @@ mod tests {
     #[test]
     fn guided_search_spends_fewer_distance_computations() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let seeds: Vec<u32> = (0..8u32).map(|i| i * 59 % ds.len() as u32).collect();
         let mut s_guided = SearchStats::default();
         let mut s_beam = SearchStats::default();
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            guided_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_guided);
-            visited.next_epoch();
-            beam_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_beam);
+            scratch.next_epoch();
+            guided_search(&ds, &g, q, &seeds, 20, &mut scratch, &mut s_guided);
+            scratch.next_epoch();
+            beam_search(&ds, &g, q, &seeds, 20, &mut scratch, &mut s_beam);
         }
         assert!(
             s_guided.ndc < s_beam.ndc,
@@ -132,14 +140,14 @@ mod tests {
     #[test]
     fn guided_search_accuracy_stays_reasonable() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let seeds: Vec<u32> = (0..8u32).map(|i| i * 59 % ds.len() as u32).collect();
         let mut hits = 0usize;
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            let res = guided_search(&ds, &g, q, &seeds, 30, &mut visited, &mut stats);
+            scratch.next_epoch();
+            let res = guided_search(&ds, &g, q, &seeds, 30, &mut scratch, &mut stats);
             let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
             hits += res
                 .iter()
@@ -154,10 +162,10 @@ mod tests {
     #[test]
     fn result_sorted_and_bounded() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        visited.next_epoch();
-        let res = guided_search(&ds, &g, qs.point(0), &[0, 9], 12, &mut visited, &mut stats);
+        scratch.next_epoch();
+        let res = guided_search(&ds, &g, qs.point(0), &[0, 9], 12, &mut scratch, &mut stats);
         assert!(res.len() <= 12);
         assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
     }

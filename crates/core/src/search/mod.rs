@@ -12,6 +12,7 @@ mod beam;
 pub mod filtered;
 mod guided;
 mod range;
+mod scratch;
 mod visited;
 
 pub use backtrack::backtrack_search;
@@ -19,6 +20,7 @@ pub use beam::{beam_search, beam_search_seeded};
 pub use filtered::filtered_beam_search;
 pub use guided::guided_search;
 pub use range::range_search;
+pub use scratch::SearchScratch;
 pub use visited::VisitedPool;
 
 use weavess_data::{Dataset, Neighbor};
@@ -84,21 +86,21 @@ impl Router {
         query: &[f32],
         seeds: &[u32],
         beam: usize,
-        visited: &mut VisitedPool,
+        scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
         match *self {
-            Router::BestFirst => beam_search(ds, g, query, seeds, beam, visited, stats),
+            Router::BestFirst => beam_search(ds, g, query, seeds, beam, scratch, stats),
             Router::Range { epsilon } => {
-                range_search(ds, g, query, seeds, beam, epsilon, visited, stats)
+                range_search(ds, g, query, seeds, beam, epsilon, scratch, stats)
             }
             Router::Backtrack { extra } => {
-                backtrack_search(ds, g, query, seeds, beam, extra, visited, stats)
+                backtrack_search(ds, g, query, seeds, beam, extra, scratch, stats)
             }
-            Router::Guided => guided_search(ds, g, query, seeds, beam, visited, stats),
+            Router::Guided => guided_search(ds, g, query, seeds, beam, scratch, stats),
             Router::TwoStage { stage1_beam_frac } => {
                 let b1 = ((beam as f32 * stage1_beam_frac) as usize).max(4).min(beam);
-                let stage1 = guided_search(ds, g, query, seeds, b1, visited, stats);
+                let stage1 = guided_search(ds, g, query, seeds, b1, scratch, stats);
                 if stage1.is_empty() {
                     return stage1;
                 }
@@ -107,7 +109,7 @@ impl Router {
                 // frontier vertex, but only vertices stage 1 *gated out*
                 // (guided search leaves skipped neighbors unvisited) cost
                 // new distance computations.
-                beam_search_seeded(ds, g, query, &stage1, beam, visited, stats)
+                beam_search_seeded(ds, g, query, &stage1, beam, scratch, stats)
             }
         }
     }

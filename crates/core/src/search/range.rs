@@ -7,14 +7,19 @@
 //! cost of more distance computations — the "precision ceiling" behaviour
 //! the component evaluation observes for `C7_NGT` (Figure 10f).
 
-use super::{SearchStats, VisitedPool};
+use super::scratch::SearchScratch;
+use super::SearchStats;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::adjacency::GraphView;
 
 /// Range search from `seeds`; returns up to `beam` nearest results.
+///
+/// Expansion is batch-scored (every visited neighbor's distance was always
+/// computed before the radius test, so batching changes neither NDC nor
+/// results); the ε-inflated acceptance test still runs per neighbor, in
+/// adjacency order, against the live radius.
 #[allow(clippy::too_many_arguments)]
 pub fn range_search(
     ds: &Dataset,
@@ -23,18 +28,26 @@ pub fn range_search(
     seeds: &[u32],
     beam: usize,
     epsilon: f32,
-    visited: &mut VisitedPool,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let inflate = (1.0 + epsilon.max(0.0)).powi(2); // squared-distance space
-    let mut results: Vec<Neighbor> = Vec::with_capacity(beam + 1);
-    let mut queue: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+    let SearchScratch {
+        visited,
+        results,
+        heap: queue,
+        batch_ids,
+        batch_dists,
+        ..
+    } = scratch;
+    results.clear();
+    queue.clear();
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
             let n = Neighbor::new(s, ds.dist_to(query, s));
-            insert_into_pool(&mut results, beam, n);
+            insert_into_pool(results, beam, n);
             queue.push(Reverse(n));
         }
     }
@@ -48,12 +61,15 @@ pub fn range_search(
             break; // nothing left within the inflated radius
         }
         stats.hops += 1;
+        batch_ids.clear();
         for &u in g.neighbors(c.id) {
-            if !visited.visit(u) {
-                continue;
+            if visited.visit(u) {
+                batch_ids.push(u);
             }
-            stats.ndc += 1;
-            let d = ds.dist_to(query, u);
+        }
+        stats.ndc += batch_ids.len() as u64;
+        ds.dist_to_many(query, batch_ids, batch_dists);
+        for (&u, &d) in batch_ids.iter().zip(batch_dists.iter()) {
             let radius = if results.len() == beam {
                 results.last().map_or(f32::INFINITY, |w| w.dist)
             } else {
@@ -62,11 +78,11 @@ pub fn range_search(
             if d < inflate * radius {
                 let n = Neighbor::new(u, d);
                 queue.push(Reverse(n));
-                insert_into_pool(&mut results, beam, n);
+                insert_into_pool(results, beam, n);
             }
         }
     }
-    results
+    results.clone()
 }
 
 #[cfg(test)]
@@ -85,14 +101,14 @@ mod tests {
 
     fn recall_at_10(eps: f32) -> (f64, u64) {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let seeds: Vec<u32> = (0..8u32).map(|i| i * 47 % ds.len() as u32).collect();
         let mut hits = 0usize;
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            let res = range_search(&ds, &g, q, &seeds, 10, eps, &mut visited, &mut stats);
+            scratch.next_epoch();
+            let res = range_search(&ds, &g, q, &seeds, 10, eps, &mut scratch, &mut stats);
             let truth: Vec<u32> = knn_scan(&ds, q, 10, None).iter().map(|n| n.id).collect();
             hits += res
                 .iter()
@@ -120,9 +136,9 @@ mod tests {
     #[test]
     fn results_sorted_and_bounded() {
         let (ds, qs, g) = setup();
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
-        visited.next_epoch();
+        scratch.next_epoch();
         let res = range_search(
             &ds,
             &g,
@@ -130,7 +146,7 @@ mod tests {
             &[0, 3],
             7,
             0.2,
-            &mut visited,
+            &mut scratch,
             &mut stats,
         );
         assert!(res.len() <= 7);

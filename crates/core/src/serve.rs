@@ -208,7 +208,7 @@ impl<'a> QueryEngine<'a> {
     fn checkout(&self) -> SearchContext {
         match self.scratch.lock().pop() {
             Some(mut ctx) => {
-                ctx.visited.ensure_len(self.ds.len());
+                ctx.scratch.ensure_len(self.ds.len());
                 ctx
             }
             None => SearchContext::new(self.ds.len()),

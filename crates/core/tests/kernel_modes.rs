@@ -1,0 +1,108 @@
+//! Cross-kernel-mode identity guard.
+//!
+//! The workspace compiles with either the unrolled distance kernels
+//! (default) or the scalar reference kernels (`--features paper-fidelity`).
+//! These tests pin a golden FNV-1a digest of full search traces; the SAME
+//! constants must hold under both modes, so running the suite twice —
+//! `cargo test` and `cargo test --features paper-fidelity`, as CI does —
+//! proves the two kernel flavors route searches identically.
+//!
+//! The dataset uses small-integer coordinates: every squared difference and
+//! every partial sum is an integer far below 2^24, so f32 arithmetic is
+//! exact in ANY summation order and the two kernel flavors are bit-equal by
+//! construction, not merely close.
+
+use weavess_core::search::{beam_search, SearchScratch, SearchStats};
+use weavess_data::Dataset;
+use weavess_graph::base::exact_knng;
+
+/// Deterministic small-integer dataset: coordinates in [-16, 16].
+fn integer_dataset(n: usize, dim: usize) -> Dataset {
+    let mut state = 0x9e37_79b9_u64;
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % 33) as f32 - 16.0
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_rows(&rows)
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Runs beam search for a block of queries and digests ids, distance bits,
+/// and work counters.
+fn search_digest() -> u64 {
+    let base = integer_dataset(600, 24);
+    let queries = integer_dataset(40, 24);
+    let g = exact_knng(&base, 10, 2);
+    let mut scratch = SearchScratch::new(base.len());
+    let mut stats = SearchStats::default();
+    let seeds = [0u32, 151, 313, 599];
+    let mut digest = 0xcbf2_9ce4_8422_2325_u64;
+    for qi in 0..queries.len() as u32 {
+        scratch.next_epoch();
+        let res = beam_search(
+            &base,
+            &g,
+            queries.point(qi),
+            &seeds,
+            32,
+            &mut scratch,
+            &mut stats,
+        );
+        for n in &res {
+            fnv1a(&mut digest, &n.id.to_le_bytes());
+            fnv1a(&mut digest, &n.dist.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a(&mut digest, &stats.ndc.to_le_bytes());
+    fnv1a(&mut digest, &stats.hops.to_le_bytes());
+    digest
+}
+
+/// Golden digest: identical under default and `paper-fidelity` kernels.
+/// If this fails in exactly one mode, a kernel flavor changed results; if
+/// it fails in both, the search itself changed (update the constant).
+#[test]
+fn search_trace_digest_is_kernel_mode_independent() {
+    assert_eq!(
+        search_digest(),
+        0xc37d_01d6_cc76_4036,
+        "search trace diverged (mode: {})",
+        if cfg!(feature = "paper-fidelity") {
+            "paper-fidelity scalar kernels"
+        } else {
+            "default unrolled kernels"
+        }
+    );
+}
+
+/// On integer data the two kernel flavors must be bit-equal — this holds in
+/// both compile modes and certifies the digest constant above is valid for
+/// both.
+#[test]
+fn kernel_flavors_bit_equal_on_integer_data() {
+    use weavess_data::distance::{scalar, unrolled};
+    let a = integer_dataset(64, 100);
+    let b = integer_dataset(64, 100);
+    for i in 0..64u32 {
+        let (x, y) = (a.point(i), b.point(i));
+        assert_eq!(
+            scalar::squared_euclidean(x, y).to_bits(),
+            unrolled::squared_euclidean(x, y).to_bits()
+        );
+        assert_eq!(scalar::dot(x, y).to_bits(), unrolled::dot(x, y).to_bits());
+    }
+}

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use weavess_core::search::{
     backtrack_search, beam_search, filtered_beam_search, guided_search, range_search, Router,
-    SearchStats, VisitedPool,
+    SearchScratch, SearchStats, VisitedPool,
 };
 use weavess_data::ground_truth::knn_scan;
 use weavess_data::synthetic::MixtureSpec;
@@ -29,7 +29,7 @@ proptest! {
         beam in 1usize..40,
     ) {
         let (ds, qs, g) = setup(seed, 300);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let seeds = [0u32, 150, 299];
         let q = qs.point(0);
@@ -40,8 +40,8 @@ proptest! {
             Router::Guided,
             Router::TwoStage { stage1_beam_frac: 0.5 },
         ] {
-            visited.next_epoch();
-            let res = router.search(&ds, &g, q, &seeds, beam, &mut visited, &mut stats);
+            scratch.next_epoch();
+            let res = router.search(&ds, &g, q, &seeds, beam, &mut scratch, &mut stats);
             prop_assert!(res.len() <= beam, "{router:?}");
             prop_assert!(res.windows(2).all(|w| w[0] < w[1]), "{router:?} unsorted");
             for i in 0..res.len() {
@@ -62,11 +62,11 @@ proptest! {
     #[test]
     fn saturated_beam_is_exact_on_reachable(seed in 0u64..100) {
         let (ds, qs, g) = setup(seed, 200);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let q = qs.point(0);
-        visited.next_epoch();
-        let res = beam_search(&ds, &g, q, &[0], ds.len(), &mut visited, &mut stats);
+        scratch.next_epoch();
+        let res = beam_search(&ds, &g, q, &[0], ds.len(), &mut scratch, &mut stats);
         // Every returned vertex was reached; the best of them must be the
         // true minimum over the visited set.
         let best_visited = res
@@ -102,16 +102,16 @@ proptest! {
     #[test]
     fn filtered_search_is_sound(seed in 0u64..100, modulo in 2u32..5) {
         let (ds, qs, g) = setup(seed, 300);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let q = qs.point(0);
         let filter = move |id: u32| id.is_multiple_of(modulo);
-        visited.next_epoch();
+        scratch.next_epoch();
         let filtered =
-            filtered_beam_search(&ds, &g, q, &[0, 150], 5, 40, &filter, &mut visited, &mut stats);
+            filtered_beam_search(&ds, &g, q, &[0, 150], 5, 40, &filter, &mut scratch, &mut stats);
         prop_assert!(filtered.iter().all(|n| filter(n.id)));
-        visited.next_epoch();
-        let plain = beam_search(&ds, &g, q, &[0, 150], 40, &mut visited, &mut stats);
+        scratch.next_epoch();
+        let plain = beam_search(&ds, &g, q, &[0, 150], 40, &mut scratch, &mut stats);
         if let (Some(fh), Some(ph)) = (filtered.first(), plain.first()) {
             prop_assert!(fh.dist >= ph.dist - 1e-6);
         }
@@ -122,15 +122,15 @@ proptest! {
     #[test]
     fn guided_never_spends_more(seed in 0u64..100) {
         let (ds, qs, g) = setup(seed, 300);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let seeds = [0u32, 100, 200];
         let q = qs.point(0);
         let mut s_guided = SearchStats::default();
-        visited.next_epoch();
-        guided_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_guided);
+        scratch.next_epoch();
+        guided_search(&ds, &g, q, &seeds, 20, &mut scratch, &mut s_guided);
         let mut s_beam = SearchStats::default();
-        visited.next_epoch();
-        beam_search(&ds, &g, q, &seeds, 20, &mut visited, &mut s_beam);
+        scratch.next_epoch();
+        beam_search(&ds, &g, q, &seeds, 20, &mut scratch, &mut s_beam);
         prop_assert!(s_guided.ndc <= s_beam.ndc);
     }
 
@@ -139,20 +139,20 @@ proptest! {
     #[test]
     fn router_degenerate_cases(seed in 0u64..100) {
         let (ds, qs, g) = setup(seed, 250);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let q = qs.point(0);
         let seeds = [0u32, 120];
         let mut s1 = SearchStats::default();
-        visited.next_epoch();
-        let bt = backtrack_search(&ds, &g, q, &seeds, 16, 0, &mut visited, &mut s1);
+        scratch.next_epoch();
+        let bt = backtrack_search(&ds, &g, q, &seeds, 16, 0, &mut scratch, &mut s1);
         let mut s2 = SearchStats::default();
-        visited.next_epoch();
-        let bf = beam_search(&ds, &g, q, &seeds, 16, &mut visited, &mut s2);
+        scratch.next_epoch();
+        let bf = beam_search(&ds, &g, q, &seeds, 16, &mut scratch, &mut s2);
         prop_assert_eq!(bt, bf);
 
         let mut s3 = SearchStats::default();
-        visited.next_epoch();
-        range_search(&ds, &g, q, &seeds, 16, 10.0, &mut visited, &mut s3);
+        scratch.next_epoch();
+        range_search(&ds, &g, q, &seeds, 16, 10.0, &mut scratch, &mut s3);
         prop_assert!(s3.ndc >= s2.ndc);
     }
 
@@ -173,12 +173,12 @@ proptest! {
             .map(|v| (0..n).filter(|&u| u != v).collect())
             .collect();
         let g = CsrGraph::from_lists(&lists);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            let res = beam_search(&ds, &g, q, &[entry], beam, &mut visited, &mut stats);
+            scratch.next_epoch();
+            let res = beam_search(&ds, &g, q, &[entry], beam, &mut scratch, &mut stats);
             prop_assert_eq!(res.len(), beam.min(ds.len()));
             prop_assert!(res.windows(2).all(|w| w[0] < w[1]), "unsorted/dup");
             let truth = knn_scan(&ds, q, beam, None);
@@ -227,12 +227,12 @@ proptest! {
         }
         let g = CsrGraph::from_lists(&lists);
         prop_assume!(weavess_graph::connectivity::weak_components(&g) == 1);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         for qi in 0..qs.len() as u32 {
             let q = qs.point(qi);
-            visited.next_epoch();
-            let res = beam_search(&ds, &g, q, &[0], ds.len(), &mut visited, &mut stats);
+            scratch.next_epoch();
+            let res = beam_search(&ds, &g, q, &[0], ds.len(), &mut scratch, &mut stats);
             let truth = knn_scan(&ds, q, 1, None)[0];
             prop_assert_eq!(res[0], truth, "query {}", qi);
         }

@@ -21,6 +21,10 @@ fn dataset() -> (Dataset, Dataset) {
 /// aggregated work counters are bit-identical at 1, 2, and 8 workers, on
 /// both a fixed-seed index (HNSW) and a random-seed index (KGraph, whose
 /// per-query seed draws go through the engine's deterministic reseeding).
+///
+/// This runs under the default (unrolled, batch-scored) kernels; the CI
+/// `paper-fidelity` job re-runs it under the scalar reference kernels, so
+/// worker-count determinism is certified in both kernel modes.
 #[test]
 fn engine_results_identical_across_1_2_8_workers() {
     let (base, queries) = dataset();

@@ -86,31 +86,112 @@ impl Dataset {
         squared_euclidean(query, self.point(b))
     }
 
+    /// Scores `query` against every id in `ids` in one pass, overwriting
+    /// `out` (cleared and refilled; capacity is reused across calls).
+    ///
+    /// Beam expansion calls this once per expanded vertex instead of one
+    /// [`Self::dist_to`] per neighbor: the query slice and its bounds stay
+    /// hot across the whole batch. Each output is computed by the exact
+    /// same kernel as `dist_to`, so `out[i]` is bit-equal to
+    /// `self.dist_to(query, ids[i])` — batching never perturbs results.
+    #[inline]
+    pub fn dist_to_many(&self, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(ids.len());
+        debug_assert_eq!(query.len(), self.dim);
+        for &b in ids {
+            out.push(squared_euclidean(query, self.point(b)));
+        }
+    }
+
+    /// Points per work unit for the threaded scans below. Fixed (rather
+    /// than derived from the thread count) so reduction order — and hence
+    /// every floating-point rounding — is identical at any parallelism.
+    const SCAN_CHUNK: usize = 8_192;
+
     /// Component-wise mean of all points (the "approximate centroid" used by
-    /// NSG's and Vamana's seed preprocessing).
+    /// NSG's and Vamana's seed preprocessing). Threaded over fixed-size
+    /// chunks whose partial sums are combined in chunk order, so the result
+    /// is independent of the worker count.
     pub fn centroid(&self) -> Vec<f32> {
+        let chunks: Vec<&[f32]> = self.data.chunks(Self::SCAN_CHUNK * self.dim).collect();
+        let workers = Self::scan_workers(chunks.len());
+        let per = chunks.len().div_ceil(workers).max(1);
+        let mut partials: Vec<Vec<f64>> = vec![Vec::new(); chunks.len()];
+        std::thread::scope(|scope| {
+            for (w, slot) in partials.chunks_mut(per).enumerate() {
+                let chunks = &chunks;
+                let dim = self.dim;
+                scope.spawn(move || {
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let mut acc = vec![0.0f64; dim];
+                        for row in chunks[w * per + j].chunks_exact(dim) {
+                            for (a, &x) in acc.iter_mut().zip(row) {
+                                *a += x as f64;
+                            }
+                        }
+                        *out = acc;
+                    }
+                });
+            }
+        });
         let mut c = vec![0.0f64; self.dim];
-        for i in 0..self.n {
-            let p = self.point(i as u32);
-            for (acc, &x) in c.iter_mut().zip(p) {
-                *acc += x as f64;
+        for p in &partials {
+            for (a, &x) in c.iter_mut().zip(p) {
+                *a += x;
             }
         }
         c.iter().map(|&x| (x / self.n as f64) as f32).collect()
     }
 
     /// The base point nearest to the centroid (the *medoid*; NSG's fixed
-    /// entry point). Linear scan; used once per index build.
+    /// entry point). Threaded linear scan; each chunk covers an ascending
+    /// id range and the chunk minima are folded in order with a strict `<`,
+    /// so the serial "first strict improvement" winner is reproduced at any
+    /// worker count.
     pub fn medoid(&self) -> u32 {
         let c = self.centroid();
+        let nchunks = self.n.div_ceil(Self::SCAN_CHUNK).max(1);
+        let workers = Self::scan_workers(nchunks);
+        let per = nchunks.div_ceil(workers).max(1);
+        let mut bests: Vec<Neighbor> = vec![Neighbor::new(0, f32::INFINITY); nchunks];
+        std::thread::scope(|scope| {
+            for (w, slot) in bests.chunks_mut(per).enumerate() {
+                let c = &c;
+                let this = &*self;
+                scope.spawn(move || {
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let lo = (w * per + j) * Self::SCAN_CHUNK;
+                        let hi = (lo + Self::SCAN_CHUNK).min(this.n);
+                        let mut best = Neighbor::new(0, f32::INFINITY);
+                        for i in lo as u32..hi as u32 {
+                            let d = this.dist_to(c, i);
+                            if d < best.dist {
+                                best = Neighbor::new(i, d);
+                            }
+                        }
+                        *out = best;
+                    }
+                });
+            }
+        });
         let mut best = Neighbor::new(0, f32::INFINITY);
-        for i in 0..self.n as u32 {
-            let d = self.dist_to(&c, i);
-            if d < best.dist {
-                best = Neighbor::new(i, d);
+        for b in bests {
+            if b.dist < best.dist {
+                best = b;
             }
         }
         best.id
+    }
+
+    /// Worker count for the threaded scans: bounded by available
+    /// parallelism and the number of work units.
+    fn scan_workers(nchunks: usize) -> usize {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(nchunks)
+            .max(1)
     }
 
     /// A new dataset containing the given rows of `self` (dataset-division

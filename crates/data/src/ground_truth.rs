@@ -9,20 +9,38 @@
 use crate::dataset::Dataset;
 use crate::neighbor::{insert_into_pool, Neighbor};
 
+/// Points scored per [`Dataset::dist_to_many`] call in [`knn_scan`] — big
+/// enough to amortize the loop, small enough to stay in L1/L2.
+const SCAN_BLOCK: u32 = 256;
+
 /// Exact k nearest base points for one query vector (linear scan).
 ///
 /// `exclude` skips one base id (used when the "query" is itself a base
 /// point, e.g. when building the exact KNNG).
+///
+/// The scan is batch-scored over fixed contiguous id blocks; the exclusion
+/// check happens at insertion time, so results are identical to the
+/// point-at-a-time scan.
 pub fn knn_scan(base: &Dataset, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Neighbor> {
     let mut pool = Vec::with_capacity(k + 1);
-    for i in 0..base.len() as u32 {
-        if exclude == Some(i) {
-            continue;
+    let n = base.len() as u32;
+    let mut ids: Vec<u32> = Vec::with_capacity(SCAN_BLOCK as usize);
+    let mut dists: Vec<f32> = Vec::with_capacity(SCAN_BLOCK as usize);
+    let mut lo = 0u32;
+    while lo < n {
+        let hi = lo.saturating_add(SCAN_BLOCK).min(n);
+        ids.clear();
+        ids.extend(lo..hi);
+        base.dist_to_many(query, &ids, &mut dists);
+        for (&i, &d) in ids.iter().zip(dists.iter()) {
+            if exclude == Some(i) {
+                continue;
+            }
+            if pool.len() < k || d < pool.last().map_or(f32::INFINITY, |w: &Neighbor| w.dist) {
+                insert_into_pool(&mut pool, k, Neighbor::new(i, d));
+            }
         }
-        let d = base.dist_to(query, i);
-        if pool.len() < k || d < pool.last().map_or(f32::INFINITY, |w: &Neighbor| w.dist) {
-            insert_into_pool(&mut pool, k, Neighbor::new(i, d));
-        }
+        lo = hi;
     }
     pool
 }

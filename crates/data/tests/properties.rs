@@ -1,7 +1,7 @@
 //! Property tests for the data substrate.
 
 use proptest::prelude::*;
-use weavess_data::distance::{cosine_angle_at, euclidean, squared_euclidean};
+use weavess_data::distance::{cosine_angle_at, euclidean, scalar, squared_euclidean, unrolled};
 use weavess_data::metrics::{lid_mle, recall};
 use weavess_data::neighbor::{insert_into_pool, Neighbor};
 use weavess_data::Dataset;
@@ -109,6 +109,89 @@ proptest! {
             .collect();
         let lid = lid_mle(&dists).unwrap();
         prop_assert!(lid > 0.0, "lid={lid}");
+    }
+
+    /// The unrolled kernels agree with the scalar reference within a
+    /// 1e-4 relative tolerance, at every dimension shape (pure tail,
+    /// chunk boundary, chunks + tail): dims 1, 3, 17, 100 are all hit by
+    /// the 1..128 range.
+    #[test]
+    fn kernel_flavors_agree(
+        a in prop::collection::vec(-100.0f32..100.0, 1..128),
+        shift in -8.0f32..8.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|&x| x * 0.9 + shift).collect();
+        let tol = |x: f32, y: f32| (x - y).abs() <= 1e-4 * x.abs().max(y.abs()).max(1.0);
+        prop_assert!(
+            tol(scalar::squared_euclidean(&a, &b), unrolled::squared_euclidean(&a, &b)),
+            "squared_euclidean diverged at dim {}", a.len()
+        );
+        prop_assert!(
+            tol(scalar::dot(&a, &b), unrolled::dot(&a, &b)),
+            "dot diverged at dim {}", a.len()
+        );
+    }
+
+    /// Unrolled `cosine_angle_at` agrees with the scalar reference.
+    #[test]
+    fn cosine_kernel_flavors_agree(
+        p in prop::collection::vec(-10.0f32..10.0, 1..100),
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<f32> = p.iter().enumerate()
+            .map(|(i, &x)| x + ((seed.wrapping_add(i as u64) % 13) as f32 - 6.0))
+            .collect();
+        let b: Vec<f32> = p.iter().enumerate()
+            .map(|(i, &x)| x - ((seed.wrapping_mul(3).wrapping_add(i as u64) % 11) as f32 - 5.0))
+            .collect();
+        let cs = scalar::cosine_angle_at(&p, &a, &b);
+        let cu = unrolled::cosine_angle_at(&p, &a, &b);
+        prop_assert!((cs - cu).abs() <= 1e-4, "{cs} vs {cu} at dim {}", p.len());
+    }
+
+    /// Exercise the named odd dimensions explicitly: 1, 3, 17, 100.
+    #[test]
+    fn kernel_flavors_agree_at_odd_dims(
+        seed in 0u64..10_000,
+    ) {
+        for dim in [1usize, 3, 17, 100] {
+            let a: Vec<f32> = (0..dim)
+                .map(|i| ((seed.wrapping_add(i as u64 * 37) % 200) as f32 - 100.0) * 0.5)
+                .collect();
+            let b: Vec<f32> = (0..dim)
+                .map(|i| ((seed.wrapping_mul(7).wrapping_add(i as u64 * 11) % 200) as f32 - 100.0) * 0.5)
+                .collect();
+            let ds = scalar::squared_euclidean(&a, &b);
+            let du = unrolled::squared_euclidean(&a, &b);
+            prop_assert!(
+                (ds - du).abs() <= 1e-4 * ds.abs().max(1.0),
+                "dim {dim}: {ds} vs {du}"
+            );
+        }
+    }
+
+    /// `dist_to_many` equals element-wise `dist_to` exactly (bit-equal):
+    /// the batch path runs the same dispatched kernel per point.
+    #[test]
+    fn dist_to_many_matches_dist_to_exactly(
+        n in 1usize..40,
+        dim in 1usize..48,
+        qseed in 0u64..1000,
+    ) {
+        let flat: Vec<f32> = (0..n * dim).map(|i| (i as f32 * 0.37).sin() * 10.0).collect();
+        let ds = Dataset::from_flat(flat, n, dim);
+        let q: Vec<f32> = (0..dim)
+            .map(|i| ((qseed.wrapping_add(i as u64) % 41) as f32 - 20.0) * 0.7)
+            .collect();
+        // Ids in arbitrary (non-contiguous, repeating) order.
+        let ids: Vec<u32> = (0..n as u32).rev().chain(0..n as u32 / 2).collect();
+        let mut out = Vec::new();
+        ds.dist_to_many(&q, &ids, &mut out);
+        prop_assert_eq!(out.len(), ids.len());
+        for (&i, &d) in ids.iter().zip(out.iter()) {
+            // Bit-exact, not approximate: same kernel, same inputs.
+            prop_assert_eq!(d.to_bits(), ds.dist_to(&q, i).to_bits(), "id {}", i);
+        }
     }
 
     /// Subsetting a dataset preserves the selected rows exactly.

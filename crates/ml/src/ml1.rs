@@ -9,7 +9,7 @@
 //! copy of every point plus the projection, charged to the index.
 
 use crate::pca::Pca;
-use weavess_core::search::{SearchStats, VisitedPool};
+use weavess_core::search::{SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -62,12 +62,12 @@ impl Ml1Index {
         query: &[f32],
         k: usize,
         beam: usize,
-        visited: &mut VisitedPool,
+        scratch: &mut SearchScratch,
     ) -> (Vec<Neighbor>, Ml1Stats) {
         let mut stats = Ml1Stats::default();
         let cq = self.pca.project(query);
         // Best-first over compressed distances.
-        visited.next_epoch();
+        scratch.next_epoch();
         let mut cstats = SearchStats::default();
         let pool = weavess_core::search::beam_search(
             &self.compressed,
@@ -75,7 +75,7 @@ impl Ml1Index {
             &cq,
             &self.entries,
             beam.max(k),
-            visited,
+            scratch,
             &mut cstats,
         );
         stats.compressed_evals = cstats.ndc;
@@ -132,7 +132,7 @@ mod tests {
         let gt = ground_truth(&ds, &qs, 10, 4);
         let entries = vec![ds.medoid()];
         let ml1 = optimize(&ds, base.graph.clone(), entries, 12);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut ctx = weavess_core::index::SearchContext::new(ds.len());
         let (mut base_hits, mut ml1_hits) = (0.0f64, 0.0f64);
         let mut ml1_ndc = 0.0f64;
@@ -144,7 +144,7 @@ mod tests {
                 .map(|n| n.id)
                 .collect();
             base_hits += recall(&b, &gt[qi as usize]);
-            let (m, s) = ml1.search(&ds, q, 10, 60, &mut visited);
+            let (m, s) = ml1.search(&ds, q, 10, 60, &mut scratch);
             let mids: Vec<u32> = m.iter().map(|n| n.id).collect();
             ml1_hits += recall(&mids, &gt[qi as usize]);
             ml1_ndc += s.effective_ndc(12, ds.dim());

@@ -12,7 +12,7 @@
 
 use weavess::core::algorithms::hnsw::HnswParams;
 use weavess::core::algorithms::hnsw_dynamic::DynamicHnsw;
-use weavess::core::search::{filtered_beam_search, SearchStats, VisitedPool};
+use weavess::core::search::{filtered_beam_search, SearchScratch, SearchStats};
 use weavess::data::ground_truth::knn_scan;
 use weavess::data::synthetic::MixtureSpec;
 use weavess::graph::base::exact_knng;
@@ -59,9 +59,9 @@ fn main() {
     // Category = id % 4; we want the nearest category-2 items.
     let g = exact_knng(&stream, 16, 4);
     let category = |id: u32| id % 4 == 2;
-    let mut visited = VisitedPool::new(stream.len());
+    let mut scratch = SearchScratch::new(stream.len());
     let mut stats = SearchStats::default();
-    visited.next_epoch();
+    scratch.next_epoch();
     let hits = filtered_beam_search(
         &stream,
         &g,
@@ -70,7 +70,7 @@ fn main() {
         5,
         80,
         &category,
-        &mut visited,
+        &mut scratch,
         &mut stats,
     );
     let exact: Vec<u32> = knn_scan(&stream, q, stream.len(), None)

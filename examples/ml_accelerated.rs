@@ -8,7 +8,7 @@
 
 use weavess::core::algorithms::nsg::{self, NsgParams};
 use weavess::core::index::{AnnIndex, SearchContext};
-use weavess::core::search::VisitedPool;
+use weavess::core::search::SearchScratch;
 use weavess::data::ground_truth::ground_truth;
 use weavess::data::metrics::recall;
 use weavess::data::synthetic::MixtureSpec;
@@ -46,11 +46,11 @@ fn main() {
 
     // ML1: routing over PCA-compressed vectors with full rerank.
     let m1 = ml1::optimize(&base, base_idx.graph.clone(), vec![base.medoid()], 16);
-    let mut visited = VisitedPool::new(base.len());
+    let mut scratch = SearchScratch::new(base.len());
     let mut r = 0.0;
     let mut eff = 0.0;
     for qi in 0..queries.len() as u32 {
-        let (res, s) = m1.search(&base, queries.point(qi), 1, 40, &mut visited);
+        let (res, s) = m1.search(&base, queries.point(qi), 1, 40, &mut scratch);
         let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
         r += recall(&ids, &gt[qi as usize][..1]);
         eff += s.effective_ndc(16, base.dim());

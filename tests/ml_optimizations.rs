@@ -4,7 +4,7 @@
 
 use weavess::core::algorithms::nsg::{self, NsgParams};
 use weavess::core::index::{AnnIndex, SearchContext};
-use weavess::core::search::VisitedPool;
+use weavess::core::search::{SearchScratch, VisitedPool};
 use weavess::data::ground_truth::ground_truth;
 use weavess::data::metrics::recall;
 use weavess::data::synthetic::MixtureSpec;
@@ -41,10 +41,10 @@ fn ml1_and_ml3_cut_effective_ndc_at_high_recall() {
 
     // ML1.
     let m1 = ml1::optimize(&base, base_idx.graph.clone(), vec![base.medoid()], 12);
-    let mut visited = VisitedPool::new(base.len());
+    let mut scratch = SearchScratch::new(base.len());
     let (mut r1, mut eff1) = (0.0, 0.0);
     for qi in 0..queries.len() as u32 {
-        let (res, s) = m1.search(&base, queries.point(qi), 1, 40, &mut visited);
+        let (res, s) = m1.search(&base, queries.point(qi), 1, 40, &mut scratch);
         let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
         r1 += recall(&ids, &gt[qi as usize][..1]);
         eff1 += s.effective_ndc(12, base.dim());
