@@ -1,0 +1,202 @@
+//! Construction-parallelism benchmark — the `BENCH_build.json` artifact.
+//!
+//! Sweeps construction thread counts per algorithm on a clustered
+//! synthetic dataset and reports, per algorithm: wall-clock build seconds
+//! at each thread count, the speedup over single-threaded, and a hard
+//! **identity** check — an FNV-1a digest of the built adjacency that must
+//! not move with the thread count (the `core::parallel` determinism
+//! contract, also enforced by `crates/core/tests/build_determinism.rs`).
+//!
+//! An HNSW search sanity block then confirms the parallel build changes
+//! *nothing* downstream: fixed-beam Recall@10 and QPS measured over the
+//! graph built at the highest thread count (byte-identical to the
+//! 1-thread graph, so one measurement speaks for all).
+//!
+//! `--smoke` shrinks the dataset and sweep for CI. `WEAVESS_ALGOS`
+//! filters the algorithm set; the default sweeps the builders with
+//! substantial parallel phases. The host's `available_parallelism` is
+//! recorded so speedups read honestly on small machines.
+
+use std::time::Instant;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::select_algos;
+use weavess_core::algorithms::Algo;
+use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_data::ground_truth::ground_truth;
+use weavess_data::metrics::recall;
+use weavess_data::synthetic::MixtureSpec;
+
+const SEED: u64 = 7;
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn adjacency_digest(index: &dyn AnnIndex) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325_u64;
+    for l in &index.graph().to_lists() {
+        fnv1a(&mut digest, &(l.len() as u32).to_le_bytes());
+        for &x in l {
+            fnv1a(&mut digest, &x.to_le_bytes());
+        }
+    }
+    digest
+}
+
+struct AlgoRow {
+    name: &'static str,
+    seconds: Vec<f64>, // aligned with the thread sweep
+    identical: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (n, dim, sweep): (usize, usize, Vec<usize>) = if smoke {
+        (1_200, 16, vec![1, 2])
+    } else {
+        (10_000, 32, vec![1, 2, 4, 8])
+    };
+    let mode = if cfg!(feature = "paper-fidelity") {
+        "paper-fidelity"
+    } else {
+        "default"
+    };
+    banner(&format!(
+        "Construction parallelism bench (mode={mode}, n={n}, host cores={host})"
+    ));
+
+    // Default to the builders with substantial parallel phases; smoke
+    // trims further. WEAVESS_ALGOS overrides either list.
+    let default_names: &[&str] = if smoke {
+        &["HNSW", "NSW", "KGraph", "NSG"]
+    } else {
+        &[
+            "HNSW", "NSW", "KGraph", "NSG", "NSSG", "Vamana", "HCNNG", "OA",
+        ]
+    };
+    let algos: Vec<Algo> = if std::env::var("WEAVESS_ALGOS").is_ok() {
+        select_algos(Algo::all())
+    } else {
+        Algo::all()
+            .iter()
+            .copied()
+            .filter(|a| default_names.contains(&a.name()))
+            .collect()
+    };
+
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(12),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(dim, n, 8, 5.0, if smoke { 50 } else { 200 })
+    };
+    let (base, queries) = spec.generate();
+
+    let mut header = vec!["algo".to_string()];
+    header.extend(sweep.iter().map(|t| format!("t={t} (s)")));
+    header.push("speedup".to_string());
+    header.push("identical".to_string());
+    let mut table = Table::new(header);
+
+    let mut rows: Vec<AlgoRow> = Vec::new();
+    for &algo in &algos {
+        let mut seconds = Vec::with_capacity(sweep.len());
+        let mut digests = Vec::with_capacity(sweep.len());
+        for &t in &sweep {
+            let t0 = Instant::now();
+            let idx = algo.build(&base, t, SEED);
+            seconds.push(t0.elapsed().as_secs_f64());
+            digests.push(adjacency_digest(idx.as_ref()));
+        }
+        let identical = digests.windows(2).all(|w| w[0] == w[1]);
+        assert!(
+            identical,
+            "{} built different graphs across thread counts: {digests:x?}",
+            algo.name()
+        );
+        let speedup = seconds[0] / seconds.last().unwrap();
+        let mut row = vec![algo.name().to_string()];
+        row.extend(seconds.iter().map(|&s| f(s, 2)));
+        row.push(f(speedup, 2));
+        row.push(identical.to_string());
+        table.row(row);
+        rows.push(AlgoRow {
+            name: algo.name(),
+            seconds,
+            identical,
+        });
+    }
+    table.print();
+
+    // HNSW search sanity: recall/QPS on the widest-sweep build. The graph
+    // is byte-identical to every other thread count's, so this one
+    // measurement certifies them all.
+    let beam = 80usize;
+    let hnsw_sanity = rows.iter().any(|r| r.name == "HNSW").then(|| {
+        let idx = Algo::Hnsw.build(&base, *sweep.last().unwrap(), SEED);
+        let gt = ground_truth(&base, &queries, 10, host);
+        let mut ctx = SearchContext::new(base.len());
+        let mut total = 0.0;
+        let t0 = Instant::now();
+        for qi in 0..queries.len() as u32 {
+            let r: Vec<u32> = idx
+                .search(&base, queries.point(qi), 10, beam, &mut ctx)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            total += recall(&r, &gt[qi as usize]);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        (total / queries.len() as f64, queries.len() as f64 / secs)
+    });
+    if let Some((r10, qps)) = hnsw_sanity {
+        println!(
+            "\nHNSW search sanity: beam={beam} Recall@10={} QPS={}",
+            f(r10, 4),
+            f(qps, 0)
+        );
+    }
+
+    // JSON artifact, kernel_bench-style.
+    let sweep_json = sweep
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut algo_json = String::new();
+    for r in &rows {
+        let secs = r
+            .seconds
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        algo_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": [{secs}], \"speedup\": {:.3}, \"identical\": {}}},\n",
+            r.name,
+            r.seconds[0] / r.seconds.last().unwrap(),
+            r.identical,
+        ));
+    }
+    algo_json.truncate(algo_json.trim_end_matches(",\n").len());
+    let search_json = match hnsw_sanity {
+        Some((r10, qps)) => {
+            format!("{{\"beam\": {beam}, \"recall_at_10\": {r10:.4}, \"qps\": {qps:.1}}}")
+        }
+        None => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"build\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
+         \"host_available_parallelism\": {host},\n  \"n\": {n},\n  \"dim\": {dim},\n  \
+         \"threads_swept\": [{sweep_json}],\n  \"algorithms\": [\n{algo_json}\n  ],\n  \
+         \"hnsw_search_sanity\": {search_json}\n}}\n"
+    );
+    std::fs::write("BENCH_build.json", &json).expect("write BENCH_build.json");
+    println!("\nwrote BENCH_build.json");
+}

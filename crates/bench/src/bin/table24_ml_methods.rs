@@ -112,7 +112,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         let hnsw = weavess_core::algorithms::hnsw::build(
             &ds.base,
-            &weavess_core::algorithms::hnsw::HnswParams::tuned(1),
+            &weavess_core::algorithms::hnsw::HnswParams::tuned(1, 1),
         );
         let hnsw_secs = t0.elapsed().as_secs_f64();
         // Train on a held-out half of the queries, evaluate on the rest.

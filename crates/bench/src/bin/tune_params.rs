@@ -67,7 +67,7 @@ fn main() {
             hnsw_candidates.push(Candidate {
                 label: format!("M={m}"),
                 build: Box::new(move |base: &Dataset| {
-                    let mut p = hnsw::HnswParams::tuned(1);
+                    let mut p = hnsw::HnswParams::tuned(1, 1);
                     p.m = m;
                     p.m0 = 2 * m;
                     Box::new(hnsw::build(base, &p)) as Box<dyn AnnIndex>

@@ -9,6 +9,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_dpg;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::parallel;
 use crate::search::Router;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -49,23 +50,22 @@ impl DpgParams {
 pub fn build(ds: &Dataset, params: &DpgParams) -> FlatIndex {
     let init = nn_descent(ds, &params.nd, None);
     let kappa = (params.nd.k / 2).max(2);
-    let threads = params.nd.threads.max(1);
+    let threads = parallel::resolve_threads(params.nd.threads);
     let n = ds.len();
     // Angular diversification (C3_DPG), parallel over vertices.
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot) in lists.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            let init = &init;
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    *out = select_dpg(ds, p, &init[p as usize], kappa);
-                }
-            });
-        }
-    });
+    parallel::par_fill(
+        &mut lists,
+        parallel::CHUNK,
+        threads,
+        || (),
+        |_, start, slot| {
+            for (j, out) in slot.iter_mut().enumerate() {
+                let p = (start + j) as u32;
+                *out = select_dpg(ds, p, &init[p as usize], kappa);
+            }
+        },
+    );
     // Undirect (C5_DPG).
     add_reverse_edges(&mut lists, params.reverse_cap);
     let graph = CsrGraph::from_lists(

@@ -12,6 +12,7 @@ use crate::components::init::init_brute_force;
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
+use crate::parallel;
 use crate::search::Router;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -29,7 +30,8 @@ pub struct FanngParams {
     pub backtracks: usize,
     /// Random seeds per query.
     pub search_seeds: usize,
-    /// Construction threads.
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
     pub threads: usize,
 }
 
@@ -50,43 +52,42 @@ impl FanngParams {
 /// Builds a FANNG index.
 pub fn build(ds: &Dataset, params: &FanngParams) -> FlatIndex {
     let n = ds.len();
-    let threads = params.threads.max(1);
+    let threads = parallel::resolve_threads(params.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
     if n <= params.exact_cutoff {
         // Exact: every other point, sorted, through the occlusion rule.
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slot) in lists.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move || {
-                    for (j, out) in slot.iter_mut().enumerate() {
-                        let p = (start + j) as u32;
-                        let mut cands: Vec<Neighbor> = (0..n as u32)
-                            .filter(|&x| x != p)
-                            .map(|x| Neighbor::new(x, ds.dist(p, x)))
-                            .collect();
-                        cands.sort_unstable();
-                        *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
-                    }
-                });
-            }
-        });
+        parallel::par_fill(
+            &mut lists,
+            parallel::CHUNK,
+            threads,
+            || (),
+            |_, start, slot| {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    let mut cands: Vec<Neighbor> = (0..n as u32)
+                        .filter(|&x| x != p)
+                        .map(|x| Neighbor::new(x, ds.dist(p, x)))
+                        .collect();
+                    cands.sort_unstable();
+                    *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
+                }
+            },
+        );
     } else {
         // Shortcut: oversized exact-KNN candidates.
         let knn = init_brute_force(ds, params.l, threads);
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slot) in lists.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                let knn = &knn;
-                scope.spawn(move || {
-                    for (j, out) in slot.iter_mut().enumerate() {
-                        let p = (start + j) as u32;
-                        *out = select_rng_alpha(ds, p, &knn[p as usize], params.r, 1.0);
-                    }
-                });
-            }
-        });
+        parallel::par_fill(
+            &mut lists,
+            parallel::CHUNK,
+            threads,
+            || (),
+            |_, start, slot| {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    *out = select_rng_alpha(ds, p, &knn[p as usize], params.r, 1.0);
+                }
+            },
+        );
     }
     let graph = CsrGraph::from_lists(
         &lists

@@ -7,6 +7,7 @@
 
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
+use crate::parallel;
 use crate::search::Router;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +29,8 @@ pub struct HcnngParams {
     pub n_trees: usize,
     /// Seeds per query.
     pub search_seeds: usize,
-    /// Construction threads.
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -54,33 +56,32 @@ pub fn build(ds: &Dataset, params: &HcnngParams) -> FlatIndex {
     let n = ds.len();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let threads = params.threads.max(1);
+    let threads = parallel::resolve_threads(params.threads);
+    // Each cluster MST is a sizable work unit; small chunks load-balance.
+    const CLUSTER_CHUNK: usize = 4;
     for round in 0..params.rounds.max(1) {
         // Random two-point hierarchical clustering (§4.1's HCNNG division).
         let all: Vec<u32> = (0..n as u32).collect();
         let mut clusters: Vec<Vec<u32>> = Vec::new();
         two_point_divide(ds, all, params.min_cluster, &mut rng, &mut clusters);
-        // MST per cluster, parallel over clusters.
-        let chunk = clusters.len().div_ceil(threads);
-        let mut results: Vec<Vec<(u32, Neighbor)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for cl_chunk in clusters.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for cluster in cl_chunk {
-                        for e in mst_prim(ds, cluster) {
-                            out.push((e.a, Neighbor::new(e.b, e.w)));
-                            out.push((e.b, Neighbor::new(e.a, e.w)));
-                        }
+        // MST per cluster, parallel over clusters; edge batches combine in
+        // cluster order so the budgeted union below is order-stable.
+        let results = parallel::par_chunks_map(
+            clusters.len(),
+            CLUSTER_CHUNK,
+            threads,
+            || (),
+            |_, range| {
+                let mut out = Vec::new();
+                for cluster in &clusters[range] {
+                    for e in mst_prim(ds, cluster) {
+                        out.push((e.a, Neighbor::new(e.b, e.w)));
+                        out.push((e.b, Neighbor::new(e.a, e.w)));
                     }
-                    out
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("MST worker panicked"));
-            }
-        });
+                }
+                out
+            },
+        );
         // Union with per-round degree budget: at most
         // `mst_degree_per_round` new edges per vertex per round.
         let budget = params.mst_degree_per_round.max(1) * (round + 1);

@@ -8,9 +8,17 @@
 //! vertex (its C4 is "top layer"), descends greedily, and beams on
 //! layer 0. The hierarchy costs memory (Figure 6's HNSW bar) — the
 //! flat-vs-hierarchy trade §3.2 discusses.
+//!
+//! Construction is the *Increment* strategy parallelized with
+//! deterministic batch insertion (ParlayANN's scheme): points join in
+//! prefix-doubling batches; within a batch every point searches the
+//! *frozen* graph of all prior batches in parallel, then edges are
+//! committed sequentially in point-id order. The built graph is therefore
+//! bit-identical for any [`HnswParams::threads`].
 
 use crate::components::selection::select_rng_alpha;
 use crate::index::{AnnIndex, SearchContext};
+use crate::parallel;
 use crate::search::{beam_search, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,16 +36,20 @@ pub struct HnswParams {
     pub ef_construction: usize,
     /// RNG seed for level assignment.
     pub seed: u64,
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
+    pub threads: usize,
 }
 
 impl HnswParams {
     /// Defaults tuned for the harness's dataset scales.
-    pub fn tuned(seed: u64) -> Self {
+    pub fn tuned(threads: usize, seed: u64) -> Self {
         HnswParams {
             m: 16,
             m0: 32,
             ef_construction: 60,
             seed,
+            threads,
         }
     }
 }
@@ -82,78 +94,173 @@ impl HnswIndex {
 
 /// Builds an HNSW index.
 pub fn build(ds: &Dataset, params: &HnswParams) -> HnswIndex {
-    let n = ds.len();
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let ml = 1.0 / (params.m.max(2) as f64).ln();
-    // Level per point.
-    let levels: Vec<usize> = (0..n)
-        .map(|_| {
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            (-u.ln() * ml).floor() as usize
-        })
-        .collect();
-    let top = levels.iter().copied().max().unwrap_or(0);
-    // Mutable adjacency per layer.
-    let mut layers: Vec<Vec<Vec<u32>>> = (0..=top).map(|_| vec![Vec::new(); n]).collect();
-    let mut enter: u32 = 0;
-    let mut enter_level: usize = levels[0];
-    let mut scratch = SearchScratch::new(n);
-    let mut stats = SearchStats::default();
-
-    for p in 1..n as u32 {
-        let lp = levels[p as usize];
-        let mut ep = enter;
-        // Greedy descent through layers above lp.
-        for l in ((lp + 1)..=enter_level).rev() {
-            ep = greedy_closest(ds, &layers[l], ds.point(p), ep, &mut stats);
-        }
-        // Beam insert on layers lp..=0.
-        for l in (0..=lp.min(enter_level)).rev() {
-            scratch.next_epoch();
-            let pool = beam_search(
-                ds,
-                &layers[l],
-                ds.point(p),
-                &[ep],
-                params.ef_construction,
-                &mut scratch,
-                &mut stats,
-            );
-            let max_deg = if l == 0 { params.m0 } else { params.m };
-            let selected = select_rng_alpha(ds, p, &pool, params.m, 1.0);
-            for s in &selected {
-                layers[l][p as usize].push(s.id);
-                layers[l][s.id as usize].push(p);
-                // Shrink over-full reverse lists with the same heuristic.
-                if layers[l][s.id as usize].len() > max_deg {
-                    let cands: Vec<Neighbor> = {
-                        let mut c: Vec<Neighbor> = layers[l][s.id as usize]
-                            .iter()
-                            .map(|&u| Neighbor::new(u, ds.dist(s.id, u)))
-                            .collect();
-                        c.sort_unstable();
-                        c
-                    };
-                    layers[l][s.id as usize] = select_rng_alpha(ds, s.id, &cands, max_deg, 1.0)
-                        .iter()
-                        .map(|x| x.id)
-                        .collect();
-                }
-            }
-            ep = selected.first().map(|s| s.id).unwrap_or(ep);
-        }
-        if lp > enter_level {
-            enter = p;
-            enter_level = lp;
-        }
-    }
-
+    let levels = draw_levels(ds.len(), params, &mut StdRng::seed_from_u64(params.seed));
+    let (layers, enter, _) = build_layers(ds, &levels, params);
     HnswIndex {
         layers: layers
             .into_iter()
             .map(|l| CsrGraph::from_lists(&l))
             .collect(),
         enter,
+    }
+}
+
+/// Draws `n` geometric levels from `rng` — one `gen_range` per point, so
+/// the stream position after the draw equals `n` single inserts' worth
+/// (what lets [`super::hnsw_dynamic::DynamicHnsw::bulk_load`] continue the
+/// same stream for later incremental inserts).
+pub(crate) fn draw_levels(n: usize, params: &HnswParams, rng: &mut StdRng) -> Vec<usize> {
+    let ml = 1.0 / (params.m.max(2) as f64).ln();
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (-u.ln() * ml).floor() as usize
+        })
+        .collect()
+}
+
+/// Work-unit size for the parallel search phase: small, because one unit
+/// is `SEARCH_CHUNK` beam searches.
+const SEARCH_CHUNK: usize = 32;
+
+/// The deterministic batch-insert core, shared with the dynamic index:
+/// returns `(layers, enter, enter_level)` as mutable adjacency.
+///
+/// Each prefix-doubling batch runs two phases. The **search phase** is
+/// parallel and pure: every batch point descends and beam-searches the
+/// frozen graph of all prior batches, producing its per-layer selected
+/// neighbors. The **commit phase** is sequential in point-id order: edges
+/// (and reverse-list shrinks) are applied, then the entry point advances
+/// to the first point of the batch that raised the top level. No step
+/// depends on the thread count, so the graph is bit-identical at 1/2/N
+/// threads.
+pub(crate) fn build_layers(
+    ds: &Dataset,
+    levels: &[usize],
+    params: &HnswParams,
+) -> (Vec<Vec<Vec<u32>>>, u32, usize) {
+    let n = ds.len();
+    let top = levels.iter().copied().max().unwrap_or(0);
+    let mut layers: Vec<Vec<Vec<u32>>> = (0..=top).map(|_| vec![Vec::new(); n]).collect();
+    let mut enter: u32 = 0;
+    let mut enter_level: usize = levels.first().copied().unwrap_or(0);
+    let threads = parallel::resolve_threads(params.threads);
+    let max_batch = (n / 8).max(64);
+
+    for batch in parallel::prefix_doubling(n, max_batch) {
+        // Search phase: per-point selected neighbors per layer, computed
+        // against the frozen `layers` — parallel, in fixed chunks.
+        let selected: Vec<Vec<(usize, Vec<Neighbor>)>> = parallel::par_chunks_map(
+            batch.len(),
+            SEARCH_CHUNK,
+            threads,
+            || (SearchScratch::new(n), SearchStats::default()),
+            |(scratch, stats), range| {
+                range
+                    .map(|i| {
+                        let p = (batch.start + i) as u32;
+                        search_one(
+                            ds,
+                            &layers,
+                            levels,
+                            enter,
+                            enter_level,
+                            params,
+                            p,
+                            scratch,
+                            stats,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Commit phase: sequential, in point-id order.
+        for (i, per_layer) in selected.into_iter().enumerate() {
+            let p = (batch.start + i) as u32;
+            commit_one(ds, &mut layers, params, p, &per_layer);
+            let lp = levels[p as usize];
+            if lp > enter_level {
+                enter = p;
+                enter_level = lp;
+            }
+        }
+    }
+    (layers, enter, enter_level)
+}
+
+/// The pure (read-only) half of one insertion: greedy descent above the
+/// point's level, then per-layer beam search + RNG selection against the
+/// frozen graph. Returns `(layer, selected)` pairs, top layer first.
+#[allow(clippy::too_many_arguments)]
+fn search_one(
+    ds: &Dataset,
+    layers: &[Vec<Vec<u32>>],
+    levels: &[usize],
+    enter: u32,
+    enter_level: usize,
+    params: &HnswParams,
+    p: u32,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) -> Vec<(usize, Vec<Neighbor>)> {
+    let lp = levels[p as usize];
+    let mut ep = enter;
+    for l in ((lp + 1)..=enter_level).rev() {
+        ep = greedy_closest(ds, &layers[l], ds.point(p), ep, stats);
+    }
+    let mut out = Vec::with_capacity(lp.min(enter_level) + 1);
+    for l in (0..=lp.min(enter_level)).rev() {
+        scratch.next_epoch();
+        let pool = beam_search(
+            ds,
+            layers[l].as_slice(),
+            ds.point(p),
+            &[ep],
+            params.ef_construction,
+            scratch,
+            stats,
+        );
+        let sel = select_rng_alpha(ds, p, &pool, params.m, 1.0);
+        ep = sel.first().map(|s| s.id).unwrap_or(ep);
+        out.push((l, sel));
+    }
+    out
+}
+
+/// The mutating half of one insertion: push bidirectional edges and
+/// shrink over-full reverse lists with the same RNG heuristic.
+fn commit_one(
+    ds: &Dataset,
+    layers: &mut [Vec<Vec<u32>>],
+    params: &HnswParams,
+    p: u32,
+    per_layer: &[(usize, Vec<Neighbor>)],
+) {
+    for (l, selected) in per_layer {
+        let l = *l;
+        let max_deg = if l == 0 { params.m0 } else { params.m };
+        for s in selected {
+            layers[l][p as usize].push(s.id);
+            layers[l][s.id as usize].push(p);
+            if layers[l][s.id as usize].len() > max_deg {
+                let cands: Vec<Neighbor> = {
+                    let mut c: Vec<Neighbor> = layers[l][s.id as usize]
+                        .iter()
+                        .map(|&u| Neighbor::new(u, ds.dist(s.id, u)))
+                        .collect();
+                    c.sort_unstable();
+                    c
+                };
+                layers[l][s.id as usize] = select_rng_alpha(ds, s.id, &cands, max_deg, 1.0)
+                    .iter()
+                    .map(|x| x.id)
+                    .collect();
+            }
+        }
     }
 }
 
@@ -270,7 +377,7 @@ mod tests {
     #[test]
     fn hnsw_reaches_high_recall_from_fixed_entry() {
         let (ds, qs) = dataset();
-        let idx = build(&ds, &HnswParams::tuned(1));
+        let idx = build(&ds, &HnswParams::tuned(2, 1));
         let gt = ground_truth(&ds, &qs, 10, 4);
         let mut ctx = SearchContext::new(ds.len());
         let mut total = 0.0;
@@ -289,7 +396,7 @@ mod tests {
     #[test]
     fn hierarchy_exists_and_layer0_degree_is_bounded() {
         let (ds, _) = dataset();
-        let p = HnswParams::tuned(1);
+        let p = HnswParams::tuned(2, 1);
         let idx = build(&ds, &p);
         assert!(idx.num_layers() >= 2, "no hierarchy formed");
         assert!(degree_stats(idx.graph()).max <= p.m0);
@@ -298,7 +405,7 @@ mod tests {
     #[test]
     fn upper_layers_are_sparser() {
         let (ds, _) = dataset();
-        let idx = build(&ds, &HnswParams::tuned(1));
+        let idx = build(&ds, &HnswParams::tuned(2, 1));
         for l in 1..idx.num_layers() {
             assert!(
                 idx.layers[l].num_edges() < idx.layers[l - 1].num_edges(),
@@ -312,7 +419,7 @@ mod tests {
         // With ml = 1/ln(M), P(level >= 1) = 1/M; on 2 000 points with
         // M = 16 expect ~125 upper-layer members, well within [40, 320].
         let (ds, _) = dataset();
-        let idx = build(&ds, &HnswParams::tuned(7));
+        let idx = build(&ds, &HnswParams::tuned(2, 7));
         let upper: usize = (0..ds.len() as u32)
             .filter(|&v| !idx.layers[1].neighbors(v).is_empty())
             .count();
@@ -325,7 +432,7 @@ mod tests {
     #[test]
     fn memory_exceeds_bottom_layer_alone() {
         let (ds, _) = dataset();
-        let idx = build(&ds, &HnswParams::tuned(1));
+        let idx = build(&ds, &HnswParams::tuned(2, 1));
         assert!(idx.memory_bytes() > idx.graph().memory_bytes());
     }
 }

@@ -14,7 +14,7 @@
 //! - **Search** uses the filtered traversal from
 //!   [`crate::search::filtered`] to skip tombstones.
 
-use crate::algorithms::hnsw::HnswParams;
+use crate::algorithms::hnsw::{self, HnswParams};
 use crate::components::selection::select_rng_alpha;
 use crate::search::{beam_search, filtered_beam_search, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
@@ -27,7 +27,7 @@ use weavess_data::{Dataset, Neighbor};
 /// use weavess_core::algorithms::hnsw::HnswParams;
 /// use weavess_core::algorithms::hnsw_dynamic::DynamicHnsw;
 ///
-/// let mut idx = DynamicHnsw::new(4, HnswParams::tuned(1));
+/// let mut idx = DynamicHnsw::new(4, HnswParams::tuned(1, 1));
 /// let a = idx.insert(&[0.0, 0.0, 0.0, 0.0]);
 /// let b = idx.insert(&[1.0, 0.0, 0.0, 0.0]);
 /// let _ = idx.insert(&[5.0, 5.0, 5.0, 5.0]);
@@ -65,6 +65,45 @@ impl DynamicHnsw {
             params,
             rng,
             scratch: SearchScratch::new(0),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Bulk-loads `base` with the deterministic parallel batch
+    /// construction shared with the static HNSW builder — prefix-doubling
+    /// batches search the frozen prior graph in parallel
+    /// (`params.threads` workers, 0 = one per core), commits apply in
+    /// point-id order.
+    ///
+    /// The result is bit-identical for every thread count, and all
+    /// `base.len()` geometric levels are drawn from the same RNG stream
+    /// one-at-a-time [`Self::insert`] would use — so incremental inserts
+    /// after a bulk load continue identically no matter how many threads
+    /// built the base.
+    pub fn bulk_load(base: &Dataset, params: HnswParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = base.len();
+        let levels = hnsw::draw_levels(n, &params, &mut rng);
+        let mut data = Dataset::empty(base.dim());
+        for i in 0..n as u32 {
+            data.push(base.point(i));
+        }
+        let (layers, enter, enter_level) = if n == 0 {
+            (vec![Vec::new()], 0, 0)
+        } else {
+            hnsw::build_layers(base, &levels, &params)
+        };
+        DynamicHnsw {
+            data,
+            layers,
+            levels,
+            deleted: vec![false; n],
+            live: n,
+            enter,
+            enter_level,
+            params,
+            rng,
+            scratch: SearchScratch::new(n),
             stats: SearchStats::default(),
         }
     }
@@ -338,7 +377,7 @@ mod tests {
     }
 
     fn build_dynamic(base: &Dataset) -> DynamicHnsw {
-        let mut idx = DynamicHnsw::new(base.dim(), HnswParams::tuned(3));
+        let mut idx = DynamicHnsw::new(base.dim(), HnswParams::tuned(2, 3));
         for i in 0..base.len() as u32 {
             idx.insert(base.point(i));
         }
@@ -405,7 +444,7 @@ mod tests {
     #[test]
     fn interleaved_inserts_remain_searchable() {
         let (base, queries) = vectors(1_000);
-        let mut idx = DynamicHnsw::new(base.dim(), HnswParams::tuned(3));
+        let mut idx = DynamicHnsw::new(base.dim(), HnswParams::tuned(2, 3));
         // First half.
         for i in 0..500u32 {
             idx.insert(base.point(i));
@@ -479,7 +518,7 @@ mod tests {
 
     #[test]
     fn empty_and_exhausted_indexes_return_empty() {
-        let mut idx = DynamicHnsw::new(8, HnswParams::tuned(1));
+        let mut idx = DynamicHnsw::new(8, HnswParams::tuned(1, 1));
         assert!(idx.search(&[0.0; 8], 5, 20).is_empty());
         let id = idx.insert(&[1.0; 8]);
         idx.delete(id);

@@ -203,10 +203,10 @@ impl Algo {
             Algo::NgtOnng => Box::new(ngt::build(ds, &ngt::NgtParams::onng(threads, seed))),
             Algo::SptagKdt => Box::new(sptag::build(ds, &sptag::SptagParams::kdt(threads, seed))),
             Algo::SptagBkt => Box::new(sptag::build(ds, &sptag::SptagParams::bkt(threads, seed))),
-            Algo::Nsw => Box::new(nsw::build(ds, &nsw::NswParams::tuned(seed))),
+            Algo::Nsw => Box::new(nsw::build(ds, &nsw::NswParams::tuned(threads, seed))),
             Algo::Ieh => Box::new(ieh::build(ds, &ieh::IehParams::tuned(threads, seed))),
             Algo::Fanng => Box::new(fanng::build(ds, &fanng::FanngParams::tuned(threads, seed))),
-            Algo::Hnsw => Box::new(hnsw::build(ds, &hnsw::HnswParams::tuned(seed))),
+            Algo::Hnsw => Box::new(hnsw::build(ds, &hnsw::HnswParams::tuned(threads, seed))),
             Algo::Efanna => Box::new(efanna::build(
                 ds,
                 &efanna::EfannaParams::tuned(threads, seed),

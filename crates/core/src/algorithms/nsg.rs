@@ -9,6 +9,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::parallel;
 use crate::search::{Router, SearchScratch, SearchStats};
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -57,39 +58,35 @@ pub fn build(ds: &Dataset, params: &NsgParams) -> FlatIndex {
     );
     let medoid = ds.medoid();
     let n = ds.len();
-    let threads = params.nd.threads.max(1);
+    let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot) in lists.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            let init_csr = &init_csr;
-            let init = &init;
-            scope.spawn(move || {
-                let mut scratch = SearchScratch::new(n);
-                let mut stats = SearchStats::default();
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    let mut cands = candidates_by_search(
-                        ds,
-                        init_csr,
-                        p,
-                        &[medoid],
-                        params.l,
-                        params.c,
-                        &mut scratch,
-                        &mut stats,
-                    );
-                    // NSG's sync_prune merges the point's initial-graph
-                    // neighbors into the pool before selection.
-                    for x in &init[p as usize] {
-                        weavess_data::neighbor::insert_into_pool(&mut cands, params.c, *x);
-                    }
-                    *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
+    parallel::par_fill(
+        &mut lists,
+        parallel::CHUNK,
+        threads,
+        || (SearchScratch::new(n), SearchStats::default()),
+        |(scratch, stats), start, slot| {
+            for (j, out) in slot.iter_mut().enumerate() {
+                let p = (start + j) as u32;
+                let mut cands = candidates_by_search(
+                    ds,
+                    &init_csr,
+                    p,
+                    &[medoid],
+                    params.l,
+                    params.c,
+                    scratch,
+                    stats,
+                );
+                // NSG's sync_prune merges the point's initial-graph
+                // neighbors into the pool before selection.
+                for x in &init[p as usize] {
+                    weavess_data::neighbor::insert_into_pool(&mut cands, params.c, *x);
                 }
-            });
-        }
-    });
+                *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
+            }
+        },
+    );
     drop(init_csr);
     dfs_repair(ds, &mut lists, medoid, params.l);
     let graph = CsrGraph::from_lists(

@@ -11,6 +11,7 @@ use crate::components::seeds::{spread_entries, SeedStrategy};
 use crate::components::selection::select_angle;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::parallel;
 use crate::search::Router;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -56,22 +57,21 @@ impl NssgParams {
 pub fn build(ds: &Dataset, params: &NssgParams) -> FlatIndex {
     let init = nn_descent(ds, &params.nd, None);
     let n = ds.len();
-    let threads = params.nd.threads.max(1);
+    let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot) in lists.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            let init = &init;
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    let cands = candidates_by_expansion(ds, init, p, params.l);
-                    *out = select_angle(ds, p, &cands, params.r, params.angle);
-                }
-            });
-        }
-    });
+    parallel::par_fill(
+        &mut lists,
+        parallel::CHUNK,
+        threads,
+        || (),
+        |_, start, slot| {
+            for (j, out) in slot.iter_mut().enumerate() {
+                let p = (start + j) as u32;
+                let cands = candidates_by_expansion(ds, &init, p, params.l);
+                *out = select_angle(ds, p, &cands, params.r, params.angle);
+            }
+        },
+    );
     // DFS connectivity from a fixed entry (NSSG attaches DFS like NSG).
     // Entries are fixed at build time; farthest-point sampling spreads them
     // across the dataset so each cluster has a nearby entry.

@@ -4,11 +4,17 @@
 //! large out-degrees (the Table 11 signature) and the index is big
 //! (Figure 6) — the costs §3.2 calls out.
 //!
-//! Construction is inherently sequential (*Increment* strategy): each
-//! insert searches the graph built so far.
+//! The *Increment* strategy is parallelized with deterministic batch
+//! insertion: points join in prefix-doubling batches, each searching the
+//! frozen prefix graph in parallel, with edges committed in point-id
+//! order. Each point's search seeds come from its own RNG stream (the
+//! build seed mixed with the point id), so the search phase is a pure
+//! function of `(frozen graph, point)` and the result is bit-identical at
+//! any thread count.
 
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
+use crate::parallel;
 use crate::search::{beam_search, Router, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,46 +33,86 @@ pub struct NswParams {
     pub search_seeds: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
+    pub threads: usize,
 }
 
 impl NswParams {
     /// Defaults tuned for the harness's dataset scales.
-    pub fn tuned(seed: u64) -> Self {
+    pub fn tuned(threads: usize, seed: u64) -> Self {
         NswParams {
             m: 16,
             ef_construction: 40,
             search_seeds: 8,
             seed,
+            threads,
         }
     }
 }
 
+/// SplitMix64 — decorrelates the per-point seed streams.
+fn mix(seed: u64, p: u32) -> u64 {
+    let mut z = seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Work-unit size for the parallel insertion-search phase.
+const SEARCH_CHUNK: usize = 32;
+
 /// Builds an NSW index.
 pub fn build(ds: &Dataset, params: &NswParams) -> FlatIndex {
     let n = ds.len();
-    let mut rng = StdRng::seed_from_u64(params.seed);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut scratch = SearchScratch::new(n);
-    let mut stats = SearchStats::default();
-    for p in 1..n as u32 {
-        // Random seeds among the already-inserted prefix [0, p).
-        let seeds: Vec<u32> = (0..params.search_seeds.min(p as usize))
-            .map(|_| rng.gen_range(0..p))
-            .collect();
-        scratch.next_epoch();
-        let inserted = &adj[..p as usize];
-        let pool = beam_search(
-            ds,
-            inserted,
-            ds.point(p),
-            &seeds,
-            params.ef_construction,
-            &mut scratch,
-            &mut stats,
-        );
-        for cand in pool.iter().take(params.m) {
-            adj[p as usize].push(cand.id);
-            adj[cand.id as usize].push(p);
+    let threads = parallel::resolve_threads(params.threads);
+    let max_batch = (n / 8).max(64);
+    for batch in parallel::prefix_doubling(n, max_batch) {
+        let frozen = batch.start; // the graph prefix this batch searches
+        let targets: Vec<Vec<u32>> = parallel::par_chunks_map(
+            batch.len(),
+            SEARCH_CHUNK,
+            threads,
+            || (SearchScratch::new(n), SearchStats::default()),
+            |(scratch, stats), range| {
+                range
+                    .map(|i| {
+                        let p = (frozen + i) as u32;
+                        // Random seeds among the frozen prefix [0, frozen),
+                        // drawn from the point's own stream.
+                        let mut rng = StdRng::seed_from_u64(mix(params.seed, p));
+                        let seeds: Vec<u32> = (0..params.search_seeds.min(frozen))
+                            .map(|_| rng.gen_range(0..frozen as u32))
+                            .collect();
+                        scratch.next_epoch();
+                        let pool = beam_search(
+                            ds,
+                            &adj[..frozen],
+                            ds.point(p),
+                            &seeds,
+                            params.ef_construction,
+                            scratch,
+                            stats,
+                        );
+                        pool.iter()
+                            .take(params.m)
+                            .map(|c| c.id)
+                            .collect::<Vec<u32>>()
+                    })
+                    .collect::<Vec<_>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+        // Commit bidirectional edges in point-id order.
+        for (i, cands) in targets.into_iter().enumerate() {
+            let p = (frozen + i) as u32;
+            for c in cands {
+                adj[p as usize].push(c);
+                adj[c as usize].push(p);
+            }
         }
     }
     FlatIndex {
@@ -96,7 +142,7 @@ mod tests {
     #[test]
     fn nsw_reaches_high_recall() {
         let (ds, qs) = dataset();
-        let idx = build(&ds, &NswParams::tuned(1));
+        let idx = build(&ds, &NswParams::tuned(2, 1));
         let gt = ground_truth(&ds, &qs, 10, 4);
         let mut ctx = SearchContext::new(ds.len());
         let mut total = 0.0;
@@ -115,14 +161,14 @@ mod tests {
     #[test]
     fn nsw_is_globally_connected() {
         let (ds, _) = MixtureSpec::table10(8, 800, 4, 3.0, 5).generate();
-        let idx = build(&ds, &NswParams::tuned(1));
+        let idx = build(&ds, &NswParams::tuned(2, 1));
         assert_eq!(weak_components(idx.graph()), 1);
     }
 
     #[test]
     fn nsw_is_undirected_with_unbounded_hubs() {
         let (ds, _) = MixtureSpec::table10(8, 800, 4, 3.0, 5).generate();
-        let p = NswParams::tuned(1);
+        let p = NswParams::tuned(2, 1);
         let idx = build(&ds, &p);
         let g = idx.graph();
         for v in 0..g.len() as u32 {

@@ -19,6 +19,7 @@ use crate::components::seeds::{spread_entries, SeedStrategy};
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::parallel;
 use crate::search::Router;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -64,22 +65,21 @@ impl OaParams {
 pub fn build(ds: &Dataset, params: &OaParams) -> FlatIndex {
     let init = nn_descent(ds, &params.nd, None);
     let n = ds.len();
-    let threads = params.nd.threads.max(1);
+    let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot) in lists.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            let init = &init;
-            scope.spawn(move || {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    let cands = candidates_by_expansion(ds, init, p, params.l);
-                    *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
-                }
-            });
-        }
-    });
+    parallel::par_fill(
+        &mut lists,
+        parallel::CHUNK,
+        threads,
+        || (),
+        |_, start, slot| {
+            for (j, out) in slot.iter_mut().enumerate() {
+                let p = (start + j) as u32;
+                let cands = candidates_by_expansion(ds, &init, p, params.l);
+                *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
+            }
+        },
+    );
     let entries = spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x0A0A);
     dfs_repair(ds, &mut lists, entries[0], 64);
     let graph = CsrGraph::from_lists(

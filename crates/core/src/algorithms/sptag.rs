@@ -15,6 +15,7 @@ use crate::components::candidates::candidates_subspace;
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
+use crate::parallel;
 use crate::search::Router;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,7 +53,8 @@ pub struct SptagParams {
     pub seed_checks: usize,
     /// Maximum best-first restart rounds (fresh seeds per round).
     pub restarts: usize,
-    /// Construction threads.
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -91,32 +93,29 @@ pub fn build(ds: &Dataset, params: &SptagParams) -> SptagIndex {
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
 
     // --- Divide and conquer: leaves → exact sub-KNNGs → merge. ---
+    let threads = parallel::resolve_threads(params.threads);
+    // Each leaf is an O(leaf_size²) work unit; small chunks load-balance.
+    const LEAF_CHUNK: usize = 4;
     for _ in 0..params.divisions.max(1) {
         let leaves = tp_partition(ds, None, params.leaf_size, &mut rng);
-        let threads = params.threads.max(1);
-        // Leaves are disjoint, so parallelize over leaves; each leaf only
-        // writes its own members' lists. Split leaves across threads and
-        // merge results.
-        let chunk = leaves.len().div_ceil(threads);
-        let mut partial: Vec<Vec<(u32, Vec<Neighbor>)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for leaf_chunk in leaves.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for leaf in leaf_chunk {
-                        for &p in leaf {
-                            let cands = candidates_subspace(ds, leaf, p);
-                            out.push((p, cands));
-                        }
+        // Leaves are disjoint, so parallelize over leaves; candidate
+        // batches combine in leaf order, keeping the merge order-stable.
+        let partial = parallel::par_chunks_map(
+            leaves.len(),
+            LEAF_CHUNK,
+            threads,
+            || (),
+            |_, range| {
+                let mut out = Vec::new();
+                for leaf in &leaves[range] {
+                    for &p in leaf {
+                        let cands = candidates_subspace(ds, leaf, p);
+                        out.push((p, cands));
                     }
-                    out
-                }));
-            }
-            for h in handles {
-                partial.push(h.join().expect("leaf worker panicked"));
-            }
-        });
+                }
+                out
+            },
+        );
         for batch in partial {
             for (p, cands) in batch {
                 for c in cands.iter().take(params.k) {

@@ -16,6 +16,7 @@ use crate::components::init::init_random;
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
+use crate::parallel;
 use crate::search::{Router, SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
@@ -34,7 +35,8 @@ pub struct VamanaParams {
     pub batch_size: usize,
     /// RNG seed for the random initialization.
     pub seed: u64,
-    /// Construction threads.
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
     pub threads: usize,
 }
 
@@ -84,7 +86,7 @@ fn refine_pass_inplace(
     alpha: f32,
 ) {
     let n = ds.len();
-    let threads = params.threads.max(1);
+    let threads = parallel::resolve_threads(params.threads);
     let batch = params.batch_size.max(64);
     let ids: Vec<u32> = (0..n as u32).collect();
     for batch_ids in ids.chunks(batch) {
@@ -95,28 +97,28 @@ fn refine_pass_inplace(
                 .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
                 .collect::<Vec<_>>(),
         );
-        // Parallel candidate acquisition + pruning for the batch.
-        let mut new_lists: Vec<(u32, Vec<Neighbor>)> = Vec::with_capacity(batch_ids.len());
-        let chunk = batch_ids.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for id_chunk in batch_ids.chunks(chunk.max(1)) {
-                let csr = &csr;
-                let lists = &*lists;
-                handles.push(scope.spawn(move || {
-                    let mut scratch = SearchScratch::new(n);
-                    let mut stats = SearchStats::default();
-                    let mut out = Vec::with_capacity(id_chunk.len());
-                    for &p in id_chunk {
+        // Parallel candidate acquisition + pruning for the batch; results
+        // combine in chunk order, so the sequential apply below sees the
+        // same sequence at any thread count.
+        let new_lists: Vec<(u32, Vec<Neighbor>)> = {
+            let lists = &*lists;
+            parallel::par_chunks_map(
+                batch_ids.len(),
+                parallel::CHUNK,
+                threads,
+                || (SearchScratch::new(n), SearchStats::default()),
+                |(scratch, stats), range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for &p in &batch_ids[range] {
                         let mut cands = candidates_by_search(
                             ds,
-                            csr,
+                            &csr,
                             p,
                             &[medoid],
                             params.l,
                             params.l * 2,
-                            &mut scratch,
-                            &mut stats,
+                            scratch,
+                            stats,
                         );
                         for x in &lists[p as usize] {
                             insert_into_pool(&mut cands, params.l * 2, *x);
@@ -124,12 +126,12 @@ fn refine_pass_inplace(
                         out.push((p, select_rng_alpha(ds, p, &cands, params.r, alpha)));
                     }
                     out
-                }));
-            }
-            for h in handles {
-                new_lists.extend(h.join().expect("vamana worker panicked"));
-            }
-        });
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         // Apply the batch and insert reverse edges immediately (robust
         // prune on overflow keeps long edges alive via the α rule).
         for (p, new) in new_lists {

@@ -2,6 +2,7 @@
 //! (Definition 4.2): produce each point's starting neighbor pool.
 
 use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::parallel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -49,21 +50,20 @@ pub fn init_kdtree_nn_descent(
 ) -> Vec<Vec<Neighbor>> {
     let n = ds.len();
     let mut initial: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let threads = threads.max(1);
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot) in initial.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (j, row) in slot.iter_mut().enumerate() {
-                    let v = (start + j) as u32;
-                    let (mut pool, _) = forest.search(ds, ds.point(v), params.l, checks_per_tree);
-                    pool.retain(|x| x.id != v);
-                    *row = pool;
-                }
-            });
-        }
-    });
+    parallel::par_fill(
+        &mut initial,
+        parallel::CHUNK,
+        parallel::resolve_threads(threads),
+        || (),
+        |_, start, slot| {
+            for (j, row) in slot.iter_mut().enumerate() {
+                let v = (start + j) as u32;
+                let (mut pool, _) = forest.search(ds, ds.point(v), params.l, checks_per_tree);
+                pool.retain(|x| x.id != v);
+                *row = pool;
+            }
+        },
+    );
     nn_descent(ds, params, Some(&initial))
 }
 

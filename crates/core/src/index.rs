@@ -127,30 +127,27 @@ pub fn search_batch(
     threads: usize,
 ) -> (Vec<Vec<Neighbor>>, SearchStats) {
     let nq = queries.len();
-    let threads = threads.max(1).min(nq.max(1));
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
-    let chunk = nq.div_ceil(threads);
-    let mut stats_parts: Vec<SearchStats> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, slot) in results.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            handles.push(scope.spawn(move || {
-                let mut ctx = SearchContext::new(ds.len());
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let q = queries.point((start + j) as u32);
-                    *out = index.search(ds, q, k, beam, &mut ctx);
-                }
-                ctx.take_stats()
-            }));
-        }
-        for h in handles {
-            stats_parts.push(h.join().expect("search worker panicked"));
-        }
-    });
+    let threads = crate::parallel::resolve_threads(threads.max(1));
+    // Fixed-size chunks keep the query → worker-context assignment (and so
+    // the per-chunk stats) independent of the thread count.
+    const QUERY_CHUNK: usize = 32;
+    let per_chunk = crate::parallel::par_chunks_map(
+        nq,
+        QUERY_CHUNK,
+        threads,
+        || SearchContext::new(ds.len()),
+        |ctx, range| {
+            let out: Vec<Vec<Neighbor>> = range
+                .map(|i| index.search(ds, queries.point(i as u32), k, beam, ctx))
+                .collect();
+            (out, ctx.take_stats())
+        },
+    );
+    let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(nq);
     let mut total = SearchStats::default();
-    for s in stats_parts {
-        total.merge(s);
+    for (out, stats) in per_chunk {
+        results.extend(out);
+        total.merge(stats);
     }
     (results, total)
 }

@@ -24,6 +24,10 @@
 //! - [`algorithms`]: one module per surveyed algorithm (Table 2 plus the
 //!   appendix's k-DR and §6's optimized algorithm OA), and the dynamic
 //!   HNSW extension ([`algorithms::hnsw_dynamic`]).
+//! - [`parallel`]: the deterministic parallel-construction layer — fixed
+//!   chunking, in-order combination, and the prefix-doubling batch
+//!   scheduler; every builder's threading goes through it, so built graphs
+//!   are bit-identical at any thread count.
 //! - [`persist`]: save/load built indexes without rebuilding.
 //! - [`quantized`]: SQ8-routed search with full-precision rerank (the §6
 //!   "data encoding" challenge).
@@ -35,6 +39,7 @@ pub mod algorithms;
 pub mod components;
 pub mod index;
 pub mod nndescent;
+pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod quantized;

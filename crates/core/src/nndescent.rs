@@ -8,7 +8,17 @@
 //! new+old neighbors (forward and reverse) and inserts improvements. The
 //! paper's KGraph parameters map directly: `K` (result degree), `L` (pool
 //! size), `iter`, `S` (sample), `R` (reverse sample).
+//!
+//! The local join runs in parallel, and its output is **independent of the
+//! thread count**: a pool's final content is the top-`L` of all *distinct*
+//! `(dist, id)` items ever offered to it ([`Neighbor`]'s total order breaks
+//! distance ties by id, and insertion rejects exact duplicates), so the
+//! order in which concurrent workers offer items cannot change what
+//! survives. Distances are symmetric bit-for-bit, and the convergence
+//! check counts *new-flagged pool items after the join* — a function of
+//! pool content — rather than racing on a per-insert counter.
 
+use crate::parallel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +39,8 @@ pub struct NnDescentParams {
     pub reverse: usize,
     /// RNG seed for the random initialization and sampling.
     pub seed: u64,
-    /// Construction threads.
+    /// Construction threads (0 = one per available core). The produced
+    /// graph is identical for every value.
     pub threads: usize,
 }
 
@@ -42,7 +53,7 @@ impl Default for NnDescentParams {
             sample: 10,
             reverse: 20,
             seed: 0xBEEF,
-            threads: 4,
+            threads: 0,
         }
     }
 }
@@ -108,7 +119,7 @@ pub fn nn_descent(
         pools.push(Mutex::new(pool));
     }
 
-    let threads = params.threads.max(1);
+    let threads = parallel::resolve_threads(params.threads);
     for _iter in 0..params.iters {
         // --- Sample step: per-vertex forward new/old lists. ---
         let mut fwd_new: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -139,57 +150,59 @@ pub fn nn_descent(
                 reservoir_push(&mut rev_old[u as usize], v, params.reverse, &mut rng);
             }
         }
-        // --- Local join (parallel over vertices). ---
-        let updates = Mutex::new(0usize);
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(n);
-                let pools = &pools;
-                let fwd_new = &fwd_new;
-                let fwd_old = &fwd_old;
-                let rev_new = &rev_new;
-                let rev_old = &rev_old;
-                let updates = &updates;
-                scope.spawn(move || {
-                    let mut local_updates = 0usize;
-                    let mut news: Vec<u32> = Vec::new();
-                    let mut olds: Vec<u32> = Vec::new();
-                    let mut partners: Vec<u32> = Vec::new();
-                    let mut dists: Vec<f32> = Vec::new();
-                    for v in start..end {
-                        news.clear();
-                        olds.clear();
-                        news.extend_from_slice(&fwd_new[v]);
-                        news.extend_from_slice(&rev_new[v]);
-                        olds.extend_from_slice(&fwd_old[v]);
-                        olds.extend_from_slice(&rev_old[v]);
-                        news.sort_unstable();
-                        news.dedup();
-                        olds.sort_unstable();
-                        olds.dedup();
-                        // All partners of one `a` (new × new upper triangle,
-                        // then new × old) are staged and scored with a single
-                        // `dist_to_many` over `a`'s point — the same kernel as
-                        // the pairwise path, so distances are bit-equal and
-                        // the produced graph is unchanged.
-                        for (i, &a) in news.iter().enumerate() {
-                            partners.clear();
-                            partners.extend_from_slice(&news[i + 1..]);
-                            partners.extend(olds.iter().copied().filter(|&b| b != a));
-                            ds.dist_to_many(ds.point(a), &partners, &mut dists);
-                            for (&b, &d) in partners.iter().zip(dists.iter()) {
-                                local_updates += join_at(pools, l, a, b, d);
-                            }
+        // --- Local join (parallel over fixed-size vertex chunks). ---
+        parallel::par_chunks_map(
+            n,
+            parallel::CHUNK,
+            threads,
+            || {
+                (
+                    Vec::<u32>::new(),
+                    Vec::<u32>::new(),
+                    Vec::<u32>::new(),
+                    Vec::<f32>::new(),
+                )
+            },
+            |(news, olds, partners, dists), range| {
+                for v in range {
+                    news.clear();
+                    olds.clear();
+                    news.extend_from_slice(&fwd_new[v]);
+                    news.extend_from_slice(&rev_new[v]);
+                    olds.extend_from_slice(&fwd_old[v]);
+                    olds.extend_from_slice(&rev_old[v]);
+                    news.sort_unstable();
+                    news.dedup();
+                    olds.sort_unstable();
+                    olds.dedup();
+                    // All partners of one `a` (new × new upper triangle,
+                    // then new × old) are staged and scored with a single
+                    // `dist_to_many` over `a`'s point — the same kernel as
+                    // the pairwise path, so distances are bit-equal and
+                    // the produced graph is unchanged.
+                    for (i, &a) in news.iter().enumerate() {
+                        partners.clear();
+                        partners.extend_from_slice(&news[i + 1..]);
+                        partners.extend(olds.iter().copied().filter(|&b| b != a));
+                        ds.dist_to_many(ds.point(a), partners, dists);
+                        for (&b, &d) in partners.iter().zip(dists.iter()) {
+                            join_at(&pools, l, a, b, d);
                         }
                     }
-                    *updates.lock() += local_updates;
-                });
-            }
-        });
-        if *updates.lock() < (0.001 * (n * k) as f64) as usize {
-            break; // converged early, like KGraph's delta termination
+                }
+            },
+        );
+        // KGraph-style delta termination, on a thread-count-independent
+        // metric: new-flagged items after the join (surviving discoveries
+        // not yet consumed by sampling). Pool content is order-independent
+        // and a truncated item can never re-enter, so this count — unlike a
+        // per-insert counter — never depends on worker interleaving.
+        let discovered: usize = pools
+            .iter()
+            .map(|p| p.lock().items.iter().filter(|x| x.new).count())
+            .sum();
+        if discovered < (0.001 * (n * k) as f64) as usize {
+            break;
         }
     }
 
@@ -203,16 +216,10 @@ pub fn nn_descent(
 }
 
 /// Tries the pair (a, b), whose distance `d` is already computed, in both
-/// pools; returns number of improvements.
-fn join_at(pools: &[Mutex<Pool>], l: usize, a: u32, b: u32, d: f32) -> usize {
-    let mut updates = 0usize;
-    if pools[a as usize].lock().insert(l, Neighbor::new(b, d)) {
-        updates += 1;
-    }
-    if pools[b as usize].lock().insert(l, Neighbor::new(a, d)) {
-        updates += 1;
-    }
-    updates
+/// pools.
+fn join_at(pools: &[Mutex<Pool>], l: usize, a: u32, b: u32, d: f32) {
+    pools[a as usize].lock().insert(l, Neighbor::new(b, d));
+    pools[b as usize].lock().insert(l, Neighbor::new(a, d));
 }
 
 /// Bounded reservoir-style push: appends until `cap`, then replaces a

@@ -1,0 +1,238 @@
+//! Deterministic parallel construction: a scoped worker pool over
+//! fixed-size work chunks, combined in chunk order.
+//!
+//! Every parallel phase of every builder routes through here, and all of
+//! them share one invariant: **results are a pure function of the input,
+//! never of the thread count**. Two rules enforce it:
+//!
+//! 1. **Fixed chunk sizes.** Work is cut into chunks of a constant size
+//!    (like the PR-2 `Dataset::centroid`/`medoid` scheme), not
+//!    `n.div_ceil(threads)` — so the partition of work units is identical
+//!    whether 1 or 64 workers pull from the queue.
+//! 2. **In-order combination.** Each chunk's result lands in a slot keyed
+//!    by its chunk index; callers see results in chunk order regardless of
+//!    which worker finished first.
+//!
+//! Workers are spawned with [`std::thread::scope`] (no runtime dependency)
+//! and pull chunks from a shared atomic counter, so a slow chunk never
+//! stalls the rest of the queue. Each worker builds its state once (for
+//! search-based builders: a reusable [`crate::search::SearchScratch`]) and
+//! carries it across every chunk it processes.
+//!
+//! The third piece is [`prefix_doubling`], the batch schedule ParlayANN
+//! uses to parallelize *incremental* constructions (HNSW/NSW): insert
+//! points in rounds of doubling size, where every point in a round
+//! searches the frozen graph of all prior rounds.
+
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default work-unit size for per-point construction loops. Small enough
+/// to load-balance skewed work (beam searches vary), large enough that the
+/// queue counter is not contended.
+pub const CHUNK: usize = 256;
+
+/// Cap on auto-detected construction threads — beyond this, queue and
+/// allocator contention eat the gains at harness scales.
+const MAX_AUTO_THREADS: usize = 16;
+
+/// Resolves a requested construction thread count: `0` means "one per
+/// available core" (capped at 16), any other value is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(MAX_AUTO_THREADS)
+    }
+}
+
+/// The ranges `[0, chunk), [chunk, 2*chunk), ...` covering `0..n`.
+fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..n.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(n))
+        .collect()
+}
+
+/// Maps fixed-size chunks of `0..n` through `f` on up to `threads`
+/// workers; returns one result per chunk, **in chunk order**.
+///
+/// `init` builds each worker's reusable state (scratch buffers, stats)
+/// once; `f` receives that state and the chunk's index range. Because the
+/// chunk partition is fixed and results are slotted by chunk index, the
+/// output is identical for any thread count — workers only decide *who*
+/// computes a chunk, never *what* a chunk is.
+pub fn par_chunks_map<R, S, I, F>(n: usize, chunk: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(n, chunk);
+    let threads = threads.max(1).min(ranges.len().max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return ranges.into_iter().map(|r| f(&mut state, r)).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= ranges.len() {
+                        break;
+                    }
+                    *slots[c].lock() = Some(f(&mut state, ranges[c].clone()));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("chunk not processed"))
+        .collect()
+}
+
+/// Fills `out` in place by fixed-size chunks: `f(state, start, slot)`
+/// writes `slot = out[start..start+slot.len()]`. Same determinism contract
+/// as [`par_chunks_map`]; used where each work unit owns a disjoint
+/// output range (per-point neighbor lists).
+pub fn par_fill<T, S, I, F>(out: &mut [T], chunk: usize, threads: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = out.len().div_ceil(chunk);
+    let threads = threads.max(1).min(n_chunks.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        for (c, slot) in out.chunks_mut(chunk).enumerate() {
+            f(&mut state, c * chunk, slot);
+        }
+        return;
+    }
+    // Hand each chunk's mutable slice out through a one-shot slot; the
+    // slices are disjoint so workers never alias.
+    let work: Vec<Mutex<Option<&mut [T]>>> =
+        out.chunks_mut(chunk).map(|s| Mutex::new(Some(s))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= work.len() {
+                        break;
+                    }
+                    let slot = work[c].lock().take().expect("chunk taken twice");
+                    f(&mut state, c * chunk, slot);
+                }
+            });
+        }
+    });
+}
+
+/// The prefix-doubling batch schedule for incremental builders: point 0
+/// seeds the graph, then batches `[1,2), [2,4), [4,8), ...` — each batch
+/// at most `max_batch` points and at most as large as the already-built
+/// prefix, so every inserted point searches a frozen graph of at least its
+/// own batch's size.
+pub fn prefix_doubling(n: usize, max_batch: usize) -> Vec<Range<usize>> {
+    let max_batch = max_batch.max(1);
+    let mut batches = Vec::new();
+    let mut start = 1usize;
+    while start < n {
+        let size = start.min(max_batch).min(n - start);
+        batches.push(start..start + size);
+        start += size;
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_passes_explicit_and_caps_auto() {
+        assert_eq!(resolve_threads(3), 3);
+        let auto = resolve_threads(0);
+        assert!((1..=MAX_AUTO_THREADS).contains(&auto));
+    }
+
+    #[test]
+    fn par_chunks_map_is_thread_count_independent() {
+        let expect: Vec<usize> = chunk_ranges(1_000, 64).iter().map(|r| r.len()).collect();
+        for threads in [1, 2, 8] {
+            let got = par_chunks_map(1_000, 64, threads, || 0usize, |_, r| r.len());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_fill_writes_every_slot_once() {
+        for threads in [1, 3, 8] {
+            let mut out = vec![usize::MAX; 997];
+            par_fill(
+                &mut out,
+                100,
+                threads,
+                || (),
+                |_, start, slot| {
+                    for (j, x) in slot.iter_mut().enumerate() {
+                        *x = start + j;
+                    }
+                },
+            );
+            assert!(out.iter().enumerate().all(|(i, &x)| x == i));
+        }
+    }
+
+    #[test]
+    fn worker_state_is_reused_across_chunks() {
+        // Each worker counts how many chunks it handled; totals must cover
+        // every chunk exactly once.
+        let counts = par_chunks_map(
+            512,
+            16,
+            4,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                1usize
+            },
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 512usize.div_ceil(16));
+    }
+
+    #[test]
+    fn prefix_doubling_covers_exactly_once_and_doubles() {
+        let batches = prefix_doubling(1_000, 256);
+        assert_eq!(batches.first().unwrap().clone(), 1..2);
+        let mut next = 1usize;
+        for b in &batches {
+            assert_eq!(b.start, next, "batches must be contiguous");
+            assert!(b.len() <= 256);
+            assert!(b.len() <= b.start, "batch may not outsize its prefix");
+            next = b.end;
+        }
+        assert_eq!(next, 1_000);
+    }
+
+    #[test]
+    fn prefix_doubling_handles_tiny_inputs() {
+        assert!(prefix_doubling(0, 64).is_empty());
+        assert!(prefix_doubling(1, 64).is_empty());
+        assert_eq!(prefix_doubling(2, 64), vec![1..2]);
+    }
+}

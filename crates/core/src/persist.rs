@@ -64,9 +64,18 @@ impl std::error::Error for PersistError {}
 /// Saves a [`FlatIndex`] (graph + router + self-contained seeds).
 pub fn save_index(path: &Path, index: &FlatIndex) -> Result<(), PersistError> {
     let mut w = BufWriter::new(File::create(path)?);
+    write_index(&mut w, index)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes a [`FlatIndex`] to any writer — the exact bytes
+/// [`save_index`] puts on disk, also usable for in-memory digesting (the
+/// build-determinism tests hash this stream).
+pub fn write_index(w: &mut impl Write, index: &FlatIndex) -> Result<(), PersistError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    write_str(&mut w, index.name)?;
+    write_str(w, index.name)?;
     // Router.
     match &index.router {
         Router::BestFirst => {
@@ -112,7 +121,6 @@ pub fn save_index(path: &Path, index: &FlatIndex) -> Result<(), PersistError> {
             w.write_all(&x.to_le_bytes())?;
         }
     }
-    w.flush()?;
     Ok(())
 }
 
@@ -188,6 +196,14 @@ pub fn load_index(path: &Path) -> Result<FlatIndex, PersistError> {
 /// Saves an [`HnswIndex`] (all layers + enter point).
 pub fn save_hnsw(path: &Path, index: &HnswIndex) -> Result<(), PersistError> {
     let mut w = BufWriter::new(File::create(path)?);
+    write_hnsw(&mut w, index)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes an [`HnswIndex`] to any writer — the exact bytes
+/// [`save_hnsw`] puts on disk, also usable for in-memory digesting.
+pub fn write_hnsw(w: &mut impl Write, index: &HnswIndex) -> Result<(), PersistError> {
     w.write_all(HNSW_MAGIC)?;
     w.write_all(&HNSW_VERSION.to_le_bytes())?;
     w.write_all(&index.enter_point().to_le_bytes())?;
@@ -202,7 +218,6 @@ pub fn save_hnsw(path: &Path, index: &HnswIndex) -> Result<(), PersistError> {
             }
         }
     }
-    w.flush()?;
     Ok(())
 }
 
@@ -337,7 +352,7 @@ mod tests {
     fn hnsw_roundtrips_and_searches_identically() {
         use crate::algorithms::hnsw::{self, HnswParams};
         let (ds, qs) = MixtureSpec::table10(8, 800, 2, 5.0, 15).generate();
-        let idx = hnsw::build(&ds, &HnswParams::tuned(1));
+        let idx = hnsw::build(&ds, &HnswParams::tuned(1, 1));
         let path = tmp("hnsw.wvsh");
         save_hnsw(&path, &idx).unwrap();
         let loaded = load_hnsw(&path).unwrap();

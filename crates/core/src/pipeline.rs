@@ -21,6 +21,7 @@ use crate::components::selection::{
 };
 use crate::index::FlatIndex;
 use crate::nndescent::NnDescentParams;
+use crate::parallel;
 use crate::search::{Router, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -209,7 +210,8 @@ pub struct PipelineBuilder {
     pub connectivity: ConnectivityChoice,
     /// C7.
     pub router: Router,
-    /// Construction threads.
+    /// Construction threads (0 = one per available core). The built graph
+    /// is identical for every value.
     pub threads: usize,
     /// Seed for every randomized stage.
     pub seed: u64,
@@ -255,7 +257,7 @@ impl PipelineBuilder {
     /// for the Table 15 per-component construction-time study.
     pub fn build_timed(&self, ds: &Dataset) -> (FlatIndex, f64, f64) {
         let t0 = std::time::Instant::now();
-        let threads = self.threads.max(1);
+        let threads = parallel::resolve_threads(self.threads);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // --- C1: initialization ---
@@ -286,50 +288,44 @@ impl PipelineBuilder {
         );
         let n = ds.len();
         let mut new_lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slot) in new_lists.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                let init_lists = &init_lists;
-                let init_csr = &init_csr;
-                let candidates = &self.candidates;
-                let selection = &self.selection;
-                scope.spawn(move || {
-                    let mut scratch = SearchScratch::new(n);
-                    let mut stats = SearchStats::default();
-                    for (j, out) in slot.iter_mut().enumerate() {
-                        let p = (start + j) as u32;
-                        let cands = match candidates {
-                            CandidateChoice::Search { beam, cap } => candidates_by_search(
-                                ds,
-                                init_csr,
-                                p,
-                                &[medoid],
-                                *beam,
-                                *cap,
-                                &mut scratch,
-                                &mut stats,
-                            ),
-                            CandidateChoice::Expansion { cap } => {
-                                candidates_by_expansion(ds, init_lists, p, *cap)
-                            }
-                            CandidateChoice::Direct => candidates_direct(init_lists, p),
-                        };
-                        *out = match selection {
-                            SelectionChoice::Closest { degree } => select_closest(&cands, *degree),
-                            SelectionChoice::RngAlpha { degree, alpha } => {
-                                select_rng_alpha(ds, p, &cands, *degree, *alpha)
-                            }
-                            SelectionChoice::Angle { degree, min_deg } => {
-                                select_angle(ds, p, &cands, *degree, *min_deg)
-                            }
-                            SelectionChoice::Dpg { kappa } => select_dpg(ds, p, &cands, *kappa),
-                            SelectionChoice::Mst => select_mst(ds, p, &cands),
-                        };
-                    }
-                });
-            }
-        });
+        parallel::par_fill(
+            &mut new_lists,
+            parallel::CHUNK,
+            threads,
+            || (SearchScratch::new(n), SearchStats::default()),
+            |(scratch, stats), start, slot| {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    let cands = match &self.candidates {
+                        CandidateChoice::Search { beam, cap } => candidates_by_search(
+                            ds,
+                            &init_csr,
+                            p,
+                            &[medoid],
+                            *beam,
+                            *cap,
+                            scratch,
+                            stats,
+                        ),
+                        CandidateChoice::Expansion { cap } => {
+                            candidates_by_expansion(ds, &init_lists, p, *cap)
+                        }
+                        CandidateChoice::Direct => candidates_direct(&init_lists, p),
+                    };
+                    *out = match &self.selection {
+                        SelectionChoice::Closest { degree } => select_closest(&cands, *degree),
+                        SelectionChoice::RngAlpha { degree, alpha } => {
+                            select_rng_alpha(ds, p, &cands, *degree, *alpha)
+                        }
+                        SelectionChoice::Angle { degree, min_deg } => {
+                            select_angle(ds, p, &cands, *degree, *min_deg)
+                        }
+                        SelectionChoice::Dpg { kappa } => select_dpg(ds, p, &cands, *kappa),
+                        SelectionChoice::Mst => select_mst(ds, p, &cands),
+                    };
+                }
+            },
+        );
         drop(init_csr);
 
         // --- C5: connectivity ---

@@ -27,7 +27,7 @@ fn main() {
     let (stream, queries) = spec.generate();
 
     // --- 1. Dynamic index: insert, search, delete, search again. ---
-    let mut idx = DynamicHnsw::new(stream.dim(), HnswParams::tuned(42));
+    let mut idx = DynamicHnsw::new(stream.dim(), HnswParams::tuned(0, 42));
     let t0 = std::time::Instant::now();
     for i in 0..stream.len() as u32 {
         idx.insert(stream.point(i));

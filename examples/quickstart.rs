@@ -21,7 +21,7 @@ fn main() {
     // 2. Build an HNSW index (any of the 17 surveyed algorithms works the
     //    same way; see `weavess::core::algorithms`).
     let t0 = std::time::Instant::now();
-    let index = hnsw::build(&base, &HnswParams::tuned(42));
+    let index = hnsw::build(&base, &HnswParams::tuned(0, 42));
     println!(
         "built HNSW in {:.2}s ({} layers, {:.1} MB)",
         t0.elapsed().as_secs_f64(),

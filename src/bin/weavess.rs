@@ -154,7 +154,7 @@ fn build_flat(
             base,
             &kgraph::KGraphParams::tuned(threads, seed),
         )),
-        Algo::Nsw => Some(nsw::build(base, &nsw::NswParams::tuned(seed))),
+        Algo::Nsw => Some(nsw::build(base, &nsw::NswParams::tuned(threads, seed))),
         Algo::Fanng => Some(fanng::build(
             base,
             &fanng::FanngParams::tuned(threads, seed),
