@@ -31,6 +31,9 @@
 //! - [`persist`]: save/load built indexes without rebuilding.
 //! - [`quantized`]: SQ8-routed search with full-precision rerank (the §6
 //!   "data encoding" challenge).
+//! - [`locality`]: the cache-locality layer — BFS vertex reordering and
+//!   the fused node arena behind a runtime-selectable
+//!   [`locality::LayoutIndex`], results identical to the split layout.
 //! - [`serve`]: the concurrent batch query engine
 //!   ([`serve::QueryEngine`]) — per-worker scratch pooling, deterministic
 //!   results at any worker count, batch QPS/latency accounting.
@@ -38,6 +41,7 @@
 pub mod algorithms;
 pub mod components;
 pub mod index;
+pub mod locality;
 pub mod nndescent;
 pub mod parallel;
 pub mod persist;
@@ -47,5 +51,6 @@ pub mod search;
 pub mod serve;
 
 pub use index::{AnnIndex, FlatIndex, SearchContext};
+pub use locality::{LayoutIndex, LayoutStats, NodeLayout};
 pub use search::{Router, SearchStats};
 pub use serve::{BatchReport, EngineOptions, LatencySummary, QueryEngine};

@@ -1,0 +1,324 @@
+//! The cache-locality layer: runtime-selectable node layout and vertex
+//! ordering beneath every router.
+//!
+//! A [`LayoutIndex`] wraps a built [`FlatIndex`] in one of four physical
+//! arrangements — {original, BFS-reordered} × {split CSR+matrix, fused
+//! arena} — without changing a single search result: ids in and out stay
+//! in the caller's original space (the permutation is applied on entry
+//! and inverted on exit), and distances, NDC, and hops are identical
+//! because the traversal visits the same vertices through the same
+//! kernels. Only the memory-access pattern moves, which is the entire
+//! point: after PR 2 the routing hot path is memory-bound, so layout is
+//! where the remaining QPS lives. `layout_bench` sweeps the matrix.
+
+use crate::components::SeedStrategy;
+use crate::index::{AnnIndex, FlatIndex, SearchContext};
+use crate::search::Router;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::reorder::{bfs_order, Permutation};
+use weavess_graph::{CsrGraph, FusedArena};
+
+/// Physical node layout for the routing structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLayout {
+    /// Classic split storage: CSR adjacency in one allocation, the vector
+    /// matrix in another — two pointer chases per expansion.
+    Split,
+    /// Fused arena: each vertex's degree, neighbors, and vector in one
+    /// 64-byte-aligned block — one pointer chase per expansion.
+    Fused,
+}
+
+/// The owned routing storage behind a [`LayoutIndex`].
+pub(crate) enum LayoutStore {
+    /// CSR + a dataset in index id space (a reordered copy, or a clone of
+    /// the original when no permutation is applied).
+    Split { graph: CsrGraph, vectors: Dataset },
+    /// Fused arena; the CSR is kept alongside so [`AnnIndex::graph`] and
+    /// persistence still see a plain graph (its bytes are counted in the
+    /// stats — fusing buys speed, not memory).
+    Fused { graph: CsrGraph, arena: FusedArena },
+}
+
+/// Memory accounting for a [`LayoutIndex`], field by field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// CSR adjacency bytes.
+    pub graph_bytes: usize,
+    /// Vector storage bytes (split layout's dataset copy).
+    pub vector_bytes: usize,
+    /// Fused arena bytes (0 for split).
+    pub arena_bytes: usize,
+    /// Bytes of the arena that are padding (unused neighbor slots and
+    /// cache-line rounding) — the overhead fusing pays for alignment.
+    pub arena_padding_bytes: usize,
+    /// Permutation bytes (both direction arrays; 0 when not reordered).
+    pub permutation_bytes: usize,
+}
+
+/// A [`FlatIndex`] re-hosted on a selectable physical layout.
+///
+/// Seeds are evaluated against the *caller's* dataset in original id
+/// space (so tree-backed strategies keep working), then mapped through
+/// the permutation; results are mapped back and re-sorted into canonical
+/// (distance, original id) order before truncation. Assuming no exact
+/// distance ties, results are identical to the wrapped [`FlatIndex`].
+pub struct LayoutIndex {
+    pub(crate) name: &'static str,
+    pub(crate) router: Router,
+    /// Seed strategy, operating in the original id space.
+    pub(crate) seeds: SeedStrategy,
+    /// `Some` when the graph/vectors were BFS-reordered.
+    pub(crate) perm: Option<Permutation>,
+    pub(crate) store: LayoutStore,
+}
+
+impl LayoutIndex {
+    /// Re-hosts `flat` (consumed — [`SeedStrategy`] owns its trees) on the
+    /// chosen layout. `reorder` renumbers vertices by a BFS from the
+    /// dataset medoid before laying them out.
+    pub fn from_flat(flat: FlatIndex, ds: &Dataset, layout: NodeLayout, reorder: bool) -> Self {
+        assert_eq!(flat.graph.len(), ds.len(), "graph/dataset size mismatch");
+        let perm = reorder.then(|| bfs_order(&flat.graph, ds.medoid()));
+        Self::assemble(
+            flat.name,
+            flat.router,
+            flat.seeds,
+            perm,
+            &flat.graph,
+            ds,
+            layout,
+        )
+    }
+
+    /// Assembles the store from a graph in *original* id space plus the
+    /// caller's dataset (also used by the persist loader, which is why the
+    /// permutation is applied here rather than in `from_flat`).
+    pub(crate) fn assemble(
+        name: &'static str,
+        router: Router,
+        seeds: SeedStrategy,
+        perm: Option<Permutation>,
+        graph: &CsrGraph,
+        ds: &Dataset,
+        layout: NodeLayout,
+    ) -> Self {
+        let (graph, vectors) = match &perm {
+            Some(p) => (p.apply_to_graph(graph), p.apply_to_dataset(ds)),
+            None => (graph.clone(), ds.clone()),
+        };
+        let store = match layout {
+            NodeLayout::Split => LayoutStore::Split { graph, vectors },
+            NodeLayout::Fused => {
+                let arena = FusedArena::with_vectors(&graph, &vectors);
+                LayoutStore::Fused { graph, arena }
+            }
+        };
+        LayoutIndex {
+            name,
+            router,
+            seeds,
+            perm,
+            store,
+        }
+    }
+
+    /// The layout this index stores its nodes in.
+    pub fn layout(&self) -> NodeLayout {
+        match self.store {
+            LayoutStore::Split { .. } => NodeLayout::Split,
+            LayoutStore::Fused { .. } => NodeLayout::Fused,
+        }
+    }
+
+    /// True when vertices were BFS-reordered.
+    pub fn is_reordered(&self) -> bool {
+        self.perm.is_some()
+    }
+
+    /// The applied permutation, if any.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.perm.as_ref()
+    }
+
+    /// Per-structure memory accounting.
+    pub fn layout_stats(&self) -> LayoutStats {
+        let (graph_bytes, vector_bytes, arena_bytes, arena_padding_bytes) = match &self.store {
+            LayoutStore::Split { graph, vectors } => {
+                (graph.memory_bytes(), vectors.memory_bytes(), 0, 0)
+            }
+            LayoutStore::Fused { graph, arena } => (
+                graph.memory_bytes(),
+                0,
+                arena.memory_bytes(),
+                arena.padding_bytes(),
+            ),
+        };
+        LayoutStats {
+            graph_bytes,
+            vector_bytes,
+            arena_bytes,
+            arena_padding_bytes,
+            permutation_bytes: self.perm.as_ref().map_or(0, |p| p.memory_bytes()),
+        }
+    }
+}
+
+impl AnnIndex for LayoutIndex {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn search(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+    ) -> Vec<Neighbor> {
+        let beam = beam.max(k);
+        // Seeds in original space, against the caller's dataset (same RNG
+        // stream and NDC accounting as the wrapped FlatIndex)…
+        let mut seeds = self.seeds.seeds(ds, query, &mut ctx.rng, &mut ctx.stats);
+        // …then into the index's id space.
+        if let Some(p) = &self.perm {
+            for s in &mut seeds {
+                *s = p.to_new(*s);
+            }
+        }
+        ctx.scratch.next_epoch();
+        let mut pool = match &self.store {
+            LayoutStore::Split { graph, vectors } => self.router.search(
+                vectors,
+                graph,
+                query,
+                &seeds,
+                beam,
+                &mut ctx.scratch,
+                &mut ctx.stats,
+            ),
+            LayoutStore::Fused { arena, .. } => self.router.search(
+                arena,
+                arena,
+                query,
+                &seeds,
+                beam,
+                &mut ctx.scratch,
+                &mut ctx.stats,
+            ),
+        };
+        if let Some(p) = &self.perm {
+            for n in &mut pool {
+                n.id = p.to_old(n.id);
+            }
+            // Canonical (distance, original id) order: without ties this
+            // only reorders equal-distance pairs the renaming shuffled.
+            pool.sort_unstable();
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// The routing graph *in index id space* — reordered when
+    /// [`LayoutIndex::is_reordered`]. Degree statistics and edge counts
+    /// are permutation-invariant, so the Table 4/11 metrics read the same.
+    fn graph(&self) -> &CsrGraph {
+        match &self.store {
+            LayoutStore::Split { graph, .. } | LayoutStore::Fused { graph, .. } => graph,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let s = self.layout_stats();
+        s.graph_bytes
+            + s.vector_bytes
+            + s.arena_bytes
+            + s.permutation_bytes
+            + self.seeds.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weavess_data::synthetic::MixtureSpec;
+    use weavess_graph::base::exact_knng;
+
+    fn setup() -> (Dataset, Dataset, FlatIndex) {
+        let (ds, qs) = MixtureSpec::table10(16, 800, 4, 4.0, 25).generate();
+        let graph = exact_knng(&ds, 10, 2);
+        let idx = FlatIndex {
+            name: "test",
+            graph,
+            seeds: SeedStrategy::Fixed(vec![0, 123, 456]),
+            router: Router::BestFirst,
+        };
+        (ds, qs, idx)
+    }
+
+    fn clone_flat(idx: &FlatIndex) -> FlatIndex {
+        let SeedStrategy::Fixed(v) = &idx.seeds else {
+            unreachable!()
+        };
+        FlatIndex {
+            name: idx.name,
+            graph: idx.graph.clone(),
+            seeds: SeedStrategy::Fixed(v.clone()),
+            router: idx.router.clone(),
+        }
+    }
+
+    #[test]
+    fn every_layout_matches_the_flat_index_exactly() {
+        let (ds, qs, flat) = setup();
+        for layout in [NodeLayout::Split, NodeLayout::Fused] {
+            for reorder in [false, true] {
+                let li = LayoutIndex::from_flat(clone_flat(&flat), &ds, layout, reorder);
+                let mut c1 = SearchContext::new(ds.len());
+                let mut c2 = SearchContext::new(ds.len());
+                for qi in 0..qs.len() as u32 {
+                    let a = flat.search(&ds, qs.point(qi), 10, 50, &mut c1);
+                    let b = li.search(&ds, qs.point(qi), 10, 50, &mut c2);
+                    assert_eq!(a.len(), b.len(), "{layout:?} reorder={reorder} q={qi}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.id, y.id, "{layout:?} reorder={reorder} q={qi}");
+                        assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                    }
+                }
+                assert_eq!(c1.stats, c2.stats, "{layout:?} reorder={reorder}");
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_graph_is_a_renaming_of_the_original() {
+        let (ds, _, flat) = setup();
+        let original = flat.graph.clone();
+        let li = LayoutIndex::from_flat(clone_flat(&flat), &ds, NodeLayout::Split, true);
+        let p = li.permutation().unwrap();
+        let rg = li.graph();
+        assert_eq!(rg.num_edges(), original.num_edges());
+        for v in 0..original.len() as u32 {
+            let renamed: Vec<u32> = rg
+                .neighbors(p.to_new(v))
+                .iter()
+                .map(|&u| p.to_old(u))
+                .collect();
+            assert_eq!(renamed, original.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn layout_stats_account_for_each_layout() {
+        let (ds, _, flat) = setup();
+        let split = LayoutIndex::from_flat(clone_flat(&flat), &ds, NodeLayout::Split, false);
+        let fused = LayoutIndex::from_flat(clone_flat(&flat), &ds, NodeLayout::Fused, true);
+        let s = split.layout_stats();
+        assert!(s.vector_bytes > 0 && s.arena_bytes == 0 && s.permutation_bytes == 0);
+        let f = fused.layout_stats();
+        assert!(f.arena_bytes > 0 && f.vector_bytes == 0 && f.permutation_bytes > 0);
+        assert!(f.arena_padding_bytes < f.arena_bytes);
+        assert!(fused.memory_bytes() >= f.graph_bytes + f.arena_bytes);
+    }
+}

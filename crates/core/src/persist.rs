@@ -15,17 +15,22 @@
 
 use crate::algorithms::hnsw::HnswIndex;
 use crate::components::seeds::SeedStrategy;
-use crate::index::FlatIndex;
+use crate::index::{AnnIndex, FlatIndex};
+use crate::locality::{LayoutIndex, NodeLayout};
 use crate::search::Router;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use weavess_data::Dataset;
+use weavess_graph::reorder::Permutation;
 use weavess_graph::CsrGraph;
 
 const MAGIC: &[u8; 4] = b"WVSS";
 const VERSION: u32 = 1;
 const HNSW_MAGIC: &[u8; 4] = b"WVSH";
 const HNSW_VERSION: u32 = 1;
+const LAYOUT_MAGIC: &[u8; 4] = b"WVSL";
+const LAYOUT_VERSION: u32 = 1;
 
 /// Errors from saving or loading an index.
 #[derive(Debug)]
@@ -76,8 +81,14 @@ pub fn write_index(w: &mut impl Write, index: &FlatIndex) -> Result<(), PersistE
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     write_str(w, index.name)?;
-    // Router.
-    match &index.router {
+    write_router(w, &index.router)?;
+    write_seeds(w, &index.seeds)?;
+    write_graph_lists(w, &index.graph.to_lists())?;
+    Ok(())
+}
+
+fn write_router(w: &mut impl Write, router: &Router) -> Result<(), PersistError> {
+    match router {
         Router::BestFirst => {
             w.write_all(&[0u8])?;
         }
@@ -97,8 +108,28 @@ pub fn write_index(w: &mut impl Write, index: &FlatIndex) -> Result<(), PersistE
             w.write_all(&stage1_beam_frac.to_le_bytes())?;
         }
     }
-    // Seeds.
-    match &index.seeds {
+    Ok(())
+}
+
+fn read_router(r: &mut impl Read) -> Result<Router, PersistError> {
+    Ok(match read_u8(r)? {
+        0 => Router::BestFirst,
+        1 => Router::Range {
+            epsilon: read_f32(r)?,
+        },
+        2 => Router::Backtrack {
+            extra: read_u64(r)? as usize,
+        },
+        3 => Router::Guided,
+        4 => Router::TwoStage {
+            stage1_beam_frac: read_f32(r)?,
+        },
+        t => return Err(PersistError::BadFormat(format!("unknown router tag {t}"))),
+    })
+}
+
+fn write_seeds(w: &mut impl Write, seeds: &SeedStrategy) -> Result<(), PersistError> {
+    match seeds {
         SeedStrategy::Random { count } => {
             w.write_all(&[0u8])?;
             w.write_all(&(*count as u64).to_le_bytes())?;
@@ -112,16 +143,55 @@ pub fn write_index(w: &mut impl Write, index: &FlatIndex) -> Result<(), PersistE
         }
         other => return Err(PersistError::UnsupportedSeeds(other.label())),
     }
-    // Graph as per-vertex lists.
-    let lists = index.graph.to_lists();
+    Ok(())
+}
+
+fn read_seeds(r: &mut impl Read) -> Result<SeedStrategy, PersistError> {
+    Ok(match read_u8(r)? {
+        0 => SeedStrategy::Random {
+            count: read_u64(r)? as usize,
+        },
+        1 => {
+            let len = read_u64(r)? as usize;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(read_u32(r)?);
+            }
+            SeedStrategy::Fixed(v)
+        }
+        t => return Err(PersistError::BadFormat(format!("unknown seed tag {t}"))),
+    })
+}
+
+fn write_graph_lists(w: &mut impl Write, lists: &[Vec<u32>]) -> Result<(), PersistError> {
     w.write_all(&(lists.len() as u64).to_le_bytes())?;
-    for l in &lists {
+    for l in lists {
         w.write_all(&(l.len() as u32).to_le_bytes())?;
         for &x in l {
             w.write_all(&x.to_le_bytes())?;
         }
     }
     Ok(())
+}
+
+fn read_graph_lists(r: &mut impl Read) -> Result<Vec<Vec<u32>>, PersistError> {
+    let n = read_u64(r)? as usize;
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let deg = read_u32(r)? as usize;
+        let mut l = Vec::with_capacity(deg);
+        for _ in 0..deg {
+            let id = read_u32(r)?;
+            if id as usize >= n {
+                return Err(PersistError::BadFormat(format!(
+                    "edge target {id} out of range (n={n})"
+                )));
+            }
+            l.push(id);
+        }
+        lists.push(l);
+    }
+    Ok(lists)
 }
 
 /// Loads a [`FlatIndex`] saved by [`save_index`].
@@ -139,50 +209,9 @@ pub fn load_index(path: &Path) -> Result<FlatIndex, PersistError> {
         )));
     }
     let name = read_str(&mut r)?;
-    let router = match read_u8(&mut r)? {
-        0 => Router::BestFirst,
-        1 => Router::Range {
-            epsilon: read_f32(&mut r)?,
-        },
-        2 => Router::Backtrack {
-            extra: read_u64(&mut r)? as usize,
-        },
-        3 => Router::Guided,
-        4 => Router::TwoStage {
-            stage1_beam_frac: read_f32(&mut r)?,
-        },
-        t => return Err(PersistError::BadFormat(format!("unknown router tag {t}"))),
-    };
-    let seeds = match read_u8(&mut r)? {
-        0 => SeedStrategy::Random {
-            count: read_u64(&mut r)? as usize,
-        },
-        1 => {
-            let len = read_u64(&mut r)? as usize;
-            let mut v = Vec::with_capacity(len);
-            for _ in 0..len {
-                v.push(read_u32(&mut r)?);
-            }
-            SeedStrategy::Fixed(v)
-        }
-        t => return Err(PersistError::BadFormat(format!("unknown seed tag {t}"))),
-    };
-    let n = read_u64(&mut r)? as usize;
-    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let deg = read_u32(&mut r)? as usize;
-        let mut l = Vec::with_capacity(deg);
-        for _ in 0..deg {
-            let id = read_u32(&mut r)?;
-            if id as usize >= n {
-                return Err(PersistError::BadFormat(format!(
-                    "edge target {id} out of range (n={n})"
-                )));
-            }
-            l.push(id);
-        }
-        lists.push(l);
-    }
+    let router = read_router(&mut r)?;
+    let seeds = read_seeds(&mut r)?;
+    let lists = read_graph_lists(&mut r)?;
     Ok(FlatIndex {
         // Leak the small name string to fit FlatIndex's &'static str; index
         // names come from a fixed set in practice.
@@ -191,6 +220,126 @@ pub fn load_index(path: &Path) -> Result<FlatIndex, PersistError> {
         seeds,
         router,
     })
+}
+
+/// Saves a [`LayoutIndex`] (graph + router + seeds + permutation +
+/// layout tag). The graph is written in *original* id space — the
+/// permutation is stored separately and re-applied at load — so files
+/// saved from a reordered and an unreordered index differ only in the
+/// permutation block.
+pub fn save_layout_index(path: &Path, index: &LayoutIndex) -> Result<(), PersistError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_layout_index(&mut w, index)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes a [`LayoutIndex`] to any writer — the exact bytes
+/// [`save_layout_index`] puts on disk.
+pub fn write_layout_index(w: &mut impl Write, index: &LayoutIndex) -> Result<(), PersistError> {
+    w.write_all(LAYOUT_MAGIC)?;
+    w.write_all(&LAYOUT_VERSION.to_le_bytes())?;
+    write_str(w, index.name)?;
+    write_router(w, &index.router)?;
+    write_seeds(w, &index.seeds)?;
+    match index.layout() {
+        crate::locality::NodeLayout::Split => w.write_all(&[0u8])?,
+        crate::locality::NodeLayout::Fused => w.write_all(&[1u8])?,
+    }
+    let graph = index.graph();
+    match index.permutation() {
+        Some(p) => {
+            w.write_all(&[1u8])?;
+            w.write_all(&(p.len() as u64).to_le_bytes())?;
+            for &old in p.inverse() {
+                w.write_all(&old.to_le_bytes())?;
+            }
+            // Un-apply the permutation: write adjacency in original space.
+            let lists: Vec<Vec<u32>> = (0..graph.len() as u32)
+                .map(|v| {
+                    graph
+                        .neighbors(p.to_new(v))
+                        .iter()
+                        .map(|&u| p.to_old(u))
+                        .collect()
+                })
+                .collect();
+            write_graph_lists(w, &lists)?;
+        }
+        None => {
+            w.write_all(&[0u8])?;
+            write_graph_lists(w, &graph.to_lists())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a [`LayoutIndex`] saved by [`save_layout_index`], rebuilding the
+/// vector copy / fused arena from `ds` (the same dataset the index was
+/// built over — vectors are not stored in the file).
+pub fn load_layout_index(path: &Path, ds: &Dataset) -> Result<LayoutIndex, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != LAYOUT_MAGIC {
+        return Err(PersistError::BadFormat("wrong layout magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != LAYOUT_VERSION {
+        return Err(PersistError::BadFormat(format!(
+            "layout version {version}, expected {LAYOUT_VERSION}"
+        )));
+    }
+    let name = read_str(&mut r)?;
+    let router = read_router(&mut r)?;
+    let seeds = read_seeds(&mut r)?;
+    let layout = match read_u8(&mut r)? {
+        0 => NodeLayout::Split,
+        1 => NodeLayout::Fused,
+        t => return Err(PersistError::BadFormat(format!("unknown layout tag {t}"))),
+    };
+    let perm = match read_u8(&mut r)? {
+        0 => None,
+        1 => {
+            let n = read_u64(&mut r)? as usize;
+            let mut inverse = Vec::with_capacity(n);
+            for _ in 0..n {
+                inverse.push(read_u32(&mut r)?);
+            }
+            Some(Permutation::from_inverse(inverse).map_err(PersistError::BadFormat)?)
+        }
+        t => {
+            return Err(PersistError::BadFormat(format!(
+                "unknown permutation flag {t}"
+            )))
+        }
+    };
+    let lists = read_graph_lists(&mut r)?;
+    if lists.len() != ds.len() {
+        return Err(PersistError::BadFormat(format!(
+            "graph has {} vertices but dataset has {}",
+            lists.len(),
+            ds.len()
+        )));
+    }
+    if let Some(p) = &perm {
+        if p.len() != lists.len() {
+            return Err(PersistError::BadFormat(format!(
+                "permutation over {} vertices but graph has {}",
+                p.len(),
+                lists.len()
+            )));
+        }
+    }
+    Ok(LayoutIndex::assemble(
+        Box::leak(name.into_boxed_str()),
+        router,
+        seeds,
+        perm,
+        &CsrGraph::from_lists(&lists),
+        ds,
+        layout,
+    ))
 }
 
 /// Saves an [`HnswIndex`] (all layers + enter point).
@@ -417,6 +566,75 @@ mod tests {
         };
         let err = save_index(&tmp("vp.wvss"), &idx).unwrap_err();
         assert!(matches!(err, PersistError::UnsupportedSeeds("vp-tree")));
+    }
+
+    #[test]
+    fn layout_index_roundtrips_for_every_layout_combination() {
+        use crate::locality::{LayoutIndex, NodeLayout};
+        let (ds, qs) = MixtureSpec::table10(8, 600, 2, 5.0, 10).generate();
+        for layout in [NodeLayout::Split, NodeLayout::Fused] {
+            for reorder in [false, true] {
+                let flat = nsg::build(&ds, &NsgParams::tuned(2, 1));
+                let idx = LayoutIndex::from_flat(flat, &ds, layout, reorder);
+                let path = tmp("layout.wvsl");
+                save_layout_index(&path, &idx).unwrap();
+                let loaded = load_layout_index(&path, &ds).unwrap();
+                assert_eq!(loaded.layout(), layout);
+                assert_eq!(loaded.is_reordered(), reorder);
+                assert_eq!(loaded.permutation(), idx.permutation());
+                assert_eq!(loaded.graph(), idx.graph());
+                let mut c1 = SearchContext::new(ds.len());
+                let mut c2 = SearchContext::new(ds.len());
+                for qi in 0..qs.len() as u32 {
+                    let a = idx.search(&ds, qs.point(qi), 10, 40, &mut c1);
+                    let b = loaded.search(&ds, qs.point(qi), 10, 40, &mut c2);
+                    assert_eq!(a, b, "{layout:?} reorder={reorder} q={qi}");
+                }
+                assert_eq!(c1.stats, c2.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_loader_rejects_corrupt_permutations() {
+        use crate::locality::{LayoutIndex, NodeLayout};
+        let (ds, _) = MixtureSpec::table10(4, 60, 1, 5.0, 2).generate();
+        let flat = nsg::build(&ds, &NsgParams::tuned(1, 1));
+        let idx = LayoutIndex::from_flat(flat, &ds, NodeLayout::Split, true);
+        let path = tmp("perm_corrupt.wvsl");
+        save_layout_index(&path, &idx).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The permutation block starts right after name/router/seeds/
+        // layout/flag; duplicate one entry to break the bijection. The
+        // inverse array begins after the u64 length; stomp entry 1 with
+        // entry 0's value.
+        let flag_pos = bytes
+            .windows(2)
+            .position(|w| w == [1u8, 60])
+            .expect("perm flag + n");
+        let arr = flag_pos + 1 + 8;
+        let first: [u8; 4] = bytes[arr..arr + 4].try_into().unwrap();
+        bytes[arr + 4..arr + 8].copy_from_slice(&first);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            load_layout_index(&path, &ds),
+            Err(PersistError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn layout_loader_rejects_wrong_dataset_size() {
+        use crate::locality::{LayoutIndex, NodeLayout};
+        let (ds, _) = MixtureSpec::table10(4, 60, 1, 5.0, 2).generate();
+        let flat = nsg::build(&ds, &NsgParams::tuned(1, 1));
+        let idx = LayoutIndex::from_flat(flat, &ds, NodeLayout::Fused, false);
+        let path = tmp("size_mismatch.wvsl");
+        save_layout_index(&path, &idx).unwrap();
+        let smaller = ds.subset(&(0..30u32).collect::<Vec<_>>());
+        assert!(matches!(
+            load_layout_index(&path, &smaller),
+            Err(PersistError::BadFormat(_))
+        ));
     }
 
     #[test]

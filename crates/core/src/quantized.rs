@@ -3,21 +3,25 @@
 //! encoding with graph-based ANNS (the memory side of the trade-off the
 //! paper's Table 5 "MO" column measures).
 
-use crate::search::{SearchStats, VisitedPool};
+use crate::search::{beam_search, SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::quant::Sq8Dataset;
 use weavess_data::{Dataset, Neighbor};
-use weavess_graph::CsrGraph;
+use weavess_graph::{CsrGraph, FusedArena};
 
 /// A graph index whose routing distances come from SQ8 codes.
 ///
 /// The graph is built however the caller likes (full precision); only
 /// *search* touches the quantized vectors, so a deployment can drop the
 /// raw vectors from RAM and keep them on slower storage for reranking.
+/// [`QuantizedIndex::with_fused_layout`] additionally packs each vertex's
+/// codes next to its adjacency in a [`FusedArena`] — bit-identical
+/// results, one pointer chase per expansion.
 pub struct QuantizedIndex {
     graph: CsrGraph,
     codes: Sq8Dataset,
     entries: Vec<u32>,
+    arena: Option<FusedArena>,
 }
 
 impl QuantizedIndex {
@@ -25,68 +29,47 @@ impl QuantizedIndex {
     pub fn new(graph: CsrGraph, ds: &Dataset, entries: Vec<u32>) -> Self {
         assert_eq!(graph.len(), ds.len());
         QuantizedIndex {
-            graph,
             codes: Sq8Dataset::quantize(ds),
+            graph,
             entries,
+            arena: None,
         }
+    }
+
+    /// Switches routing to a fused adjacency+codes arena. The split
+    /// `graph`/`codes` stay resident (the rerank path and accessors still
+    /// use them); routing reads only the arena.
+    pub fn with_fused_layout(mut self) -> Self {
+        self.arena = Some(FusedArena::with_sq8(&self.graph, &self.codes));
+        self
     }
 
     /// Best-first search over quantized distances; returns up to `beam`
     /// candidates ordered by *quantized* distance. `stats.ndc` counts
     /// quantized evaluations.
+    ///
+    /// Runs the shared [`beam_search`] over the SQ8 [`weavess_data::VectorView`]
+    /// with the caller's [`SearchScratch`] — no per-query allocation.
     pub fn search_quantized(
         &self,
         query: &[f32],
         beam: usize,
-        visited: &mut VisitedPool,
+        scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        let beam = beam.max(1);
-        let mut pool: Vec<Neighbor> = Vec::with_capacity(beam + 1);
-        let mut expanded: Vec<bool> = Vec::with_capacity(beam + 1);
-        visited.next_epoch();
-        for &s in &self.entries {
-            if visited.visit(s) {
-                stats.ndc += 1;
-                if let Some(pos) = insert_into_pool(
-                    &mut pool,
-                    beam,
-                    Neighbor::new(s, self.codes.dist_to(query, s)),
-                ) {
-                    expanded.insert(pos, false);
-                    expanded.truncate(pool.len());
-                }
-            }
+        scratch.next_epoch();
+        match &self.arena {
+            Some(arena) => beam_search(arena, arena, query, &self.entries, beam, scratch, stats),
+            None => beam_search(
+                &self.codes,
+                &self.graph,
+                query,
+                &self.entries,
+                beam,
+                scratch,
+                stats,
+            ),
         }
-        let mut i = 0usize;
-        while i < pool.len() {
-            if expanded[i] {
-                i += 1;
-                continue;
-            }
-            expanded[i] = true;
-            stats.hops += 1;
-            let v = pool[i].id;
-            let mut lowest = usize::MAX;
-            for &u in self.graph.neighbors(v) {
-                if !visited.visit(u) {
-                    continue;
-                }
-                stats.ndc += 1;
-                let d = self.codes.dist_to(query, u);
-                if let Some(pos) = insert_into_pool(&mut pool, beam, Neighbor::new(u, d)) {
-                    expanded.insert(pos, false);
-                    expanded.truncate(pool.len());
-                    lowest = lowest.min(pos);
-                }
-            }
-            if lowest < i {
-                i = lowest;
-            } else {
-                i += 1;
-            }
-        }
-        pool
     }
 
     /// Full search: quantized routing, then rerank the pool with raw
@@ -98,11 +81,11 @@ impl QuantizedIndex {
         query: &[f32],
         k: usize,
         beam: usize,
-        visited: &mut VisitedPool,
+        scratch: &mut SearchScratch,
         stats: &mut SearchStats,
         full_evals: &mut u64,
     ) -> Vec<Neighbor> {
-        let pool = self.search_quantized(query, beam.max(k), visited, stats);
+        let pool = self.search_quantized(query, beam.max(k), scratch, stats);
         let mut rer: Vec<Neighbor> = Vec::with_capacity(pool.len());
         for c in &pool {
             *full_evals += 1;
@@ -117,9 +100,17 @@ impl QuantizedIndex {
     }
 
     /// Routing memory: the graph plus codes (raw vectors excluded — that
-    /// is the point).
+    /// is the point), plus the fused arena when enabled.
     pub fn memory_bytes(&self) -> usize {
-        self.graph.memory_bytes() + self.codes.memory_bytes()
+        self.graph.memory_bytes()
+            + self.codes.memory_bytes()
+            + self.arena.as_ref().map_or(0, |a| a.memory_bytes())
+    }
+
+    /// Bytes of the SQ8 codes alone — the resident-vector footprint the
+    /// quantization buys, independent of which layout routes over them.
+    pub fn codes_memory_bytes(&self) -> usize {
+        self.codes.memory_bytes()
     }
 }
 
@@ -149,7 +140,7 @@ mod tests {
         let (ds, qs, base_idx) = setup();
         let gt = ground_truth(&ds, &qs, 10, 2);
         let q_idx = QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![ds.medoid()]);
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let mut full_evals = 0u64;
         let mut total = 0.0;
@@ -159,7 +150,7 @@ mod tests {
                 qs.point(qi),
                 10,
                 60,
-                &mut visited,
+                &mut scratch,
                 &mut stats,
                 &mut full_evals,
             );
@@ -189,7 +180,7 @@ mod tests {
         let (ds, qs, base_idx) = setup();
         let q_idx = QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![ds.medoid()]);
         let mut ctx = SearchContext::new(ds.len());
-        let mut visited = VisitedPool::new(ds.len());
+        let mut scratch = SearchScratch::new(ds.len());
         let mut stats = SearchStats::default();
         let mut full_evals = 0u64;
         let mut overlap = 0usize;
@@ -205,7 +196,7 @@ mod tests {
                     qs.point(qi),
                     10,
                     60,
-                    &mut visited,
+                    &mut scratch,
                     &mut stats,
                     &mut full_evals,
                 )
@@ -216,5 +207,28 @@ mod tests {
         }
         let frac = overlap as f64 / (10 * qs.len()) as f64;
         assert!(frac > 0.8, "overlap {frac}");
+    }
+
+    /// The fused SQ8 arena must be a pure layout change: same ids, same
+    /// distance bits, same NDC/hops as the split codes+graph routing.
+    #[test]
+    fn fused_layout_is_bit_identical_to_split() {
+        let (ds, qs, base_idx) = setup();
+        let split = QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![ds.medoid()]);
+        let fused =
+            QuantizedIndex::new(base_idx.graph.clone(), &ds, vec![ds.medoid()]).with_fused_layout();
+        let mut scratch = SearchScratch::new(ds.len());
+        for qi in 0..qs.len() as u32 {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            let a = split.search_quantized(qs.point(qi), 60, &mut scratch, &mut s1);
+            let b = fused.search_quantized(qs.point(qi), 60, &mut scratch, &mut s2);
+            assert_eq!(a.len(), b.len(), "query {qi}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+            assert_eq!(s1, s2, "query {qi}");
+        }
     }
 }

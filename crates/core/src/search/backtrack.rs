@@ -13,7 +13,9 @@ use super::SearchStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use weavess_data::neighbor::insert_into_pool;
-use weavess_data::{Dataset, Neighbor};
+use weavess_data::prefetch::prefetch_enabled;
+use weavess_data::vectors::VectorView;
+use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
 
 /// Backtracking best-first search from `seeds`. Expansion is batch-scored
@@ -21,7 +23,7 @@ use weavess_graph::adjacency::GraphView;
 /// results match per-neighbor scoring exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn backtrack_search(
-    ds: &Dataset,
+    ds: &(impl VectorView + ?Sized),
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     seeds: &[u32],
@@ -31,6 +33,7 @@ pub fn backtrack_search(
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
+    let pf = prefetch_enabled();
     let SearchScratch {
         visited,
         pool,
@@ -92,9 +95,17 @@ pub fn backtrack_search(
             progressed = true;
             stats.hops += 1;
             let v = pool[k].id;
+            if pf {
+                if let Some(next) = pool.get(k + 1) {
+                    g.prefetch_neighbors(next.id);
+                }
+            }
             batch_ids.clear();
             for &u in g.neighbors(v) {
                 if visited.visit(u) {
+                    if pf {
+                        ds.prefetch_vector(u);
+                    }
                     batch_ids.push(u);
                 }
             }
@@ -127,6 +138,9 @@ pub fn backtrack_search(
         batch_ids.clear();
         for &u in g.neighbors(c.id) {
             if visited.visit(u) {
+                if pf {
+                    ds.prefetch_vector(u);
+                }
                 batch_ids.push(u);
             }
         }
@@ -154,6 +168,7 @@ mod tests {
     use super::*;
     use weavess_data::ground_truth::knn_scan;
     use weavess_data::synthetic::MixtureSpec;
+    use weavess_data::Dataset;
     use weavess_graph::base::exact_knng;
     use weavess_graph::CsrGraph;
 

@@ -3,7 +3,9 @@
 
 use super::scratch::{insert_unexpanded, SearchScratch};
 use super::SearchStats;
-use weavess_data::{Dataset, Neighbor};
+use weavess_data::prefetch::prefetch_enabled;
+use weavess_data::vectors::VectorView;
+use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
 
 /// Best-first (beam) search from `seeds`, returning up to `beam` nearest
@@ -32,11 +34,17 @@ use weavess_graph::adjacency::GraphView;
 ///
 /// Expansion is batch-scored: all not-yet-visited neighbors of the
 /// expanded vertex are staged and scored with one
-/// [`Dataset::dist_to_many`] call, then inserted in the original adjacency
-/// order — visit order, distances, and hence results are bit-identical to
-/// scoring one neighbor at a time.
+/// [`VectorView::dist_to_many`] call, then inserted in the original
+/// adjacency order — visit order, distances, and hence results are
+/// bit-identical to scoring one neighbor at a time.
+///
+/// `ds` is any [`VectorView`]: the raw [`weavess_data::Dataset`], an SQ8
+/// code table, or a fused node arena. While vertex `k` is expanded the
+/// next pool candidate's node block and each staged neighbor's vector are
+/// prefetched — pure hints, so results are identical with prefetch on or
+/// off.
 pub fn beam_search(
-    ds: &Dataset,
+    ds: &(impl VectorView + ?Sized),
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     seeds: &[u32],
@@ -45,6 +53,7 @@ pub fn beam_search(
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
+    let pf = prefetch_enabled();
     let SearchScratch {
         visited,
         pool,
@@ -71,9 +80,17 @@ pub fn beam_search(
         expanded[k] = true;
         stats.hops += 1;
         let v = pool[k].id;
+        if pf {
+            if let Some(next) = pool.get(k + 1) {
+                g.prefetch_neighbors(next.id);
+            }
+        }
         batch_ids.clear();
         for &u in g.neighbors(v) {
             if visited.visit(u) {
+                if pf {
+                    ds.prefetch_vector(u);
+                }
                 batch_ids.push(u);
             }
         }
@@ -102,7 +119,7 @@ pub fn beam_search(
 /// must already be marked visited this epoch). The two-stage router uses
 /// this so stage 2 pays only for vertices stage 1 never scored.
 pub fn beam_search_seeded(
-    ds: &Dataset,
+    ds: &(impl VectorView + ?Sized),
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     scored: &[Neighbor],
@@ -111,6 +128,7 @@ pub fn beam_search_seeded(
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
+    let pf = prefetch_enabled();
     let SearchScratch {
         visited,
         pool,
@@ -134,9 +152,17 @@ pub fn beam_search_seeded(
         expanded[k] = true;
         stats.hops += 1;
         let v = pool[k].id;
+        if pf {
+            if let Some(next) = pool.get(k + 1) {
+                g.prefetch_neighbors(next.id);
+            }
+        }
         batch_ids.clear();
         for &u in g.neighbors(v) {
             if visited.visit(u) {
+                if pf {
+                    ds.prefetch_vector(u);
+                }
                 batch_ids.push(u);
             }
         }
@@ -162,6 +188,7 @@ mod tests {
     use super::*;
     use weavess_data::ground_truth::knn_scan;
     use weavess_data::synthetic::MixtureSpec;
+    use weavess_data::Dataset;
     use weavess_graph::base::exact_knng;
     use weavess_graph::CsrGraph;
 

@@ -13,7 +13,9 @@
 use super::scratch::SearchScratch;
 use super::SearchStats;
 use weavess_data::neighbor::insert_into_pool;
-use weavess_data::{Dataset, Neighbor};
+use weavess_data::prefetch::prefetch_enabled;
+use weavess_data::vectors::VectorView;
+use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
 
 /// Best-first search returning only vertices accepted by `filter`.
@@ -24,7 +26,7 @@ use weavess_graph::adjacency::GraphView;
 /// `beam_search`, preserving per-neighbor insertion order.
 #[allow(clippy::too_many_arguments)]
 pub fn filtered_beam_search(
-    ds: &Dataset,
+    ds: &(impl VectorView + ?Sized),
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     seeds: &[u32],
@@ -36,6 +38,7 @@ pub fn filtered_beam_search(
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let k = k.max(1);
+    let pf = prefetch_enabled();
     let SearchScratch {
         visited,
         pool,
@@ -88,9 +91,17 @@ pub fn filtered_beam_search(
         expanded[i] = true;
         stats.hops += 1;
         let v = pool[i].id;
+        if pf {
+            if let Some(next) = pool.get(i + 1) {
+                g.prefetch_neighbors(next.id);
+            }
+        }
         batch_ids.clear();
         for &u in g.neighbors(v) {
             if visited.visit(u) {
+                if pf {
+                    ds.prefetch_vector(u);
+                }
                 batch_ids.push(u);
             }
         }
@@ -119,6 +130,7 @@ mod tests {
     use crate::search::beam_search;
     use weavess_data::ground_truth::knn_scan;
     use weavess_data::synthetic::MixtureSpec;
+    use weavess_data::Dataset;
     use weavess_graph::base::exact_knng;
     use weavess_graph::CsrGraph;
 

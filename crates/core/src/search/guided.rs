@@ -14,12 +14,17 @@
 
 use super::scratch::{insert_unexpanded, SearchScratch};
 use super::SearchStats;
-use weavess_data::{Dataset, Neighbor};
+use weavess_data::prefetch::prefetch_enabled;
+use weavess_data::vectors::VectorView;
+use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
 
 /// Guided best-first search from `seeds`.
+///
+/// Requires a [`VectorView`] with raw coordinates ([`VectorView::vector`])
+/// for the direction gate — SQ8-only storage cannot run guided search.
 pub fn guided_search(
-    ds: &Dataset,
+    ds: &(impl VectorView + ?Sized),
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     seeds: &[u32],
@@ -28,6 +33,7 @@ pub fn guided_search(
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
+    let pf = prefetch_enabled();
     let SearchScratch {
         visited,
         pool,
@@ -53,7 +59,12 @@ pub fn guided_search(
         expanded[k] = true;
         stats.hops += 1;
         let v = pool[k].id;
-        let x = ds.point(v);
+        if pf {
+            if let Some(next) = pool.get(k + 1) {
+                g.prefetch_neighbors(next.id);
+            }
+        }
+        let x = ds.vector(v);
         // Dominant query direction at x: one O(dim) scan per expansion.
         let mut dstar = 0usize;
         let mut best = 0.0f32;
@@ -73,7 +84,7 @@ pub fn guided_search(
             if visited.is_visited(u) {
                 continue;
             }
-            let nu = ds.point(u);
+            let nu = ds.vector(u);
             let goes_positive = nu[dstar] >= x[dstar];
             if goes_positive != want_positive {
                 continue; // gated out: moves away from the query
@@ -106,6 +117,7 @@ mod tests {
     use super::*;
     use weavess_data::ground_truth::knn_scan;
     use weavess_data::synthetic::MixtureSpec;
+    use weavess_data::Dataset;
     use weavess_graph::base::exact_knng;
     use weavess_graph::CsrGraph;
 

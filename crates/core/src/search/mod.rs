@@ -23,7 +23,8 @@ pub use range::range_search;
 pub use scratch::SearchScratch;
 pub use visited::VisitedPool;
 
-use weavess_data::{Dataset, Neighbor};
+use weavess_data::vectors::VectorView;
+use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
 
 /// Per-query work counters.
@@ -78,10 +79,14 @@ impl Router {
     /// Routes a query from `seeds`, returning up to `beam` nearest
     /// candidates, nearest first. `beam` is the paper's *candidate set
     /// size* (CS); result quality and cost both grow with it.
+    ///
+    /// `ds` is any [`VectorView`] — the raw dataset, SQ8 codes, or a
+    /// fused node arena ([`Router::Guided`] and [`Router::TwoStage`]
+    /// additionally require raw coordinates for the direction gate).
     #[allow(clippy::too_many_arguments)]
     pub fn search(
         &self,
-        ds: &Dataset,
+        ds: &(impl VectorView + ?Sized),
         g: &(impl GraphView + ?Sized),
         query: &[f32],
         seeds: &[u32],

@@ -11,7 +11,9 @@ use super::scratch::SearchScratch;
 use super::SearchStats;
 use std::cmp::Reverse;
 use weavess_data::neighbor::insert_into_pool;
-use weavess_data::{Dataset, Neighbor};
+use weavess_data::prefetch::prefetch_enabled;
+use weavess_data::vectors::VectorView;
+use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
 
 /// Range search from `seeds`; returns up to `beam` nearest results.
@@ -22,7 +24,7 @@ use weavess_graph::adjacency::GraphView;
 /// adjacency order, against the live radius.
 #[allow(clippy::too_many_arguments)]
 pub fn range_search(
-    ds: &Dataset,
+    ds: &(impl VectorView + ?Sized),
     g: &(impl GraphView + ?Sized),
     query: &[f32],
     seeds: &[u32],
@@ -32,6 +34,7 @@ pub fn range_search(
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
+    let pf = prefetch_enabled();
     let inflate = (1.0 + epsilon.max(0.0)).powi(2); // squared-distance space
     let SearchScratch {
         visited,
@@ -61,9 +64,17 @@ pub fn range_search(
             break; // nothing left within the inflated radius
         }
         stats.hops += 1;
+        if pf {
+            if let Some(Reverse(next)) = queue.peek() {
+                g.prefetch_neighbors(next.id);
+            }
+        }
         batch_ids.clear();
         for &u in g.neighbors(c.id) {
             if visited.visit(u) {
+                if pf {
+                    ds.prefetch_vector(u);
+                }
                 batch_ids.push(u);
             }
         }
@@ -90,6 +101,7 @@ mod tests {
     use super::*;
     use weavess_data::ground_truth::knn_scan;
     use weavess_data::synthetic::MixtureSpec;
+    use weavess_data::Dataset;
     use weavess_graph::base::exact_knng;
     use weavess_graph::CsrGraph;
 

@@ -26,8 +26,11 @@ pub mod io;
 pub mod metrics;
 pub mod neighbor;
 pub mod pq;
+pub mod prefetch;
 pub mod quant;
 pub mod synthetic;
+pub mod vectors;
 
 pub use dataset::Dataset;
 pub use neighbor::Neighbor;
+pub use vectors::VectorView;

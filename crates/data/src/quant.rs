@@ -10,6 +10,28 @@
 
 use crate::dataset::Dataset;
 
+/// The SQ8 asymmetric distance kernel: squared Euclidean distance from an
+/// `f32` query to one point's `u8` codes under per-dimension affine
+/// dequantization `x[d] = min[d] + codes[d] * step[d]`.
+///
+/// This free function is the single definition of the kernel. Both
+/// [`Sq8Dataset::dist_to`] and the fused node arena's SQ8 payload call
+/// it, so a fused index is bit-identical to the split one by
+/// construction, not by coincidence.
+#[inline]
+pub fn sq8_distance(query: &[f32], codes: &[u8], min: &[f32], step: &[f32]) -> f32 {
+    debug_assert_eq!(query.len(), codes.len());
+    debug_assert_eq!(query.len(), min.len());
+    debug_assert_eq!(query.len(), step.len());
+    let mut acc = 0.0f32;
+    for d in 0..query.len() {
+        let x = min[d] + codes[d] as f32 * step[d];
+        let diff = query[d] - x;
+        acc += diff * diff;
+    }
+    acc
+}
+
 /// A scalar-quantized dataset: one byte per dimension per point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sq8Dataset {
@@ -75,14 +97,23 @@ impl Sq8Dataset {
     #[inline]
     pub fn dist_to(&self, query: &[f32], id: u32) -> f32 {
         debug_assert_eq!(query.len(), self.dim);
-        let codes = &self.codes[id as usize * self.dim..(id as usize + 1) * self.dim];
-        let mut acc = 0.0f32;
-        for d in 0..self.dim {
-            let x = self.min[d] + codes[d] as f32 * self.step[d];
-            let diff = query[d] - x;
-            acc += diff * diff;
-        }
-        acc
+        sq8_distance(query, self.codes_of(id), &self.min, &self.step)
+    }
+
+    /// Borrows point `id`'s raw codes (`dim` bytes).
+    #[inline]
+    pub fn codes_of(&self, id: u32) -> &[u8] {
+        &self.codes[id as usize * self.dim..(id as usize + 1) * self.dim]
+    }
+
+    /// Per-dimension dequantization offsets.
+    pub fn mins(&self) -> &[f32] {
+        &self.min
+    }
+
+    /// Per-dimension dequantization scales.
+    pub fn steps(&self) -> &[f32] {
+        &self.step
     }
 
     /// Reconstructs one point (lossy).

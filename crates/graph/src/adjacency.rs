@@ -24,6 +24,12 @@ pub trait GraphView {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Hints the cache that vertex `v`'s neighbor data is about to be
+    /// read. Default: no-op. Contiguous layouts prefetch the head of the
+    /// adjacency (or fused node) block; the routers issue this for the
+    /// *next* expansion candidate while scoring the current one.
+    #[inline]
+    fn prefetch_neighbors(&self, _v: u32) {}
 }
 
 impl GraphView for Vec<Vec<u32>> {
@@ -119,16 +125,27 @@ impl BuildGraph {
 
     /// Freezes into a CSR search graph, keeping at most `max_degree`
     /// nearest neighbors per vertex (`usize::MAX` keeps all).
+    ///
+    /// Writes the CSR arrays directly — no intermediate `Vec<Vec<u32>>` —
+    /// and sizes the edge array from the *clamped* degrees, so a graph
+    /// whose pools exceed `max_degree` doesn't briefly allocate for the
+    /// untruncated edge count.
     pub fn freeze(&self, max_degree: usize) -> CsrGraph {
-        let lists: Vec<Vec<u32>> = self
+        let total: usize = self
             .nodes
             .iter()
-            .map(|l| {
-                let pool = l.read();
-                pool.iter().take(max_degree).map(|n| n.id).collect()
-            })
-            .collect();
-        CsrGraph::from_lists(&lists)
+            .map(|l| l.read().len().min(max_degree))
+            .sum();
+        let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
+        let mut edges = Vec::with_capacity(total);
+        offsets.push(0u64);
+        for l in &self.nodes {
+            let pool = l.read();
+            edges.extend(pool.iter().take(max_degree).map(|n| n.id));
+            offsets.push(edges.len() as u64);
+        }
+        debug_assert_eq!(edges.len(), total);
+        CsrGraph { offsets, edges }
     }
 }
 
@@ -146,6 +163,12 @@ impl GraphView for CsrGraph {
     }
     fn len(&self) -> usize {
         CsrGraph::len(self)
+    }
+    #[inline]
+    fn prefetch_neighbors(&self, v: u32) {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        weavess_data::prefetch::prefetch_span(self.edges[s..e].as_ptr(), e - s);
     }
 }
 
@@ -205,6 +228,18 @@ impl CsrGraph {
         self.offsets.len() * std::mem::size_of::<u64>()
             + self.edges.len() * std::mem::size_of::<u32>()
     }
+
+    /// Out-degree histogram: `hist[d]` counts vertices with out-degree
+    /// `d` (length `max_degree + 1`). The Table 5 out-degree column reads
+    /// straight off this; `metrics::degree_stats` gives the summary form.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max_d = (0..self.len() as u32).map(|v| self.degree(v)).max();
+        let mut hist = vec![0usize; max_d.map_or(0, |m| m + 1)];
+        for v in 0..self.len() as u32 {
+            hist[self.degree(v)] += 1;
+        }
+        hist
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +284,31 @@ mod tests {
         assert_eq!(csr.to_lists(), lists);
         assert_eq!(csr.degree(0), 2);
         assert_eq!(csr.degree(1), 0);
+    }
+
+    #[test]
+    fn freeze_allocates_exactly_the_clamped_edge_count() {
+        let g = BuildGraph::new(3);
+        for v in 0..3u32 {
+            for (id, d) in [(10u32, 1.0f32), (11, 2.0), (12, 3.0), (13, 4.0)] {
+                g.insert(v, 8, Neighbor::new(id, d));
+            }
+        }
+        let csr = g.freeze(2);
+        assert_eq!(csr.num_edges(), 6);
+        // Edge storage was sized from the clamped degrees, not the pools.
+        assert_eq!(csr.edges.capacity(), 6);
+        assert_eq!(csr.to_lists(), vec![vec![10, 11]; 3]);
+    }
+
+    #[test]
+    fn degree_histogram_counts_every_vertex() {
+        let csr = CsrGraph::from_lists(&[vec![1u32, 2, 3], vec![], vec![0u32], vec![0u32]]);
+        assert_eq!(csr.degree_histogram(), vec![1, 2, 0, 1]);
+        assert_eq!(
+            CsrGraph::from_lists::<Vec<u32>>(&[]).degree_histogram(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -13,12 +13,21 @@
 //! - [`connectivity`]: weakly-connected components and DFS reachability
 //!   (the C5 component and the Table 4 "CC" column).
 //! - [`metrics`]: graph quality, degree statistics, index size.
+//! - [`reorder`]: deterministic BFS-from-medoid vertex renumbering for
+//!   cache locality, with the inverse map that keeps caller-visible ids
+//!   in the original space.
+//! - [`fused`]: the cache-line-aligned fused node arena (degree +
+//!   neighbors + vector in one block).
 
 pub mod adjacency;
 pub mod base;
 pub mod connectivity;
+pub mod fused;
 pub mod metrics;
+pub mod reorder;
 pub mod unionfind;
 
 pub use adjacency::{BuildGraph, CsrGraph};
+pub use fused::FusedArena;
+pub use reorder::{bfs_order, Permutation};
 pub use unionfind::UnionFind;

@@ -1,0 +1,274 @@
+//! Locality-aware graph reordering (ParlayANN-style, arXiv 2305.04359).
+//!
+//! Best-first search expands vertices in roughly breadth-first order from
+//! the entry point, so renumbering vertices by a BFS from the medoid puts
+//! vertices that are expanded together *next to each other* in the edge
+//! array and the vector storage — turning the random-access walk into a
+//! mostly-forward scan over a small working set.
+//!
+//! Everything here is deterministic: BFS frontier order is fixed by the
+//! adjacency, ties are broken hub-first (higher out-degree first, then
+//! lower old id), and disconnected components are appended in the same
+//! hub-first order. A [`Permutation`] carries both directions of the
+//! renumbering so indexes can accept and return ids in the caller's
+//! original id space — reordering is invisible except for speed.
+
+use crate::adjacency::CsrGraph;
+use weavess_data::Dataset;
+
+/// A bijective vertex renumbering with both directions materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `forward[old] = new`.
+    forward: Vec<u32>,
+    /// `inverse[new] = old`.
+    inverse: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation over `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let forward: Vec<u32> = (0..n as u32).collect();
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
+    }
+
+    /// Reconstructs a permutation from its inverse array (`inverse[new] =
+    /// old`), validating that it is a bijection — the persist layer loads
+    /// through this.
+    pub fn from_inverse(inverse: Vec<u32>) -> Result<Self, String> {
+        let n = inverse.len();
+        let mut forward = vec![u32::MAX; n];
+        for (new, &old) in inverse.iter().enumerate() {
+            if old as usize >= n {
+                return Err(format!("permutation entry {old} out of range (n={n})"));
+            }
+            if forward[old as usize] != u32::MAX {
+                return Err(format!("permutation maps old id {old} twice"));
+            }
+            forward[old as usize] = new as u32;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Maps an original-space id into the reordered space.
+    #[inline]
+    pub fn to_new(&self, old: u32) -> u32 {
+        self.forward[old as usize]
+    }
+
+    /// Maps a reordered-space id back to the original space.
+    #[inline]
+    pub fn to_old(&self, new: u32) -> u32 {
+        self.inverse[new as usize]
+    }
+
+    /// Borrows the inverse array (`inverse[new] = old`) for serialization.
+    pub fn inverse(&self) -> &[u32] {
+        &self.inverse
+    }
+
+    /// Renumbers a graph: new vertex `forward[v]` gets the neighbors
+    /// `forward[u]` for `u` in `neighbors(v)`, adjacency order preserved.
+    /// Search over the result visits the *same* vertices in the same
+    /// order as over the original (modulo the renaming), which is what
+    /// makes the modulo-permutation identity contract provable.
+    pub fn apply_to_graph(&self, g: &CsrGraph) -> CsrGraph {
+        assert_eq!(g.len(), self.len(), "permutation/graph size mismatch");
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); g.len()];
+        for old in 0..g.len() as u32 {
+            lists[self.to_new(old) as usize] =
+                g.neighbors(old).iter().map(|&u| self.to_new(u)).collect();
+        }
+        CsrGraph::from_lists(&lists)
+    }
+
+    /// Renumbers a dataset: new row `i` is old row `inverse[i]`, so
+    /// vector storage follows the same locality order as the graph.
+    pub fn apply_to_dataset(&self, ds: &Dataset) -> Dataset {
+        assert_eq!(ds.len(), self.len(), "permutation/dataset size mismatch");
+        ds.subset(&self.inverse)
+    }
+
+    /// Heap bytes held by both direction arrays.
+    pub fn memory_bytes(&self) -> usize {
+        (self.forward.len() + self.inverse.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Computes the BFS-from-`start` renumbering of `g` with hub-first
+/// tiebreaks: within one expansion, unvisited neighbors are enqueued by
+/// (out-degree descending, old id ascending); exhausted components are
+/// restarted from the highest-degree unvisited vertex. `start` is
+/// normally the dataset medoid — the entry point search begins from.
+pub fn bfs_order(g: &CsrGraph, start: u32) -> Permutation {
+    let n = g.len();
+    assert!(n > 0, "cannot reorder an empty graph");
+    assert!((start as usize) < n, "start vertex out of range");
+
+    // Hub ranking used for both in-expansion tiebreaks and component
+    // restarts: degree descending, old id ascending.
+    let mut hubs: Vec<u32> = (0..n as u32).collect();
+    hubs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+
+    let mut visited = vec![false; n];
+    let mut inverse = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut hub_cursor = 0usize;
+
+    visited[start as usize] = true;
+    queue.push_back(start);
+    loop {
+        while let Some(v) = queue.pop_front() {
+            inverse.push(v);
+            scratch.clear();
+            for &u in g.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    scratch.push(u);
+                }
+            }
+            scratch.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+            queue.extend(scratch.iter().copied());
+        }
+        // Next component, if any: highest-ranked unvisited hub. The
+        // cursor only moves forward, so restarts cost O(n) total.
+        while hub_cursor < n && visited[hubs[hub_cursor] as usize] {
+            hub_cursor += 1;
+        }
+        match hubs.get(hub_cursor) {
+            Some(&root) => {
+                visited[root as usize] = true;
+                queue.push_back(root);
+            }
+            None => break,
+        }
+    }
+    debug_assert_eq!(inverse.len(), n);
+    Permutation::from_inverse(inverse).expect("BFS produced a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> CsrGraph {
+        // 0-1-2-3-4 chain plus a hub 5 connected to everything.
+        CsrGraph::from_lists(&[
+            vec![1u32, 5],
+            vec![0, 2, 5],
+            vec![1, 3, 5],
+            vec![2, 4, 5],
+            vec![3, 5],
+            vec![0, 1, 2, 3, 4],
+        ])
+    }
+
+    #[test]
+    fn identity_roundtrips() {
+        let p = Permutation::identity(5);
+        for v in 0..5u32 {
+            assert_eq!(p.to_new(v), v);
+            assert_eq!(p.to_old(v), v);
+        }
+    }
+
+    #[test]
+    fn bfs_is_a_bijection_and_starts_at_start() {
+        let g = chain_graph();
+        let p = bfs_order(&g, 2);
+        assert_eq!(p.to_new(2), 0);
+        let mut seen = vec![false; g.len()];
+        for v in 0..g.len() as u32 {
+            let nv = p.to_new(v);
+            assert!(!seen[nv as usize]);
+            seen[nv as usize] = true;
+            assert_eq!(p.to_old(nv), v);
+        }
+    }
+
+    #[test]
+    fn hub_first_tiebreak_orders_the_frontier() {
+        let g = chain_graph();
+        let p = bfs_order(&g, 2);
+        // From 2, unvisited neighbors are {1, 3, 5}; 5 has degree 5,
+        // 1 and 3 have degree 3 each → order 5, 1, 3.
+        assert_eq!(p.to_old(1), 5);
+        assert_eq!(p.to_old(2), 1);
+        assert_eq!(p.to_old(3), 3);
+    }
+
+    #[test]
+    fn disconnected_components_are_appended_hub_first() {
+        // Component A: 0-1. Component B: 2-3-4 (3 is its hub, degree 2).
+        let g = CsrGraph::from_lists(&[
+            vec![1u32],
+            vec![0u32],
+            vec![3u32],
+            vec![2u32, 4],
+            vec![3u32],
+        ]);
+        let p = bfs_order(&g, 0);
+        assert_eq!(p.to_new(0), 0);
+        assert_eq!(p.to_new(1), 1);
+        // Restart picks 3 (highest degree among {2,3,4}).
+        assert_eq!(p.to_new(3), 2);
+    }
+
+    #[test]
+    fn apply_to_graph_preserves_adjacency_structure() {
+        let g = chain_graph();
+        let p = bfs_order(&g, 0);
+        let rg = p.apply_to_graph(&g);
+        assert_eq!(rg.len(), g.len());
+        for v in 0..g.len() as u32 {
+            let orig: Vec<u32> = g.neighbors(v).to_vec();
+            let renamed: Vec<u32> = rg
+                .neighbors(p.to_new(v))
+                .iter()
+                .map(|&u| p.to_old(u))
+                .collect();
+            assert_eq!(orig, renamed, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn apply_to_dataset_moves_rows_with_the_ids() {
+        let mut ds = Dataset::empty(2);
+        for i in 0..4 {
+            ds.push(&[i as f32, -(i as f32)]);
+        }
+        let g = CsrGraph::from_lists(&[vec![1u32], vec![2u32], vec![3u32], vec![0u32]]);
+        let p = bfs_order(&g, 3);
+        let rds = p.apply_to_dataset(&ds);
+        for v in 0..4u32 {
+            assert_eq!(rds.point(p.to_new(v)), ds.point(v));
+        }
+    }
+
+    #[test]
+    fn from_inverse_rejects_non_bijections() {
+        assert!(Permutation::from_inverse(vec![0, 0]).is_err());
+        assert!(Permutation::from_inverse(vec![0, 5]).is_err());
+        assert!(Permutation::from_inverse(vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn bfs_is_deterministic() {
+        let g = chain_graph();
+        assert_eq!(bfs_order(&g, 1), bfs_order(&g, 1));
+    }
+}

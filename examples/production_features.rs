@@ -11,7 +11,7 @@ use weavess::core::algorithms::nsg::{self, NsgParams};
 use weavess::core::index::{search_batch, AnnIndex, SearchContext};
 use weavess::core::persist::{load_index, save_index};
 use weavess::core::quantized::QuantizedIndex;
-use weavess::core::search::{SearchStats, VisitedPool};
+use weavess::core::search::{SearchScratch, SearchStats};
 use weavess::data::ground_truth::ground_truth;
 use weavess::data::metrics::mean_recall;
 use weavess::data::synthetic::MixtureSpec;
@@ -58,9 +58,11 @@ fn main() {
         stats.ndc
     );
 
-    // Quantized routing: 4x smaller resident vectors, full-precision rerank.
-    let q_idx = QuantizedIndex::new(loaded.graph.clone(), &base, vec![base.medoid()]);
-    let mut visited = VisitedPool::new(base.len());
+    // Quantized routing: 4x smaller resident vectors, full-precision
+    // rerank, codes fused next to the adjacency for one-chase expansions.
+    let q_idx =
+        QuantizedIndex::new(loaded.graph.clone(), &base, vec![base.medoid()]).with_fused_layout();
+    let mut scratch = SearchScratch::new(base.len());
     let mut qstats = SearchStats::default();
     let mut full_evals = 0u64;
     let q_ids: Vec<Vec<u32>> = (0..queries.len() as u32)
@@ -71,7 +73,7 @@ fn main() {
                     queries.point(qi),
                     10,
                     60,
-                    &mut visited,
+                    &mut scratch,
                     &mut qstats,
                     &mut full_evals,
                 )
@@ -81,11 +83,14 @@ fn main() {
         })
         .collect();
     let full_route = loaded.graph.memory_bytes() + base.memory_bytes();
+    let split_route = loaded.graph.memory_bytes() + q_idx.codes_memory_bytes();
     println!(
-        "quantized routing: Recall@10 {:.3}, routing memory {:.1} MB vs {:.1} MB full precision",
+        "quantized routing: Recall@10 {:.3}, graph+codes {:.1} MB vs {:.1} MB full precision \
+         ({:.1} MB total with the fused arena resident)",
         mean_recall(&q_ids, &gt),
-        q_idx.memory_bytes() as f64 / 1e6,
-        full_route as f64 / 1e6
+        split_route as f64 / 1e6,
+        full_route as f64 / 1e6,
+        q_idx.memory_bytes() as f64 / 1e6
     );
 
     // Serial baseline for comparison.
