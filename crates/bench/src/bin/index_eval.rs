@@ -9,7 +9,7 @@
 
 use weavess_bench::datasets::real_world_standins;
 use weavess_bench::report::{banner, f, mb, Table};
-use weavess_bench::runner::{build_timed, graph_report};
+use weavess_bench::runner::{build_timed, degree_percentile, graph_report};
 use weavess_bench::{env_scale, env_threads, select_algos};
 use weavess_core::algorithms::Algo;
 use weavess_data::ground_truth::exact_knn_graph;
@@ -32,7 +32,10 @@ fn main() {
     );
     let mut fig6 = fig5_clone_header(&sets, "Alg");
     let mut table4 = Table::new(vec!["Alg", "Dataset", "GQ", "AD", "CC"]);
-    let mut table11 = Table::new(vec!["Alg", "Dataset", "D_max", "D_min"]);
+    let mut table11 = Table::new(vec![
+        "Alg", "Dataset", "D_max", "D_min", "D_p50", "D_p90", "D_p99",
+    ]);
+    let mut degree_hist = Table::new(vec!["Alg", "Dataset", "degree", "count"]);
 
     // Exact KNNG (K=10) per dataset for the GQ metric.
     let exacts: Vec<Vec<Vec<u32>>> = sets
@@ -60,7 +63,20 @@ fn main() {
                 ds.name.clone(),
                 g.degrees.max.to_string(),
                 g.degrees.min.to_string(),
+                degree_percentile(&g.degree_histogram, 0.50).to_string(),
+                degree_percentile(&g.degree_histogram, 0.90).to_string(),
+                degree_percentile(&g.degree_histogram, 0.99).to_string(),
             ]);
+            for (d, &count) in g.degree_histogram.iter().enumerate() {
+                if count > 0 {
+                    degree_hist.row(vec![
+                        algo.name().to_string(),
+                        ds.name.clone(),
+                        d.to_string(),
+                        count.to_string(),
+                    ]);
+                }
+            }
             eprintln!(
                 "built {} on {} in {:.2}s",
                 algo.name(),
@@ -81,9 +97,15 @@ fn main() {
     banner("Table 4: graph quality / average out-degree / connected components");
     table4.print();
     table4.write_csv("table04_graph_stats").expect("csv");
-    banner("Table 11: maximum and minimum out-degree");
+    banner("Table 11: out-degree extremes and percentiles");
     table11.print();
     table11.write_csv("table11_degrees").expect("csv");
+    // Raw distribution for external plotting; only non-empty bins are
+    // emitted, so the CSV stays compact even for hub-heavy graphs.
+    degree_hist
+        .write_csv("table11_degree_histogram")
+        .expect("csv");
+    eprintln!("wrote raw out-degree histogram CSV (table11_degree_histogram)");
 }
 
 fn fig5_clone_header(sets: &[weavess_bench::datasets::NamedDataset], first: &str) -> Table {

@@ -1,0 +1,275 @@
+//! Telemetry-overhead benchmark — the `BENCH_obs.json` artifact.
+//!
+//! The telemetry layer's contract is *zero overhead when off*: routing
+//! with a [`NoopTracer`] must return bit-identical results, identical
+//! [`weavess_core::search::SearchStats`], and indistinguishable QPS
+//! relative to the plain `search()` entry point. This binary measures all
+//! three on an NSG index, captures a route trace twice to prove the dump
+//! is byte-stable, records [`weavess_core::BuildProfile`]s for HNSW, NSG,
+//! and OA, and exercises the engine's Prometheus/JSON exposition.
+//!
+//! `--smoke` shrinks the dataset for CI and exits non-zero when the
+//! tracer-off overhead exceeds 5% (the full run targets < 2%).
+
+use std::time::Instant;
+use weavess_bench::report::{banner, f, Table};
+use weavess_core::algorithms::hnsw::{self, HnswParams};
+use weavess_core::algorithms::nsg::{self, NsgParams};
+use weavess_core::algorithms::oa::{self, OaParams};
+use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_core::search::SearchStats;
+use weavess_core::serve::{EngineOptions, QueryEngine};
+use weavess_core::telemetry::{profile_build, BuildProfile, NoopTracer, RecordingTracer};
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::{Dataset, Neighbor};
+
+const SEED: u64 = 7;
+const K: usize = 10;
+const BEAM: usize = 64;
+const TRIALS: usize = 5;
+
+/// One full pass over the query set with the plain entry point.
+fn run_plain(idx: &dyn AnnIndex, ds: &Dataset, qs: &Dataset) -> (Vec<Vec<Neighbor>>, SearchStats) {
+    let mut ctx = SearchContext::new(ds.len());
+    let out = (0..qs.len() as u32)
+        .map(|qi| idx.search(ds, qs.point(qi), K, BEAM, &mut ctx))
+        .collect();
+    (out, ctx.stats)
+}
+
+/// One full pass with a `NoopTracer` threaded through `search_traced`.
+fn run_noop(idx: &dyn AnnIndex, ds: &Dataset, qs: &Dataset) -> (Vec<Vec<Neighbor>>, SearchStats) {
+    let mut ctx = SearchContext::new(ds.len());
+    let out = (0..qs.len() as u32)
+        .map(|qi| idx.search_traced(ds, qs.point(qi), K, BEAM, &mut ctx, &mut NoopTracer))
+        .collect();
+    (out, ctx.stats)
+}
+
+/// One timed trial: repeats full passes over the query set for ~0.3s and
+/// returns the QPS. Callers interleave trials of competing entry points
+/// round-robin so clock drift and background load bias none of them.
+fn qps_trial<F: FnMut()>(nq: usize, pass: &mut F) -> f64 {
+    let mut queries = 0usize;
+    let t0 = Instant::now();
+    loop {
+        pass();
+        queries += nq;
+        if t0.elapsed().as_secs_f64() > 0.3 {
+            break;
+        }
+    }
+    queries as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn identical(a: &[Vec<Neighbor>], b: &[Vec<Neighbor>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|(p, q)| p.id == q.id && p.dist.to_bits() == q.dist.to_bits())
+        })
+}
+
+fn profile_json(p: &BuildProfile) -> String {
+    p.to_json()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (n, dim, nq) = if smoke {
+        (1_500, 16, 50)
+    } else {
+        (20_000, 48, 200)
+    };
+    let mode = if cfg!(feature = "paper-fidelity") {
+        "paper-fidelity"
+    } else {
+        "default"
+    };
+    banner(&format!(
+        "Telemetry overhead bench (mode={mode}, n={n}, dim={dim}, beam={BEAM}, host cores={host})"
+    ));
+
+    let spec = MixtureSpec {
+        intrinsic_dim: Some(12),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(dim, n, 8, 5.0, nq)
+    };
+    let (base, queries) = spec.generate();
+
+    // --- Build profiles: per-component wall time and NDC. ---
+    let (flat, profile_nsg) =
+        profile_build("NSG", || nsg::build(&base, &NsgParams::tuned(host, SEED)));
+    let (_, profile_hnsw) = profile_build("HNSW", || {
+        hnsw::build(&base, &HnswParams::tuned(host, SEED))
+    });
+    let (_, profile_oa) = profile_build("OA", || oa::build(&base, &OaParams::tuned(host, SEED)));
+    let mut spans_table = Table::new(vec!["Builder", "Component", "secs", "NDC"]);
+    for p in [&profile_hnsw, &profile_nsg, &profile_oa] {
+        for s in &p.spans {
+            spans_table.row(vec![
+                p.name.clone(),
+                s.component.to_string(),
+                f(s.secs, 3),
+                s.ndc.to_string(),
+            ]);
+        }
+    }
+    banner("Build-phase spans (wall seconds and NDC per pipeline component)");
+    spans_table.print();
+
+    // --- Identity: plain vs NoopTracer vs RecordingTracer. ---
+    let (plain_results, plain_stats) = run_plain(&flat, &base, &queries);
+    let (noop_results, noop_stats) = run_noop(&flat, &base, &queries);
+    let noop_identical = identical(&plain_results, &noop_results) && plain_stats == noop_stats;
+    assert!(
+        noop_identical,
+        "NoopTracer changed results or stats (ndc {} vs {})",
+        plain_stats.ndc, noop_stats.ndc
+    );
+
+    let mut rec = RecordingTracer::new();
+    let mut ctx = SearchContext::new(base.len());
+    let mut rec_results = Vec::with_capacity(queries.len());
+    for qi in 0..queries.len() as u32 {
+        rec.clear();
+        rec_results.push(flat.search_traced(&base, queries.point(qi), K, BEAM, &mut ctx, &mut rec));
+    }
+    let rec_identical = identical(&plain_results, &rec_results) && ctx.stats == plain_stats;
+    assert!(rec_identical, "RecordingTracer changed results or stats");
+
+    // --- Route-trace byte stability + replay. ---
+    let trace_query = queries.point(0);
+    let mut t1 = RecordingTracer::new();
+    let mut c1 = SearchContext::new(base.len());
+    flat.search_traced(&base, trace_query, K, BEAM, &mut c1, &mut t1);
+    let mut t2 = RecordingTracer::new();
+    let mut c2 = SearchContext::new(base.len());
+    flat.search_traced(&base, trace_query, K, BEAM, &mut c2, &mut t2);
+    let dump = t1.dump();
+    assert_eq!(dump, t2.dump(), "route dump not byte-stable across runs");
+    assert!(t1.replay_check(&base, trace_query), "route replay failed");
+    banner(&format!(
+        "Route trace for query 0: {} hops, dump byte-stable, replay OK (first lines below)",
+        t1.hops()
+    ));
+    for line in dump.lines().take(5) {
+        println!("  {line}");
+    }
+
+    // --- Overhead: best-of-N QPS, trials interleaved round-robin. ---
+    let mut pass_plain = || {
+        let mut ctx = SearchContext::new(base.len());
+        for qi in 0..queries.len() as u32 {
+            std::hint::black_box(flat.search(&base, queries.point(qi), K, BEAM, &mut ctx));
+        }
+    };
+    let mut pass_noop = || {
+        let mut ctx = SearchContext::new(base.len());
+        for qi in 0..queries.len() as u32 {
+            std::hint::black_box(flat.search_traced(
+                &base,
+                queries.point(qi),
+                K,
+                BEAM,
+                &mut ctx,
+                &mut NoopTracer,
+            ));
+        }
+    };
+    let mut recorder = RecordingTracer::new();
+    let mut pass_recording = || {
+        let mut ctx = SearchContext::new(base.len());
+        for qi in 0..queries.len() as u32 {
+            recorder.clear();
+            std::hint::black_box(flat.search_traced(
+                &base,
+                queries.point(qi),
+                K,
+                BEAM,
+                &mut ctx,
+                &mut recorder,
+            ));
+        }
+    };
+    // Warm each path once before timing.
+    pass_plain();
+    pass_noop();
+    pass_recording();
+    let (mut qps_plain, mut qps_noop, mut qps_recording) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..TRIALS {
+        qps_plain = qps_plain.max(qps_trial(queries.len(), &mut pass_plain));
+        qps_noop = qps_noop.max(qps_trial(queries.len(), &mut pass_noop));
+        qps_recording = qps_recording.max(qps_trial(queries.len(), &mut pass_recording));
+    }
+    let overhead_noop_pct = (1.0 - qps_noop / qps_plain) * 100.0;
+    let overhead_recording_pct = (1.0 - qps_recording / qps_plain) * 100.0;
+    let mut qps_table = Table::new(vec!["entry point", "QPS", "overhead vs plain"]);
+    qps_table.row(vec!["search()".into(), f(qps_plain, 0), "-".into()]);
+    qps_table.row(vec![
+        "search_traced(Noop)".into(),
+        f(qps_noop, 0),
+        format!("{overhead_noop_pct:.2}%"),
+    ]);
+    qps_table.row(vec![
+        "search_traced(Recording)".into(),
+        f(qps_recording, 0),
+        format!("{overhead_recording_pct:.2}%"),
+    ]);
+    banner("Tracer overhead (best-of-5 trials, bit-identical results checked)");
+    qps_table.print();
+
+    // --- Engine exposition: Prometheus text + JSON. ---
+    let engine = QueryEngine::with_options(
+        &flat,
+        &base,
+        EngineOptions {
+            workers: host.min(4),
+            ..EngineOptions::default()
+        },
+    );
+    engine.search_batch(&queries, K, BEAM);
+    let prom = engine.metrics_prometheus();
+    assert!(
+        prom.contains("weavess_queries_total"),
+        "Prometheus exposition missing the query counter"
+    );
+    banner("Prometheus exposition (first lines)");
+    for line in prom.lines().take(8) {
+        println!("  {line}");
+    }
+    let metrics_json = engine.metrics_json();
+
+    // --- Artifact. ---
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
+         \"host_available_parallelism\": {host},\n  \"n\": {n},\n  \"dim\": {dim},\n  \
+         \"k\": {K},\n  \"beam\": {BEAM},\n  \"qps\": {{\"plain\": {qps_plain:.1}, \
+         \"noop_traced\": {qps_noop:.1}, \"recording_traced\": {qps_recording:.1}}},\n  \
+         \"overhead_pct\": {{\"noop\": {overhead_noop_pct:.3}, \
+         \"recording\": {overhead_recording_pct:.3}}},\n  \
+         \"noop_identical\": {noop_identical},\n  \"recording_identical\": {rec_identical},\n  \
+         \"route_trace\": {{\"query\": 0, \"hops\": {}, \"byte_stable\": true, \
+         \"replay_ok\": true}},\n  \"build_profiles\": [\n    {},\n    {},\n    {}\n  ],\n  \
+         \"engine_metrics\": {}\n}}\n",
+        t1.hops(),
+        profile_json(&profile_hnsw),
+        profile_json(&profile_nsg),
+        profile_json(&profile_oa),
+        metrics_json,
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("\nwrote BENCH_obs.json");
+
+    if smoke && overhead_noop_pct > 5.0 {
+        eprintln!("FAIL: tracer-off overhead {overhead_noop_pct:.2}% exceeds the 5% smoke budget");
+        std::process::exit(1);
+    }
+    println!("tracer-off overhead {overhead_noop_pct:.2}% (target < 2%, smoke budget 5%)");
+}

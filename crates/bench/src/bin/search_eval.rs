@@ -14,7 +14,7 @@
 use weavess_bench::datasets::real_world_standins;
 use weavess_bench::report::{banner, f, mb, Table};
 use weavess_bench::runner::{
-    at_target_recall, build_timed, default_beams, run_batch_at_beam, sweep,
+    at_target_recall, build_timed, default_beams, degree_percentile, run_batch_at_beam, sweep,
 };
 use weavess_bench::{env_query_threads, env_scale, env_threads, select_algos};
 use weavess_core::algorithms::Algo;
@@ -43,7 +43,9 @@ fn main() {
         "NDC",
         "PL",
     ]);
-    let mut table5 = Table::new(vec!["Dataset", "Alg", "CS", "PL", "MO(MB)", "Recall"]);
+    let mut table5 = Table::new(vec![
+        "Dataset", "Alg", "CS", "PL", "MO(MB)", "Recall", "D_p50", "D_p99",
+    ]);
     let query_threads = env_query_threads();
     let mut serving = Table::new(vec![
         "Dataset",
@@ -80,6 +82,9 @@ fn main() {
             } else {
                 format!("{}+", pt.beam)
             };
+            // Out-degree percentiles alongside the search stats: degree is
+            // what each expansion pays per hop, so the two read together.
+            let hist = report.index.graph().degree_histogram();
             table5.row(vec![
                 ds.name.clone(),
                 algo.name().to_string(),
@@ -87,6 +92,8 @@ fn main() {
                 f(pt.hops, 0),
                 mb(report.index_bytes + ds.base.memory_bytes()),
                 f(pt.recall, 3),
+                degree_percentile(&hist, 0.50).to_string(),
+                degree_percentile(&hist, 0.99).to_string(),
             ]);
             let mut worker_counts = vec![1usize];
             if query_threads > 1 {

@@ -42,6 +42,9 @@ pub struct GraphReport {
     pub degrees: DegreeStats,
     /// Weakly-connected components.
     pub cc: usize,
+    /// Out-degree histogram: `degree_histogram[d]` counts vertices with
+    /// out-degree `d` (the raw distribution behind Table 11's max/min).
+    pub degree_histogram: Vec<usize>,
 }
 
 /// Computes Table 4 metrics for a built index. `exact` is the exact KNNG
@@ -52,7 +55,27 @@ pub fn graph_report(index: &dyn AnnIndex, exact: &[Vec<u32>]) -> GraphReport {
         gq: graph_quality(g, exact),
         degrees: degree_stats(g),
         cc: weak_components(g),
+        degree_histogram: g.degree_histogram(),
     }
+}
+
+/// Nearest-rank percentile (`p` in (0, 1]) read off an out-degree
+/// histogram (`hist[d]` = vertex count at degree `d`). Returns 0 for an
+/// empty histogram.
+pub fn degree_percentile(hist: &[usize], p: f64) -> usize {
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as usize).max(1);
+    let mut cum = 0usize;
+    for (d, &c) in hist.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return d;
+        }
+    }
+    hist.len().saturating_sub(1)
 }
 
 /// One point of a beam sweep.
@@ -211,6 +234,28 @@ mod tests {
     fn tiny() -> NamedDataset {
         let spec = MixtureSpec::table10(8, 1_000, 3, 3.0, 50);
         NamedDataset::from_spec("tiny", &spec, 4)
+    }
+
+    #[test]
+    fn degree_percentile_reads_the_histogram() {
+        // 3 vertices at degree 0, 5 at degree 2, 2 at degree 7.
+        let hist = vec![3usize, 0, 5, 0, 0, 0, 0, 2];
+        assert_eq!(degree_percentile(&hist, 0.1), 0);
+        assert_eq!(degree_percentile(&hist, 0.5), 2);
+        assert_eq!(degree_percentile(&hist, 1.0), 7);
+        assert_eq!(degree_percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn graph_report_histogram_is_consistent_with_degree_stats() {
+        let ds = tiny();
+        let report = build_timed(Algo::KGraph, &ds, 2, 1);
+        let exact = weavess_data::ground_truth::exact_knn_graph(&ds.base, 10, 2);
+        let g = graph_report(report.index.as_ref(), &exact);
+        let total: usize = g.degree_histogram.iter().sum();
+        assert_eq!(total, ds.base.len());
+        assert_eq!(g.degree_histogram.len() - 1, g.degrees.max);
+        assert_eq!(degree_percentile(&g.degree_histogram, 1.0), g.degrees.max);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::parallel;
 use crate::search::Router;
+use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -48,32 +49,38 @@ impl DpgParams {
 
 /// Builds a DPG index.
 pub fn build(ds: &Dataset, params: &DpgParams) -> FlatIndex {
-    let init = nn_descent(ds, &params.nd, None);
+    let init = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
     let kappa = (params.nd.k / 2).max(2);
     let threads = parallel::resolve_threads(params.nd.threads);
     let n = ds.len();
     // Angular diversification (C3_DPG), parallel over vertices.
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    parallel::par_fill(
-        &mut lists,
-        parallel::CHUNK,
-        threads,
-        || (),
-        |_, start, slot| {
-            for (j, out) in slot.iter_mut().enumerate() {
-                let p = (start + j) as u32;
-                *out = select_dpg(ds, p, &init[p as usize], kappa);
-            }
-        },
-    );
+    telemetry::span("C3 selection", || {
+        parallel::par_fill(
+            &mut lists,
+            parallel::CHUNK,
+            threads,
+            || (),
+            |_, start, slot| {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    *out = select_dpg(ds, p, &init[p as usize], kappa);
+                }
+            },
+        );
+    });
     // Undirect (C5_DPG).
-    add_reverse_edges(&mut lists, params.reverse_cap);
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    telemetry::span("C5 connectivity", || {
+        add_reverse_edges(&mut lists, params.reverse_cap);
+    });
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "DPG",
         graph,

@@ -7,6 +7,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::nndescent::NnDescentParams;
 use crate::search::Router;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use weavess_data::Dataset;
@@ -52,20 +53,26 @@ impl EfannaParams {
 /// Builds an EFANNA index.
 pub fn build(ds: &Dataset, params: &EfannaParams) -> FlatIndex {
     let mut rng = StdRng::seed_from_u64(params.nd.seed ^ 0xEFA77A);
-    let forest = KdForest::build(ds, params.n_trees, 32, &mut rng);
-    let lists = init_kdtree_nn_descent(
-        ds,
-        &forest,
-        params.init_checks,
-        &params.nd,
-        params.nd.threads,
-    );
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let forest = telemetry::span("C4 seeds", || {
+        KdForest::build(ds, params.n_trees, 32, &mut rng)
+    });
+    let lists = telemetry::span("C1 init", || {
+        init_kdtree_nn_descent(
+            ds,
+            &forest,
+            params.init_checks,
+            &params.nd,
+            params.nd.threads,
+        )
+    });
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "EFANNA",
         graph,

@@ -14,6 +14,7 @@ use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::parallel;
 use crate::search::Router;
+use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -56,45 +57,51 @@ pub fn build(ds: &Dataset, params: &FanngParams) -> FlatIndex {
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
     if n <= params.exact_cutoff {
         // Exact: every other point, sorted, through the occlusion rule.
-        parallel::par_fill(
-            &mut lists,
-            parallel::CHUNK,
-            threads,
-            || (),
-            |_, start, slot| {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    let mut cands: Vec<Neighbor> = (0..n as u32)
-                        .filter(|&x| x != p)
-                        .map(|x| Neighbor::new(x, ds.dist(p, x)))
-                        .collect();
-                    cands.sort_unstable();
-                    *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
-                }
-            },
-        );
+        telemetry::span("C2+C3 candidates+selection", || {
+            parallel::par_fill(
+                &mut lists,
+                parallel::CHUNK,
+                threads,
+                || (),
+                |_, start, slot| {
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let p = (start + j) as u32;
+                        let mut cands: Vec<Neighbor> = (0..n as u32)
+                            .filter(|&x| x != p)
+                            .map(|x| Neighbor::new(x, ds.dist(p, x)))
+                            .collect();
+                        cands.sort_unstable();
+                        *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
+                    }
+                },
+            );
+        });
     } else {
         // Shortcut: oversized exact-KNN candidates.
-        let knn = init_brute_force(ds, params.l, threads);
-        parallel::par_fill(
-            &mut lists,
-            parallel::CHUNK,
-            threads,
-            || (),
-            |_, start, slot| {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    *out = select_rng_alpha(ds, p, &knn[p as usize], params.r, 1.0);
-                }
-            },
-        );
+        let knn = telemetry::span("C1 init", || init_brute_force(ds, params.l, threads));
+        telemetry::span("C3 selection", || {
+            parallel::par_fill(
+                &mut lists,
+                parallel::CHUNK,
+                threads,
+                || (),
+                |_, start, slot| {
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let p = (start + j) as u32;
+                        *out = select_rng_alpha(ds, p, &knn[p as usize], params.r, 1.0);
+                    }
+                },
+            );
+        });
     }
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "FANNG",
         graph,

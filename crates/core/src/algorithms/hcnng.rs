@@ -9,6 +9,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::parallel;
 use crate::search::Router;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -59,58 +60,65 @@ pub fn build(ds: &Dataset, params: &HcnngParams) -> FlatIndex {
     let threads = parallel::resolve_threads(params.threads);
     // Each cluster MST is a sizable work unit; small chunks load-balance.
     const CLUSTER_CHUNK: usize = 4;
-    for round in 0..params.rounds.max(1) {
-        // Random two-point hierarchical clustering (§4.1's HCNNG division).
-        let all: Vec<u32> = (0..n as u32).collect();
-        let mut clusters: Vec<Vec<u32>> = Vec::new();
-        two_point_divide(ds, all, params.min_cluster, &mut rng, &mut clusters);
-        // MST per cluster, parallel over clusters; edge batches combine in
-        // cluster order so the budgeted union below is order-stable.
-        let results = parallel::par_chunks_map(
-            clusters.len(),
-            CLUSTER_CHUNK,
-            threads,
-            || (),
-            |_, range| {
-                let mut out = Vec::new();
-                for cluster in &clusters[range] {
-                    for e in mst_prim(ds, cluster) {
-                        out.push((e.a, Neighbor::new(e.b, e.w)));
-                        out.push((e.b, Neighbor::new(e.a, e.w)));
+    telemetry::span("C2+C3 cluster MSTs", || {
+        for round in 0..params.rounds.max(1) {
+            // Random two-point hierarchical clustering (§4.1's HCNNG division).
+            let all: Vec<u32> = (0..n as u32).collect();
+            let mut clusters: Vec<Vec<u32>> = Vec::new();
+            two_point_divide(ds, all, params.min_cluster, &mut rng, &mut clusters);
+            // MST per cluster, parallel over clusters; edge batches combine in
+            // cluster order so the budgeted union below is order-stable.
+            let results = parallel::par_chunks_map(
+                clusters.len(),
+                CLUSTER_CHUNK,
+                threads,
+                || (),
+                |_, range| {
+                    let mut out = Vec::new();
+                    for cluster in &clusters[range] {
+                        for e in mst_prim(ds, cluster) {
+                            out.push((e.a, Neighbor::new(e.b, e.w)));
+                            out.push((e.b, Neighbor::new(e.a, e.w)));
+                        }
                     }
-                }
-                out
-            },
-        );
-        // Union with per-round degree budget: at most
-        // `mst_degree_per_round` new edges per vertex per round.
-        let budget = params.mst_degree_per_round.max(1) * (round + 1);
-        for batch in results {
-            for (v, nb) in batch {
-                let l = &mut lists[v as usize];
-                if l.iter().any(|x| x.id == nb.id) {
-                    continue;
-                }
-                if l.len() < budget {
-                    l.push(nb);
+                    out
+                },
+            );
+            // Union with per-round degree budget: at most
+            // `mst_degree_per_round` new edges per vertex per round.
+            let budget = params.mst_degree_per_round.max(1) * (round + 1);
+            for batch in results {
+                for (v, nb) in batch {
+                    let l = &mut lists[v as usize];
+                    if l.iter().any(|x| x.id == nb.id) {
+                        continue;
+                    }
+                    if l.len() < budget {
+                        l.push(nb);
+                    }
                 }
             }
         }
-    }
+    });
     for l in &mut lists {
         l.sort_unstable();
     }
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
+    let forest = telemetry::span("C4 seeds", || {
+        KdForest::build(ds, params.n_trees, 32, &mut rng)
+    });
     FlatIndex {
         name: "HCNNG",
         graph,
         seeds: SeedStrategy::KdLeaf {
-            forest: KdForest::build(ds, params.n_trees, 32, &mut rng),
+            forest,
             count: params.search_seeds,
         },
         router: Router::Guided,

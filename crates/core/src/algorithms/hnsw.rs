@@ -19,7 +19,7 @@
 use crate::components::selection::select_rng_alpha;
 use crate::index::{AnnIndex, SearchContext};
 use crate::parallel;
-use crate::search::{beam_search, SearchScratch, SearchStats};
+use crate::search::{beam_search, beam_search_traced, SearchScratch, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -94,15 +94,18 @@ impl HnswIndex {
 
 /// Builds an HNSW index.
 pub fn build(ds: &Dataset, params: &HnswParams) -> HnswIndex {
-    let levels = draw_levels(ds.len(), params, &mut StdRng::seed_from_u64(params.seed));
-    let (layers, enter, _) = build_layers(ds, &levels, params);
-    HnswIndex {
+    let levels = crate::telemetry::span("C1 init", || {
+        draw_levels(ds.len(), params, &mut StdRng::seed_from_u64(params.seed))
+    });
+    let (layers, enter, _) =
+        crate::telemetry::span("C2+C3 insertion", || build_layers(ds, &levels, params));
+    crate::telemetry::span("freeze", || HnswIndex {
         layers: layers
             .into_iter()
             .map(|l| CsrGraph::from_lists(&l))
             .collect(),
         enter,
-    }
+    })
 }
 
 /// Draws `n` geometric levels from `rng` — one `gen_range` per point, so
@@ -146,6 +149,7 @@ pub(crate) fn build_layers(
     let mut enter_level: usize = levels.first().copied().unwrap_or(0);
     let threads = parallel::resolve_threads(params.threads);
     let max_batch = (n / 8).max(64);
+    let build_ndc = std::sync::atomic::AtomicU64::new(0);
 
     for batch in parallel::prefix_doubling(n, max_batch) {
         // Search phase: per-point selected neighbors per layer, computed
@@ -156,7 +160,8 @@ pub(crate) fn build_layers(
             threads,
             || (SearchScratch::new(n), SearchStats::default()),
             |(scratch, stats), range| {
-                range
+                let before = stats.ndc;
+                let out = range
                     .map(|i| {
                         let p = (batch.start + i) as u32;
                         search_one(
@@ -171,7 +176,9 @@ pub(crate) fn build_layers(
                             stats,
                         )
                     })
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                build_ndc.fetch_add(stats.ndc - before, std::sync::atomic::Ordering::Relaxed);
+                out
             },
         )
         .into_iter()
@@ -189,6 +196,7 @@ pub(crate) fn build_layers(
             }
         }
     }
+    crate::telemetry::add_span_ndc(build_ndc.load(std::sync::atomic::Ordering::Relaxed));
     (layers, enter, enter_level)
 }
 
@@ -320,6 +328,37 @@ impl AnnIndex for HnswIndex {
             beam.max(k),
             &mut ctx.scratch,
             &mut ctx.stats,
+        );
+        pool.truncate(k);
+        pool
+    }
+
+    /// Traced variant: the upper-layer greedy descent is untraced (its
+    /// `ef = 1` walk has no candidate pool); the tracer observes the
+    /// layer-0 beam search, whose entry point is reported as the seed.
+    fn search_traced(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+        mut tracer: &mut dyn crate::telemetry::RouteTracer,
+    ) -> Vec<Neighbor> {
+        let mut ep = self.enter;
+        for l in (1..self.layers.len()).rev() {
+            ep = greedy_closest_csr(ds, &self.layers[l], query, ep, &mut ctx.stats);
+        }
+        ctx.scratch.next_epoch();
+        let mut pool = beam_search_traced(
+            ds,
+            &self.layers[0],
+            query,
+            &[ep],
+            beam.max(k),
+            &mut ctx.scratch,
+            &mut ctx.stats,
+            &mut tracer,
         );
         pool.truncate(k);
         pool

@@ -83,7 +83,7 @@ impl DynamicHnsw {
     pub fn bulk_load(base: &Dataset, params: HnswParams) -> Self {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let n = base.len();
-        let levels = hnsw::draw_levels(n, &params, &mut rng);
+        let levels = crate::telemetry::span("C1 init", || hnsw::draw_levels(n, &params, &mut rng));
         let mut data = Dataset::empty(base.dim());
         for i in 0..n as u32 {
             data.push(base.point(i));
@@ -91,7 +91,9 @@ impl DynamicHnsw {
         let (layers, enter, enter_level) = if n == 0 {
             (vec![Vec::new()], 0, 0)
         } else {
-            hnsw::build_layers(base, &levels, &params)
+            crate::telemetry::span("C2+C3 insertion", || {
+                hnsw::build_layers(base, &levels, &params)
+            })
         };
         DynamicHnsw {
             data,

@@ -11,6 +11,7 @@ use crate::components::init::init_brute_force;
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::search::Router;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use weavess_data::Dataset;
@@ -51,15 +52,21 @@ impl IehParams {
 
 /// Builds an IEH index.
 pub fn build(ds: &Dataset, params: &IehParams) -> FlatIndex {
-    let lists = init_brute_force(ds, params.k, params.threads.max(1));
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let lists = telemetry::span("C1 init", || {
+        init_brute_force(ds, params.k, params.threads.max(1))
+    });
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let table = LshTable::build(ds, params.tables, params.bits, &mut rng);
+    let table = telemetry::span("C4 seeds", || {
+        LshTable::build(ds, params.tables, params.bits, &mut rng)
+    });
     FlatIndex {
         name: "IEH",
         graph,

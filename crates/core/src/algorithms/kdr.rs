@@ -9,6 +9,7 @@ use crate::components::init::init_brute_force;
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::search::Router;
+use crate::telemetry;
 use weavess_data::Dataset;
 use weavess_graph::CsrGraph;
 
@@ -47,30 +48,34 @@ impl KdrParams {
 /// Builds a k-DR index.
 pub fn build(ds: &Dataset, params: &KdrParams) -> FlatIndex {
     let n = ds.len();
-    let knn = init_brute_force(ds, params.k, params.threads.max(1));
+    let knn = telemetry::span("C1 init", || {
+        init_brute_force(ds, params.k, params.threads.max(1))
+    });
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     // Global nearest-first edge order would be ideal; per-vertex
     // nearest-first matches the k-DR paper.
-    for p in 0..n as u32 {
-        let mut kept = 0usize;
-        for m in &knn[p as usize] {
-            if kept >= params.r {
-                break;
-            }
-            if adj[p as usize].contains(&m.id) {
-                kept += 1; // reverse edge already present counts
-                continue;
-            }
-            if !bfs_reaches(&adj, p, m.id, params.bfs_budget) {
-                adj[p as usize].push(m.id);
-                adj[m.id as usize].push(p);
-                kept += 1;
+    telemetry::span("C3 selection", || {
+        for p in 0..n as u32 {
+            let mut kept = 0usize;
+            for m in &knn[p as usize] {
+                if kept >= params.r {
+                    break;
+                }
+                if adj[p as usize].contains(&m.id) {
+                    kept += 1; // reverse edge already present counts
+                    continue;
+                }
+                if !bfs_reaches(&adj, p, m.id, params.bfs_budget) {
+                    adj[p as usize].push(m.id);
+                    adj[m.id as usize].push(p);
+                    kept += 1;
+                }
             }
         }
-    }
+    });
     FlatIndex {
         name: "k-DR",
-        graph: CsrGraph::from_lists(&adj),
+        graph: telemetry::span("freeze", || CsrGraph::from_lists(&adj)),
         seeds: SeedStrategy::Random {
             count: params.search_seeds,
         },

@@ -9,6 +9,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::search::Router;
+use crate::telemetry;
 use weavess_data::Dataset;
 use weavess_graph::CsrGraph;
 
@@ -41,13 +42,15 @@ impl KGraphParams {
 
 /// Builds a KGraph index.
 pub fn build(ds: &Dataset, params: &KGraphParams) -> FlatIndex {
-    let lists = nn_descent(ds, &params.nd, None);
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let lists = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "KGraph",
         graph,

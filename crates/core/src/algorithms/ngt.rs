@@ -12,6 +12,7 @@
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::search::{range_search, Router, SearchScratch, SearchStats};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
@@ -84,48 +85,56 @@ pub fn build(ds: &Dataset, params: &NgtParams) -> FlatIndex {
     let mut rng = StdRng::seed_from_u64(params.seed);
     // --- ANNG: incremental undirected construction via range search. ---
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut scratch = SearchScratch::new(n);
-    let mut stats = SearchStats::default();
-    for p in 1..n as u32 {
-        let seeds: Vec<u32> = (0..4usize.min(p as usize))
-            .map(|_| rng.gen_range(0..p))
-            .collect();
-        scratch.next_epoch();
-        let inserted = &adj[..p as usize];
-        let pool = range_search(
-            ds,
-            inserted,
-            ds.point(p),
-            &seeds,
-            params.ef_construction,
-            params.epsilon,
-            &mut scratch,
-            &mut stats,
-        );
-        for cand in pool.iter().take(params.k) {
-            adj[p as usize].push(cand.id);
-            adj[cand.id as usize].push(p);
+    telemetry::span("C1 init", || {
+        let mut scratch = SearchScratch::new(n);
+        let mut stats = SearchStats::default();
+        for p in 1..n as u32 {
+            let seeds: Vec<u32> = (0..4usize.min(p as usize))
+                .map(|_| rng.gen_range(0..p))
+                .collect();
+            scratch.next_epoch();
+            let inserted = &adj[..p as usize];
+            let pool = range_search(
+                ds,
+                inserted,
+                ds.point(p),
+                &seeds,
+                params.ef_construction,
+                params.epsilon,
+                &mut scratch,
+                &mut stats,
+            );
+            let picks: Vec<u32> = pool.iter().take(params.k).map(|c| c.id).collect();
+            for id in picks {
+                adj[p as usize].push(id);
+                adj[id as usize].push(p);
+            }
         }
-    }
+        telemetry::add_span_ndc(stats.ndc);
+    });
 
     // --- onng only: out/in-degree adjustment. ---
     let mut adj = if params.variant == NgtVariant::Onng {
-        degree_adjust(ds, &adj, params.out_edges, params.in_edges)
+        telemetry::span("C3 degree adjust", || {
+            degree_adjust(ds, &adj, params.out_edges, params.in_edges)
+        })
     } else {
         adj
     };
 
     // --- Path adjustment down to degree R. ---
-    path_adjust(ds, &mut adj, params.r);
+    telemetry::span("C3 path adjust", || path_adjust(ds, &mut adj, params.r));
 
+    let graph = telemetry::span("freeze", || CsrGraph::from_lists(&adj));
+    let tree = telemetry::span("C4 seeds", || VpTree::build(ds, 16));
     FlatIndex {
         name: match params.variant {
             NgtVariant::Panng => "NGT-panng",
             NgtVariant::Onng => "NGT-onng",
         },
-        graph: CsrGraph::from_lists(&adj),
+        graph,
         seeds: SeedStrategy::Vp {
-            tree: VpTree::build(ds, 16),
+            tree,
             count: params.search_seeds,
             checks: params.seed_checks,
         },

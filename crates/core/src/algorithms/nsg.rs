@@ -11,6 +11,8 @@ use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::parallel;
 use crate::search::{Router, SearchScratch, SearchStats};
+use crate::telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -49,52 +51,65 @@ impl NsgParams {
 
 /// Builds an NSG index.
 pub fn build(ds: &Dataset, params: &NsgParams) -> FlatIndex {
-    let init = nn_descent(ds, &params.nd, None);
-    let init_csr = CsrGraph::from_lists(
-        &init
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
-    let medoid = ds.medoid();
+    let (init, init_csr, medoid) = telemetry::span("C1 init", || {
+        let init = nn_descent(ds, &params.nd, None);
+        let init_csr = CsrGraph::from_lists(
+            &init
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        );
+        let medoid = ds.medoid();
+        (init, init_csr, medoid)
+    });
     let n = ds.len();
     let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    parallel::par_fill(
-        &mut lists,
-        parallel::CHUNK,
-        threads,
-        || (SearchScratch::new(n), SearchStats::default()),
-        |(scratch, stats), start, slot| {
-            for (j, out) in slot.iter_mut().enumerate() {
-                let p = (start + j) as u32;
-                let mut cands = candidates_by_search(
-                    ds,
-                    &init_csr,
-                    p,
-                    &[medoid],
-                    params.l,
-                    params.c,
-                    scratch,
-                    stats,
-                );
-                // NSG's sync_prune merges the point's initial-graph
-                // neighbors into the pool before selection.
-                for x in &init[p as usize] {
-                    weavess_data::neighbor::insert_into_pool(&mut cands, params.c, *x);
+    telemetry::span("C2+C3 candidates+selection", || {
+        let ndc = AtomicU64::new(0);
+        parallel::par_fill(
+            &mut lists,
+            parallel::CHUNK,
+            threads,
+            || (SearchScratch::new(n), SearchStats::default()),
+            |(scratch, stats), start, slot| {
+                let before = stats.ndc;
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    let mut cands = candidates_by_search(
+                        ds,
+                        &init_csr,
+                        p,
+                        &[medoid],
+                        params.l,
+                        params.c,
+                        scratch,
+                        stats,
+                    );
+                    // NSG's sync_prune merges the point's initial-graph
+                    // neighbors into the pool before selection.
+                    for x in &init[p as usize] {
+                        weavess_data::neighbor::insert_into_pool(&mut cands, params.c, *x);
+                    }
+                    *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
                 }
-                *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
-            }
-        },
-    );
+                ndc.fetch_add(stats.ndc - before, Ordering::Relaxed);
+            },
+        );
+        telemetry::add_span_ndc(ndc.load(Ordering::Relaxed));
+    });
     drop(init_csr);
-    dfs_repair(ds, &mut lists, medoid, params.l);
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    telemetry::span("C5 connectivity", || {
+        dfs_repair(ds, &mut lists, medoid, params.l);
+    });
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "NSG",
         graph,

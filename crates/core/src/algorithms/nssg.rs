@@ -13,6 +13,7 @@ use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::parallel;
 use crate::search::Router;
+use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -55,34 +56,42 @@ impl NssgParams {
 
 /// Builds an NSSG index.
 pub fn build(ds: &Dataset, params: &NssgParams) -> FlatIndex {
-    let init = nn_descent(ds, &params.nd, None);
+    let init = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
     let n = ds.len();
     let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    parallel::par_fill(
-        &mut lists,
-        parallel::CHUNK,
-        threads,
-        || (),
-        |_, start, slot| {
-            for (j, out) in slot.iter_mut().enumerate() {
-                let p = (start + j) as u32;
-                let cands = candidates_by_expansion(ds, &init, p, params.l);
-                *out = select_angle(ds, p, &cands, params.r, params.angle);
-            }
-        },
-    );
+    telemetry::span("C2+C3 candidates+selection", || {
+        parallel::par_fill(
+            &mut lists,
+            parallel::CHUNK,
+            threads,
+            || (),
+            |_, start, slot| {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    let cands = candidates_by_expansion(ds, &init, p, params.l);
+                    *out = select_angle(ds, p, &cands, params.r, params.angle);
+                }
+            },
+        );
+    });
     // DFS connectivity from a fixed entry (NSSG attaches DFS like NSG).
     // Entries are fixed at build time; farthest-point sampling spreads them
     // across the dataset so each cluster has a nearby entry.
-    let entries = spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x7556);
-    dfs_repair(ds, &mut lists, entries[0], params.l.min(64));
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let entries = telemetry::span("C4 seeds", || {
+        spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x7556)
+    });
+    telemetry::span("C5 connectivity", || {
+        dfs_repair(ds, &mut lists, entries[0], params.l.min(64));
+    });
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "NSSG",
         graph,

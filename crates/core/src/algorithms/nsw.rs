@@ -16,6 +16,7 @@ use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
 use crate::parallel;
 use crate::search::{beam_search, Router, SearchScratch, SearchStats};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::Dataset;
@@ -68,56 +69,63 @@ pub fn build(ds: &Dataset, params: &NswParams) -> FlatIndex {
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     let threads = parallel::resolve_threads(params.threads);
     let max_batch = (n / 8).max(64);
-    for batch in parallel::prefix_doubling(n, max_batch) {
-        let frozen = batch.start; // the graph prefix this batch searches
-        let targets: Vec<Vec<u32>> = parallel::par_chunks_map(
-            batch.len(),
-            SEARCH_CHUNK,
-            threads,
-            || (SearchScratch::new(n), SearchStats::default()),
-            |(scratch, stats), range| {
-                range
-                    .map(|i| {
-                        let p = (frozen + i) as u32;
-                        // Random seeds among the frozen prefix [0, frozen),
-                        // drawn from the point's own stream.
-                        let mut rng = StdRng::seed_from_u64(mix(params.seed, p));
-                        let seeds: Vec<u32> = (0..params.search_seeds.min(frozen))
-                            .map(|_| rng.gen_range(0..frozen as u32))
-                            .collect();
-                        scratch.next_epoch();
-                        let pool = beam_search(
-                            ds,
-                            &adj[..frozen],
-                            ds.point(p),
-                            &seeds,
-                            params.ef_construction,
-                            scratch,
-                            stats,
-                        );
-                        pool.iter()
-                            .take(params.m)
-                            .map(|c| c.id)
-                            .collect::<Vec<u32>>()
-                    })
-                    .collect::<Vec<_>>()
-            },
-        )
-        .into_iter()
-        .flatten()
-        .collect();
-        // Commit bidirectional edges in point-id order.
-        for (i, cands) in targets.into_iter().enumerate() {
-            let p = (frozen + i) as u32;
-            for c in cands {
-                adj[p as usize].push(c);
-                adj[c as usize].push(p);
+    telemetry::span("C2+C3 incremental insertion", || {
+        let insert_ndc = std::sync::atomic::AtomicU64::new(0);
+        for batch in parallel::prefix_doubling(n, max_batch) {
+            let frozen = batch.start; // the graph prefix this batch searches
+            let targets: Vec<Vec<u32>> = parallel::par_chunks_map(
+                batch.len(),
+                SEARCH_CHUNK,
+                threads,
+                || (SearchScratch::new(n), SearchStats::default()),
+                |(scratch, stats), range| {
+                    let before = stats.ndc;
+                    let out = range
+                        .map(|i| {
+                            let p = (frozen + i) as u32;
+                            // Random seeds among the frozen prefix [0, frozen),
+                            // drawn from the point's own stream.
+                            let mut rng = StdRng::seed_from_u64(mix(params.seed, p));
+                            let seeds: Vec<u32> = (0..params.search_seeds.min(frozen))
+                                .map(|_| rng.gen_range(0..frozen as u32))
+                                .collect();
+                            scratch.next_epoch();
+                            let pool = beam_search(
+                                ds,
+                                &adj[..frozen],
+                                ds.point(p),
+                                &seeds,
+                                params.ef_construction,
+                                scratch,
+                                stats,
+                            );
+                            pool.iter()
+                                .take(params.m)
+                                .map(|c| c.id)
+                                .collect::<Vec<u32>>()
+                        })
+                        .collect::<Vec<_>>();
+                    insert_ndc.fetch_add(stats.ndc - before, std::sync::atomic::Ordering::Relaxed);
+                    out
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+            // Commit bidirectional edges in point-id order.
+            for (i, cands) in targets.into_iter().enumerate() {
+                let p = (frozen + i) as u32;
+                for c in cands {
+                    adj[p as usize].push(c);
+                    adj[c as usize].push(p);
+                }
             }
         }
-    }
+        telemetry::add_span_ndc(insert_ndc.load(std::sync::atomic::Ordering::Relaxed));
+    });
     FlatIndex {
         name: "NSW",
-        graph: CsrGraph::from_lists(&adj),
+        graph: telemetry::span("freeze", || CsrGraph::from_lists(&adj)),
         seeds: SeedStrategy::Random {
             count: params.search_seeds,
         },

@@ -21,6 +21,7 @@ use crate::index::FlatIndex;
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::parallel;
 use crate::search::Router;
+use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
@@ -63,31 +64,39 @@ impl OaParams {
 
 /// Builds the optimized algorithm's index.
 pub fn build(ds: &Dataset, params: &OaParams) -> FlatIndex {
-    let init = nn_descent(ds, &params.nd, None);
+    let init = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
     let n = ds.len();
     let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    parallel::par_fill(
-        &mut lists,
-        parallel::CHUNK,
-        threads,
-        || (),
-        |_, start, slot| {
-            for (j, out) in slot.iter_mut().enumerate() {
-                let p = (start + j) as u32;
-                let cands = candidates_by_expansion(ds, &init, p, params.l);
-                *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
-            }
-        },
-    );
-    let entries = spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x0A0A);
-    dfs_repair(ds, &mut lists, entries[0], 64);
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    telemetry::span("C2+C3 candidates+selection", || {
+        parallel::par_fill(
+            &mut lists,
+            parallel::CHUNK,
+            threads,
+            || (),
+            |_, start, slot| {
+                for (j, out) in slot.iter_mut().enumerate() {
+                    let p = (start + j) as u32;
+                    let cands = candidates_by_expansion(ds, &init, p, params.l);
+                    *out = select_rng_alpha(ds, p, &cands, params.r, 1.0);
+                }
+            },
+        );
+    });
+    let entries = telemetry::span("C4 seeds", || {
+        spread_entries(ds, params.entries.max(1), params.nd.seed ^ 0x0A0A)
+    });
+    telemetry::span("C5 connectivity", || {
+        dfs_repair(ds, &mut lists, entries[0], 64);
+    });
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     FlatIndex {
         name: "OA",
         graph,

@@ -17,6 +17,7 @@ use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::parallel;
 use crate::search::Router;
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use weavess_data::neighbor::insert_into_pool;
@@ -96,86 +97,97 @@ pub fn build(ds: &Dataset, params: &SptagParams) -> SptagIndex {
     let threads = parallel::resolve_threads(params.threads);
     // Each leaf is an O(leaf_size²) work unit; small chunks load-balance.
     const LEAF_CHUNK: usize = 4;
-    for _ in 0..params.divisions.max(1) {
-        let leaves = tp_partition(ds, None, params.leaf_size, &mut rng);
-        // Leaves are disjoint, so parallelize over leaves; candidate
-        // batches combine in leaf order, keeping the merge order-stable.
-        let partial = parallel::par_chunks_map(
-            leaves.len(),
-            LEAF_CHUNK,
-            threads,
-            || (),
-            |_, range| {
-                let mut out = Vec::new();
-                for leaf in &leaves[range] {
-                    for &p in leaf {
-                        let cands = candidates_subspace(ds, leaf, p);
-                        out.push((p, cands));
+    telemetry::span("C1 init", || {
+        for _ in 0..params.divisions.max(1) {
+            let leaves = tp_partition(ds, None, params.leaf_size, &mut rng);
+            // Leaves are disjoint, so parallelize over leaves; candidate
+            // batches combine in leaf order, keeping the merge order-stable.
+            let partial = parallel::par_chunks_map(
+                leaves.len(),
+                LEAF_CHUNK,
+                threads,
+                || (),
+                |_, range| {
+                    let mut out = Vec::new();
+                    for leaf in &leaves[range] {
+                        for &p in leaf {
+                            let cands = candidates_subspace(ds, leaf, p);
+                            out.push((p, cands));
+                        }
                     }
-                }
-                out
-            },
-        );
-        for batch in partial {
-            for (p, cands) in batch {
-                for c in cands.iter().take(params.k) {
-                    insert_into_pool(&mut lists[p as usize], params.k, *c);
+                    out
+                },
+            );
+            for batch in partial {
+                for (p, cands) in batch {
+                    for c in cands.iter().take(params.k) {
+                        insert_into_pool(&mut lists[p as usize], params.k, *c);
+                    }
                 }
             }
         }
-    }
+    });
 
     // --- Neighborhood propagation: neighbors of neighbors, one pass. ---
-    for _ in 0..params.propagation_passes {
-        let snapshot = lists.clone();
-        for p in 0..n as u32 {
-            let hop1: Vec<u32> = snapshot[p as usize].iter().map(|x| x.id).collect();
-            for &h in &hop1 {
-                for x in &snapshot[h as usize] {
-                    if x.id != p {
-                        insert_into_pool(
-                            &mut lists[p as usize],
-                            params.k,
-                            Neighbor::new(x.id, ds.dist(p, x.id)),
-                        );
+    telemetry::span("C2 candidates", || {
+        for _ in 0..params.propagation_passes {
+            let snapshot = lists.clone();
+            for p in 0..n as u32 {
+                let hop1: Vec<u32> = snapshot[p as usize].iter().map(|x| x.id).collect();
+                for &h in &hop1 {
+                    for x in &snapshot[h as usize] {
+                        if x.id != p {
+                            insert_into_pool(
+                                &mut lists[p as usize],
+                                params.k,
+                                Neighbor::new(x.id, ds.dist(p, x.id)),
+                            );
+                        }
                     }
                 }
             }
         }
-    }
+    });
 
     // --- BKT variant: RNG pruning. ---
     if params.variant == SptagVariant::Bkt {
-        for p in 0..n as u32 {
-            let cands = lists[p as usize].clone();
-            lists[p as usize] = select_rng_alpha(ds, p, &cands, params.k, 1.0);
-        }
+        telemetry::span("C3 selection", || {
+            for p in 0..n as u32 {
+                let cands = lists[p as usize].clone();
+                lists[p as usize] = select_rng_alpha(ds, p, &cands, params.k, 1.0);
+            }
+        });
     }
 
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
-    let (name, seeds) = match params.variant {
-        SptagVariant::Kdt => (
-            "SPTAG-KDT",
-            SeedStrategy::KdSearch {
-                forest: KdForest::build(ds, 4, 32, &mut rng),
-                count: params.search_seeds,
-                checks_per_tree: params.seed_checks / 4,
-            },
-        ),
-        SptagVariant::Bkt => (
-            "SPTAG-BKT",
-            SeedStrategy::Bk {
-                tree: BkTree::build(ds, 8, 32),
-                count: params.search_seeds,
-                checks: params.seed_checks,
-            },
-        ),
-    };
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
+    let (name, seeds, restart_forest) = telemetry::span("C4 seeds", || {
+        let (name, seeds) = match params.variant {
+            SptagVariant::Kdt => (
+                "SPTAG-KDT",
+                SeedStrategy::KdSearch {
+                    forest: KdForest::build(ds, 4, 32, &mut rng),
+                    count: params.search_seeds,
+                    checks_per_tree: params.seed_checks / 4,
+                },
+            ),
+            SptagVariant::Bkt => (
+                "SPTAG-BKT",
+                SeedStrategy::Bk {
+                    tree: BkTree::build(ds, 8, 32),
+                    count: params.search_seeds,
+                    checks: params.seed_checks,
+                },
+            ),
+        };
+        (name, seeds, KdForest::build(ds, 4, 32, &mut rng))
+    });
     SptagIndex {
         inner: FlatIndex {
             name,
@@ -183,7 +195,7 @@ pub fn build(ds: &Dataset, params: &SptagParams) -> SptagIndex {
             seeds,
             router: Router::BestFirst,
         },
-        restart_forest: KdForest::build(ds, 4, 32, &mut rng),
+        restart_forest,
         restarts: params.restarts.max(1),
         seeds_per_round: params.search_seeds,
         checks_per_round: params.seed_checks / 2,

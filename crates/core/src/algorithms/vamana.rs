@@ -18,6 +18,8 @@ use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
 use crate::parallel;
 use crate::search::{Router, SearchScratch, SearchStats};
+use crate::telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
@@ -58,16 +60,25 @@ impl VamanaParams {
 pub fn build(ds: &Dataset, params: &VamanaParams) -> FlatIndex {
     let n = ds.len();
     let medoid = ds.medoid();
-    let mut lists = init_random(ds, params.r, params.seed);
-    for pass_alpha in [1.0f32, params.alpha.max(1.0)] {
-        refine_pass_inplace(ds, &mut lists, medoid, params, pass_alpha);
+    let mut lists = telemetry::span("C1 init", || init_random(ds, params.r, params.seed));
+    for (pass, pass_alpha) in [1.0f32, params.alpha.max(1.0)].into_iter().enumerate() {
+        let component = if pass == 0 {
+            "C2+C3 pass 1 (alpha=1)"
+        } else {
+            "C2+C3 pass 2 (alpha)"
+        };
+        telemetry::span(component, || {
+            refine_pass_inplace(ds, &mut lists, medoid, params, pass_alpha);
+        });
     }
-    let graph = CsrGraph::from_lists(
-        &lists
-            .iter()
-            .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
-            .collect::<Vec<_>>(),
-    );
+    let graph = telemetry::span("freeze", || {
+        CsrGraph::from_lists(
+            &lists
+                .iter()
+                .map(|l| l.iter().map(|n| n.id).collect::<Vec<u32>>())
+                .collect::<Vec<_>>(),
+        )
+    });
     debug_assert_eq!(graph.len(), n);
     FlatIndex {
         name: "Vamana",
@@ -89,6 +100,7 @@ fn refine_pass_inplace(
     let threads = parallel::resolve_threads(params.threads);
     let batch = params.batch_size.max(64);
     let ids: Vec<u32> = (0..n as u32).collect();
+    let pass_ndc = AtomicU64::new(0);
     for batch_ids in ids.chunks(batch) {
         // Snapshot of the *current* graph for this batch's searches.
         let csr = CsrGraph::from_lists(
@@ -108,6 +120,7 @@ fn refine_pass_inplace(
                 threads,
                 || (SearchScratch::new(n), SearchStats::default()),
                 |(scratch, stats), range| {
+                    let before = stats.ndc;
                     let mut out = Vec::with_capacity(range.len());
                     for &p in &batch_ids[range] {
                         let mut cands = candidates_by_search(
@@ -125,6 +138,7 @@ fn refine_pass_inplace(
                         }
                         out.push((p, select_rng_alpha(ds, p, &cands, params.r, alpha)));
                     }
+                    pass_ndc.fetch_add(stats.ndc - before, Ordering::Relaxed);
                     out
                 },
             )
@@ -150,6 +164,7 @@ fn refine_pass_inplace(
             }
         }
     }
+    telemetry::add_span_ndc(pass_ndc.load(Ordering::Relaxed));
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::components::SeedStrategy;
 use crate::search::{Router, SearchScratch, SearchStats};
+use crate::telemetry::RouteTracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use weavess_data::{Dataset, Neighbor};
@@ -53,6 +54,29 @@ pub trait AnnIndex: Send + Sync {
         ctx: &mut SearchContext,
     ) -> Vec<Neighbor>;
 
+    /// [`AnnIndex::search`] with a [`RouteTracer`] observing the route
+    /// (seed scores and per-hop expansions). Tracing never changes
+    /// results or [`SearchStats`].
+    ///
+    /// The default implementation ignores the tracer and delegates to
+    /// [`AnnIndex::search`]; the in-tree indexes override it to thread
+    /// the tracer through their routing strategy. The untraced
+    /// [`AnnIndex::search`] path stays fully monomorphized on
+    /// [`crate::telemetry::NoopTracer`] — it never pays these virtual
+    /// calls.
+    fn search_traced(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+        tracer: &mut dyn RouteTracer,
+    ) -> Vec<Neighbor> {
+        let _ = tracer;
+        self.search(ds, query, k, beam, ctx)
+    }
+
     /// The (bottom-layer) search graph — the object of the Table 4 / 11
     /// index metrics.
     fn graph(&self) -> &CsrGraph;
@@ -98,6 +122,32 @@ impl AnnIndex for FlatIndex {
             beam,
             &mut ctx.scratch,
             &mut ctx.stats,
+        );
+        pool.truncate(k);
+        pool
+    }
+
+    fn search_traced(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+        mut tracer: &mut dyn RouteTracer,
+    ) -> Vec<Neighbor> {
+        let beam = beam.max(k);
+        let seeds = self.seeds.seeds(ds, query, &mut ctx.rng, &mut ctx.stats);
+        ctx.scratch.next_epoch();
+        let mut pool = self.router.search_traced(
+            ds,
+            &self.graph,
+            query,
+            &seeds,
+            beam,
+            &mut ctx.scratch,
+            &mut ctx.stats,
+            &mut tracer,
         );
         pool.truncate(k);
         pool

@@ -37,6 +37,10 @@
 //! - [`serve`]: the concurrent batch query engine
 //!   ([`serve::QueryEngine`]) — per-worker scratch pooling, deterministic
 //!   results at any worker count, batch QPS/latency accounting.
+//! - [`telemetry`]: the observability layer — log2-bucketed histograms,
+//!   sharded counters, per-hop route tracing
+//!   ([`telemetry::RouteTracer`]), build-phase spans
+//!   ([`telemetry::BuildProfile`]), and Prometheus/JSON exposition.
 
 pub mod algorithms;
 pub mod components;
@@ -49,8 +53,10 @@ pub mod pipeline;
 pub mod quantized;
 pub mod search;
 pub mod serve;
+pub mod telemetry;
 
 pub use index::{AnnIndex, FlatIndex, SearchContext};
 pub use locality::{LayoutIndex, LayoutStats, NodeLayout};
 pub use search::{Router, SearchStats};
-pub use serve::{BatchReport, EngineOptions, LatencySummary, QueryEngine};
+pub use serve::{BatchReport, EngineOptions, LatencySummary, QueryEngine, WorkerReport};
+pub use telemetry::{BuildProfile, NoopTracer, RecordingTracer, RouteTracer};

@@ -220,6 +220,59 @@ impl AnnIndex for LayoutIndex {
         pool
     }
 
+    /// Traced variant of the layout search. Route events carry *index
+    /// id-space* vertex ids (the ids the traversal actually touches);
+    /// reordered layouts therefore trace the renamed ids, matching the
+    /// graph returned by [`AnnIndex::graph`].
+    fn search_traced(
+        &self,
+        ds: &Dataset,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+        mut tracer: &mut dyn crate::telemetry::RouteTracer,
+    ) -> Vec<Neighbor> {
+        let beam = beam.max(k);
+        let mut seeds = self.seeds.seeds(ds, query, &mut ctx.rng, &mut ctx.stats);
+        if let Some(p) = &self.perm {
+            for s in &mut seeds {
+                *s = p.to_new(*s);
+            }
+        }
+        ctx.scratch.next_epoch();
+        let mut pool = match &self.store {
+            LayoutStore::Split { graph, vectors } => self.router.search_traced(
+                vectors,
+                graph,
+                query,
+                &seeds,
+                beam,
+                &mut ctx.scratch,
+                &mut ctx.stats,
+                &mut tracer,
+            ),
+            LayoutStore::Fused { arena, .. } => self.router.search_traced(
+                arena,
+                arena,
+                query,
+                &seeds,
+                beam,
+                &mut ctx.scratch,
+                &mut ctx.stats,
+                &mut tracer,
+            ),
+        };
+        if let Some(p) = &self.perm {
+            for n in &mut pool {
+                n.id = p.to_old(n.id);
+            }
+            pool.sort_unstable();
+        }
+        pool.truncate(k);
+        pool
+    }
+
     /// The routing graph *in index id space* — reordered when
     /// [`LayoutIndex::is_reordered`]. Degree statistics and edge counts
     /// are permutation-invariant, so the Table 4/11 metrics read the same.

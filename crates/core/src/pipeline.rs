@@ -23,8 +23,10 @@ use crate::index::FlatIndex;
 use crate::nndescent::NnDescentParams;
 use crate::parallel;
 use crate::search::{Router, SearchScratch, SearchStats};
+use crate::telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 use weavess_trees::{BkTree, KdForest, LshTable, VpTree};
@@ -261,7 +263,7 @@ impl PipelineBuilder {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // --- C1: initialization ---
-        let init_lists: Vec<Vec<Neighbor>> = match &self.init {
+        let init_lists: Vec<Vec<Neighbor>> = telemetry::span("C1 init", || match &self.init {
             InitChoice::Random { k } => init_random(ds, *k, self.seed),
             InitChoice::NnDescent(p) => init_nn_descent(ds, p),
             InitChoice::KdTree {
@@ -273,7 +275,7 @@ impl PipelineBuilder {
                 init_kdtree_nn_descent(ds, &forest, *checks_per_tree, nd, threads)
             }
             InitChoice::BruteForce { k } => init_brute_force(ds, *k, threads),
-        };
+        });
         let init_secs = t0.elapsed().as_secs_f64();
 
         // Entry for search-based acquisition and DFS repair.
@@ -288,48 +290,54 @@ impl PipelineBuilder {
         );
         let n = ds.len();
         let mut new_lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-        parallel::par_fill(
-            &mut new_lists,
-            parallel::CHUNK,
-            threads,
-            || (SearchScratch::new(n), SearchStats::default()),
-            |(scratch, stats), start, slot| {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let p = (start + j) as u32;
-                    let cands = match &self.candidates {
-                        CandidateChoice::Search { beam, cap } => candidates_by_search(
-                            ds,
-                            &init_csr,
-                            p,
-                            &[medoid],
-                            *beam,
-                            *cap,
-                            scratch,
-                            stats,
-                        ),
-                        CandidateChoice::Expansion { cap } => {
-                            candidates_by_expansion(ds, &init_lists, p, *cap)
-                        }
-                        CandidateChoice::Direct => candidates_direct(&init_lists, p),
-                    };
-                    *out = match &self.selection {
-                        SelectionChoice::Closest { degree } => select_closest(&cands, *degree),
-                        SelectionChoice::RngAlpha { degree, alpha } => {
-                            select_rng_alpha(ds, p, &cands, *degree, *alpha)
-                        }
-                        SelectionChoice::Angle { degree, min_deg } => {
-                            select_angle(ds, p, &cands, *degree, *min_deg)
-                        }
-                        SelectionChoice::Dpg { kappa } => select_dpg(ds, p, &cands, *kappa),
-                        SelectionChoice::Mst => select_mst(ds, p, &cands),
-                    };
-                }
-            },
-        );
+        telemetry::span("C2+C3 candidates+selection", || {
+            let ndc = AtomicU64::new(0);
+            parallel::par_fill(
+                &mut new_lists,
+                parallel::CHUNK,
+                threads,
+                || (SearchScratch::new(n), SearchStats::default()),
+                |(scratch, stats), start, slot| {
+                    let before = stats.ndc;
+                    for (j, out) in slot.iter_mut().enumerate() {
+                        let p = (start + j) as u32;
+                        let cands = match &self.candidates {
+                            CandidateChoice::Search { beam, cap } => candidates_by_search(
+                                ds,
+                                &init_csr,
+                                p,
+                                &[medoid],
+                                *beam,
+                                *cap,
+                                scratch,
+                                stats,
+                            ),
+                            CandidateChoice::Expansion { cap } => {
+                                candidates_by_expansion(ds, &init_lists, p, *cap)
+                            }
+                            CandidateChoice::Direct => candidates_direct(&init_lists, p),
+                        };
+                        *out = match &self.selection {
+                            SelectionChoice::Closest { degree } => select_closest(&cands, *degree),
+                            SelectionChoice::RngAlpha { degree, alpha } => {
+                                select_rng_alpha(ds, p, &cands, *degree, *alpha)
+                            }
+                            SelectionChoice::Angle { degree, min_deg } => {
+                                select_angle(ds, p, &cands, *degree, *min_deg)
+                            }
+                            SelectionChoice::Dpg { kappa } => select_dpg(ds, p, &cands, *kappa),
+                            SelectionChoice::Mst => select_mst(ds, p, &cands),
+                        };
+                    }
+                    ndc.fetch_add(stats.ndc - before, Ordering::Relaxed);
+                },
+            );
+            telemetry::add_span_ndc(ndc.load(Ordering::Relaxed));
+        });
         drop(init_csr);
 
         // --- C5: connectivity ---
-        match &self.connectivity {
+        telemetry::span("C5 connectivity", || match &self.connectivity {
             ConnectivityChoice::None => {}
             ConnectivityChoice::DfsRepair => {
                 dfs_repair(ds, &mut new_lists, medoid, 64);
@@ -337,10 +345,10 @@ impl PipelineBuilder {
             ConnectivityChoice::ReverseEdges { max_degree } => {
                 add_reverse_edges(&mut new_lists, *max_degree);
             }
-        }
+        });
 
         // --- C4: seed preprocessing ---
-        let seeds = match &self.seeds {
+        let seeds = telemetry::span("C4 seeds", || match &self.seeds {
             SeedChoice::Random { count } => SeedStrategy::Random { count: *count },
             SeedChoice::Medoid => SeedStrategy::Fixed(vec![medoid]),
             SeedChoice::FixedRandom { count } => {
@@ -383,14 +391,16 @@ impl PipelineBuilder {
                 pq: weavess_data::pq::PqDataset::train(ds, *m, ds.len().min(20_000)),
                 count: *count,
             },
-        };
+        });
 
-        let graph = CsrGraph::from_lists(
-            &new_lists
-                .iter()
-                .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
-                .collect::<Vec<_>>(),
-        );
+        let graph = telemetry::span("freeze", || {
+            CsrGraph::from_lists(
+                &new_lists
+                    .iter()
+                    .map(|l| l.iter().map(|x| x.id).collect::<Vec<u32>>())
+                    .collect::<Vec<_>>(),
+            )
+        });
         let total_secs = t0.elapsed().as_secs_f64();
         (
             FlatIndex {

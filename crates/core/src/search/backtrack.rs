@@ -10,6 +10,7 @@
 
 use super::scratch::SearchScratch;
 use super::SearchStats;
+use crate::telemetry::{NoopTracer, RouteTracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use weavess_data::neighbor::insert_into_pool;
@@ -31,6 +32,33 @@ pub fn backtrack_search(
     extra: usize,
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    backtrack_search_traced(
+        ds,
+        g,
+        query,
+        seeds,
+        beam,
+        extra,
+        scratch,
+        stats,
+        &mut NoopTracer,
+    )
+}
+
+/// [`backtrack_search`] with a [`RouteTracer`]. Both best-first and
+/// backtrack expansions are reported as hops, in expansion order.
+#[allow(clippy::too_many_arguments)]
+pub fn backtrack_search_traced<T: RouteTracer>(
+    ds: &(impl VectorView + ?Sized),
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    extra: usize,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+    tracer: &mut T,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let pf = prefetch_enabled();
@@ -73,14 +101,12 @@ pub fn backtrack_search(
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            push(
-                pool,
-                expanded,
-                overflow,
-                Neighbor::new(s, ds.dist_to(query, s)),
-            );
+            let d = ds.dist_to(query, s);
+            tracer.on_seed(s, d);
+            push(pool, expanded, overflow, Neighbor::new(s, d));
         }
     }
+    stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
 
     let mut budget = extra;
     loop {
@@ -95,6 +121,7 @@ pub fn backtrack_search(
             progressed = true;
             stats.hops += 1;
             let v = pool[k].id;
+            tracer.on_hop(v, pool[k].dist, stats.ndc, pool.len());
             if pf {
                 if let Some(next) = pool.get(k + 1) {
                     g.prefetch_neighbors(next.id);
@@ -117,6 +144,7 @@ pub fn backtrack_search(
                     lowest = lowest.min(pos);
                 }
             }
+            stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
             // <= : an insertion at exactly k means the expanded entry
             // shifted right and an unexpanded one now sits at k.
             if lowest <= k {
@@ -135,6 +163,7 @@ pub fn backtrack_search(
         };
         budget -= 1;
         stats.hops += 1;
+        tracer.on_hop(c.id, c.dist, stats.ndc, pool.len());
         batch_ids.clear();
         for &u in g.neighbors(c.id) {
             if visited.visit(u) {
@@ -152,6 +181,7 @@ pub fn backtrack_search(
                 injected = true;
             }
         }
+        stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
         if !injected && !progressed {
             // Neither the main loop nor backtracking changed anything.
             if overflow.is_empty() {
@@ -216,6 +246,7 @@ mod tests {
             assert_eq!(a, b, "query {qi}");
         }
         assert_eq!(s1.ndc, s2.ndc);
+        assert_eq!(s1.pool_peak, s2.pool_peak);
     }
 
     #[test]

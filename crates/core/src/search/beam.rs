@@ -3,6 +3,7 @@
 
 use super::scratch::{insert_unexpanded, SearchScratch};
 use super::SearchStats;
+use crate::telemetry::{NoopTracer, RouteTracer};
 use weavess_data::prefetch::prefetch_enabled;
 use weavess_data::vectors::VectorView;
 use weavess_data::Neighbor;
@@ -52,6 +53,23 @@ pub fn beam_search(
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
+    beam_search_traced(ds, g, query, seeds, beam, scratch, stats, &mut NoopTracer)
+}
+
+/// [`beam_search`] with a [`RouteTracer`] observing seeds and expansions.
+/// The tracer is monomorphized; with [`NoopTracer`] every hook inlines to
+/// nothing and this is exactly [`beam_search`].
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_traced<T: RouteTracer>(
+    ds: &(impl VectorView + ?Sized),
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+    tracer: &mut T,
+) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let pf = prefetch_enabled();
     let SearchScratch {
@@ -67,9 +85,12 @@ pub fn beam_search(
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            insert_unexpanded(pool, expanded, beam, Neighbor::new(s, ds.dist_to(query, s)));
+            let d = ds.dist_to(query, s);
+            tracer.on_seed(s, d);
+            insert_unexpanded(pool, expanded, beam, Neighbor::new(s, d));
         }
     }
+    stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
 
     let mut k = 0usize;
     while k < pool.len() {
@@ -80,6 +101,7 @@ pub fn beam_search(
         expanded[k] = true;
         stats.hops += 1;
         let v = pool[k].id;
+        tracer.on_hop(v, pool[k].dist, stats.ndc, pool.len());
         if pf {
             if let Some(next) = pool.get(k + 1) {
                 g.prefetch_neighbors(next.id);
@@ -102,6 +124,7 @@ pub fn beam_search(
                 lowest_insert = lowest_insert.min(pos);
             }
         }
+        stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
         // Resume from the nearest new candidate if one arrived at or
         // above k (an insertion at exactly k shifts the just-expanded
         // entry right, leaving an unexpanded candidate at k).
@@ -127,6 +150,23 @@ pub fn beam_search_seeded(
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
+    beam_search_seeded_traced(ds, g, query, scored, beam, scratch, stats, &mut NoopTracer)
+}
+
+/// [`beam_search_seeded`] with a [`RouteTracer`]. Pre-scored entries were
+/// already reported by the stage that scored them, so only expansions are
+/// traced here.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_seeded_traced<T: RouteTracer>(
+    ds: &(impl VectorView + ?Sized),
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    scored: &[Neighbor],
+    beam: usize,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+    tracer: &mut T,
+) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let pf = prefetch_enabled();
     let SearchScratch {
@@ -143,6 +183,7 @@ pub fn beam_search_seeded(
         debug_assert!(visited.is_visited(n.id));
         insert_unexpanded(pool, expanded, beam, n);
     }
+    stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
     let mut k = 0usize;
     while k < pool.len() {
         if expanded[k] {
@@ -152,6 +193,7 @@ pub fn beam_search_seeded(
         expanded[k] = true;
         stats.hops += 1;
         let v = pool[k].id;
+        tracer.on_hop(v, pool[k].dist, stats.ndc, pool.len());
         if pf {
             if let Some(next) = pool.get(k + 1) {
                 g.prefetch_neighbors(next.id);
@@ -174,6 +216,7 @@ pub fn beam_search_seeded(
                 lowest_insert = lowest_insert.min(pos);
             }
         }
+        stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
         if lowest_insert <= k {
             k = lowest_insert;
         } else {
@@ -217,6 +260,7 @@ mod tests {
         }
         assert!(ok as f64 / qs.len() as f64 > 0.85, "ok={ok}/{}", qs.len());
         assert!(stats.ndc > 0 && stats.hops > 0);
+        assert!(stats.pool_peak > 0 && stats.pool_peak <= 40);
     }
 
     #[test]
@@ -228,6 +272,7 @@ mod tests {
         let res = beam_search(&ds, &g, qs.point(0), &[0, 5], 16, &mut scratch, &mut stats);
         assert!(res.len() <= 16);
         assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert_eq!(stats.pool_peak, res.len() as u64);
     }
 
     #[test]
@@ -249,6 +294,7 @@ mod tests {
         let res = beam_search(&ds, &g, qs.point(0), &[], 8, &mut scratch, &mut stats);
         assert!(res.is_empty());
         assert_eq!(stats.ndc, 0);
+        assert_eq!(stats.pool_peak, 0);
     }
 
     /// Regression: an insertion at exactly the resume index must re-enter
@@ -307,5 +353,33 @@ mod tests {
                 .count();
         }
         assert!(hits_large >= hits_small, "{hits_large} < {hits_small}");
+    }
+
+    /// The recording tracer must observe exactly `hops` expansions and one
+    /// seed event per scored seed, without changing results or stats.
+    #[test]
+    fn recording_tracer_observes_the_route_without_changing_it() {
+        let (ds, qs, g) = setup();
+        let mut scratch = SearchScratch::new(ds.len());
+        let mut plain = SearchStats::default();
+        scratch.next_epoch();
+        let a = beam_search(&ds, &g, qs.point(0), &[0, 5], 16, &mut scratch, &mut plain);
+        let mut traced = SearchStats::default();
+        let mut tracer = crate::telemetry::RecordingTracer::default();
+        scratch.next_epoch();
+        let b = beam_search_traced(
+            &ds,
+            &g,
+            qs.point(0),
+            &[0, 5],
+            16,
+            &mut scratch,
+            &mut traced,
+            &mut tracer,
+        );
+        assert_eq!(a, b);
+        assert_eq!(plain, traced);
+        assert_eq!(u64::from(tracer.hops()), traced.hops);
+        assert!(tracer.replay_check(&ds, qs.point(0)));
     }
 }

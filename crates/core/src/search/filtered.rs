@@ -12,6 +12,7 @@
 
 use super::scratch::SearchScratch;
 use super::SearchStats;
+use crate::telemetry::{NoopTracer, RouteTracer};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::prefetch::prefetch_enabled;
 use weavess_data::vectors::VectorView;
@@ -35,6 +36,35 @@ pub fn filtered_beam_search(
     filter: &dyn Fn(u32) -> bool,
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    filtered_beam_search_traced(
+        ds,
+        g,
+        query,
+        seeds,
+        k,
+        beam,
+        filter,
+        scratch,
+        stats,
+        &mut NoopTracer,
+    )
+}
+
+/// [`filtered_beam_search`] with a [`RouteTracer`] observing the
+/// (unfiltered) traversal; `pool_peak` tracks the traversal pool.
+#[allow(clippy::too_many_arguments)]
+pub fn filtered_beam_search_traced<T: RouteTracer>(
+    ds: &(impl VectorView + ?Sized),
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam: usize,
+    filter: &dyn Fn(u32) -> bool,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+    tracer: &mut T,
 ) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let k = k.max(1);
@@ -73,14 +103,12 @@ pub fn filtered_beam_search(
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            push(
-                pool,
-                expanded,
-                results,
-                Neighbor::new(s, ds.dist_to(query, s)),
-            );
+            let d = ds.dist_to(query, s);
+            tracer.on_seed(s, d);
+            push(pool, expanded, results, Neighbor::new(s, d));
         }
     }
+    stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
 
     let mut i = 0usize;
     while i < pool.len() {
@@ -91,6 +119,7 @@ pub fn filtered_beam_search(
         expanded[i] = true;
         stats.hops += 1;
         let v = pool[i].id;
+        tracer.on_hop(v, pool[i].dist, stats.ndc, pool.len());
         if pf {
             if let Some(next) = pool.get(i + 1) {
                 g.prefetch_neighbors(next.id);
@@ -113,6 +142,7 @@ pub fn filtered_beam_search(
                 lowest = lowest.min(pos);
             }
         }
+        stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
         // <= : an insertion at exactly i means the expanded entry
         // shifted right and an unexpanded one now sits at i.
         if lowest <= i {

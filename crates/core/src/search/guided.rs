@@ -14,6 +14,7 @@
 
 use super::scratch::{insert_unexpanded, SearchScratch};
 use super::SearchStats;
+use crate::telemetry::{NoopTracer, RouteTracer};
 use weavess_data::prefetch::prefetch_enabled;
 use weavess_data::vectors::VectorView;
 use weavess_data::Neighbor;
@@ -32,6 +33,23 @@ pub fn guided_search(
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
+    guided_search_traced(ds, g, query, seeds, beam, scratch, stats, &mut NoopTracer)
+}
+
+/// [`guided_search`] with a [`RouteTracer`]. Gated-out neighbors are
+/// invisible to the tracer (they are never scored); only scored seeds and
+/// expanded vertices are reported.
+#[allow(clippy::too_many_arguments)]
+pub fn guided_search_traced<T: RouteTracer>(
+    ds: &(impl VectorView + ?Sized),
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+    tracer: &mut T,
+) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let pf = prefetch_enabled();
     let SearchScratch {
@@ -47,9 +65,12 @@ pub fn guided_search(
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            insert_unexpanded(pool, expanded, beam, Neighbor::new(s, ds.dist_to(query, s)));
+            let d = ds.dist_to(query, s);
+            tracer.on_seed(s, d);
+            insert_unexpanded(pool, expanded, beam, Neighbor::new(s, d));
         }
     }
+    stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
     let mut k = 0usize;
     while k < pool.len() {
         if expanded[k] {
@@ -59,6 +80,7 @@ pub fn guided_search(
         expanded[k] = true;
         stats.hops += 1;
         let v = pool[k].id;
+        tracer.on_hop(v, pool[k].dist, stats.ndc, pool.len());
         if pf {
             if let Some(next) = pool.get(k + 1) {
                 g.prefetch_neighbors(next.id);
@@ -100,6 +122,7 @@ pub fn guided_search(
                 lowest = lowest.min(pos);
             }
         }
+        stats.pool_peak = stats.pool_peak.max(pool.len() as u64);
         // <= : an insertion at exactly k means the expanded entry
         // shifted right and an unexpanded one now sits at k.
         if lowest <= k {

@@ -15,14 +15,15 @@ mod range;
 mod scratch;
 mod visited;
 
-pub use backtrack::backtrack_search;
-pub use beam::{beam_search, beam_search_seeded};
-pub use filtered::filtered_beam_search;
-pub use guided::guided_search;
-pub use range::range_search;
+pub use backtrack::{backtrack_search, backtrack_search_traced};
+pub use beam::{beam_search, beam_search_seeded, beam_search_seeded_traced, beam_search_traced};
+pub use filtered::{filtered_beam_search, filtered_beam_search_traced};
+pub use guided::{guided_search, guided_search_traced};
+pub use range::{range_search, range_search_traced};
 pub use scratch::SearchScratch;
 pub use visited::VisitedPool;
 
+use crate::telemetry::{NoopTracer, RouteTracer};
 use weavess_data::vectors::VectorView;
 use weavess_data::Neighbor;
 use weavess_graph::adjacency::GraphView;
@@ -34,13 +35,20 @@ pub struct SearchStats {
     pub ndc: u64,
     /// Number of expanded vertices (the paper's query path length, PL).
     pub hops: u64,
+    /// Maximum candidate-pool occupancy reached (the paper's
+    /// candidate-set-size metric, CS). For range search — whose candidate
+    /// queue is unbounded by design — this is the queue's peak length.
+    pub pool_peak: u64,
 }
 
 impl SearchStats {
-    /// Adds another query's counters (batch aggregation).
+    /// Combines another query's counters (batch aggregation): counts add,
+    /// the pool peak takes the max — both associative and commutative, so
+    /// aggregates are independent of how queries were partitioned.
     pub fn merge(&mut self, other: SearchStats) {
         self.ndc += other.ndc;
         self.hops += other.hops;
+        self.pool_peak = self.pool_peak.max(other.pool_peak);
     }
 }
 
@@ -94,18 +102,41 @@ impl Router {
         scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
+        self.search_traced(ds, g, query, seeds, beam, scratch, stats, &mut NoopTracer)
+    }
+
+    /// [`Router::search`] with a [`RouteTracer`] observing the route. The
+    /// tracer is a monomorphized generic: with [`NoopTracer`] the hook
+    /// calls inline to nothing and this compiles to exactly
+    /// [`Router::search`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_traced<T: RouteTracer>(
+        &self,
+        ds: &(impl VectorView + ?Sized),
+        g: &(impl GraphView + ?Sized),
+        query: &[f32],
+        seeds: &[u32],
+        beam: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+        tracer: &mut T,
+    ) -> Vec<Neighbor> {
         match *self {
-            Router::BestFirst => beam_search(ds, g, query, seeds, beam, scratch, stats),
+            Router::BestFirst => {
+                beam_search_traced(ds, g, query, seeds, beam, scratch, stats, tracer)
+            }
             Router::Range { epsilon } => {
-                range_search(ds, g, query, seeds, beam, epsilon, scratch, stats)
+                range_search_traced(ds, g, query, seeds, beam, epsilon, scratch, stats, tracer)
             }
             Router::Backtrack { extra } => {
-                backtrack_search(ds, g, query, seeds, beam, extra, scratch, stats)
+                backtrack_search_traced(ds, g, query, seeds, beam, extra, scratch, stats, tracer)
             }
-            Router::Guided => guided_search(ds, g, query, seeds, beam, scratch, stats),
+            Router::Guided => {
+                guided_search_traced(ds, g, query, seeds, beam, scratch, stats, tracer)
+            }
             Router::TwoStage { stage1_beam_frac } => {
                 let b1 = ((beam as f32 * stage1_beam_frac) as usize).max(4).min(beam);
-                let stage1 = guided_search(ds, g, query, seeds, b1, scratch, stats);
+                let stage1 = guided_search_traced(ds, g, query, seeds, b1, scratch, stats, tracer);
                 if stage1.is_empty() {
                     return stage1;
                 }
@@ -114,7 +145,7 @@ impl Router {
                 // frontier vertex, but only vertices stage 1 *gated out*
                 // (guided search leaves skipped neighbors unvisited) cost
                 // new distance computations.
-                beam_search_seeded(ds, g, query, &stage1, beam, scratch, stats)
+                beam_search_seeded_traced(ds, g, query, &stage1, beam, scratch, stats, tracer)
             }
         }
     }
@@ -126,8 +157,23 @@ mod tests {
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = SearchStats { ndc: 3, hops: 1 };
-        a.merge(SearchStats { ndc: 10, hops: 2 });
-        assert_eq!(a, SearchStats { ndc: 13, hops: 3 });
+        let mut a = SearchStats {
+            ndc: 3,
+            hops: 1,
+            pool_peak: 9,
+        };
+        a.merge(SearchStats {
+            ndc: 10,
+            hops: 2,
+            pool_peak: 5,
+        });
+        assert_eq!(
+            a,
+            SearchStats {
+                ndc: 13,
+                hops: 3,
+                pool_peak: 9
+            }
+        );
     }
 }

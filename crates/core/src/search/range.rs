@@ -9,6 +9,7 @@
 
 use super::scratch::SearchScratch;
 use super::SearchStats;
+use crate::telemetry::{NoopTracer, RouteTracer};
 use std::cmp::Reverse;
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::prefetch::prefetch_enabled;
@@ -33,6 +34,34 @@ pub fn range_search(
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
+    range_search_traced(
+        ds,
+        g,
+        query,
+        seeds,
+        beam,
+        epsilon,
+        scratch,
+        stats,
+        &mut NoopTracer,
+    )
+}
+
+/// [`range_search`] with a [`RouteTracer`]. The reported pool occupancy is
+/// the unbounded candidate queue's length at expansion time, and
+/// `pool_peak` tracks the queue's high-water mark.
+#[allow(clippy::too_many_arguments)]
+pub fn range_search_traced<T: RouteTracer>(
+    ds: &(impl VectorView + ?Sized),
+    g: &(impl GraphView + ?Sized),
+    query: &[f32],
+    seeds: &[u32],
+    beam: usize,
+    epsilon: f32,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+    tracer: &mut T,
+) -> Vec<Neighbor> {
     let beam = beam.max(1);
     let pf = prefetch_enabled();
     let inflate = (1.0 + epsilon.max(0.0)).powi(2); // squared-distance space
@@ -49,11 +78,14 @@ pub fn range_search(
     for &s in seeds {
         if visited.visit(s) {
             stats.ndc += 1;
-            let n = Neighbor::new(s, ds.dist_to(query, s));
+            let d = ds.dist_to(query, s);
+            tracer.on_seed(s, d);
+            let n = Neighbor::new(s, d);
             insert_into_pool(results, beam, n);
             queue.push(Reverse(n));
         }
     }
+    stats.pool_peak = stats.pool_peak.max(queue.len() as u64);
     while let Some(Reverse(c)) = queue.pop() {
         let radius = if results.len() == beam {
             results.last().map_or(f32::INFINITY, |w| w.dist)
@@ -64,6 +96,7 @@ pub fn range_search(
             break; // nothing left within the inflated radius
         }
         stats.hops += 1;
+        tracer.on_hop(c.id, c.dist, stats.ndc, queue.len());
         if pf {
             if let Some(Reverse(next)) = queue.peek() {
                 g.prefetch_neighbors(next.id);
@@ -92,6 +125,7 @@ pub fn range_search(
                 insert_into_pool(results, beam, n);
             }
         }
+        stats.pool_peak = stats.pool_peak.max(queue.len() as u64);
     }
     results.clone()
 }

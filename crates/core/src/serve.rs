@@ -18,19 +18,33 @@
 //!   mixed with a hash of the query vector itself (not its batch
 //!   position), so random seed strategies (C4 "random" acquisition) draw
 //!   an identical stream wherever and whenever the query runs;
-//! - per-query [`SearchStats`] are summed with associative integer
-//!   addition, so the batch aggregate is independent of the partition.
+//! - per-query [`SearchStats`] are aggregated with associative,
+//!   commutative operations (sums and maxes), and the per-query
+//!   NDC/hop [`Histogram`]s merge by element-wise addition, so every
+//!   batch aggregate is independent of the partition.
 //!
 //! Fixed-seed indexes (NSG, HNSW, …) additionally match the plain
 //! [`AnnIndex::search`] serial loop exactly; random-seeded indexes match
 //! the engine's own 1-worker path (the plain loop advances one RNG
 //! across queries and is therefore order-sensitive by construction).
+//!
+//! # Observability
+//!
+//! Each [`BatchReport`] carries the batch's latency/NDC/hop histograms
+//! and per-worker claim counts; the engine additionally accumulates
+//! cumulative metrics across batches, exposed via
+//! [`QueryEngine::metrics_prometheus`] (Prometheus text format) and
+//! [`QueryEngine::metrics_json`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::index::{AnnIndex, SearchContext};
 use crate::search::SearchStats;
+use crate::telemetry::expose::{
+    json_histogram, prometheus_counter, prometheus_gauge, prometheus_histogram,
+};
+use crate::telemetry::{Histogram, ShardedCounter};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,59 +81,76 @@ impl EngineOptions {
     }
 }
 
-/// Latency distribution of one batch, from per-query wall-clock samples.
+/// Latency distribution of one batch, read from its log2-bucketed
+/// [`Histogram`]: percentiles are exact within one bucket (the bucket's
+/// upper bound, clamped to the observed range), `mean` and `max` are
+/// exact.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencySummary {
-    /// Median per-query latency.
+    /// Median per-query latency (bucket resolution).
     pub p50: Duration,
-    /// 95th-percentile per-query latency.
+    /// 95th-percentile per-query latency (bucket resolution).
     pub p95: Duration,
-    /// 99th-percentile per-query latency.
+    /// 99th-percentile per-query latency (bucket resolution).
     pub p99: Duration,
-    /// Mean per-query latency.
+    /// Mean per-query latency (exact: histogram sum / count).
     pub mean: Duration,
-    /// Worst per-query latency.
+    /// Worst per-query latency (exact).
     pub max: Duration,
 }
 
 impl LatencySummary {
-    /// Summarizes a set of per-query latency samples (nanoseconds).
-    /// Returns the zero summary for an empty batch.
-    pub fn from_nanos(samples: &mut [u64]) -> LatencySummary {
-        if samples.is_empty() {
+    /// Summarizes a latency histogram (samples in nanoseconds). Returns
+    /// the zero summary for an empty histogram.
+    pub fn from_histogram(h: &Histogram) -> LatencySummary {
+        if h.count() == 0 {
             return LatencySummary::default();
         }
-        samples.sort_unstable();
-        let pick = |p: f64| {
-            // Nearest-rank percentile: ceil(p * n) - 1, clamped.
-            let rank = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
-            Duration::from_nanos(samples[rank.min(samples.len() - 1)])
-        };
-        let sum: u64 = samples.iter().sum();
         LatencySummary {
-            p50: pick(0.50),
-            p95: pick(0.95),
-            p99: pick(0.99),
-            mean: Duration::from_nanos(sum / samples.len() as u64),
-            max: Duration::from_nanos(*samples.last().unwrap()),
+            p50: Duration::from_nanos(h.percentile(0.50)),
+            p95: Duration::from_nanos(h.percentile(0.95)),
+            p99: Duration::from_nanos(h.percentile(0.99)),
+            mean: Duration::from_nanos((h.sum() / h.count() as u128) as u64),
+            max: Duration::from_nanos(h.max().unwrap_or(0)),
         }
     }
 }
 
+/// One worker's share of a batch. The *assignment* of queries to workers
+/// is dynamic (work stealing off an atomic cursor) and therefore not
+/// deterministic — only the merged totals are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Queries this worker claimed.
+    pub queries_claimed: u64,
+    /// Work counters summed over this worker's claimed queries.
+    pub stats: SearchStats,
+}
+
 /// Everything one batch returns: per-query results in input order, the
-/// aggregated work counters, and the throughput/latency measurements.
+/// aggregated work counters, throughput/latency measurements, the
+/// batch's work distributions, and per-worker breakdowns.
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-query nearest-first results, indexed like the input batch.
     pub results: Vec<Vec<Neighbor>>,
-    /// Work counters summed over the whole batch (partition-independent).
+    /// Work counters over the whole batch (partition-independent: sums
+    /// for `ndc`/`hops`, max for `pool_peak`).
     pub stats: SearchStats,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
-    /// Per-query latency distribution.
+    /// Per-query latency distribution (from [`BatchReport::latency_hist`]).
     pub latency: LatencySummary,
     /// Worker threads that served the batch.
     pub workers: usize,
+    /// Per-worker claim counts and work counters, indexed by worker.
+    pub per_worker: Vec<WorkerReport>,
+    /// Per-query latency histogram, nanoseconds.
+    pub latency_hist: Histogram,
+    /// Per-query NDC histogram (deterministic at any worker count).
+    pub ndc_hist: Histogram,
+    /// Per-query hop histogram (deterministic at any worker count).
+    pub hops_hist: Histogram,
 }
 
 impl BatchReport {
@@ -140,6 +171,15 @@ fn hash_query(query: &[f32]) -> u64 {
         }
     }
     h
+}
+
+/// Cumulative (cross-batch) distributions, updated once per batch under
+/// one short lock.
+#[derive(Default)]
+struct CumulativeHists {
+    latency: Histogram,
+    ndc: Histogram,
+    hops: Histogram,
 }
 
 /// A concurrent batch query engine over one built index.
@@ -170,12 +210,17 @@ fn hash_query(query: &[f32]) -> u64 {
 /// let report = engine.search_batch(&queries, 10, 40);
 /// assert_eq!(report.results.len(), queries.len());
 /// assert!(report.qps() > 0.0);
+/// let metrics = engine.metrics_prometheus();
+/// assert!(metrics.contains("weavess_queries_total 25"));
 /// ```
 pub struct QueryEngine<'a> {
     index: &'a dyn AnnIndex,
     ds: &'a Dataset,
     opts: EngineOptions,
     scratch: Mutex<Vec<SearchContext>>,
+    queries_total: ShardedCounter,
+    batches_total: ShardedCounter,
+    cumulative: Mutex<CumulativeHists>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -191,6 +236,9 @@ impl<'a> QueryEngine<'a> {
             ds,
             opts,
             scratch: Mutex::new(Vec::new()),
+            queries_total: ShardedCounter::new(),
+            batches_total: ShardedCounter::new(),
+            cumulative: Mutex::new(CumulativeHists::default()),
         }
     }
 
@@ -203,6 +251,66 @@ impl<'a> QueryEngine<'a> {
     /// bounded by the peak worker concurrency reached so far).
     pub fn pooled_contexts(&self) -> usize {
         self.scratch.lock().len()
+    }
+
+    /// Queries served since the engine was created (batched and
+    /// [`search_one`](Self::search_one)).
+    pub fn queries_served(&self) -> u64 {
+        self.queries_total.get()
+    }
+
+    /// Cumulative metrics in Prometheus text exposition format: query and
+    /// batch counters, pooled-context gauge, and latency/NDC/hop
+    /// histograms over every batched query served so far.
+    pub fn metrics_prometheus(&self) -> String {
+        let cum = self.cumulative.lock();
+        let mut out = String::new();
+        out.push_str(&prometheus_counter(
+            "weavess_queries_total",
+            "Queries served since engine creation.",
+            self.queries_total.get(),
+        ));
+        out.push_str(&prometheus_counter(
+            "weavess_batches_total",
+            "Batches served since engine creation.",
+            self.batches_total.get(),
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_pooled_contexts",
+            "Idle pooled search contexts.",
+            self.pooled_contexts() as f64,
+        ));
+        out.push_str(&prometheus_histogram(
+            "weavess_query_latency_nanoseconds",
+            "Per-query wall latency in nanoseconds.",
+            &cum.latency,
+        ));
+        out.push_str(&prometheus_histogram(
+            "weavess_query_ndc",
+            "Distance computations per query.",
+            &cum.ndc,
+        ));
+        out.push_str(&prometheus_histogram(
+            "weavess_query_hops",
+            "Expanded vertices per query.",
+            &cum.hops,
+        ));
+        out
+    }
+
+    /// The same cumulative metrics as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        let cum = self.cumulative.lock();
+        format!(
+            "{{\"queries_total\": {}, \"batches_total\": {}, \"pooled_contexts\": {}, \
+             \"latency_ns\": {}, \"ndc\": {}, \"hops\": {}}}",
+            self.queries_total.get(),
+            self.batches_total.get(),
+            self.pooled_contexts(),
+            json_histogram(&cum.latency),
+            json_histogram(&cum.ndc),
+            json_histogram(&cum.hops),
+        )
     }
 
     fn checkout(&self) -> SearchContext {
@@ -226,6 +334,28 @@ impl<'a> QueryEngine<'a> {
         let mut ctx = self.checkout();
         let out = self.run_query(query, k, beam, &mut ctx);
         self.restore(ctx);
+        self.queries_total.incr();
+        out
+    }
+
+    /// [`search_one`](Self::search_one) with a
+    /// [`RouteTracer`](crate::telemetry::RouteTracer) observing the
+    /// route — e.g. a [`crate::telemetry::RecordingTracer`] to capture a
+    /// dumpable per-hop trace of exactly how the index answered `query`.
+    pub fn search_one_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        beam: usize,
+        tracer: &mut dyn crate::telemetry::RouteTracer,
+    ) -> Vec<Neighbor> {
+        let mut ctx = self.checkout();
+        ctx.rng = StdRng::seed_from_u64(self.opts.seed ^ hash_query(query));
+        let out = self
+            .index
+            .search_traced(self.ds, query, k, beam, &mut ctx, tracer);
+        self.restore(ctx);
+        self.queries_total.incr();
         out
     }
 
@@ -242,7 +372,8 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Answers a whole batch across the worker pool, returning per-query
-    /// results in input order plus aggregated counters and latency.
+    /// results in input order plus aggregated counters, latency, work
+    /// histograms, and per-worker breakdowns.
     ///
     /// Queries are claimed dynamically (an atomic cursor), so stragglers
     /// don't idle the other workers; determinism is unaffected because
@@ -252,14 +383,19 @@ impl<'a> QueryEngine<'a> {
         let workers = self.opts.effective_workers().min(nq).max(1);
         let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(nq);
         results.resize_with(nq, Vec::new);
-        let mut lat = vec![0u64; nq];
         let mut stats = SearchStats::default();
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut latency_hist = Histogram::new();
+        let mut ndc_hist = Histogram::new();
+        let mut hops_hist = Histogram::new();
         let t0 = Instant::now();
 
         if nq > 0 {
             let cursor = AtomicUsize::new(0);
-            // Each worker returns (claimed indices, results, latencies,
-            // stats); the parent scatters them back into input order.
+            // Each worker returns (claimed queries with results and
+            // latencies, its per-worker report, its local histograms);
+            // the parent scatters results back into input order and
+            // merges the aggregates (order-independent by construction).
             let mut parts = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -267,6 +403,10 @@ impl<'a> QueryEngine<'a> {
                             let mut ctx = self.checkout();
                             let mut got: Vec<(usize, Vec<Neighbor>, u64)> =
                                 Vec::with_capacity(nq / workers + 1);
+                            let mut acc = SearchStats::default();
+                            let mut lat_h = Histogram::new();
+                            let mut ndc_h = Histogram::new();
+                            let mut hops_h = Histogram::new();
                             loop {
                                 let qi = cursor.fetch_add(1, Ordering::Relaxed);
                                 if qi >= nq {
@@ -275,11 +415,22 @@ impl<'a> QueryEngine<'a> {
                                 let tq = Instant::now();
                                 let res =
                                     self.run_query(queries.point(qi as u32), k, beam, &mut ctx);
-                                got.push((qi, res, tq.elapsed().as_nanos() as u64));
+                                let nanos = tq.elapsed().as_nanos() as u64;
+                                // Per-query counters: take what this query
+                                // added, fold into the worker total.
+                                let qstats = ctx.take_stats();
+                                acc.merge(qstats);
+                                lat_h.record(nanos);
+                                ndc_h.record(qstats.ndc);
+                                hops_h.record(qstats.hops);
+                                got.push((qi, res, nanos));
                             }
-                            let stats = ctx.take_stats();
                             self.restore(ctx);
-                            (got, stats)
+                            let report = WorkerReport {
+                                queries_claimed: got.len() as u64,
+                                stats: acc,
+                            };
+                            (got, report, lat_h, ndc_h, hops_h)
                         })
                     })
                     .collect();
@@ -288,22 +439,37 @@ impl<'a> QueryEngine<'a> {
                     .map(|h| h.join().expect("query worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for (got, part_stats) in parts.drain(..) {
-                stats.merge(part_stats);
-                for (qi, res, nanos) in got {
+            for (got, report, lat_h, ndc_h, hops_h) in parts.drain(..) {
+                stats.merge(report.stats);
+                latency_hist.merge(&lat_h);
+                ndc_hist.merge(&ndc_h);
+                hops_hist.merge(&hops_h);
+                per_worker.push(report);
+                for (qi, res, _) in got {
                     results[qi] = res;
-                    lat[qi] = nanos;
                 }
             }
         }
 
         let wall = t0.elapsed();
+        self.queries_total.add(nq as u64);
+        self.batches_total.incr();
+        {
+            let mut cum = self.cumulative.lock();
+            cum.latency.merge(&latency_hist);
+            cum.ndc.merge(&ndc_hist);
+            cum.hops.merge(&hops_hist);
+        }
         BatchReport {
             results,
             stats,
             wall,
-            latency: LatencySummary::from_nanos(&mut lat),
+            latency: LatencySummary::from_histogram(&latency_hist),
             workers,
+            per_worker,
+            latency_hist,
+            ndc_hist,
+            hops_hist,
         }
     }
 }
@@ -348,6 +514,49 @@ mod tests {
             let multi = run(workers);
             assert_eq!(multi.results, one.results, "workers={workers}");
             assert_eq!(multi.stats, one.stats, "workers={workers}");
+        }
+    }
+
+    /// The satellite determinism check: merged per-worker totals and the
+    /// per-query work histograms (and hence every derived percentile) are
+    /// identical at 1, 2, and 8 workers, even though each worker's own
+    /// claim set is scheduling-dependent.
+    #[test]
+    fn merged_worker_totals_and_histograms_are_partition_independent() {
+        let (ds, qs, idx) = setup(SeedStrategy::Random { count: 8 });
+        let run = |workers: usize| {
+            let engine = QueryEngine::with_options(
+                &idx,
+                &ds,
+                EngineOptions {
+                    workers,
+                    seed: 0xFEED,
+                },
+            );
+            engine.search_batch(&qs, 10, 40)
+        };
+        let one = run(1);
+        assert_eq!(one.per_worker.len(), 1);
+        assert_eq!(one.per_worker[0].stats, one.stats);
+        assert_eq!(one.per_worker[0].queries_claimed, qs.len() as u64);
+        for workers in [2usize, 8] {
+            let multi = run(workers);
+            assert_eq!(multi.per_worker.len(), workers.min(qs.len()));
+            let mut merged = SearchStats::default();
+            let mut claimed = 0u64;
+            for w in &multi.per_worker {
+                merged.merge(w.stats);
+                claimed += w.queries_claimed;
+            }
+            assert_eq!(merged, one.stats, "workers={workers}");
+            assert_eq!(claimed, qs.len() as u64, "workers={workers}");
+            // Per-query NDC/hop distributions merge order-independently.
+            assert_eq!(multi.ndc_hist, one.ndc_hist, "workers={workers}");
+            assert_eq!(multi.hops_hist, one.hops_hist, "workers={workers}");
+            assert_eq!(
+                multi.ndc_hist.percentile(0.95),
+                one.ndc_hist.percentile(0.95)
+            );
         }
     }
 
@@ -408,6 +617,21 @@ mod tests {
     }
 
     #[test]
+    fn traced_search_matches_untraced_and_replays() {
+        let (ds, qs, idx) = setup(SeedStrategy::Random { count: 8 });
+        let engine = QueryEngine::new(&idx, &ds);
+        let mut tracer = crate::telemetry::RecordingTracer::new();
+        for qi in 0..4u32 {
+            let q = qs.point(qi);
+            tracer.clear();
+            let traced = engine.search_one_traced(q, 10, 40, &mut tracer);
+            assert_eq!(traced, engine.search_one(q, 10, 40), "query {qi}");
+            assert!(tracer.hops() > 0);
+            assert!(tracer.replay_check(&ds, q));
+        }
+    }
+
+    #[test]
     fn empty_and_single_query_batches() {
         let (ds, qs, idx) = setup(SeedStrategy::Fixed(vec![0]));
         let engine = QueryEngine::new(&idx, &ds);
@@ -415,10 +639,15 @@ mod tests {
         assert!(empty.results.is_empty());
         assert_eq!(empty.stats, SearchStats::default());
         assert_eq!(empty.latency, LatencySummary::default());
+        assert!(empty.per_worker.iter().all(|w| w.queries_claimed == 0));
+        assert_eq!(empty.latency_hist.count(), 0);
         let single = engine.search_batch(&qs.subset(&[3]), 10, 40);
         assert_eq!(single.results.len(), 1);
         assert_eq!(single.results[0].len(), 10);
         assert!(single.latency.p50 > Duration::ZERO);
+        // A single sample is exact at every percentile.
+        assert_eq!(single.latency.p50, single.latency.max);
+        assert_eq!(single.ndc_hist.count(), 1);
     }
 
     #[test]
@@ -446,21 +675,50 @@ mod tests {
         let r = engine.search_batch(&qs, 10, 60);
         assert!(r.qps() > 0.0);
         assert!(r.stats.ndc > 0);
+        assert!(r.stats.pool_peak > 0);
         assert!(r.latency.p50 <= r.latency.p95);
         assert!(r.latency.p95 <= r.latency.p99);
         assert!(r.latency.p99 <= r.latency.max);
         assert!(r.latency.mean <= r.latency.max);
         assert!(r.wall >= r.latency.max / (r.workers as u32));
+        assert_eq!(r.latency_hist.count(), qs.len() as u64);
+        assert_eq!(r.ndc_hist.sum(), r.stats.ndc as u128);
+        assert_eq!(r.hops_hist.sum(), r.stats.hops as u128);
     }
 
     #[test]
-    fn latency_summary_percentiles() {
-        let mut nanos: Vec<u64> = (1..=100).collect();
-        let s = LatencySummary::from_nanos(&mut nanos);
-        assert_eq!(s.p50, Duration::from_nanos(50));
-        assert_eq!(s.p95, Duration::from_nanos(95));
-        assert_eq!(s.p99, Duration::from_nanos(99));
+    fn latency_summary_percentiles_at_bucket_resolution() {
+        // Samples 1..=100ns: bucket 6 covers 32..=63 (cumulative 63), so
+        // p50 reports 63; p95/p99 land in bucket 7 (64..=127), clamped to
+        // the observed max of 100. Mean and max are exact.
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = LatencySummary::from_histogram(&h);
+        assert_eq!(s.p50, Duration::from_nanos(63));
+        assert_eq!(s.p95, Duration::from_nanos(100));
+        assert_eq!(s.p99, Duration::from_nanos(100));
         assert_eq!(s.max, Duration::from_nanos(100));
         assert_eq!(s.mean, Duration::from_nanos(50));
+    }
+
+    #[test]
+    fn engine_metrics_accumulate_and_expose() {
+        let (ds, qs, idx) = setup(SeedStrategy::Fixed(vec![0]));
+        let engine = QueryEngine::new(&idx, &ds);
+        engine.search_batch(&qs, 5, 20);
+        engine.search_batch(&qs, 5, 20);
+        engine.search_one(qs.point(0), 5, 20);
+        let expect = 2 * qs.len() as u64 + 1;
+        assert_eq!(engine.queries_served(), expect);
+        let prom = engine.metrics_prometheus();
+        assert!(prom.contains(&format!("weavess_queries_total {expect}")));
+        assert!(prom.contains("weavess_batches_total 2"));
+        assert!(prom.contains("weavess_query_ndc_bucket{le=\"+Inf\"}"));
+        assert!(prom.contains("# TYPE weavess_query_latency_nanoseconds histogram"));
+        let json = engine.metrics_json();
+        assert!(json.contains(&format!("\"queries_total\": {expect}")));
+        assert!(json.contains("\"ndc\": {\"count\":"));
     }
 }

@@ -1,0 +1,147 @@
+//! Metric exposition: Prometheus text format and a JSON mirror.
+//!
+//! Dependency-free renderers for the serving layer's `/metrics`-style
+//! surface. The Prometheus output follows the text exposition format
+//! (`# HELP` / `# TYPE` headers, cumulative `_bucket{le="…"}` series plus
+//! `_sum` and `_count` for histograms); the JSON mirror carries the same
+//! numbers for programmatic consumers.
+
+use super::histogram::{bucket_upper_bound, Histogram, BUCKETS};
+
+/// Renders one counter in Prometheus text format.
+pub fn prometheus_counter(name: &str, help: &str, value: u64) -> String {
+    format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n")
+}
+
+/// Renders one gauge in Prometheus text format.
+pub fn prometheus_gauge(name: &str, help: &str, value: f64) -> String {
+    format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n")
+}
+
+/// Renders a [`Histogram`] in Prometheus text format: one cumulative
+/// `_bucket` line per non-empty octave (plus the mandatory `+Inf`
+/// bucket), then `_sum` and `_count`.
+pub fn prometheus_histogram(name: &str, help: &str, h: &Histogram) -> String {
+    let mut out = format!("# HELP {name} {help}\n# TYPE {name} histogram\n");
+    let counts = h.bucket_counts();
+    let mut cum = 0u64;
+    for (b, &c) in counts.iter().enumerate().take(BUCKETS - 1) {
+        cum += c;
+        if c > 0 {
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                bucket_upper_bound(b)
+            ));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+    out
+}
+
+/// Renders a [`Histogram`] as a JSON object with count/sum/min/max/mean,
+/// headline percentiles, and the non-empty buckets.
+pub fn json_histogram(h: &Histogram) -> String {
+    let mut buckets = String::new();
+    for (b, &c) in h.bucket_counts().iter().enumerate() {
+        if c > 0 {
+            if !buckets.is_empty() {
+                buckets.push_str(", ");
+            }
+            buckets.push_str(&format!(
+                "{{\"le\": {}, \"count\": {c}}}",
+                bucket_upper_bound(b)
+            ));
+        }
+    }
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \
+         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{buckets}]}}",
+        h.count(),
+        h.sum(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.mean(),
+        h.percentile(0.50),
+        h.percentile(0.95),
+        h.percentile(0.99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal line-format check: every non-comment line is
+    /// `name{labels} value` or `name value`, HELP/TYPE precede samples,
+    /// and bucket counts are cumulative and end with `+Inf == count`.
+    fn assert_prometheus_parses(text: &str) {
+        let mut saw_type = false;
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                saw_type |= line.starts_with("# TYPE ");
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment: {line}");
+            let (name_part, value) = line.rsplit_once(' ').expect("sample needs a value");
+            assert!(!name_part.is_empty());
+            if let Some(open) = name_part.find('{') {
+                assert!(name_part.ends_with('}'), "unclosed labels: {line}");
+                let labels = &name_part[open + 1..name_part.len() - 1];
+                for kv in labels.split(',') {
+                    let (k, v) = kv.split_once('=').expect("label needs =");
+                    assert!(!k.is_empty());
+                    assert!(v.starts_with('"') && v.ends_with('"'), "unquoted: {line}");
+                }
+            }
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value: {line}"
+            );
+        }
+        assert!(saw_type, "no TYPE line");
+    }
+
+    #[test]
+    fn counter_and_gauge_parse() {
+        assert_prometheus_parses(&prometheus_counter("weavess_queries_total", "Queries.", 42));
+        assert_prometheus_parses(&prometheus_gauge("weavess_up", "Up.", 1.0));
+    }
+
+    #[test]
+    fn histogram_parses_and_is_cumulative() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 100, 5000] {
+            h.record(v);
+        }
+        let text = prometheus_histogram("weavess_ndc", "NDC per query.", &h);
+        assert_prometheus_parses(&text);
+        // Cumulative buckets: last finite bucket <= +Inf == count.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("weavess_ndc_bucket{le=\"") {
+                let (le, v) = rest.split_once("\"} ").unwrap();
+                let v: u64 = v.parse().unwrap();
+                if le == "+Inf" {
+                    assert_eq!(v, h.count());
+                } else {
+                    assert!(v >= last, "not cumulative: {line}");
+                    last = v;
+                }
+            }
+        }
+        assert!(text.contains("weavess_ndc_sum 5105\n"));
+        assert!(text.contains("weavess_ndc_count 5\n"));
+    }
+
+    #[test]
+    fn json_histogram_carries_percentiles() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let j = json_histogram(&h);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"p50\": 10"));
+        assert!(j.contains("\"le\": 15"));
+    }
+}

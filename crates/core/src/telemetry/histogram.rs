@@ -1,0 +1,227 @@
+//! Log2-bucketed histograms for latency / NDC / hop distributions.
+//!
+//! The paper's measurement methodology (§5) reports distributions —
+//! per-query NDC, path length, latency percentiles — that `serve`
+//! previously recovered by sorting a `Vec<u64>` of raw samples. A
+//! histogram with power-of-two buckets answers the same percentile
+//! queries in O(1) memory, and — the property the serving layer actually
+//! needs — merges across workers with plain element-wise addition, which
+//! is commutative and associative, so the merged distribution is
+//! independent of how queries were partitioned.
+//!
+//! Resolution contract: a percentile is exact *within its bucket* —
+//! the reported value is the bucket's inclusive upper bound, clamped to
+//! the observed `[min, max]`. A single-sample histogram therefore reports
+//! that sample exactly, and relative error is bounded by 2× (one octave).
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `b ≥ 1` holds
+/// values in `[2^(b-1), 2^b - 1]`, and bucket 64 holds `[2^63, u64::MAX]`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    /// `u128` so the sum cannot overflow even at `u64::MAX` per sample.
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self` by element-wise addition. Commutative
+    /// and associative, so any merge order over any partition of the
+    /// samples yields the same histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts (index = [`bucket_of`]).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank percentile at bucket resolution: the inclusive upper
+    /// bound of the bucket holding the `ceil(p·count)`-th smallest sample,
+    /// clamped to the observed `[min, max]`. `p` is in `[0, 1]`; returns
+    /// 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.percentile(p), v, "v={v} p={p}");
+            }
+            assert_eq!(h.min(), Some(v));
+            assert_eq!(h.max(), Some(v));
+        }
+    }
+
+    #[test]
+    fn sum_survives_u64_max_samples() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), 2 * u64::MAX as u128);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        // 1..=100: bucket 6 covers 32..=63 (cumulative 63), bucket 7
+        // covers 64..=127 (cumulative 100, clamped to max 100).
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.50), 63);
+        assert_eq!(h.percentile(0.95), 100);
+        assert_eq!(h.mean(), 50.5);
+    }
+
+    #[test]
+    fn merge_equals_recording_all_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 3, 17, 1 << 40] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 5, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

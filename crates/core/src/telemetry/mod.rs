@@ -1,0 +1,28 @@
+//! The in-tree, dependency-free observability layer.
+//!
+//! The survey's methodology is measurement — NDC, path length,
+//! candidate-set size, per-component construction cost (§5, §6) — and
+//! this module makes the same introspection available *online*:
+//!
+//! - [`Histogram`]: log2-bucketed latency/NDC/hop distributions with
+//!   deterministic (order-independent) merge across workers;
+//! - [`ShardedCounter`]: cache-padded atomic counters for cumulative
+//!   serving metrics;
+//! - [`RouteTracer`] / [`NoopTracer`] / [`RecordingTracer`]: per-hop
+//!   route capture threaded through every routing strategy as a
+//!   monomorphized generic, free when off;
+//! - [`BuildProfile`] + [`span`]/[`profile_build`]: per-component
+//!   construction spans for all builders;
+//! - [`expose`]: Prometheus text + JSON exposition renderers behind
+//!   [`crate::serve::QueryEngine`]'s metrics surface.
+
+pub mod counter;
+pub mod expose;
+pub mod histogram;
+pub mod profile;
+pub mod tracer;
+
+pub use counter::ShardedCounter;
+pub use histogram::Histogram;
+pub use profile::{add_span_ndc, profile_build, span, BuildProfile, BuildSpan};
+pub use tracer::{NoopTracer, RecordingTracer, RouteEvent, RouteTracer};

@@ -1,0 +1,196 @@
+//! Route tracing: per-hop observation of a search, at zero cost when off.
+//!
+//! Every routing strategy takes a [`RouteTracer`] as a monomorphized
+//! generic. The default [`NoopTracer`] has empty inlined hooks, so the
+//! untraced search compiles to exactly the pre-tracing code; a
+//! [`RecordingTracer`] captures the route — seed scores and one event per
+//! expansion with `(hop index, vertex, distance, NDC so far, pool size)` —
+//! reproducing the paper's path-length and candidate-set analyses online
+//! for any single query.
+
+use weavess_data::vectors::VectorView;
+
+/// Observer of one query's route. All hooks default to nothing, so
+/// implementors override only what they need and the no-op case inlines
+/// away entirely.
+pub trait RouteTracer {
+    /// A seed entered the pool with its computed distance.
+    #[inline(always)]
+    fn on_seed(&mut self, _vertex: u32, _dist: f32) {}
+
+    /// A vertex is being expanded. `ndc_so_far` counts this query's
+    /// distance computations up to (and including) scoring this vertex;
+    /// `pool_len` is the candidate-pool occupancy at expansion time.
+    #[inline(always)]
+    fn on_hop(&mut self, _vertex: u32, _dist: f32, _ndc_so_far: u64, _pool_len: usize) {}
+}
+
+/// The default tracer: does nothing, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl RouteTracer for NoopTracer {}
+
+/// Forwarding impl so `&mut T` (including `&mut dyn RouteTracer`) is
+/// itself a tracer — what lets the object-safe
+/// [`crate::index::AnnIndex::search_traced`] feed the monomorphized
+/// search routines.
+impl<T: RouteTracer + ?Sized> RouteTracer for &mut T {
+    #[inline(always)]
+    fn on_seed(&mut self, vertex: u32, dist: f32) {
+        (**self).on_seed(vertex, dist);
+    }
+
+    #[inline(always)]
+    fn on_hop(&mut self, vertex: u32, dist: f32, ndc_so_far: u64, pool_len: usize) {
+        (**self).on_hop(vertex, dist, ndc_so_far, pool_len);
+    }
+}
+
+/// One recorded route event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouteEvent {
+    /// A scored seed.
+    Seed {
+        /// Seed vertex id.
+        vertex: u32,
+        /// Distance to the query.
+        dist: f32,
+    },
+    /// One expansion.
+    Hop {
+        /// 0-based hop index within this query.
+        hop: u32,
+        /// Expanded vertex id.
+        vertex: u32,
+        /// Distance of the expanded vertex to the query.
+        dist: f32,
+        /// Distance computations so far in this query.
+        ndc_so_far: u64,
+        /// Candidate-pool occupancy at expansion time.
+        pool_len: u32,
+    },
+}
+
+/// A tracer that records the whole route for dumping or replay.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingTracer {
+    /// The captured events, in traversal order.
+    pub events: Vec<RouteEvent>,
+    hops: u32,
+}
+
+impl RecordingTracer {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the recording for reuse on another query.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.hops = 0;
+    }
+
+    /// Number of hops recorded.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Byte-stable text dump of the route: one line per event, distances
+    /// printed as raw f32 bits (hex) alongside the decimal rendering so
+    /// the dump is identical across runs, thread counts, and platforms
+    /// whenever the traversal is.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match *e {
+                RouteEvent::Seed { vertex, dist } => {
+                    out.push_str(&format!(
+                        "seed v={vertex} dist={dist} bits={:08x}\n",
+                        dist.to_bits()
+                    ));
+                }
+                RouteEvent::Hop {
+                    hop,
+                    vertex,
+                    dist,
+                    ndc_so_far,
+                    pool_len,
+                } => {
+                    out.push_str(&format!(
+                        "hop {hop} v={vertex} dist={dist} bits={:08x} ndc={ndc_so_far} pool={pool_len}\n",
+                        dist.to_bits()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Replays the route against the dataset: recomputes every recorded
+    /// distance and checks it matches to the bit. `true` means the dump
+    /// is a faithful record of a search over `ds` for `query`.
+    pub fn replay_check(&self, ds: &(impl VectorView + ?Sized), query: &[f32]) -> bool {
+        self.events.iter().all(|e| {
+            let (v, d) = match *e {
+                RouteEvent::Seed { vertex, dist } => (vertex, dist),
+                RouteEvent::Hop { vertex, dist, .. } => (vertex, dist),
+            };
+            ds.dist_to(query, v).to_bits() == d.to_bits()
+        })
+    }
+}
+
+impl RouteTracer for RecordingTracer {
+    #[inline]
+    fn on_seed(&mut self, vertex: u32, dist: f32) {
+        self.events.push(RouteEvent::Seed { vertex, dist });
+    }
+
+    #[inline]
+    fn on_hop(&mut self, vertex: u32, dist: f32, ndc_so_far: u64, pool_len: usize) {
+        self.events.push(RouteEvent::Hop {
+            hop: self.hops,
+            vertex,
+            dist,
+            ndc_so_far,
+            pool_len: pool_len as u32,
+        });
+        self.hops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_tracer_counts_hops_and_dumps_stably() {
+        let mut t = RecordingTracer::new();
+        t.on_seed(3, 1.5);
+        t.on_hop(3, 1.5, 4, 2);
+        t.on_hop(7, 0.25, 9, 3);
+        assert_eq!(t.hops(), 2);
+        let d1 = t.dump();
+        let d2 = t.dump();
+        assert_eq!(d1, d2);
+        assert!(d1.starts_with("seed v=3 dist=1.5 bits=3fc00000\n"));
+        assert!(d1.contains("hop 1 v=7 dist=0.25 bits=3e800000 ndc=9 pool=3\n"));
+        t.clear();
+        assert!(t.events.is_empty());
+        assert_eq!(t.hops(), 0);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut t = RecordingTracer::new();
+        {
+            let mut r: &mut dyn RouteTracer = &mut t;
+            // Explicitly route through the blanket `&mut T` impl
+            // (Self = `&mut dyn RouteTracer`), the path `search_traced` uses.
+            <&mut dyn RouteTracer as RouteTracer>::on_seed(&mut r, 1, 2.0);
+        }
+        assert_eq!(t.events.len(), 1);
+    }
+}

@@ -89,6 +89,10 @@ proptest! {
             sc_b.next_epoch();
             let b = beam_search(&arena, &arena, q, &mapped, beam, &mut sc_b, &mut st_b);
             assert_pools_identical(&a, &to_original(&perm, b), "beam");
+            prop_assert!(
+                st_a.pool_peak >= 1 && st_a.pool_peak <= beam as u64,
+                "beam pool_peak {} out of [1, {beam}]", st_a.pool_peak
+            );
             prop_assert_eq!(st_a, st_b, "beam stats");
 
             let mut st_a = SearchStats::default();
@@ -98,6 +102,7 @@ proptest! {
             sc_b.next_epoch();
             let b = backtrack_search(&arena, &arena, q, &mapped, beam, 4, &mut sc_b, &mut st_b);
             assert_pools_identical(&a, &to_original(&perm, b), "backtrack");
+            prop_assert!(st_a.pool_peak >= 1, "backtrack pool_peak missing");
             prop_assert_eq!(st_a, st_b, "backtrack stats");
 
             let mut st_a = SearchStats::default();
@@ -107,6 +112,10 @@ proptest! {
             sc_b.next_epoch();
             let b = guided_search(&arena, &arena, q, &mapped, beam, &mut sc_b, &mut st_b);
             assert_pools_identical(&a, &to_original(&perm, b), "guided");
+            prop_assert!(
+                st_a.pool_peak >= 1 && st_a.pool_peak <= beam as u64,
+                "guided pool_peak {} out of [1, {beam}]", st_a.pool_peak
+            );
             prop_assert_eq!(st_a, st_b, "guided stats");
 
             // The predicate sees original ids on the left and renamed ids
@@ -125,6 +134,7 @@ proptest! {
                 &arena, &arena, q, &mapped, 5, beam, &renamed_pred, &mut sc_b, &mut st_b,
             );
             assert_pools_identical(&a, &to_original(&perm, b), "filtered");
+            prop_assert!(st_a.pool_peak >= 1, "filtered pool_peak missing");
             prop_assert_eq!(st_a, st_b, "filtered stats");
 
             let mut st_a = SearchStats::default();
@@ -134,6 +144,10 @@ proptest! {
             sc_b.next_epoch();
             let b = range_search(&arena, &arena, q, &mapped, beam, 0.2, &mut sc_b, &mut st_b);
             assert_pools_identical(&a, &to_original(&perm, b), "range");
+            prop_assert!(
+                st_a.pool_peak >= 1 && st_a.pool_peak <= ds.len() as u64,
+                "range pool_peak {} out of [1, n]", st_a.pool_peak
+            );
             prop_assert_eq!(st_a, st_b, "range stats");
         }
 

@@ -1,0 +1,327 @@
+//! Telemetry integration suite: the observability layer must never change
+//! what it observes.
+//!
+//! - Tracing with a [`NoopTracer`] (or a [`RecordingTracer`]) through any
+//!   of the five search routines is the identity: bit-identical neighbor
+//!   pools and equal [`SearchStats`].
+//! - A recorded route dumps byte-stably across runs and across indexes
+//!   built at different thread counts, and replays against the dataset.
+//! - Batch histograms and their percentiles are worker-count independent.
+//! - Histogram merge is commutative and associative, so any partition of
+//!   the samples yields the same distribution.
+//! - [`profile_build`] attributes per-component wall time (and NDC for
+//!   the search-based phases) for HNSW, NSG, and OA.
+
+use proptest::prelude::*;
+use weavess_core::algorithms::hnsw::{self, HnswParams};
+use weavess_core::algorithms::nsg::{self, NsgParams};
+use weavess_core::algorithms::oa::{self, OaParams};
+use weavess_core::index::AnnIndex;
+use weavess_core::search::{
+    backtrack_search, backtrack_search_traced, beam_search, beam_search_traced,
+    filtered_beam_search, filtered_beam_search_traced, guided_search, guided_search_traced,
+    range_search, range_search_traced, SearchScratch, SearchStats,
+};
+use weavess_core::serve::{EngineOptions, QueryEngine};
+use weavess_core::telemetry::{profile_build, Histogram, NoopTracer, RecordingTracer};
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::base::exact_knng;
+use weavess_graph::CsrGraph;
+
+fn setup(seed: u64, n: usize) -> (Dataset, Dataset, CsrGraph) {
+    let spec = MixtureSpec::table10(12, n, 3, 5.0, 4).with_seed(seed);
+    let (base, queries) = spec.generate();
+    let g = exact_knng(&base, 8, 1);
+    (base, queries, g)
+}
+
+fn assert_pools_identical(a: &[Neighbor], b: &[Neighbor], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: pool lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{what}: ids diverge");
+        assert_eq!(
+            x.dist.to_bits(),
+            y.dist.to_bits(),
+            "{what}: distance bits diverge at id {}",
+            x.id
+        );
+    }
+}
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merge is commutative and associative, and merging any partition
+    /// equals recording every sample into one histogram — the property
+    /// that makes batch distributions worker-count independent.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        b in prop::collection::vec(0u64..u64::MAX, 0..40),
+        c in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associativity");
+
+        let mut all: Vec<u64> = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &record_all(&all), "partition independence");
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ab_c.percentile(p), a_bc.percentile(p));
+        }
+    }
+
+    /// Tracing is the identity on every routine: same pools to the bit,
+    /// same `SearchStats` (including `pool_peak`), whether the tracer is
+    /// the no-op or a full recorder.
+    #[test]
+    fn tracing_is_identity_for_all_five_routines(
+        seed in 0u64..80,
+        beam in 4usize..40,
+    ) {
+        let (ds, qs, g) = setup(seed, 300);
+        let seeds = [0u32, 150, 299];
+        let mut sc_a = SearchScratch::new(ds.len());
+        let mut sc_b = SearchScratch::new(ds.len());
+        let q = qs.point(0);
+        let pred = |id: u32| id.is_multiple_of(3);
+
+        // beam: plain vs noop vs recording.
+        let mut st_a = SearchStats::default();
+        let mut st_b = SearchStats::default();
+        sc_a.next_epoch();
+        let a = beam_search(&ds, &g, q, &seeds, beam, &mut sc_a, &mut st_a);
+        sc_b.next_epoch();
+        let b = beam_search_traced(&ds, &g, q, &seeds, beam, &mut sc_b, &mut st_b, &mut NoopTracer);
+        assert_pools_identical(&a, &b, "beam noop");
+        prop_assert_eq!(st_a, st_b, "beam noop stats");
+        let mut rec = RecordingTracer::new();
+        let mut st_r = SearchStats::default();
+        sc_b.next_epoch();
+        let r = beam_search_traced(&ds, &g, q, &seeds, beam, &mut sc_b, &mut st_r, &mut rec);
+        assert_pools_identical(&a, &r, "beam recording");
+        prop_assert_eq!(st_a, st_r, "beam recording stats");
+        prop_assert_eq!(rec.hops() as u64, st_r.hops, "one event per hop");
+        prop_assert!(rec.replay_check(&ds, q), "recorded route must replay");
+
+        // backtrack.
+        let mut st_a = SearchStats::default();
+        let mut st_b = SearchStats::default();
+        sc_a.next_epoch();
+        let a = backtrack_search(&ds, &g, q, &seeds, beam, 4, &mut sc_a, &mut st_a);
+        sc_b.next_epoch();
+        let b = backtrack_search_traced(
+            &ds, &g, q, &seeds, beam, 4, &mut sc_b, &mut st_b, &mut NoopTracer,
+        );
+        assert_pools_identical(&a, &b, "backtrack noop");
+        prop_assert_eq!(st_a, st_b, "backtrack noop stats");
+
+        // guided.
+        let mut st_a = SearchStats::default();
+        let mut st_b = SearchStats::default();
+        sc_a.next_epoch();
+        let a = guided_search(&ds, &g, q, &seeds, beam, &mut sc_a, &mut st_a);
+        sc_b.next_epoch();
+        let b = guided_search_traced(&ds, &g, q, &seeds, beam, &mut sc_b, &mut st_b, &mut NoopTracer);
+        assert_pools_identical(&a, &b, "guided noop");
+        prop_assert_eq!(st_a, st_b, "guided noop stats");
+
+        // filtered.
+        let mut st_a = SearchStats::default();
+        let mut st_b = SearchStats::default();
+        sc_a.next_epoch();
+        let a = filtered_beam_search(&ds, &g, q, &seeds, 5, beam, &pred, &mut sc_a, &mut st_a);
+        sc_b.next_epoch();
+        let b = filtered_beam_search_traced(
+            &ds, &g, q, &seeds, 5, beam, &pred, &mut sc_b, &mut st_b, &mut NoopTracer,
+        );
+        assert_pools_identical(&a, &b, "filtered noop");
+        prop_assert_eq!(st_a, st_b, "filtered noop stats");
+
+        // range.
+        let mut st_a = SearchStats::default();
+        let mut st_b = SearchStats::default();
+        sc_a.next_epoch();
+        let a = range_search(&ds, &g, q, &seeds, beam, 0.2, &mut sc_a, &mut st_a);
+        sc_b.next_epoch();
+        let b = range_search_traced(
+            &ds, &g, q, &seeds, beam, 0.2, &mut sc_b, &mut st_b, &mut NoopTracer,
+        );
+        assert_pools_identical(&a, &b, "range noop");
+        prop_assert_eq!(st_a, st_b, "range noop stats");
+    }
+}
+
+/// The same query over the same (deterministically built) index produces
+/// the same route dump, byte for byte, whether the index was built with 1
+/// or 4 threads, and the dump replays against the dataset.
+#[test]
+fn route_dump_is_byte_stable_across_runs_and_build_threads() {
+    let spec = MixtureSpec::table10(12, 900, 4, 4.0, 6).with_seed(11);
+    let (base, queries) = spec.generate();
+    let q = queries.point(0);
+
+    let mut dumps = Vec::new();
+    for threads in [1usize, 4] {
+        let idx = nsg::build(&base, &NsgParams::tuned(threads, 3));
+        for _run in 0..2 {
+            let mut tracer = RecordingTracer::new();
+            let mut ctx = weavess_core::index::SearchContext::new(base.len());
+            let res = idx.search_traced(&base, q, 10, 40, &mut ctx, &mut tracer);
+            assert!(!res.is_empty());
+            assert!(tracer.hops() > 0, "route must record expansions");
+            assert!(tracer.replay_check(&base, q), "dump must replay");
+            dumps.push(tracer.dump());
+        }
+    }
+    for d in &dumps[1..] {
+        assert_eq!(&dumps[0], d, "route dump diverged across runs/threads");
+    }
+}
+
+/// Batch NDC/hop histograms, their percentiles, and the merged stats are
+/// identical at 1, 2, and 8 workers; only the dynamic assignment of
+/// queries to workers may differ.
+#[test]
+fn batch_histograms_are_worker_count_independent() {
+    let spec = MixtureSpec::table10(10, 800, 4, 4.0, 60).with_seed(5);
+    let (base, queries) = spec.generate();
+    let idx = nsg::build(&base, &NsgParams::tuned(2, 9));
+
+    let mut reference: Option<(Histogram, Histogram, SearchStats, Vec<Vec<Neighbor>>)> = None;
+    for workers in [1usize, 2, 8] {
+        let engine = QueryEngine::with_options(
+            &idx,
+            &base,
+            EngineOptions {
+                workers,
+                ..EngineOptions::default()
+            },
+        );
+        let report = engine.search_batch(&queries, 10, 40);
+        assert_eq!(report.workers, workers);
+        let claimed: u64 = report.per_worker.iter().map(|w| w.queries_claimed).sum();
+        assert_eq!(claimed, queries.len() as u64);
+        let worker_ndc: u64 = report.per_worker.iter().map(|w| w.stats.ndc).sum();
+        assert_eq!(
+            worker_ndc, report.stats.ndc,
+            "per-worker NDC must sum to the batch total"
+        );
+        match &reference {
+            None => {
+                reference = Some((
+                    report.ndc_hist.clone(),
+                    report.hops_hist.clone(),
+                    report.stats,
+                    report.results,
+                ))
+            }
+            Some((ndc, hops, stats, results)) => {
+                assert_eq!(&report.ndc_hist, ndc, "NDC histogram at {workers} workers");
+                assert_eq!(
+                    &report.hops_hist, hops,
+                    "hop histogram at {workers} workers"
+                );
+                assert_eq!(&report.stats, stats, "merged stats at {workers} workers");
+                for (a, b) in results.iter().zip(&report.results) {
+                    assert_pools_identical(a, b, "batch results");
+                }
+                for p in [0.5, 0.95, 0.99] {
+                    assert_eq!(report.ndc_hist.percentile(p), ndc.percentile(p));
+                    assert_eq!(report.hops_hist.percentile(p), hops.percentile(p));
+                }
+            }
+        }
+    }
+}
+
+/// `profile_build` attributes per-component cost for representative
+/// builders of all three init families: HNSW (incremental insertion),
+/// NSG (KNNG refinement), OA (NN-descent + angular selection).
+#[test]
+fn build_profiles_cover_hnsw_nsg_oa() {
+    let spec = MixtureSpec::table10(10, 700, 3, 4.0, 2).with_seed(21);
+    let (base, _) = spec.generate();
+
+    let (_, hnsw_profile) = profile_build("HNSW", || hnsw::build(&base, &HnswParams::tuned(2, 4)));
+    assert_eq!(hnsw_profile.name, "HNSW");
+    for component in ["C1 init", "C2+C3 insertion", "freeze"] {
+        assert!(
+            hnsw_profile.span_secs(component).is_some(),
+            "HNSW profile missing {component}: {:?}",
+            hnsw_profile.spans
+        );
+    }
+    let insertion = hnsw_profile
+        .spans
+        .iter()
+        .find(|s| s.component == "C2+C3 insertion")
+        .unwrap();
+    assert!(insertion.ndc > 0, "insertion phase must attribute NDC");
+
+    let (_, nsg_profile) = profile_build("NSG", || nsg::build(&base, &NsgParams::tuned(2, 4)));
+    for component in [
+        "C1 init",
+        "C2+C3 candidates+selection",
+        "C5 connectivity",
+        "freeze",
+    ] {
+        assert!(
+            nsg_profile.span_secs(component).is_some(),
+            "NSG profile missing {component}: {:?}",
+            nsg_profile.spans
+        );
+    }
+    let refine = nsg_profile
+        .spans
+        .iter()
+        .find(|s| s.component == "C2+C3 candidates+selection")
+        .unwrap();
+    assert!(refine.ndc > 0, "NSG refinement must attribute NDC");
+
+    let (_, oa_profile) = profile_build("OA", || oa::build(&base, &OaParams::tuned(2, 4)));
+    for component in [
+        "C1 init",
+        "C2+C3 candidates+selection",
+        "C4 seeds",
+        "C5 connectivity",
+        "freeze",
+    ] {
+        assert!(
+            oa_profile.span_secs(component).is_some(),
+            "OA profile missing {component}: {:?}",
+            oa_profile.spans
+        );
+    }
+
+    for p in [&hnsw_profile, &nsg_profile, &oa_profile] {
+        assert!(p.total_secs > 0.0);
+        assert!(p.spans.iter().all(|s| s.secs >= 0.0));
+        let json = p.to_json();
+        assert!(json.contains("\"total_secs\""));
+        assert!(json.contains("\"spans\""));
+    }
+}
