@@ -1,0 +1,381 @@
+//! Sharded serving-tier benchmark — the `BENCH_serve.json` artifact.
+//!
+//! Two halves, matching the tier's two promises:
+//!
+//! 1. **Determinism.** With an exact per-shard configuration (every shard
+//!    point seeded, beam ≥ shard size) the scatter-gather results at 1,
+//!    2, 4, and 8 shards must be bit-identical to the unsharded engine,
+//!    for all five search routines — the invariant
+//!    `crates/core/tests/sharding.rs` certifies; this binary re-checks it
+//!    on its own data and records `results_identical` in the artifact.
+//! 2. **Serving under load.** A realistic configuration (NSG shards,
+//!    finite beam) behind the admission queue, driven by an *open-loop*
+//!    arrival process: inter-arrival gaps are drawn `-ln(U)/λ` from a
+//!    seeded RNG (Poisson-like), client threads fire at the schedule
+//!    regardless of completions, and latency is measured from the
+//!    *scheduled* arrival — so queueing delay under overload is charged
+//!    to the server, not silently absorbed (no coordinated omission).
+//!    The sweep reports achieved QPS and p50/p95/p99 per offered rate,
+//!    plus queue coalescing stats and the fleet's merged metrics.
+//!
+//! `--smoke` shrinks everything for CI and exits non-zero if the
+//! determinism check fails.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use weavess_bench::report::{banner, f, Table};
+use weavess_core::algorithms::nsg::{self, NsgParams};
+use weavess_core::components::seeds::SeedStrategy;
+use weavess_core::index::FlatIndex;
+use weavess_core::locality::{LayoutIndex, NodeLayout};
+use weavess_core::search::Router;
+use weavess_core::serve::{EngineOptions, QueryEngine};
+use weavess_core::shard::{BatchQueue, QueueOptions, ShardSet, ShardedEngine};
+use weavess_core::telemetry::Histogram;
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::base::exact_knng;
+
+const K: usize = 10;
+const PARTITION_SEED: u64 = 0xD15C0;
+const ARRIVAL_SEED: u64 = 0xA221;
+
+fn identical(a: &[Vec<Neighbor>], b: &[Vec<Neighbor>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|(p, q)| p.id == q.id && p.dist.to_bits() == q.dist.to_bits())
+        })
+}
+
+/// The exact per-shard configuration: all points seeded, so any router
+/// with beam ≥ shard size returns the true local top-k.
+fn exact_flat(ds: &Dataset, router: &Router) -> FlatIndex {
+    FlatIndex {
+        name: "exact",
+        graph: exact_knng(ds, 4, 1),
+        seeds: SeedStrategy::Fixed((0..ds.len() as u32).collect()),
+        router: router.clone(),
+    }
+}
+
+/// Checks merged-vs-unsharded bit identity for one router across shard
+/// counts; returns false (and prints the first divergence) on mismatch.
+fn identity_check(base: &Dataset, queries: &Dataset, router: &Router, counts: &[usize]) -> bool {
+    let beam = base.len();
+    let flat = exact_flat(base, router);
+    let index = LayoutIndex::try_from_flat(flat, base, NodeLayout::Split, false)
+        .expect("unsharded exact index");
+    let unsharded = QueryEngine::with_options(
+        &index,
+        base,
+        EngineOptions {
+            workers: 2,
+            seed: 42,
+        },
+    );
+    let reference = unsharded.search_batch(queries, K, beam).results;
+    for &shards in counts {
+        let set = ShardSet::build(
+            base,
+            shards,
+            PARTITION_SEED,
+            NodeLayout::Split,
+            false,
+            0,
+            |ds: &Dataset, _| exact_flat(ds, router),
+        )
+        .expect("shard build");
+        let engine = ShardedEngine::with_options(
+            &set,
+            EngineOptions {
+                workers: 2,
+                seed: 42,
+            },
+        );
+        let merged = engine.search_batch(queries, K, beam).results;
+        if !identical(&merged, &reference) {
+            eprintln!("DIVERGENCE: {router:?} at {shards} shards");
+            return false;
+        }
+    }
+    true
+}
+
+struct SweepPoint {
+    offered_qps: f64,
+    achieved_qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    queries: u64,
+    batches: u64,
+    mean_batch: f64,
+}
+
+/// One open-loop run at `offered_qps`: `n_arrivals` scheduled arrivals
+/// with exponential gaps, fired by `clients` threads (thread `j` owns
+/// arrivals `i ≡ j mod clients`), each blocking on the queue and charging
+/// latency from the scheduled instant.
+fn open_loop_run(
+    queue: &BatchQueue<'_, ShardedEngine<'_>>,
+    queries: &Dataset,
+    offered_qps: f64,
+    n_arrivals: usize,
+    clients: usize,
+) -> SweepPoint {
+    let mut rng = StdRng::seed_from_u64(ARRIVAL_SEED ^ offered_qps.to_bits());
+    let mut schedule = Vec::with_capacity(n_arrivals);
+    let mut t = 0.0f64;
+    for _ in 0..n_arrivals {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / offered_qps;
+        schedule.push(Duration::from_secs_f64(t));
+    }
+
+    let before = queue.stats();
+    let start = Instant::now();
+    let hists: Vec<Histogram> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    let mut lat = Histogram::new();
+                    let nq = queries.len() as u32;
+                    for (i, &sched) in schedule.iter().enumerate().skip(c).step_by(clients) {
+                        if let Some(wait) = sched.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let qi = i as u32 % nq;
+                        std::hint::black_box(queue.submit(queries.point(qi)));
+                        // From the *scheduled* arrival: late starts (a
+                        // blocked client) count against the server.
+                        let done = start.elapsed();
+                        lat.record(done.saturating_sub(sched).as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+    let after = queue.stats();
+
+    let mut latency = Histogram::new();
+    for h in &hists {
+        latency.merge(h);
+    }
+    let queries_run = after.queries_total - before.queries_total;
+    let batches = after.batches_total - before.batches_total;
+    SweepPoint {
+        offered_qps,
+        achieved_qps: n_arrivals as f64 / wall.as_secs_f64().max(1e-12),
+        p50_us: latency.percentile(50.0) as f64 / 1_000.0,
+        p95_us: latency.percentile(95.0) as f64 / 1_000.0,
+        p99_us: latency.percentile(99.0) as f64 / 1_000.0,
+        queries: queries_run,
+        batches,
+        mean_batch: queries_run as f64 / (batches as f64).max(1.0),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mode = if cfg!(feature = "paper-fidelity") {
+        "paper-fidelity"
+    } else {
+        "default"
+    };
+
+    // --- Half 1: the determinism invariant, exact shards. ---
+    let (n_exact, nq_exact) = if smoke { (600, 16) } else { (2_000, 48) };
+    let (exact_base, exact_queries) = MixtureSpec::table10(16, n_exact, 3, 5.0, nq_exact)
+        .with_seed(99)
+        .generate();
+    let shard_counts = [1usize, 2, 4, 8];
+    let routers = [
+        Router::BestFirst,
+        Router::Range { epsilon: 0.1 },
+        Router::Backtrack { extra: 4 },
+        Router::Guided,
+        Router::TwoStage {
+            stage1_beam_frac: 1.0,
+        },
+    ];
+    banner(&format!(
+        "Sharded serving bench (mode={mode}, host cores={host}) — determinism: \
+         n={n_exact}, {} routers x shards {:?}",
+        routers.len(),
+        shard_counts
+    ));
+    let mut results_identical = true;
+    let mut id_table = Table::new(vec!["router", "shards checked", "bit-identical"]);
+    for router in &routers {
+        let ok = identity_check(&exact_base, &exact_queries, router, &shard_counts);
+        results_identical &= ok;
+        id_table.row(vec![
+            format!("{router:?}"),
+            format!("{shard_counts:?}"),
+            ok.to_string(),
+        ]);
+    }
+    id_table.print();
+
+    // --- Half 2: open-loop QPS sweep on a realistic fleet. ---
+    let (n, dim, nq, shards) = if smoke {
+        (1_500, 16, 50, 2)
+    } else {
+        (12_000, 32, 200, 4)
+    };
+    let (base, queries) = MixtureSpec {
+        intrinsic_dim: Some(12),
+        noise: 0.05,
+        shared_subspace: true,
+        ..MixtureSpec::table10(dim, n, 8, 5.0, nq)
+    }
+    .with_seed(7)
+    .generate();
+    banner(&format!(
+        "Building {shards}-shard NSG fleet (n={n}, dim={dim})"
+    ));
+    let t0 = Instant::now();
+    let set = ShardSet::build(
+        &base,
+        shards,
+        PARTITION_SEED,
+        NodeLayout::Fused,
+        true,
+        0,
+        |ds: &Dataset, s| nsg::build(ds, &NsgParams::tuned(host, 7 + s as u64)),
+    )
+    .expect("fleet build");
+    let build_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "built in {} s, {} points, {:.1} MiB of index",
+        f(build_secs, 2),
+        set.total_points(),
+        set.memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    let engine = ShardedEngine::with_options(
+        &set,
+        EngineOptions {
+            workers: (host / shards).max(1),
+            seed: 42,
+        },
+    );
+    let queue_opts = QueueOptions {
+        max_batch: 32,
+        max_delay: Duration::from_millis(1),
+        k: K,
+        beam: 64,
+    };
+    let queue = BatchQueue::new(&engine, queue_opts.clone());
+
+    let rates: &[f64] = if smoke {
+        &[200.0, 500.0]
+    } else {
+        &[500.0, 1_000.0, 2_000.0, 4_000.0]
+    };
+    let clients = (host * 2).clamp(4, 32);
+    // Warm the shard engines and the queue path before timing.
+    for qi in 0..queries.len().min(16) as u32 {
+        std::hint::black_box(queue.submit(queries.point(qi)));
+    }
+
+    banner(&format!(
+        "Open-loop sweep (Poisson-like arrivals, seed {ARRIVAL_SEED:#x}, {clients} clients, \
+         max_batch={}, max_delay={:?})",
+        queue_opts.max_batch, queue_opts.max_delay
+    ));
+    let mut sweep = Vec::new();
+    let mut sweep_table = Table::new(vec![
+        "offered QPS",
+        "achieved QPS",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "batches",
+        "mean batch",
+    ]);
+    for &rate in rates {
+        // ~1 second of traffic per point, capped so smoke stays quick.
+        let n_arrivals = (rate as usize).clamp(50, 4_000);
+        let point = open_loop_run(&queue, &queries, rate, n_arrivals, clients);
+        sweep_table.row(vec![
+            f(point.offered_qps, 0),
+            f(point.achieved_qps, 0),
+            f(point.p50_us, 0),
+            f(point.p95_us, 0),
+            f(point.p99_us, 0),
+            point.batches.to_string(),
+            f(point.mean_batch, 2),
+        ]);
+        sweep.push(point);
+    }
+    sweep_table.print();
+
+    let fleet = engine.fleet_report();
+    banner("Fleet metrics (Prometheus, first lines)");
+    for line in fleet.to_prometheus().lines().take(8) {
+        println!("  {line}");
+    }
+
+    // --- Artifact. ---
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"p50_us\": {:.1}, \
+                 \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"queries\": {}, \"batches\": {}, \
+                 \"mean_batch\": {:.2}}}",
+                p.offered_qps,
+                p.achieved_qps,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us,
+                p.queries,
+                p.batches,
+                p.mean_batch,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
+         \"host_available_parallelism\": {host},\n  \
+         \"determinism\": {{\"n\": {n_exact}, \"queries\": {nq_exact}, \
+         \"partition_seed\": {PARTITION_SEED}, \"shard_counts\": [1, 2, 4, 8], \
+         \"routers\": {}, \"results_identical\": {results_identical}}},\n  \
+         \"fleet\": {{\"n\": {n}, \"dim\": {dim}, \"shards\": {shards}, \
+         \"algo\": \"NSG\", \"build_secs\": {build_secs:.2}, \
+         \"workers_per_shard\": {}, \"k\": {K}, \"beam\": {}}},\n  \
+         \"queue\": {{\"max_batch\": {}, \"max_delay_us\": {}, \"clients\": {clients}, \
+         \"arrival_seed\": {ARRIVAL_SEED}}},\n  \
+         \"sweep\": [\n    {}\n  ],\n  \"fleet_metrics\": {}\n}}\n",
+        routers.len(),
+        (host / shards).max(1),
+        queue_opts.beam,
+        queue_opts.max_batch,
+        queue_opts.max_delay.as_micros(),
+        sweep_json.join(",\n    "),
+        fleet.to_json(),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    if !results_identical {
+        eprintln!("FAIL: sharded results diverged from the unsharded engine");
+        std::process::exit(1);
+    }
+    println!(
+        "determinism: {} routers bit-identical across shards {:?}",
+        routers.len(),
+        shard_counts
+    );
+}

@@ -8,6 +8,48 @@ use rand::SeedableRng;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::CsrGraph;
 
+/// A typed construction failure for index layers that wrap a dataset.
+///
+/// The panicking constructors predate the sharded tier; once a seeded
+/// partition can hand a builder an arbitrarily small (or, for `n <
+/// shards`, empty) slice of the dataset, "empty input" stops being a
+/// programmer error and becomes a runtime condition callers must be able
+/// to match on. The `try_*` constructors return this instead of
+/// asserting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexError {
+    /// The dataset (or shard) holds no points.
+    EmptyDataset {
+        /// Which constructor rejected the input.
+        context: &'static str,
+    },
+    /// The graph and the dataset disagree on the number of points.
+    SizeMismatch {
+        /// Vertices in the graph.
+        graph: usize,
+        /// Points in the dataset.
+        dataset: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::EmptyDataset { context } => {
+                write!(f, "{context}: dataset holds no points")
+            }
+            IndexError::SizeMismatch { graph, dataset } => {
+                write!(
+                    f,
+                    "graph has {graph} vertices but dataset has {dataset} points"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 /// Per-thread reusable search state: the search scratch (visited pool,
 /// candidate pool, batch-scoring buffers), the seed RNG, and the work
 /// counters. One context serves any number of queries against indexes

@@ -37,6 +37,12 @@
 //! - [`serve`]: the concurrent batch query engine
 //!   ([`serve::QueryEngine`]) — per-worker scratch pooling, deterministic
 //!   results at any worker count, batch QPS/latency accounting.
+//! - [`shard`]: the sharded scatter-gather serving tier — seeded
+//!   deterministic partitioning, one engine per shard behind
+//!   [`shard::ShardedEngine`], an order-stable top-k merge (results
+//!   independent of shard count when shards answer exactly), a
+//!   latency-budgeted admission queue ([`shard::BatchQueue`]), and
+//!   fleet-level metrics ([`shard::FleetReport`]).
 //! - [`telemetry`]: the observability layer — log2-bucketed histograms,
 //!   sharded counters, per-hop route tracing
 //!   ([`telemetry::RouteTracer`]), build-phase spans
@@ -53,10 +59,16 @@ pub mod pipeline;
 pub mod quantized;
 pub mod search;
 pub mod serve;
+pub mod shard;
 pub mod telemetry;
 
-pub use index::{AnnIndex, FlatIndex, SearchContext};
+pub use index::{AnnIndex, FlatIndex, IndexError, SearchContext};
 pub use locality::{LayoutIndex, LayoutStats, NodeLayout};
 pub use search::{Router, SearchStats};
-pub use serve::{BatchReport, EngineOptions, LatencySummary, QueryEngine, WorkerReport};
+pub use serve::{
+    BatchReport, EngineOptions, EngineSnapshot, LatencySummary, QueryEngine, WorkerReport,
+};
+pub use shard::{
+    BatchQueue, FleetReport, QueueOptions, ShardError, ShardSet, ShardedBatchReport, ShardedEngine,
+};
 pub use telemetry::{BuildProfile, NoopTracer, RecordingTracer, RouteTracer};

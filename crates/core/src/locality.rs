@@ -12,7 +12,7 @@
 //! where the remaining QPS lives. `layout_bench` sweeps the matrix.
 
 use crate::components::SeedStrategy;
-use crate::index::{AnnIndex, FlatIndex, SearchContext};
+use crate::index::{AnnIndex, FlatIndex, IndexError, SearchContext};
 use crate::search::Router;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::reorder::{bfs_order, Permutation};
@@ -77,10 +77,39 @@ impl LayoutIndex {
     /// Re-hosts `flat` (consumed — [`SeedStrategy`] owns its trees) on the
     /// chosen layout. `reorder` renumbers vertices by a BFS from the
     /// dataset medoid before laying them out.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or a graph/dataset size mismatch; use
+    /// [`LayoutIndex::try_from_flat`] where those are runtime conditions
+    /// (e.g. building over a partitioned shard).
     pub fn from_flat(flat: FlatIndex, ds: &Dataset, layout: NodeLayout, reorder: bool) -> Self {
-        assert_eq!(flat.graph.len(), ds.len(), "graph/dataset size mismatch");
+        Self::try_from_flat(flat, ds, layout, reorder).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LayoutIndex::from_flat`]: returns a typed error instead
+    /// of panicking when the dataset is empty (reordering needs a medoid
+    /// and an empty index cannot answer anything) or when the graph does
+    /// not match the dataset — both real hazards once a seeded partition
+    /// can produce arbitrarily small shards.
+    pub fn try_from_flat(
+        flat: FlatIndex,
+        ds: &Dataset,
+        layout: NodeLayout,
+        reorder: bool,
+    ) -> Result<Self, IndexError> {
+        if ds.is_empty() {
+            return Err(IndexError::EmptyDataset {
+                context: "LayoutIndex",
+            });
+        }
+        if flat.graph.len() != ds.len() {
+            return Err(IndexError::SizeMismatch {
+                graph: flat.graph.len(),
+                dataset: ds.len(),
+            });
+        }
         let perm = reorder.then(|| bfs_order(&flat.graph, ds.medoid()));
-        Self::assemble(
+        Ok(Self::assemble(
             flat.name,
             flat.router,
             flat.seeds,
@@ -88,7 +117,7 @@ impl LayoutIndex {
             &flat.graph,
             ds,
             layout,
-        )
+        ))
     }
 
     /// Assembles the store from a graph in *original* id space plus the

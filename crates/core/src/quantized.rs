@@ -3,6 +3,7 @@
 //! encoding with graph-based ANNS (the memory side of the trade-off the
 //! paper's Table 5 "MO" column measures).
 
+use crate::index::IndexError;
 use crate::search::{beam_search, SearchScratch, SearchStats};
 use weavess_data::neighbor::insert_into_pool;
 use weavess_data::quant::Sq8Dataset;
@@ -26,14 +27,36 @@ pub struct QuantizedIndex {
 
 impl QuantizedIndex {
     /// Wraps a built graph with quantized routing.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or a graph/dataset size mismatch; use
+    /// [`QuantizedIndex::try_new`] where those are runtime conditions.
     pub fn new(graph: CsrGraph, ds: &Dataset, entries: Vec<u32>) -> Self {
-        assert_eq!(graph.len(), ds.len());
-        QuantizedIndex {
+        Self::try_new(graph, ds, entries).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`QuantizedIndex::new`]: returns a typed error instead of
+    /// panicking when the dataset is empty (SQ8 training has no ranges to
+    /// fit) or when the graph does not cover the dataset — conditions a
+    /// seeded shard partition can legitimately produce.
+    pub fn try_new(graph: CsrGraph, ds: &Dataset, entries: Vec<u32>) -> Result<Self, IndexError> {
+        if ds.is_empty() {
+            return Err(IndexError::EmptyDataset {
+                context: "QuantizedIndex",
+            });
+        }
+        if graph.len() != ds.len() {
+            return Err(IndexError::SizeMismatch {
+                graph: graph.len(),
+                dataset: ds.len(),
+            });
+        }
+        Ok(QuantizedIndex {
             codes: Sq8Dataset::quantize(ds),
             graph,
             entries,
             arena: None,
-        }
+        })
     }
 
     /// Switches routing to a fused adjacency+codes arena. The split

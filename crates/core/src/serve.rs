@@ -182,6 +182,24 @@ struct CumulativeHists {
     hops: Histogram,
 }
 
+/// A point-in-time copy of one engine's cumulative metrics — the unit a
+/// fleet-level aggregator (the sharded tier's
+/// [`FleetReport`](crate::shard::FleetReport)) merges across engines.
+/// All fields merge with associative, commutative operations.
+#[derive(Debug, Clone, Default)]
+pub struct EngineSnapshot {
+    /// Queries served since engine creation.
+    pub queries_total: u64,
+    /// Batches served since engine creation.
+    pub batches_total: u64,
+    /// Per-query wall latency, nanoseconds.
+    pub latency: Histogram,
+    /// Per-query distance computations.
+    pub ndc: Histogram,
+    /// Per-query expanded vertices.
+    pub hops: Histogram,
+}
+
 /// A concurrent batch query engine over one built index.
 ///
 /// The engine is `Sync`: one instance may serve overlapping
@@ -257,6 +275,28 @@ impl<'a> QueryEngine<'a> {
     /// [`search_one`](Self::search_one)).
     pub fn queries_served(&self) -> u64 {
         self.queries_total.get()
+    }
+
+    /// Batches served since the engine was created.
+    pub fn batches_served(&self) -> u64 {
+        self.batches_total.get()
+    }
+
+    /// The dataset this engine serves.
+    pub fn dataset(&self) -> &Dataset {
+        self.ds
+    }
+
+    /// A copy of the cumulative metrics, for fleet-level aggregation.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let cum = self.cumulative.lock();
+        EngineSnapshot {
+            queries_total: self.queries_total.get(),
+            batches_total: self.batches_total.get(),
+            latency: cum.latency.clone(),
+            ndc: cum.ndc.clone(),
+            hops: cum.hops.clone(),
+        }
     }
 
     /// Cumulative metrics in Prometheus text exposition format: query and

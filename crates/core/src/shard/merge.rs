@@ -1,0 +1,86 @@
+//! The scatter-gather merge: global top-k from per-shard top-k pools.
+//!
+//! The merge is a k-select over the union of the pools under the total
+//! `(distance, global id)` order of [`weavess_data::Neighbor`]. Squared
+//! Euclidean distances are non-negative, so `f32::total_cmp` ranks them
+//! exactly like their raw bit patterns — the "distance-bits then
+//! global-id" tiebreak that makes the merged result *order-stable*: for a
+//! fixed set of candidates it is independent of how they were split
+//! across shards, of the order shards report in, and of whether pools are
+//! merged pairwise or all at once (commutative and associative, the law
+//! `crates/core/tests/sharding.rs` property-tests).
+
+use weavess_data::Neighbor;
+
+/// Merges per-shard pools (each nearest-first, ids in the *global* id
+/// space) into the global top-`k`, nearest-first.
+///
+/// Equal-distance candidates are ordered by global id — exactly the order
+/// an unsharded search pool uses — so ties at shard boundaries resolve
+/// identically for any shard count.
+pub fn merge_topk(pools: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = Vec::with_capacity(pools.iter().map(Vec::len).sum());
+    for pool in pools {
+        all.extend_from_slice(pool);
+    }
+    // Neighbor's Ord is (total_cmp(dist), id): for the non-negative
+    // distances this workspace produces, bit order == numeric order.
+    all.sort_unstable();
+    all.truncate(k);
+    all
+}
+
+/// Pairwise form of [`merge_topk`] — the shape a gather tree uses when
+/// combining shard responses as they arrive.
+pub fn merge_two(a: &[Neighbor], b: &[Neighbor], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = Vec::with_capacity(a.len() + b.len());
+    all.extend_from_slice(a);
+    all.extend_from_slice(b);
+    all.sort_unstable();
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32, dist: f32) -> Neighbor {
+        Neighbor::new(id, dist)
+    }
+
+    #[test]
+    fn merge_selects_global_k_smallest() {
+        let a = vec![n(0, 1.0), n(2, 3.0)];
+        let b = vec![n(1, 2.0), n(3, 4.0)];
+        assert_eq!(
+            merge_topk(&[a, b], 3),
+            vec![n(0, 1.0), n(1, 2.0), n(2, 3.0)]
+        );
+    }
+
+    #[test]
+    fn ties_resolve_by_global_id() {
+        let a = vec![n(7, 1.0)];
+        let b = vec![n(3, 1.0)];
+        let m = merge_topk(&[a.clone(), b.clone()], 1);
+        assert_eq!(m, vec![n(3, 1.0)]);
+        assert_eq!(m, merge_topk(&[b, a], 1), "pool order must not matter");
+    }
+
+    #[test]
+    fn pairwise_equals_flat_merge() {
+        let a = vec![n(0, 0.5), n(4, 2.5)];
+        let b = vec![n(1, 1.5)];
+        let c = vec![n(2, 0.25), n(3, 3.5)];
+        let flat = merge_topk(&[a.clone(), b.clone(), c.clone()], 3);
+        let ab = merge_two(&a, &b, 3);
+        assert_eq!(merge_two(&ab, &c, 3), flat);
+    }
+
+    #[test]
+    fn merge_of_empty_pools_is_empty() {
+        assert!(merge_topk(&[], 5).is_empty());
+        assert!(merge_topk(&[Vec::new(), Vec::new()], 5).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! The admission queue: coalesces in-flight single queries into engine
+//! batches under a latency budget.
+//!
+//! Streaming traffic arrives one query at a time, but both engines are at
+//! their best answering batches (worker pools amortize scatter and
+//! scratch checkout). [`BatchQueue::submit`] blocks the caller until its
+//! answer is ready; internally, concurrent submitters coalesce by a
+//! leader–follower protocol:
+//!
+//! - the first submitter into an empty queue becomes the **leader** and
+//!   waits until the batch reaches [`QueueOptions::max_batch`] queries or
+//!   the [`QueueOptions::max_delay`] budget (measured from the batch's
+//!   oldest enqueue) lapses — whichever comes first;
+//! - the leader then closes the batch, releases leadership (so a next
+//!   batch can form and even execute concurrently while this one runs),
+//!   executes the batch through the engine, and publishes per-ticket
+//!   results;
+//! - followers wake on publication and collect their own ticket.
+//!
+//! Queries enter the closed batch in submission order, and results are
+//! keyed by ticket, so every caller gets exactly its own query's answer.
+//! Coalescing never changes results: both engines answer each query
+//! independently of its batch (per-query RNG reseeding), so a query
+//! returns bit-identical neighbors whether it rode alone under a lapsed
+//! budget or inside a full batch — the property the queue tests assert.
+//!
+//! Synchronization uses `std::sync::{Mutex, Condvar}` directly (the
+//! vendored `parking_lot` shim carries no condvar).
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use super::engine::ShardedEngine;
+use crate::serve::QueryEngine;
+use crate::telemetry::Histogram;
+use weavess_data::{Dataset, Neighbor};
+
+/// Anything the queue can execute a coalesced batch against.
+pub trait BatchExecutor: Sync {
+    /// Query dimensionality the executor expects.
+    fn dim(&self) -> usize;
+    /// Answers `queries`, one result pool per query, in input order.
+    fn execute(&self, queries: &Dataset, k: usize, beam: usize) -> Vec<Vec<Neighbor>>;
+}
+
+impl BatchExecutor for QueryEngine<'_> {
+    fn dim(&self) -> usize {
+        self.dataset().dim()
+    }
+
+    fn execute(&self, queries: &Dataset, k: usize, beam: usize) -> Vec<Vec<Neighbor>> {
+        self.search_batch(queries, k, beam).results
+    }
+}
+
+impl BatchExecutor for ShardedEngine<'_> {
+    fn dim(&self) -> usize {
+        self.shard_set().dim()
+    }
+
+    fn execute(&self, queries: &Dataset, k: usize, beam: usize) -> Vec<Vec<Neighbor>> {
+        self.search_batch(queries, k, beam).results
+    }
+}
+
+/// Tuning knobs for a [`BatchQueue`].
+#[derive(Debug, Clone)]
+pub struct QueueOptions {
+    /// Close a batch as soon as it holds this many queries.
+    pub max_batch: usize,
+    /// Close a batch this long after its oldest query arrived, full or
+    /// not — the latency budget sparse traffic pays instead of waiting
+    /// for a batch that may never fill.
+    pub max_delay: Duration,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Candidate-set size per query.
+    pub beam: usize,
+}
+
+impl Default for QueueOptions {
+    fn default() -> Self {
+        QueueOptions {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            k: 10,
+            beam: 64,
+        }
+    }
+}
+
+/// Cumulative queue accounting.
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    /// Batches executed.
+    pub batches_total: u64,
+    /// Queries admitted.
+    pub queries_total: u64,
+    /// Distribution of closed-batch sizes.
+    pub batch_size: Histogram,
+    /// Per-query admission delay (enqueue → batch close), nanoseconds.
+    pub queue_delay_ns: Histogram,
+}
+
+struct PendingQuery {
+    ticket: u64,
+    query: Vec<f32>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    pending: Vec<PendingQuery>,
+    done: HashMap<u64, Vec<Neighbor>>,
+    next_ticket: u64,
+    has_leader: bool,
+    stats: QueueStats,
+}
+
+/// A blocking admission/batching queue in front of a [`BatchExecutor`].
+pub struct BatchQueue<'a, E: BatchExecutor + ?Sized> {
+    exec: &'a E,
+    opts: QueueOptions,
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+impl<'a, E: BatchExecutor + ?Sized> BatchQueue<'a, E> {
+    /// A queue over `exec` with the given knobs.
+    pub fn new(exec: &'a E, opts: QueueOptions) -> Self {
+        assert!(opts.max_batch > 0, "max_batch must be positive");
+        BatchQueue {
+            exec,
+            opts,
+            inner: Mutex::new(QueueInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The queue's knobs.
+    pub fn options(&self) -> &QueueOptions {
+        &self.opts
+    }
+
+    /// A copy of the cumulative queue accounting.
+    pub fn stats(&self) -> QueueStats {
+        self.inner.lock().unwrap().stats.clone()
+    }
+
+    /// Submits one query and blocks until its batch has been answered.
+    /// Results are identical to the executor answering the query alone.
+    ///
+    /// # Panics
+    /// Panics on a query dimensionality mismatch.
+    pub fn submit(&self, query: &[f32]) -> Vec<Neighbor> {
+        let dim = self.exec.dim();
+        assert_eq!(query.len(), dim, "query dimensionality mismatch");
+        let mut g = self.inner.lock().unwrap();
+        let ticket = g.next_ticket;
+        g.next_ticket += 1;
+        g.pending.push(PendingQuery {
+            ticket,
+            query: query.to_vec(),
+            enqueued: Instant::now(),
+        });
+        // A sleeping leader may now be able to close a full batch.
+        self.cv.notify_all();
+
+        loop {
+            if let Some(res) = g.done.remove(&ticket) {
+                return res;
+            }
+            let still_pending = g.pending.iter().any(|p| p.ticket == ticket);
+            if still_pending && !g.has_leader {
+                // Lead the batch currently forming.
+                g.has_leader = true;
+                let deadline = g.pending[0].enqueued + self.opts.max_delay;
+                loop {
+                    if g.pending.len() >= self.opts.max_batch {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    g = self.cv.wait_timeout(g, deadline - now).unwrap().0;
+                }
+                // Close the batch in submission order and hand leadership
+                // back before executing, so the next batch forms (and may
+                // run) while this one is in flight.
+                let batch = std::mem::take(&mut g.pending);
+                g.has_leader = false;
+                self.cv.notify_all();
+                drop(g);
+
+                let closed_at = Instant::now();
+                let mut flat = Vec::with_capacity(batch.len() * dim);
+                for p in &batch {
+                    flat.extend_from_slice(&p.query);
+                }
+                let queries = Dataset::from_flat(flat, batch.len(), dim);
+                let results = self.exec.execute(&queries, self.opts.k, self.opts.beam);
+                debug_assert_eq!(results.len(), batch.len());
+
+                g = self.inner.lock().unwrap();
+                g.stats.batches_total += 1;
+                g.stats.queries_total += batch.len() as u64;
+                g.stats.batch_size.record(batch.len() as u64);
+                for (p, res) in batch.into_iter().zip(results) {
+                    let waited = closed_at.saturating_duration_since(p.enqueued);
+                    g.stats.queue_delay_ns.record(waited.as_nanos() as u64);
+                    g.done.insert(p.ticket, res);
+                }
+                self.cv.notify_all();
+                // Loop back: the next pass collects this thread's own
+                // ticket from `done`.
+            } else {
+                // Either a leader is forming our batch or our batch is in
+                // flight; sleep until something changes.
+                g = self.cv.wait(g).unwrap();
+            }
+        }
+    }
+}

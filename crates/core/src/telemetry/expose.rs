@@ -18,6 +18,22 @@ pub fn prometheus_gauge(name: &str, help: &str, value: f64) -> String {
     format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n")
 }
 
+/// Renders one counter with a label set: `# HELP`/`# TYPE` headers, then
+/// one sample line per `(label-value, value)` pair — the shape the
+/// sharded tier uses for per-shard series under one metric family.
+pub fn prometheus_labeled_counter(
+    name: &str,
+    help: &str,
+    label: &str,
+    series: &[(String, u64)],
+) -> String {
+    let mut out = format!("# HELP {name} {help}\n# TYPE {name} counter\n");
+    for (lv, value) in series {
+        out.push_str(&format!("{name}{{{label}=\"{lv}\"}} {value}\n"));
+    }
+    out
+}
+
 /// Renders a [`Histogram`] in Prometheus text format: one cumulative
 /// `_bucket` line per non-empty octave (plus the mandatory `+Inf`
 /// bucket), then `_sum` and `_count`.
@@ -107,6 +123,19 @@ mod tests {
     fn counter_and_gauge_parse() {
         assert_prometheus_parses(&prometheus_counter("weavess_queries_total", "Queries.", 42));
         assert_prometheus_parses(&prometheus_gauge("weavess_up", "Up.", 1.0));
+    }
+
+    #[test]
+    fn labeled_counter_parses_with_one_series_per_label_value() {
+        let text = prometheus_labeled_counter(
+            "weavess_shard_queries_total",
+            "Queries per shard.",
+            "shard",
+            &[("0".to_string(), 3), ("1".to_string(), 4)],
+        );
+        assert_prometheus_parses(&text);
+        assert!(text.contains("weavess_shard_queries_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("weavess_shard_queries_total{shard=\"1\"} 4\n"));
     }
 
     #[test]

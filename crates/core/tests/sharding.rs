@@ -1,0 +1,599 @@
+//! Integration suite for the sharded scatter-gather serving tier.
+//!
+//! The heart is the determinism invariant: with a fixed partition seed
+//! and shards that answer exactly (every shard point seeded, beam at
+//! least the shard size), the merged top-k is **bit-identical to the
+//! unsharded engine at 1, 2, 4, and 8 shards** — for all five search
+//! routines. Around it:
+//!
+//! - the merge law property-tested in isolation (k-select over any
+//!   partition of the candidates, commutative, pairwise-associative);
+//! - duplicate points straddling shard boundaries (distance ties must
+//!   resolve by global id, exactly as the unsharded pool orders them);
+//! - `SearchStats`/histogram aggregation: the fleet totals are the fold
+//!   of the per-shard reports;
+//! - the admission queue: latency-budget close under sparse arrivals,
+//!   full-batch coalescing with per-ticket results, and a concurrent
+//!   stress run — all answers equal to the unbatched reference;
+//! - typed build errors ([`ShardError`], [`IndexError`]) where the seed
+//!   code panicked.
+
+use proptest::prelude::*;
+use weavess_core::components::seeds::SeedStrategy;
+use weavess_core::index::{FlatIndex, IndexError};
+use weavess_core::locality::{LayoutIndex, NodeLayout};
+use weavess_core::quantized::QuantizedIndex;
+use weavess_core::search::Router;
+use weavess_core::serve::{EngineOptions, QueryEngine};
+use weavess_core::shard::{
+    merge_topk, merge_two, BatchQueue, QueueOptions, ShardError, ShardSet, ShardedEngine,
+};
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::{Dataset, Neighbor};
+use weavess_graph::base::exact_knng;
+use weavess_graph::CsrGraph;
+
+const PARTITION_SEED: u64 = 0xD15C0;
+
+fn dataset(n: usize, n_queries: usize) -> (Dataset, Dataset) {
+    MixtureSpec::table10(12, n, 3, 5.0, n_queries)
+        .with_seed(99)
+        .generate()
+}
+
+/// A shard builder whose engine answers *exactly*: every local point is a
+/// fixed seed, so (with `beam >= shard len`) the router scores the whole
+/// shard at the seeding stage and the local top-k is the true top-k. This
+/// is the regime where the determinism invariant is exact rather than
+/// statistical.
+fn exact_builder(router: Router) -> impl Fn(&Dataset, usize) -> FlatIndex {
+    move |ds: &Dataset, _shard: usize| FlatIndex {
+        name: "exact",
+        graph: exact_knng(ds, 4, 1),
+        seeds: SeedStrategy::Fixed((0..ds.len() as u32).collect()),
+        router: router.clone(),
+    }
+}
+
+fn all_routers() -> [Router; 5] {
+    [
+        Router::BestFirst,
+        Router::Range { epsilon: 0.1 },
+        Router::Backtrack { extra: 4 },
+        Router::Guided,
+        // Anything below 1.0 truncates the stage-1 pool and may drop a
+        // true neighbor, breaking exactness (and thus the invariant).
+        Router::TwoStage {
+            stage1_beam_frac: 1.0,
+        },
+    ]
+}
+
+fn assert_pools_identical(a: &[Neighbor], b: &[Neighbor], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: pool lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{what}: ids diverge");
+        assert_eq!(
+            x.dist.to_bits(),
+            y.dist.to_bits(),
+            "{what}: distance bits diverge at id {}",
+            x.id
+        );
+    }
+}
+
+/// The tentpole's acceptance bar: for every one of the five routers, the
+/// merged results at 1, 2, 4, and 8 shards are bit-identical to the
+/// unsharded engine over the whole dataset.
+///
+/// This runs under the default (unrolled, batch-scored) kernels; the CI
+/// `paper-fidelity` job re-runs it under the scalar reference kernels, so
+/// shard-count determinism is certified in both kernel modes.
+#[test]
+fn sharded_results_identical_to_unsharded_at_1_2_4_8_shards() {
+    let (base, queries) = dataset(600, 16);
+    let k = 10;
+    let beam = base.len(); // >= every shard's size: exact everywhere
+    for router in all_routers() {
+        let build = exact_builder(router.clone());
+
+        // Unsharded reference: the same exact configuration over the
+        // full dataset behind a plain QueryEngine.
+        let flat = build(&base, 0);
+        let unsharded_index =
+            LayoutIndex::try_from_flat(flat, &base, NodeLayout::Split, false).unwrap();
+        let unsharded = QueryEngine::with_options(
+            &unsharded_index,
+            &base,
+            EngineOptions {
+                workers: 2,
+                seed: 42,
+            },
+        );
+        let reference = unsharded.search_batch(&queries, k, beam);
+
+        for shards in [1usize, 2, 4, 8] {
+            let set = ShardSet::build(
+                &base,
+                shards,
+                PARTITION_SEED,
+                NodeLayout::Split,
+                false,
+                2,
+                &build,
+            )
+            .unwrap();
+            assert_eq!(set.num_shards(), shards);
+            assert_eq!(set.total_points(), base.len());
+            let engine = ShardedEngine::with_options(
+                &set,
+                EngineOptions {
+                    workers: 2,
+                    seed: 42,
+                },
+            );
+            let report = engine.search_batch(&queries, k, beam);
+            assert_eq!(report.results.len(), queries.len());
+            for (qi, (got, want)) in report.results.iter().zip(&reference.results).enumerate() {
+                assert_pools_identical(
+                    got,
+                    want,
+                    &format!("{router:?}, {shards} shards, query {qi}"),
+                );
+            }
+            // The batch path and the single-query path agree.
+            for qi in 0..queries.len() as u32 {
+                let one = engine.search_one(queries.point(qi), k, beam);
+                assert_pools_identical(
+                    &one,
+                    &report.results[qi as usize],
+                    &format!("{router:?}, {shards} shards, search_one q{qi}"),
+                );
+            }
+        }
+    }
+}
+
+/// The partition itself is a pure function of the seed: a different seed
+/// deals points differently (so shard contents change), yet the merged
+/// results are *still* identical — the invariant does not depend on which
+/// deal the seed produced.
+#[test]
+fn results_are_partition_seed_invariant_under_exact_shards() {
+    let (base, queries) = dataset(400, 8);
+    let (k, beam) = (10, base.len());
+    let build = exact_builder(Router::BestFirst);
+    let run = |seed: u64| {
+        let set = ShardSet::build(&base, 4, seed, NodeLayout::Split, false, 2, &build).unwrap();
+        let engine = ShardedEngine::new(&set);
+        engine.search_batch(&queries, k, beam).results
+    };
+    let a = run(PARTITION_SEED);
+    let b = run(PARTITION_SEED ^ 0xFFFF_FFFF);
+    for (qi, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_pools_identical(x, y, &format!("seed-invariance, query {qi}"));
+    }
+}
+
+/// Duplicate vectors straddling shard boundaries: distance ties must
+/// resolve by global id, identically to the unsharded pool's order.
+#[test]
+fn duplicate_points_across_shards_tie_break_by_global_id() {
+    let (half, queries) = dataset(150, 8);
+    // ids 0..150 and 150..300 hold the same vectors: every true neighbor
+    // is a two-way distance tie whose halves land in different shards.
+    let mut flat = Vec::with_capacity(2 * half.len() * half.dim());
+    for i in 0..half.len() as u32 {
+        flat.extend_from_slice(half.point(i));
+    }
+    for i in 0..half.len() as u32 {
+        flat.extend_from_slice(half.point(i));
+    }
+    let base = Dataset::from_flat(flat, 2 * half.len(), half.dim());
+
+    let build = exact_builder(Router::BestFirst);
+    let k = 12;
+    let beam = base.len();
+    let flat_index = build(&base, 0);
+    let unsharded_index =
+        LayoutIndex::try_from_flat(flat_index, &base, NodeLayout::Split, false).unwrap();
+    let unsharded = QueryEngine::new(&unsharded_index, &base);
+
+    for shards in [2usize, 4] {
+        let set = ShardSet::build(
+            &base,
+            shards,
+            PARTITION_SEED,
+            NodeLayout::Split,
+            false,
+            2,
+            &build,
+        )
+        .unwrap();
+        let engine = ShardedEngine::new(&set);
+        for qi in 0..queries.len() as u32 {
+            let want = unsharded.search_one(queries.point(qi), k, beam);
+            let got = engine.search_one(queries.point(qi), k, beam);
+            assert_pools_identical(&got, &want, &format!("{shards} shards, dup query {qi}"));
+            // The duplicates really do produce ties, and ties are
+            // id-ascending within equal distance.
+            for w in got.windows(2) {
+                if w[0].dist.to_bits() == w[1].dist.to_bits() {
+                    assert!(w[0].id < w[1].id, "tie not resolved by global id");
+                }
+            }
+            assert!(
+                got.windows(2)
+                    .any(|w| w[0].dist.to_bits() == w[1].dist.to_bits()),
+                "construction should force distance ties in the top-k"
+            );
+        }
+    }
+}
+
+/// Fleet aggregation: the merged batch counters are exactly the fold of
+/// the per-shard reports (counts add, `pool_peak` maxes, histograms
+/// merge), and the fleet report distinguishes logical queries from
+/// per-shard executions.
+#[test]
+fn batch_stats_and_fleet_report_aggregate_per_shard_work() {
+    let (base, queries) = dataset(400, 12);
+    let shards = 4;
+    let set = ShardSet::build(
+        &base,
+        shards,
+        PARTITION_SEED,
+        NodeLayout::Split,
+        false,
+        2,
+        exact_builder(Router::BestFirst),
+    )
+    .unwrap();
+    let engine = ShardedEngine::new(&set);
+    let report = engine.search_batch(&queries, 10, base.len());
+
+    assert_eq!(report.per_shard.len(), shards);
+    let mut ndc = 0u64;
+    let mut hops = 0u64;
+    let mut pool_peak = 0u64;
+    let mut ndc_hist = weavess_core::telemetry::Histogram::new();
+    for sr in &report.per_shard {
+        ndc += sr.stats.ndc;
+        hops += sr.stats.hops;
+        pool_peak = pool_peak.max(sr.stats.pool_peak);
+        ndc_hist.merge(&sr.ndc_hist);
+    }
+    assert!(ndc > 0);
+    assert_eq!(report.stats.ndc, ndc, "ndc must sum across shards");
+    assert_eq!(report.stats.hops, hops, "hops must sum across shards");
+    assert_eq!(report.stats.pool_peak, pool_peak, "pool_peak must max");
+    assert_eq!(&report.ndc_hist, &ndc_hist, "histograms must merge");
+    assert_eq!(report.ndc_hist.count(), (queries.len() * shards) as u64);
+
+    let fleet = engine.fleet_report();
+    assert_eq!(fleet.per_shard.len(), shards);
+    assert_eq!(fleet.logical_queries, queries.len() as u64);
+    assert_eq!(fleet.logical_batches, 1);
+    assert_eq!(
+        fleet.merged.queries_total,
+        (queries.len() * shards) as u64,
+        "merged snapshot counts per-shard executions"
+    );
+    let prom = engine.metrics_prometheus();
+    assert!(prom.contains("weavess_fleet_queries_total"));
+    assert!(prom.contains(&format!(
+        "weavess_shard_queries_total{{shard=\"{}\"}}",
+        shards - 1
+    )));
+    let json = engine.metrics_json();
+    assert!(json.contains(&format!("\"shards\": {shards}")));
+    assert!(json.contains("\"logical_queries\""));
+}
+
+/// Typed errors where the seed code panicked: empty datasets, impossible
+/// shard counts, and graph/dataset size mismatches all come back as
+/// matchable values with intact context.
+#[test]
+fn build_failures_return_typed_errors() {
+    let (base, _) = dataset(100, 1);
+    let build = exact_builder(Router::BestFirst);
+
+    assert_eq!(
+        ShardSet::build(&base, 0, 1, NodeLayout::Split, false, 1, &build).err(),
+        Some(ShardError::NoShards)
+    );
+
+    let empty = Dataset::from_flat(Vec::new(), 0, 12);
+    assert_eq!(
+        ShardSet::build(&empty, 2, 1, NodeLayout::Split, false, 1, &build).err(),
+        Some(ShardError::EmptyDataset)
+    );
+
+    // 3 points cannot fill 5 shards: the deal leaves shard 3 empty.
+    let tiny = base.subset(&[0, 1, 2]);
+    match ShardSet::build(&tiny, 5, 1, NodeLayout::Split, false, 1, &build) {
+        Err(ShardError::EmptyShard {
+            shard,
+            shards: 5,
+            points: 3,
+        }) => assert!(shard >= 3),
+        other => panic!("expected EmptyShard, got {:?}", other.err()),
+    }
+
+    // A builder returning a wrong-sized graph surfaces as a per-shard
+    // index error with the shard number and the underlying cause.
+    let bad = |_: &Dataset, _: usize| FlatIndex {
+        name: "bad",
+        graph: CsrGraph::from_lists(&[vec![0u32]]),
+        seeds: SeedStrategy::Fixed(vec![0]),
+        router: Router::BestFirst,
+    };
+    match ShardSet::build(&base, 2, 1, NodeLayout::Split, false, 1, bad) {
+        Err(e @ ShardError::Index { shard: 0, source }) => {
+            assert!(matches!(source, IndexError::SizeMismatch { graph: 1, .. }));
+            assert!(std::error::Error::source(&e).is_some());
+            assert!(!e.to_string().is_empty());
+        }
+        other => panic!("expected Index error, got {:?}", other.err()),
+    }
+
+    // The underlying constructors reject the same inputs directly.
+    let empty_flat = FlatIndex {
+        name: "t",
+        graph: CsrGraph::from_lists(&Vec::<Vec<u32>>::new()),
+        seeds: SeedStrategy::Fixed(Vec::new()),
+        router: Router::BestFirst,
+    };
+    assert_eq!(
+        LayoutIndex::try_from_flat(empty_flat, &empty, NodeLayout::Split, false).err(),
+        Some(IndexError::EmptyDataset {
+            context: "LayoutIndex"
+        })
+    );
+    assert_eq!(
+        QuantizedIndex::try_new(
+            CsrGraph::from_lists(&Vec::<Vec<u32>>::new()),
+            &empty,
+            Vec::new()
+        )
+        .err(),
+        Some(IndexError::EmptyDataset {
+            context: "QuantizedIndex"
+        })
+    );
+    let four = base.subset(&[0, 1, 2, 3]);
+    assert_eq!(
+        QuantizedIndex::try_new(CsrGraph::from_lists(&[vec![0u32]]), &four, vec![0]).err(),
+        Some(IndexError::SizeMismatch {
+            graph: 1,
+            dataset: 4
+        })
+    );
+}
+
+/// Sparse arrivals: a lone submitter's batch never fills, so only the
+/// latency budget can close it — the call must return (with the same
+/// answer as the unbatched engine) rather than wait for a full batch.
+#[test]
+fn queue_closes_on_latency_budget_under_sparse_arrivals() {
+    let (base, queries) = dataset(300, 4);
+    let set = ShardSet::build(
+        &base,
+        2,
+        PARTITION_SEED,
+        NodeLayout::Split,
+        false,
+        1,
+        exact_builder(Router::BestFirst),
+    )
+    .unwrap();
+    let engine = ShardedEngine::new(&set);
+    let queue = BatchQueue::new(
+        &engine,
+        QueueOptions {
+            max_batch: 64,
+            max_delay: std::time::Duration::from_millis(5),
+            k: 10,
+            beam: base.len(),
+        },
+    );
+    for qi in 0..queries.len() as u32 {
+        let got = queue.submit(queries.point(qi));
+        let want = engine.search_one(queries.point(qi), 10, base.len());
+        assert_pools_identical(&got, &want, &format!("sparse query {qi}"));
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.queries_total, queries.len() as u64);
+    assert_eq!(
+        stats.batches_total,
+        queries.len() as u64,
+        "sequential sparse submits must each close alone on the budget"
+    );
+    assert_eq!(stats.batch_size.max(), Some(1));
+}
+
+/// Coalescing: with `max_batch = N` and a generous budget, N concurrent
+/// submitters ride one batch, and each caller still gets exactly its own
+/// query's answer (results are keyed by ticket, the batch is closed in
+/// submission order).
+#[test]
+fn queue_coalesces_full_batch_and_answers_each_ticket() {
+    let (base, queries) = dataset(300, 6);
+    let set = ShardSet::build(
+        &base,
+        2,
+        PARTITION_SEED,
+        NodeLayout::Split,
+        false,
+        1,
+        exact_builder(Router::BestFirst),
+    )
+    .unwrap();
+    let engine = ShardedEngine::new(&set);
+    let n = queries.len();
+    let queue = BatchQueue::new(
+        &engine,
+        QueueOptions {
+            max_batch: n,
+            max_delay: std::time::Duration::from_secs(30),
+            k: 10,
+            beam: base.len(),
+        },
+    );
+    let reference: Vec<Vec<Neighbor>> = (0..n as u32)
+        .map(|qi| engine.search_one(queries.point(qi), 10, base.len()))
+        .collect();
+    std::thread::scope(|scope| {
+        for qi in 0..n as u32 {
+            let queue = &queue;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move || {
+                let got = queue.submit(queries.point(qi));
+                assert_pools_identical(
+                    &got,
+                    &reference[qi as usize],
+                    &format!("coalesced query {qi}"),
+                );
+            });
+        }
+    });
+    let stats = queue.stats();
+    assert_eq!(stats.queries_total, n as u64);
+    assert_eq!(
+        stats.batches_total, 1,
+        "all submitters must share one batch"
+    );
+    assert_eq!(stats.batch_size.max(), Some(n as u64));
+}
+
+/// Stress: many threads stream interleaved queries through one queue;
+/// every answer equals the unbatched reference regardless of which batch
+/// it rode in, and no query is lost or double-counted.
+#[test]
+fn queue_stress_concurrent_submitters_match_unbatched_reference() {
+    let (base, queries) = dataset(300, 10);
+    let set = ShardSet::build(
+        &base,
+        4,
+        PARTITION_SEED,
+        NodeLayout::Split,
+        false,
+        1,
+        exact_builder(Router::BestFirst),
+    )
+    .unwrap();
+    let engine = ShardedEngine::new(&set);
+    let queue = BatchQueue::new(
+        &engine,
+        QueueOptions {
+            max_batch: 8,
+            max_delay: std::time::Duration::from_millis(2),
+            k: 10,
+            beam: base.len(),
+        },
+    );
+    let reference: Vec<Vec<Neighbor>> = (0..queries.len() as u32)
+        .map(|qi| engine.search_one(queries.point(qi), 10, base.len()))
+        .collect();
+    let threads = 6u32;
+    let rounds = 20u32;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let queue = &queue;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move || {
+                let nq = queries.len() as u32;
+                for r in 0..rounds {
+                    let qi = (t * 7 + r) % nq;
+                    let got = queue.submit(queries.point(qi));
+                    assert_pools_identical(
+                        &got,
+                        &reference[qi as usize],
+                        &format!("stress t{t} r{r} q{qi}"),
+                    );
+                }
+            });
+        }
+    });
+    let stats = queue.stats();
+    assert_eq!(stats.queries_total, (threads * rounds) as u64);
+    assert!(stats.batches_total <= stats.queries_total);
+    assert_eq!(stats.batch_size.count(), stats.batches_total);
+    assert_eq!(stats.queue_delay_ns.count(), stats.queries_total);
+}
+
+fn neighbors_from(raw: &[(u32, f32)]) -> Vec<Neighbor> {
+    raw.iter().map(|&(id, d)| Neighbor::new(id, d)).collect()
+}
+
+fn global_k_select(mut all: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    all.sort_unstable();
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The merge law in isolation: for any candidates, any assignment of
+    /// them to shards, and any k, the scatter-gather merge equals the
+    /// global k-select; it is commutative in its pools and folding
+    /// pairwise (a gather tree) gives the same answer.
+    #[test]
+    fn merge_is_a_k_select_over_any_partition(
+        raw in prop::collection::vec((0u32..5_000, 0.0f32..1_000.0), 0..60),
+        assign in prop::collection::vec(0usize..4, 0..60),
+        k in 1usize..20,
+    ) {
+        let all = neighbors_from(&raw);
+        // Deal candidate i to pool assign[i % assign.len()] (pool 0 when
+        // no assignment was generated): an arbitrary 4-way partition.
+        let mut pools: Vec<Vec<Neighbor>> = vec![Vec::new(); 4];
+        for (i, n) in all.iter().enumerate() {
+            let p = if assign.is_empty() { 0 } else { assign[i % assign.len()] };
+            pools[p].push(*n);
+        }
+        // Pools arrive nearest-first from real shards; sort to match.
+        for p in &mut pools {
+            p.sort_unstable();
+        }
+
+        let want = global_k_select(all, k);
+        let merged = merge_topk(&pools, k);
+        prop_assert_eq!(&merged, &want, "merge must equal the global k-select");
+
+        let mut reversed = pools.clone();
+        reversed.reverse();
+        prop_assert_eq!(merge_topk(&reversed, k), want.clone(), "commutativity");
+
+        let mut acc: Vec<Neighbor> = Vec::new();
+        for p in &pools {
+            acc = merge_two(&acc, p, k);
+        }
+        prop_assert_eq!(acc, want, "pairwise fold (gather tree) association");
+    }
+
+    /// Shard-count bit-identity as a property: random seeds and shard
+    /// counts, results always equal the 1-shard deal.
+    #[test]
+    fn any_shard_count_matches_single_shard(
+        seed in 0u64..u64::MAX,
+        shards in 2usize..6,
+    ) {
+        let (base, queries) = dataset(120, 3);
+        let build = exact_builder(Router::BestFirst);
+        let run = |s: usize| {
+            let set = ShardSet::build(&base, s, seed, NodeLayout::Split, false, 1, &build)
+                .unwrap();
+            let engine = ShardedEngine::new(&set);
+            engine.search_batch(&queries, 8, base.len()).results
+        };
+        let single = run(1);
+        let multi = run(shards);
+        for (a, b) in single.iter().zip(&multi) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
