@@ -20,11 +20,15 @@
 use std::time::Instant;
 use weavess_bench::report::{banner, f, Table};
 use weavess_bench::select_algos;
+use weavess_core::algorithms::nsg::{self, NsgParams};
+use weavess_core::algorithms::nssg::{self, NssgParams};
+use weavess_core::algorithms::oa::{self, OaParams};
 use weavess_core::algorithms::Algo;
-use weavess_core::index::{AnnIndex, SearchContext};
+use weavess_core::index::{AnnIndex, FlatIndex, SearchContext};
 use weavess_data::ground_truth::ground_truth;
 use weavess_data::metrics::recall;
 use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
 
 const SEED: u64 = 7;
 
@@ -50,6 +54,36 @@ struct AlgoRow {
     name: &'static str,
     seconds: Vec<f64>, // aligned with the thread sweep
     identical: bool,
+}
+
+struct RnnRow {
+    name: &'static str,
+    nnd_seconds: Vec<f64>, // aligned with the thread sweep
+    rnn_seconds: Vec<f64>, // aligned with the thread sweep
+    nnd_recall: f64,
+    rnn_recall: f64,
+    identical: bool,
+}
+
+/// Fixed-beam Recall@10 of one index over the query set.
+fn index_recall(
+    idx: &FlatIndex,
+    base: &Dataset,
+    queries: &Dataset,
+    gt: &[Vec<u32>],
+    beam: usize,
+) -> f64 {
+    let mut ctx = SearchContext::new(base.len());
+    let mut total = 0.0;
+    for qi in 0..queries.len() as u32 {
+        let r: Vec<u32> = idx
+            .search(base, queries.point(qi), 10, beam, &mut ctx)
+            .iter()
+            .map(|x| x.id)
+            .collect();
+        total += recall(&r, &gt[qi as usize]);
+    }
+    total / queries.len() as f64
 }
 
 fn main() {
@@ -134,13 +168,120 @@ fn main() {
     }
     table.print();
 
+    let beam = 80usize;
+    let gt = ground_truth(&base, &queries, 10, host);
+
+    // --- RNN-Descent C1 vs NN-Descent C1 (ROADMAP item 1): the same
+    // tuned NSG/NSSG/OA builds with exactly one component swapped
+    // (`with_rnn_c1`). RNN builds sweep the same thread counts under the
+    // same digest-identity assertion (non-zero exit on divergence), and
+    // fixed-beam Recall@10 of both variants reports the quality cost of
+    // the speedup. NN-Descent seconds reuse the sweep above when the
+    // algorithm was in it. ---
+    type BuildVariant<'a> = Box<dyn Fn(usize, bool) -> FlatIndex + 'a>;
+    let rnn_algos: Vec<(&'static str, BuildVariant)> = {
+        let mut v: Vec<(&'static str, BuildVariant)> = vec![(
+            "NSG",
+            Box::new(|t, rnn| {
+                let p = NsgParams::tuned(t, SEED);
+                nsg::build(&base, &if rnn { p.with_rnn_c1() } else { p })
+            }),
+        )];
+        if !smoke {
+            v.push((
+                "NSSG",
+                Box::new(|t, rnn| {
+                    let p = NssgParams::tuned(t, SEED);
+                    nssg::build(&base, &if rnn { p.with_rnn_c1() } else { p })
+                }),
+            ));
+            v.push((
+                "OA",
+                Box::new(|t, rnn| {
+                    let p = OaParams::tuned(t, SEED);
+                    oa::build(&base, &if rnn { p.with_rnn_c1() } else { p })
+                }),
+            ));
+        }
+        v
+    };
+    let mut rnn_rows: Vec<RnnRow> = Vec::new();
+    for (name, build) in &rnn_algos {
+        // NN-Descent baseline seconds: from the main sweep when present
+        // (same tuned params), otherwise measured here.
+        let nnd_seconds: Vec<f64> = match rows.iter().find(|r| &r.name == name) {
+            Some(r) => r.seconds.clone(),
+            None => sweep
+                .iter()
+                .map(|&t| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(build(t, false));
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect(),
+        };
+        let nnd_idx = build(*sweep.last().unwrap(), false);
+        let nnd_recall = index_recall(&nnd_idx, &base, &queries, &gt, beam);
+        drop(nnd_idx);
+
+        let mut rnn_seconds = Vec::with_capacity(sweep.len());
+        let mut digests = Vec::with_capacity(sweep.len());
+        let mut last = None;
+        for &t in &sweep {
+            let t0 = Instant::now();
+            let idx = build(t, true);
+            rnn_seconds.push(t0.elapsed().as_secs_f64());
+            digests.push(adjacency_digest(&idx));
+            last = Some(idx);
+        }
+        let identical = digests.windows(2).all(|w| w[0] == w[1]);
+        assert!(
+            identical,
+            "{name}(RNN-C1) built different graphs across thread counts: {digests:x?}"
+        );
+        let rnn_recall = index_recall(&last.unwrap(), &base, &queries, &gt, beam);
+        rnn_rows.push(RnnRow {
+            name,
+            nnd_seconds,
+            rnn_seconds,
+            nnd_recall,
+            rnn_recall,
+            identical,
+        });
+    }
+    let mut rnn_table = Table::new(vec![
+        "algo".into(),
+        "NND (s)".into(),
+        "RNN (s)".into(),
+        "speedup".into(),
+        format!("NND R@10 (beam {beam})"),
+        "RNN R@10".into(),
+        "identical".into(),
+    ]);
+    // Each engine's build time is the minimum over its thread sweep:
+    // best-vs-best is the honest "end-to-end build time" comparison on
+    // any host (on the 1-core harness box it doubles as a min-of-N
+    // noise filter, since every sweep point is a repeat measurement).
+    let min_secs = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    for r in &rnn_rows {
+        rnn_table.row(vec![
+            r.name.to_string(),
+            f(min_secs(&r.nnd_seconds), 2),
+            f(min_secs(&r.rnn_seconds), 2),
+            f(min_secs(&r.nnd_seconds) / min_secs(&r.rnn_seconds), 2),
+            f(r.nnd_recall, 4),
+            f(r.rnn_recall, 4),
+            r.identical.to_string(),
+        ]);
+    }
+    banner("RNN-Descent C1 vs NN-Descent C1 (one component swapped, C2-C7 unchanged)");
+    rnn_table.print();
+
     // HNSW search sanity: recall/QPS on the widest-sweep build. The graph
     // is byte-identical to every other thread count's, so this one
     // measurement certifies them all.
-    let beam = 80usize;
     let hnsw_sanity = rows.iter().any(|r| r.name == "HNSW").then(|| {
         let idx = Algo::Hnsw.build(&base, *sweep.last().unwrap(), SEED);
-        let gt = ground_truth(&base, &queries, 10, host);
         let mut ctx = SearchContext::new(base.len());
         let mut total = 0.0;
         let t0 = Instant::now();
@@ -185,6 +326,29 @@ fn main() {
         ));
     }
     algo_json.truncate(algo_json.trim_end_matches(",\n").len());
+    let mut rnn_json = String::new();
+    for r in &rnn_rows {
+        let fmt_secs = |v: &[f64]| {
+            v.iter()
+                .map(|s| format!("{s:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        rnn_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nnd_seconds\": [{}], \"rnn_seconds\": [{}], \
+             \"speedup\": {:.3}, \"nnd_recall_at_10\": {:.4}, \"rnn_recall_at_10\": {:.4}, \
+             \"recall_delta\": {:.4}, \"identical\": {}}},\n",
+            r.name,
+            fmt_secs(&r.nnd_seconds),
+            fmt_secs(&r.rnn_seconds),
+            min_secs(&r.nnd_seconds) / min_secs(&r.rnn_seconds),
+            r.nnd_recall,
+            r.rnn_recall,
+            r.nnd_recall - r.rnn_recall,
+            r.identical,
+        ));
+    }
+    rnn_json.truncate(rnn_json.trim_end_matches(",\n").len());
     let search_json = match hnsw_sanity {
         Some((r10, qps)) => {
             format!("{{\"beam\": {beam}, \"recall_at_10\": {r10:.4}, \"qps\": {qps:.1}}}")
@@ -195,6 +359,7 @@ fn main() {
         "{{\n  \"bench\": \"build\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
          \"host_available_parallelism\": {host},\n  \"n\": {n},\n  \"dim\": {dim},\n  \
          \"threads_swept\": [{sweep_json}],\n  \"algorithms\": [\n{algo_json}\n  ],\n  \
+         \"rnn_c1\": [\n{rnn_json}\n  ],\n  \
          \"hnsw_search_sanity\": {search_json}\n}}\n"
     );
     std::fs::write("BENCH_build.json", &json).expect("write BENCH_build.json");

@@ -16,6 +16,7 @@ use weavess_core::nndescent::NnDescentParams;
 use weavess_core::pipeline::{
     CandidateChoice, ConnectivityChoice, InitChoice, PipelineBuilder, SeedChoice, SelectionChoice,
 };
+use weavess_core::rnndescent::RnnDescentParams;
 use weavess_core::search::Router;
 use weavess_data::metrics::recall;
 
@@ -82,6 +83,11 @@ fn main() {
                     nd: nd(4),
                 }
             }),
+        ),
+        (
+            "C1",
+            "C1_RNND",
+            Box::new(move |b| b.init = InitChoice::RnnDescent(RnnDescentParams::matching(&nd(8)))),
         ),
         ("C2", "C2_NSSG", Box::new(|_b| {})),
         (

@@ -6,7 +6,8 @@
 //! relative to the plain `search()` entry point. This binary measures all
 //! three on an NSG index, captures a route trace twice to prove the dump
 //! is byte-stable, records [`weavess_core::BuildProfile`]s for HNSW, NSG,
-//! and OA, and exercises the engine's Prometheus/JSON exposition.
+//! NSG with the RNN-Descent C1 swapped in, and OA, and exercises the
+//! engine's Prometheus/JSON exposition.
 //!
 //! `--smoke` shrinks the dataset for CI and exits non-zero when the
 //! tracer-off overhead exceeds 5% (the full run targets < 2%).
@@ -110,8 +111,11 @@ fn main() {
         hnsw::build(&base, &HnswParams::tuned(host, SEED))
     });
     let (_, profile_oa) = profile_build("OA", || oa::build(&base, &OaParams::tuned(host, SEED)));
+    let (_, profile_rnn) = profile_build("NSG(RNN-C1)", || {
+        nsg::build(&base, &NsgParams::tuned(host, SEED).with_rnn_c1())
+    });
     let mut spans_table = Table::new(vec!["Builder", "Component", "secs", "NDC"]);
-    for p in [&profile_hnsw, &profile_nsg, &profile_oa] {
+    for p in [&profile_hnsw, &profile_nsg, &profile_rnn, &profile_oa] {
         for s in &p.spans {
             spans_table.row(vec![
                 p.name.clone(),
@@ -256,11 +260,13 @@ fn main() {
          \"recording\": {overhead_recording_pct:.3}}},\n  \
          \"noop_identical\": {noop_identical},\n  \"recording_identical\": {rec_identical},\n  \
          \"route_trace\": {{\"query\": 0, \"hops\": {}, \"byte_stable\": true, \
-         \"replay_ok\": true}},\n  \"build_profiles\": [\n    {},\n    {},\n    {}\n  ],\n  \
+         \"replay_ok\": true}},\n  \
+         \"build_profiles\": [\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
          \"engine_metrics\": {}\n}}\n",
         t1.hops(),
         profile_json(&profile_hnsw),
         profile_json(&profile_nsg),
+        profile_json(&profile_rnn),
         profile_json(&profile_oa),
         metrics_json,
     );

@@ -5,11 +5,13 @@
 //! index (Figure 6).
 
 use crate::components::connectivity::add_reverse_edges;
+use crate::components::init::C1Choice;
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_dpg;
 use crate::index::FlatIndex;
-use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::nndescent::NnDescentParams;
 use crate::parallel;
+use crate::rnndescent::RnnDescentParams;
 use crate::search::Router;
 use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
@@ -20,6 +22,9 @@ use weavess_graph::CsrGraph;
 pub struct DpgParams {
     /// NN-Descent configuration for the initial KGraph.
     pub nd: NnDescentParams,
+    /// Which descent engine actually runs as C1 (defaults to NN-Descent;
+    /// see [`DpgParams::with_rnn_c1`]).
+    pub init: C1Choice,
     /// Per-vertex degree cap after undirection (reverse edges can push
     /// hub degrees far beyond κ; the paper notes they "surge back").
     pub reverse_cap: usize,
@@ -41,15 +46,23 @@ impl DpgParams {
                 seed,
                 threads,
             },
+            init: C1Choice::NnDescent,
             reverse_cap: 80,
             search_seeds: 10,
         }
+    }
+
+    /// Swaps C1 to RNN-Descent, sized to stand in for the configured
+    /// NN-Descent ([`RnnDescentParams::matching`]); C2–C7 are untouched.
+    pub fn with_rnn_c1(mut self) -> Self {
+        self.init = C1Choice::RnnDescent(RnnDescentParams::matching(&self.nd));
+        self
     }
 }
 
 /// Builds a DPG index.
 pub fn build(ds: &Dataset, params: &DpgParams) -> FlatIndex {
-    let init = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
+    let init = telemetry::span("C1 init", || params.init.build(ds, &params.nd, None));
     let kappa = (params.nd.k / 2).max(2);
     let threads = parallel::resolve_threads(params.nd.threads);
     let n = ds.len();

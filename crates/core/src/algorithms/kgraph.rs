@@ -5,9 +5,11 @@
 //! expansion C2 (inside NN-Descent's local join), distance-only C3, no C5,
 //! random C6, best-first C7.
 
+use crate::components::init::C1Choice;
 use crate::components::seeds::SeedStrategy;
 use crate::index::FlatIndex;
-use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::nndescent::NnDescentParams;
+use crate::rnndescent::RnnDescentParams;
 use crate::search::Router;
 use crate::telemetry;
 use weavess_data::Dataset;
@@ -18,6 +20,9 @@ use weavess_graph::CsrGraph;
 pub struct KGraphParams {
     /// NN-Descent configuration (K, L, iter, S, R).
     pub nd: NnDescentParams,
+    /// Which descent engine actually runs as C1 (defaults to NN-Descent;
+    /// see [`KGraphParams::with_rnn_c1`]).
+    pub init: C1Choice,
     /// Random seeds per query.
     pub search_seeds: usize,
 }
@@ -35,14 +40,24 @@ impl KGraphParams {
                 seed,
                 threads,
             },
+            init: C1Choice::NnDescent,
             search_seeds: 10,
         }
+    }
+
+    /// Swaps C1 to RNN-Descent, sized to stand in for the configured
+    /// NN-Descent ([`RnnDescentParams::matching`]). For KGraph the C1
+    /// output *is* the index graph, so this changes the served graph —
+    /// the `matching` sizing keeps its quality at NN-Descent level.
+    pub fn with_rnn_c1(mut self) -> Self {
+        self.init = C1Choice::RnnDescent(RnnDescentParams::matching(&self.nd));
+        self
     }
 }
 
 /// Builds a KGraph index.
 pub fn build(ds: &Dataset, params: &KGraphParams) -> FlatIndex {
-    let lists = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
+    let lists = telemetry::span("C1 init", || params.init.build(ds, &params.nd, None));
     let graph = telemetry::span("freeze", || {
         CsrGraph::from_lists(
             &lists

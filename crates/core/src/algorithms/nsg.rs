@@ -5,11 +5,13 @@
 
 use crate::components::candidates::candidates_by_search;
 use crate::components::connectivity::dfs_repair;
+use crate::components::init::C1Choice;
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
-use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::nndescent::NnDescentParams;
 use crate::parallel;
+use crate::rnndescent::RnnDescentParams;
 use crate::search::{Router, SearchScratch, SearchStats};
 use crate::telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +23,9 @@ use weavess_graph::CsrGraph;
 pub struct NsgParams {
     /// NN-Descent configuration for the initial graph.
     pub nd: NnDescentParams,
+    /// Which descent engine actually runs as C1 (defaults to NN-Descent;
+    /// see [`NsgParams::with_rnn_c1`]).
+    pub init: C1Choice,
     /// Candidate-acquisition beam (`L`).
     pub l: usize,
     /// Maximum out-degree (`R`).
@@ -42,17 +47,25 @@ impl NsgParams {
                 seed,
                 threads,
             },
+            init: C1Choice::NnDescent,
             l: 60,
             r: 30,
             c: 100,
         }
+    }
+
+    /// Swaps C1 to RNN-Descent, sized to stand in for the configured
+    /// NN-Descent ([`RnnDescentParams::matching`]); C2–C7 are untouched.
+    pub fn with_rnn_c1(mut self) -> Self {
+        self.init = C1Choice::RnnDescent(RnnDescentParams::matching(&self.nd));
+        self
     }
 }
 
 /// Builds an NSG index.
 pub fn build(ds: &Dataset, params: &NsgParams) -> FlatIndex {
     let (init, init_csr, medoid) = telemetry::span("C1 init", || {
-        let init = nn_descent(ds, &params.nd, None);
+        let init = params.init.build(ds, &params.nd, None);
         let init_csr = CsrGraph::from_lists(
             &init
                 .iter()

@@ -7,11 +7,13 @@
 
 use crate::components::candidates::candidates_by_expansion;
 use crate::components::connectivity::dfs_repair;
+use crate::components::init::C1Choice;
 use crate::components::seeds::{spread_entries, SeedStrategy};
 use crate::components::selection::select_angle;
 use crate::index::FlatIndex;
-use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::nndescent::NnDescentParams;
 use crate::parallel;
+use crate::rnndescent::RnnDescentParams;
 use crate::search::Router;
 use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
@@ -22,6 +24,9 @@ use weavess_graph::CsrGraph;
 pub struct NssgParams {
     /// NN-Descent configuration for the initial graph.
     pub nd: NnDescentParams,
+    /// Which descent engine actually runs as C1 (defaults to NN-Descent;
+    /// see [`NssgParams::with_rnn_c1`]).
+    pub init: C1Choice,
     /// Candidate cap (`L`).
     pub l: usize,
     /// Maximum out-degree (`R`).
@@ -46,17 +51,25 @@ impl NssgParams {
                 seed,
                 threads,
             },
+            init: C1Choice::NnDescent,
             l: 100,
             r: 40,
             angle: 60.0,
             entries: 8,
         }
     }
+
+    /// Swaps C1 to RNN-Descent, sized to stand in for the configured
+    /// NN-Descent ([`RnnDescentParams::matching`]); C2–C7 are untouched.
+    pub fn with_rnn_c1(mut self) -> Self {
+        self.init = C1Choice::RnnDescent(RnnDescentParams::matching(&self.nd));
+        self
+    }
 }
 
 /// Builds an NSSG index.
 pub fn build(ds: &Dataset, params: &NssgParams) -> FlatIndex {
-    let init = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
+    let init = telemetry::span("C1 init", || params.init.build(ds, &params.nd, None));
     let n = ds.len();
     let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];

@@ -15,11 +15,13 @@
 
 use crate::components::candidates::candidates_by_expansion;
 use crate::components::connectivity::dfs_repair;
+use crate::components::init::C1Choice;
 use crate::components::seeds::{spread_entries, SeedStrategy};
 use crate::components::selection::select_rng_alpha;
 use crate::index::FlatIndex;
-use crate::nndescent::{nn_descent, NnDescentParams};
+use crate::nndescent::NnDescentParams;
 use crate::parallel;
+use crate::rnndescent::RnnDescentParams;
 use crate::search::Router;
 use crate::telemetry;
 use weavess_data::{Dataset, Neighbor};
@@ -31,6 +33,9 @@ pub struct OaParams {
     /// NN-Descent configuration (the paper settles on 8 iterations,
     /// Appendix L).
     pub nd: NnDescentParams,
+    /// Which descent engine actually runs as C1 (defaults to NN-Descent;
+    /// see [`OaParams::with_rnn_c1`]).
+    pub init: C1Choice,
     /// Candidate cap for the 2-hop expansion.
     pub l: usize,
     /// Maximum out-degree.
@@ -54,17 +59,25 @@ impl OaParams {
                 seed,
                 threads,
             },
+            init: C1Choice::NnDescent,
             l: 100,
             r: 30,
             entries: 8,
             stage1_frac: 0.4,
         }
     }
+
+    /// Swaps C1 to RNN-Descent, sized to stand in for the configured
+    /// NN-Descent ([`RnnDescentParams::matching`]); C2–C7 are untouched.
+    pub fn with_rnn_c1(mut self) -> Self {
+        self.init = C1Choice::RnnDescent(RnnDescentParams::matching(&self.nd));
+        self
+    }
 }
 
 /// Builds the optimized algorithm's index.
 pub fn build(ds: &Dataset, params: &OaParams) -> FlatIndex {
-    let init = telemetry::span("C1 init", || nn_descent(ds, &params.nd, None));
+    let init = telemetry::span("C1 init", || params.init.build(ds, &params.nd, None));
     let n = ds.len();
     let threads = parallel::resolve_threads(params.nd.threads);
     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];

@@ -3,10 +3,47 @@
 
 use crate::nndescent::{nn_descent, NnDescentParams};
 use crate::parallel;
+use crate::rnndescent::{rnn_descent, RnnDescentParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use weavess_data::{Dataset, Neighbor};
 use weavess_trees::KdForest;
+
+/// The descent engine a *Refinement*-strategy builder runs as C1.
+///
+/// Every consumer of NN-Descent output (NSG, NSSG, DPG, OA, EFANNA,
+/// KGraph) carries one of these next to its [`NnDescentParams`]; the
+/// builder's C2–C7 stages are untouched by the choice. Both engines
+/// produce the same shape (per-vertex nearest-`k`, sorted, kernel
+/// distances attached) under the same determinism and termination
+/// contracts — see [`crate::nndescent`] and [`crate::rnndescent`].
+#[derive(Debug, Clone, Default)]
+pub enum C1Choice {
+    /// Plain NN-Descent local joins (the surveyed algorithms' default).
+    #[default]
+    NnDescent,
+    /// Relative NN-Descent: RNG-style pruning interleaved into the
+    /// descent (arXiv 2310.20419) — much cheaper at comparable quality.
+    RnnDescent(RnnDescentParams),
+}
+
+impl C1Choice {
+    /// Runs the chosen engine. `nd` is the builder's NN-Descent
+    /// configuration (used directly by [`C1Choice::NnDescent`], ignored —
+    /// beyond having sized the stored [`RnnDescentParams`] — by
+    /// [`C1Choice::RnnDescent`]); `initial` optionally seeds the pools.
+    pub fn build(
+        &self,
+        ds: &Dataset,
+        nd: &NnDescentParams,
+        initial: Option<&[Vec<Neighbor>]>,
+    ) -> Vec<Vec<Neighbor>> {
+        match self {
+            C1Choice::NnDescent => nn_descent(ds, nd, initial),
+            C1Choice::RnnDescent(p) => rnn_descent(ds, p, initial),
+        }
+    }
+}
 
 /// Random neighbor initialization (KGraph, Vamana): `k` distinct random
 /// neighbors per point, distances computed.
@@ -39,13 +76,21 @@ pub fn init_nn_descent(ds: &Dataset, params: &NnDescentParams) -> Vec<Vec<Neighb
     nn_descent(ds, params, None)
 }
 
-/// KD-forest initialization (EFANNA): seed each point's pool by budgeted
-/// forest search, then refine with NN-Descent.
-pub fn init_kdtree_nn_descent(
+/// RNN-Descent initialization: the same approximate-KNNG contract as
+/// [`init_nn_descent`], at a fraction of the distance computations
+/// (pruning decides which pairs are worth scoring — see
+/// [`crate::rnndescent`]).
+pub fn init_rnn_descent(ds: &Dataset, params: &RnnDescentParams) -> Vec<Vec<Neighbor>> {
+    rnn_descent(ds, params, None)
+}
+
+/// Budgeted KD-forest search pools — the seed material for EFANNA-style
+/// tree-assisted descent (`pool_size` entries per vertex, self excluded).
+pub fn kd_seed_pools(
     ds: &Dataset,
     forest: &KdForest,
     checks_per_tree: usize,
-    params: &NnDescentParams,
+    pool_size: usize,
     threads: usize,
 ) -> Vec<Vec<Neighbor>> {
     let n = ds.len();
@@ -58,12 +103,25 @@ pub fn init_kdtree_nn_descent(
         |_, start, slot| {
             for (j, row) in slot.iter_mut().enumerate() {
                 let v = (start + j) as u32;
-                let (mut pool, _) = forest.search(ds, ds.point(v), params.l, checks_per_tree);
+                let (mut pool, _) = forest.search(ds, ds.point(v), pool_size, checks_per_tree);
                 pool.retain(|x| x.id != v);
                 *row = pool;
             }
         },
     );
+    initial
+}
+
+/// KD-forest initialization (EFANNA): seed each point's pool by budgeted
+/// forest search, then refine with NN-Descent.
+pub fn init_kdtree_nn_descent(
+    ds: &Dataset,
+    forest: &KdForest,
+    checks_per_tree: usize,
+    params: &NnDescentParams,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    let initial = kd_seed_pools(ds, forest, checks_per_tree, params.l, threads);
     nn_descent(ds, params, Some(&initial))
 }
 

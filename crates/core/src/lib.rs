@@ -13,6 +13,10 @@
 //!   metrics.
 //! - [`nndescent`]: NN-Descent graph refinement (KGraph's engine; shared by
 //!   EFANNA, DPG, NSG, NSSG and the optimized algorithm).
+//! - [`rnndescent`]: Relative NN-Descent — the faster C1 alternative that
+//!   interleaves RNG-style pruning into the descent loop itself; same
+//!   output shape and determinism contract as [`nndescent`], selectable
+//!   per builder through [`components::init::C1Choice`].
 //! - [`components`]: the C1–C6 pipeline stages as free functions and
 //!   strategy enums, so any combination can be composed.
 //! - [`pipeline`]: the §5.4 benchmark algorithm — a
@@ -57,6 +61,7 @@ pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod quantized;
+pub mod rnndescent;
 pub mod search;
 pub mod serve;
 pub mod shard;

@@ -17,12 +17,55 @@
 //! survives. Distances are symmetric bit-for-bit, and the convergence
 //! check counts *new-flagged pool items after the join* — a function of
 //! pool content — rather than racing on a per-insert counter.
+//!
+//! # Termination contract
+//!
+//! Both descent engines in this crate — `nn_descent` here and
+//! [`crate::rnndescent::rnn_descent`] — share one convergence rule,
+//! [`descent_converged`]:
+//!
+//! - **What is counted.** After each refinement pass, the number of pool
+//!   items still flagged *new* — discoveries the next pass would actually
+//!   work on. The count is taken from **pool content after the pass**,
+//!   never from a "successful inserts this pass" counter: pool content is
+//!   the top-`L` of the distinct items offered (order-independent),
+//!   whereas an insert counter depends on worker interleaving (an item can
+//!   be inserted then displaced, or rejected because its displacer arrived
+//!   first — the tally differs between orders even though the final pool
+//!   is identical).
+//! - **The threshold.** The pass loop stops early when the count drops
+//!   below `DESCENT_DELTA × n × degree` — KGraph's `delta = 0.001` rule,
+//!   where `degree` is the engine's working degree (`K` here, the initial
+//!   out-degree `r` for RNN-Descent). `iters`/`inner` are therefore
+//!   *budgets*, not fixed costs: a converged dataset stops in fewer
+//!   passes, and extra budget changes nothing.
+//! - **What "new" means.** An item is flagged new when it enters a pool
+//!   and old once a pass has consumed it: sampled into a join here
+//!   (`sample` bounds how many new items each vertex may consume per
+//!   iteration — `sample = 0` therefore disables refinement entirely), or
+//!   pruned-and-kept by RNN-Descent's update pass. Old items are
+//!   re-compared only against new ones, which is what makes converged
+//!   neighborhoods cheap in both engines.
 
 use crate::parallel;
+use crate::telemetry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use weavess_data::{Dataset, Neighbor};
+
+/// KGraph's `delta`: the early-termination fraction shared by both descent
+/// engines (see the module-level *Termination contract*).
+pub const DESCENT_DELTA: f64 = 0.001;
+
+/// The shared convergence test: true when `new_flagged` — the number of
+/// pool items still flagged new after a refinement pass, a pure function
+/// of pool content and therefore of the input, never of thread count —
+/// has dropped below `DESCENT_DELTA × n × degree`.
+pub fn descent_converged(new_flagged: usize, n: usize, degree: usize) -> bool {
+    new_flagged < (DESCENT_DELTA * (n * degree) as f64) as usize
+}
 
 /// NN-Descent parameters (KGraph's five sensitive knobs, Appendix H).
 #[derive(Debug, Clone)]
@@ -31,9 +74,14 @@ pub struct NnDescentParams {
     pub k: usize,
     /// Neighbor-pool size during refinement (`L ≥ K`).
     pub l: usize,
-    /// Number of refinement iterations (`iter`).
+    /// Refinement-iteration budget (`iter`) — an upper bound, not a fixed
+    /// cost: iteration stops early per the module-level *Termination
+    /// contract* ([`descent_converged`]).
     pub iters: usize,
-    /// Forward sample size per vertex per iteration (`S`).
+    /// Forward sample size per vertex per iteration (`S`): how many
+    /// new-flagged pool items each vertex may consume (join, then mark
+    /// old) per iteration. `0` disables refinement — no pair is ever
+    /// joined and the output is the initialization's top-`K`.
     pub sample: usize,
     /// Reverse sample size per vertex per iteration (`R`).
     pub reverse: usize,
@@ -97,10 +145,20 @@ pub fn nn_descent(
     assert!(n >= 2, "need at least two points");
     let l = params.l.max(params.k).max(2);
     let k = params.k.max(1);
+    let threads = parallel::resolve_threads(params.threads);
     let mut rng = StdRng::seed_from_u64(params.seed);
+    let ndc = AtomicU64::new(0);
 
-    // --- Initialization (C1): random or caller-provided pools. ---
-    let mut pools: Vec<Mutex<Pool>> = Vec::with_capacity(n);
+    // --- Initialization (C1): random or caller-provided pools. The RNG
+    // draws stay sequential (one stream, identical at any thread count);
+    // the distances they need are batch-scored in parallel below. Draw
+    // rejection is by id, which reproduces the historical insert-then-
+    // reject-duplicates stream exactly whenever pool distances are the
+    // kernel's own (a duplicate (id, dist) pair is a duplicate id, since
+    // the distance is a pure function of the pair — true for every
+    // in-repo caller). ---
+    let mut seeded: Vec<Pool> = Vec::with_capacity(n);
+    let mut pad: Vec<Vec<u32>> = Vec::with_capacity(n);
     for v in 0..n as u32 {
         let mut pool = Pool { items: Vec::new() };
         if let Some(init) = initial {
@@ -110,16 +168,48 @@ pub fn nn_descent(
                 }
             }
         }
-        while pool.items.len() < l.min(n - 1) {
+        let target = l.min(n - 1);
+        let mut draws: Vec<u32> = Vec::new();
+        while pool.items.len() + draws.len() < target {
             let cand = rng.gen_range(0..n as u32);
-            if cand != v {
-                pool.insert(l, Neighbor::new(cand, ds.dist(v, cand)));
+            if cand != v && !draws.contains(&cand) && !pool.items.iter().any(|x| x.n.id == cand) {
+                draws.push(cand);
             }
         }
-        pools.push(Mutex::new(pool));
+        seeded.push(pool);
+        pad.push(draws);
     }
-
-    let threads = parallel::resolve_threads(params.threads);
+    let pools: Vec<Mutex<Pool>> = parallel::par_chunks_map(
+        n,
+        parallel::CHUNK,
+        threads,
+        Vec::<f32>::new,
+        |dists, range| {
+            let mut out: Vec<Pool> = Vec::with_capacity(range.len());
+            let mut scored = 0u64;
+            for v in range {
+                let mut pool = Pool {
+                    items: seeded[v].items.clone(),
+                };
+                if !pad[v].is_empty() {
+                    ds.dist_to_many(ds.point(v as u32), &pad[v], dists);
+                    scored += pad[v].len() as u64;
+                    for (&cand, &d) in pad[v].iter().zip(dists.iter()) {
+                        pool.insert(l, Neighbor::new(cand, d));
+                    }
+                }
+                out.push(pool);
+            }
+            ndc.fetch_add(scored, Ordering::Relaxed);
+            out
+        },
+    )
+    .into_iter()
+    .flatten()
+    .map(Mutex::new)
+    .collect();
+    drop(seeded);
+    drop(pad);
     for _iter in 0..params.iters {
         // --- Sample step: per-vertex forward new/old lists. ---
         let mut fwd_new: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -164,6 +254,7 @@ pub fn nn_descent(
                 )
             },
             |(news, olds, partners, dists), range| {
+                let mut scored = 0u64;
                 for v in range {
                     news.clear();
                     olds.clear();
@@ -185,27 +276,29 @@ pub fn nn_descent(
                         partners.extend_from_slice(&news[i + 1..]);
                         partners.extend(olds.iter().copied().filter(|&b| b != a));
                         ds.dist_to_many(ds.point(a), partners, dists);
+                        scored += partners.len() as u64;
                         for (&b, &d) in partners.iter().zip(dists.iter()) {
                             join_at(&pools, l, a, b, d);
                         }
                     }
                 }
+                ndc.fetch_add(scored, Ordering::Relaxed);
             },
         );
-        // KGraph-style delta termination, on a thread-count-independent
-        // metric: new-flagged items after the join (surviving discoveries
-        // not yet consumed by sampling). Pool content is order-independent
-        // and a truncated item can never re-enter, so this count — unlike a
-        // per-insert counter — never depends on worker interleaving.
+        // KGraph-style delta termination on the thread-count-independent
+        // metric of the shared contract (module docs): new-flagged items
+        // after the join — surviving discoveries not yet consumed by
+        // sampling.
         let discovered: usize = pools
             .iter()
             .map(|p| p.lock().items.iter().filter(|x| x.new).count())
             .sum();
-        if discovered < (0.001 * (n * k) as f64) as usize {
+        if descent_converged(discovered, n, k) {
             break;
         }
     }
 
+    telemetry::add_span_ndc(ndc.load(Ordering::Relaxed));
     pools
         .into_iter()
         .map(|p| {
@@ -350,6 +443,78 @@ mod tests {
         let from_exact = knn_recall(&nn_descent(&ds, &params, Some(&init)), &exact);
         assert!(from_exact > from_random, "{from_exact} <= {from_random}");
         assert!(from_exact > 0.95);
+    }
+
+    #[test]
+    fn descent_converged_threshold_is_delta_n_degree() {
+        // n=1000, degree=10 → threshold 0.001 * 10_000 = 10: strictly
+        // below converges, at the threshold does not.
+        assert!(descent_converged(0, 1_000, 10));
+        assert!(descent_converged(9, 1_000, 10));
+        assert!(!descent_converged(10, 1_000, 10));
+        assert!(!descent_converged(11, 1_000, 10));
+        // Tiny problems (threshold truncates to 0): only an exact zero
+        // count can never converge early — budget runs to completion.
+        assert!(!descent_converged(0, 10, 10));
+    }
+
+    #[test]
+    fn iteration_budget_is_cut_short_by_convergence() {
+        // Once converged, surplus budget changes nothing: a 40-iteration
+        // run and a 50-iteration run terminate at the same pass and emit
+        // identical graphs (far sooner than either budget — the contract's
+        // "iters is a budget" clause).
+        let ds = dataset();
+        let mk = |iters| NnDescentParams {
+            k: 10,
+            l: 20,
+            iters,
+            sample: 8,
+            reverse: 10,
+            seed: 7,
+            threads: 2,
+        };
+        let digest = |g: &[Vec<Neighbor>]| {
+            g.iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = nn_descent(&ds, &mk(40), None);
+        let b = nn_descent(&ds, &mk(50), None);
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn zero_sample_disables_refinement() {
+        // sample = 0 means no new item is ever consumed: no joins happen
+        // and the output equals the initialization's top-K (the iters=0
+        // run), regardless of the iteration budget.
+        let ds = dataset();
+        let mk = |iters, sample| NnDescentParams {
+            k: 10,
+            l: 20,
+            iters,
+            sample,
+            reverse: 10,
+            seed: 7,
+            threads: 2,
+        };
+        let digest = |g: &[Vec<Neighbor>]| {
+            g.iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        let no_sampling = nn_descent(&ds, &mk(5, 0), None);
+        let no_iterations = nn_descent(&ds, &mk(0, 8), None);
+        assert_eq!(digest(&no_sampling), digest(&no_iterations));
     }
 
     #[test]

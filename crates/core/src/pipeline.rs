@@ -13,7 +13,7 @@ use crate::components::candidates::{
 };
 use crate::components::connectivity::{add_reverse_edges, dfs_repair};
 use crate::components::init::{
-    init_brute_force, init_kdtree_nn_descent, init_nn_descent, init_random,
+    init_brute_force, init_kdtree_nn_descent, init_nn_descent, init_random, init_rnn_descent,
 };
 use crate::components::seeds::SeedStrategy;
 use crate::components::selection::{
@@ -22,6 +22,7 @@ use crate::components::selection::{
 use crate::index::FlatIndex;
 use crate::nndescent::NnDescentParams;
 use crate::parallel;
+use crate::rnndescent::RnnDescentParams;
 use crate::search::{Router, SearchScratch, SearchStats};
 use crate::telemetry;
 use rand::rngs::StdRng;
@@ -41,6 +42,10 @@ pub enum InitChoice {
     },
     /// NN-Descent (`C1_NSG`).
     NnDescent(NnDescentParams),
+    /// Relative NN-Descent (`C1_RNND`, arXiv 2310.20419): the pruning
+    /// descent — same output contract as NN-Descent, far fewer distance
+    /// computations.
+    RnnDescent(RnnDescentParams),
     /// KD-forest assisted NN-Descent (`C1_EFANNA`).
     KdTree {
         /// Trees in the forest.
@@ -266,6 +271,7 @@ impl PipelineBuilder {
         let init_lists: Vec<Vec<Neighbor>> = telemetry::span("C1 init", || match &self.init {
             InitChoice::Random { k } => init_random(ds, *k, self.seed),
             InitChoice::NnDescent(p) => init_nn_descent(ds, p),
+            InitChoice::RnnDescent(p) => init_rnn_descent(ds, p),
             InitChoice::KdTree {
                 n_trees,
                 checks_per_tree,

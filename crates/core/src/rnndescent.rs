@@ -1,0 +1,675 @@
+//! Relative NN-Descent (RNN-Descent, Ono & Matsui, arXiv 2310.20419): an
+//! alternative C1 initializer that interleaves RNG-style pruning into the
+//! descent loop itself.
+//!
+//! Plain NN-Descent ([`crate::nndescent`]) scores every sampled
+//! new×(new+old) pair of every vertex's pool each iteration — the local
+//! join dominates refinement-strategy construction end to end (~87% of an
+//! NSG build in `BENCH_obs.json`). RNN-Descent replaces the join with a
+//! *prune-and-propagate* step built on the relative-neighborhood rule:
+//!
+//! 1. **Update (prune + add).** Scan each vertex `u`'s pool nearest-first.
+//!    A neighbor `v` is kept only if no already-kept neighbor `w` occludes
+//!    it (`d(w, v) < d(u, v)` — the MRNG edge rule of C3, applied during
+//!    C1). A pruned `v` is not discarded: it is *offered* to the occluder
+//!    `w`'s pool, carrying the just-computed `d(w, v)`. That offer is the
+//!    descent step — a pair NN-Descent would reach through a sampled join
+//!    here rides along a pruning distance that was needed anyway. Pairs
+//!    whose flags are both *old* were compared in an earlier pass and skip
+//!    their distance computation entirely, so converged neighborhoods cost
+//!    nothing.
+//! 2. **Reverse-edge augmentation.** After each round of update passes the
+//!    graph is symmetrized — every edge `u→v` is offered back to `v` as
+//!    `v→u`, flagged new — handing the next round fresh material and
+//!    keeping in-degrees from starving.
+//!
+//! Working pools stay near the pruned (RNG-sparse) degree instead of the
+//! KNN degree, so each pass touches far fewer pairs than a local join —
+//! the paper reports substantially faster construction at equal recall,
+//! and `BENCH_build.json` reproduces that on this harness.
+//!
+//! **The emitted graph.** A pruned pool's nearest-`k` is deliberately
+//! *not* the KNN — mutually-close neighbors occlude each other — but C1
+//! consumers (NSG/NSSG/DPG/OA/EFANNA/KGraph) expect an approximate KNN
+//! graph. So every pair the pruning loop scores is also mirrored, in both
+//! directions, into a bounded per-vertex **harvest pool** of capacity `k`:
+//! distances are paid for once and harvested twice. The emitted rows are
+//! the harvest pools — a genuine approximate KNN graph, directly
+//! comparable to [`crate::nndescent::nn_descent`] output — while the
+//! pruned pools exist only to decide *which* pairs are worth scoring.
+//! All candidate scoring goes through [`Dataset::dist_to_many`], so the
+//! PR-2 kernel tier carries construction exactly the way it carries
+//! search.
+//!
+//! # Determinism
+//!
+//! Same contract as every builder in this workspace: the output is a pure
+//! function of `(dataset, params)` — never of the thread count. Each
+//! update pass is split into two phases. Phase A walks vertices in fixed
+//! chunks ([`crate::parallel`]), reads and rewrites **only** the vertex's
+//! own pruned pool, and stages descent offers on the side — every pruning
+//! decision sees pool state frozen at the start of the pass, regardless
+//! of worker interleaving. Phase B applies the staged offers through
+//! bounded sorted insertion keyed by the total `(distance bits, id)`
+//! order with exact-duplicate rejection: a pool's final content is the
+//! top-`cap` of all distinct offers, independent of arrival order (the
+//! [`crate::nndescent`] argument — harvest-pool mirroring relies on the
+//! same property, which is why phase A may write it concurrently).
+//! Convergence is decided on pool content (items still flagged new, the
+//! shared [`crate::nndescent::descent_converged`] contract), and the RNG
+//! only runs in the sequential initialization — so who computes never
+//! changes what is computed.
+
+use crate::nndescent::{descent_converged, NnDescentParams};
+use crate::parallel;
+use crate::telemetry;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use weavess_data::{Dataset, Neighbor};
+
+/// RNN-Descent parameters.
+///
+/// The `outer`/`inner` pair mirrors the paper's `T1`/`T2`: `inner` update
+/// passes refine pools between reverse-edge augmentations, and the whole
+/// cycle runs `outer` times. Both descent engines share the
+/// [`crate::nndescent::descent_converged`] early-termination contract
+/// (see the *Termination contract* section of [`crate::nndescent`]), so
+/// `inner` is a budget, not a fixed cost.
+#[derive(Debug, Clone)]
+pub struct RnnDescentParams {
+    /// Neighbors emitted per vertex (the C1 output degree, like
+    /// NN-Descent's `K`): the capacity of the harvest pools.
+    pub k: usize,
+    /// Initial random out-degree (the paper's `R`), and the degree the
+    /// convergence threshold is normalized by.
+    pub r: usize,
+    /// Pruned-pool capacity during descent (`≥ max(r, k)` enforced):
+    /// bounds the pruned core plus the reverse edges riding on top of it.
+    pub l: usize,
+    /// Rounds of (update passes + reverse-edge augmentation) — `T1`.
+    pub outer: usize,
+    /// Update-pass budget per round — `T2`, early-terminated per the
+    /// shared convergence contract.
+    pub inner: usize,
+    /// RNG seed for the random initialization.
+    pub seed: u64,
+    /// Construction threads (0 = one per available core). The produced
+    /// graph is identical for every value.
+    pub threads: usize,
+}
+
+impl Default for RnnDescentParams {
+    fn default() -> Self {
+        RnnDescentParams {
+            k: 20,
+            r: 16,
+            l: 32,
+            outer: 3,
+            inner: 8,
+            seed: 0xBEEF,
+            threads: 0,
+        }
+    }
+}
+
+impl RnnDescentParams {
+    /// Derives an RNN-Descent configuration that stands in for a given
+    /// NN-Descent configuration as C1: same output degree, seed and
+    /// threads, with descent knobs sized so the pruned pools regrow a
+    /// comparable candidate stream. These are the settings
+    /// `BENCH_build.json`'s RNN-vs-NND comparison runs.
+    pub fn matching(nd: &NnDescentParams) -> Self {
+        // Two outer rounds with a generous inner budget beat three lean
+        // rounds at equal wall-clock: the inner loop self-terminates via
+        // `descent_converged`, so the extra passes only run while they
+        // still flag work, while each outer round pays a fixed
+        // reverse-augmentation sweep.
+        RnnDescentParams {
+            k: nd.k,
+            r: (nd.k * 3 / 5).max(16),
+            l: (nd.k * 6 / 5).max(24),
+            outer: 2,
+            inner: 12,
+            seed: nd.seed,
+            threads: nd.threads,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Item {
+    n: Neighbor,
+    new: bool,
+}
+
+/// One bounded pool, sorted nearest-first (used both for the pruned
+/// descent pools and the harvest pools).
+struct Pool {
+    items: Vec<Item>,
+}
+
+impl Pool {
+    /// Bounded sorted insertion; the inserted item is flagged new. Exact
+    /// duplicates (same id, same distance bits — distances are a pure
+    /// function of the pair) are rejected, so pool content is independent
+    /// of insertion order.
+    fn insert_new(&mut self, cap: usize, n: Neighbor) -> bool {
+        let pos = self.items.partition_point(|x| x.n < n);
+        if pos < self.items.len() && self.items[pos].n == n {
+            return false;
+        }
+        if pos >= cap {
+            return false;
+        }
+        self.items.insert(pos, Item { n, new: true });
+        self.items.truncate(cap);
+        true
+    }
+}
+
+/// The harvest side: one bounded KNN pool per vertex plus a lock-free
+/// admission bound — the distance bits of the pool's current worst entry
+/// once it is full (`u32::MAX` before that). The bound only shrinks, so
+/// an offer strictly worse than it can never enter the final top-`k` and
+/// is dropped without touching the lock; every scored pair pays the
+/// atomic load, only the shrinking fraction that might matter pays the
+/// sorted insert. Content stays exactly the top-`k` of all distinct
+/// offers — the filter drops certain rejections only — so the
+/// determinism argument is unchanged.
+struct Harvest {
+    pools: Vec<Mutex<Pool>>,
+    bounds: Vec<AtomicU32>,
+    k: usize,
+}
+
+impl Harvest {
+    fn offer(&self, v: u32, n: Neighbor) {
+        let slot = v as usize;
+        if n.dist.to_bits() > self.bounds[slot].load(Ordering::Relaxed) {
+            return;
+        }
+        let mut p = self.pools[slot].lock();
+        p.insert_new(self.k, n);
+        if p.items.len() == self.k {
+            let worst = p.items.last().expect("non-empty full pool").n.dist;
+            self.bounds[slot].store(worst.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Mirrors a scored pair into both endpoints' pools — the distance
+    /// was already paid for by the pruning loop.
+    fn pair(&self, a: u32, b: u32, d: f32) {
+        self.offer(a, Neighbor::new(b, d));
+        self.offer(b, Neighbor::new(a, d));
+    }
+}
+
+/// Runs RNN-Descent and returns each vertex's `k` nearest discovered
+/// neighbors (sorted nearest-first) — a drop-in replacement for
+/// [`crate::nndescent::nn_descent`] as the C1 component. When `initial`
+/// is given it seeds the pools (EFANNA's KD-tree initialization);
+/// otherwise pools start random.
+pub fn rnn_descent(
+    ds: &Dataset,
+    params: &RnnDescentParams,
+    initial: Option<&[Vec<Neighbor>]>,
+) -> Vec<Vec<Neighbor>> {
+    let n = ds.len();
+    assert!(n >= 2, "need at least two points");
+    let k = params.k.max(1);
+    let r = params.r.max(2).min(n - 1);
+    let l = params.l.max(r).max(k);
+    let threads = parallel::resolve_threads(params.threads);
+
+    // --- Initialization: sequential id draws (one RNG stream, thread
+    // count irrelevant), distances batch-scored in parallel. ---
+    let pools: Vec<Mutex<Pool>> = telemetry::span("C1 rnn init", || {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut seeds: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
+        let mut pad: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            let mut given: Vec<Neighbor> = Vec::new();
+            if let Some(init) = initial {
+                for nb in &init[v as usize] {
+                    if nb.id != v && !given.iter().any(|x| x.id == nb.id) {
+                        given.push(*nb);
+                    }
+                }
+            }
+            let target = r.min(n - 1);
+            let mut ids: Vec<u32> = Vec::new();
+            while given.len() + ids.len() < target {
+                let c = rng.gen_range(0..n as u32);
+                if c != v && !ids.contains(&c) && !given.iter().any(|x| x.id == c) {
+                    ids.push(c);
+                }
+            }
+            seeds.push(given);
+            pad.push(ids);
+        }
+        let ndc = AtomicU64::new(0);
+        let chunks = parallel::par_chunks_map(
+            n,
+            parallel::CHUNK,
+            threads,
+            Vec::<f32>::new,
+            |dists, range| {
+                let mut out: Vec<Pool> = Vec::with_capacity(range.len());
+                let mut scored = 0u64;
+                for v in range {
+                    let mut pool = Pool { items: Vec::new() };
+                    for nb in &seeds[v] {
+                        pool.insert_new(l, *nb);
+                    }
+                    if !pad[v].is_empty() {
+                        ds.dist_to_many(ds.point(v as u32), &pad[v], dists);
+                        scored += pad[v].len() as u64;
+                        for (&c, &d) in pad[v].iter().zip(dists.iter()) {
+                            pool.insert_new(l, Neighbor::new(c, d));
+                        }
+                    }
+                    out.push(pool);
+                }
+                ndc.fetch_add(scored, Ordering::Relaxed);
+                out
+            },
+        );
+        telemetry::add_span_ndc(ndc.load(Ordering::Relaxed));
+        chunks.into_iter().flatten().map(Mutex::new).collect()
+    });
+
+    // Harvest pools start as the top-k of the initial material; every
+    // scored pair lands here from then on.
+    let knn = Harvest {
+        pools: pools
+            .iter()
+            .map(|p| {
+                let items: Vec<Item> = p.lock().items.iter().take(k).copied().collect();
+                Mutex::new(Pool { items })
+            })
+            .collect(),
+        bounds: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+        k,
+    };
+    // The initial edges' reverse directions are knowledge too (an edge
+    // u→c scores c as well as u); mirror them before descent starts.
+    {
+        let offers = snapshot_reverse(&pools, threads);
+        parallel::par_chunks_map(
+            offers.len(),
+            4096,
+            threads,
+            || (),
+            |_, range| {
+                for &(v, nb) in &offers[range] {
+                    knn.offer(v, nb);
+                }
+            },
+        );
+    }
+
+    let outer = params.outer.max(1);
+    for round in 0..outer {
+        telemetry::span("C1 rnn prune+add", || {
+            for _pass in 0..params.inner.max(1) {
+                let fresh = update_pass(ds, &pools, &knn, l, threads);
+                if descent_converged(fresh, n, r) {
+                    break;
+                }
+            }
+        });
+        // The final round's reverse edges still enrich the emitted KNN
+        // (harvest mirror), but no pass reads the pruned pools again —
+        // skip their maintenance.
+        let mirror_only = round + 1 == outer;
+        telemetry::span("C1 rnn reverse", || {
+            add_reverse_pass(&pools, &knn, l, threads, mirror_only)
+        });
+    }
+
+    knn.pools
+        .into_iter()
+        .map(|p| p.into_inner().items.into_iter().map(|i| i.n).collect())
+        .collect()
+}
+
+/// One prune-and-propagate pass. Returns the number of pruned-pool items
+/// flagged new after the pass — the thread-count-independent convergence
+/// metric of the shared contract.
+fn update_pass(
+    ds: &Dataset,
+    pools: &[Mutex<Pool>],
+    knn: &Harvest,
+    l: usize,
+    threads: usize,
+) -> usize {
+    let n = pools.len();
+    let ndc = AtomicU64::new(0);
+
+    // Phase A: prune every pool against the state frozen at pass start.
+    // A worker reads and rewrites only the pruned pools of its own chunk;
+    // edges for *other* pruned pools are staged as offers, never applied
+    // in-pass. (Harvest pools take concurrent writes — their content is
+    // order-independent and nothing in this pass reads them.)
+    let staged: Vec<Vec<(u32, Neighbor)>> = parallel::par_chunks_map(
+        n,
+        parallel::CHUNK,
+        threads,
+        || {
+            (
+                Vec::<usize>::new(), // accepted indices
+                Vec::<u32>::new(),   // ids to score
+                Vec::<f32>::new(),   // their distances
+            )
+        },
+        |(accepted, ids, dists), range| {
+            let mut offers: Vec<(u32, Neighbor)> = Vec::new();
+            let mut scored = 0u64;
+            for u in range {
+                let items = {
+                    let mut guard = pools[u].lock();
+                    // All-old pools are a fixed point: no pair scores
+                    // (old/old pairs skip), so no occluder can arise and
+                    // every item would be re-accepted unchanged. Skipping
+                    // them is bit-identical and makes converged vertices
+                    // free.
+                    if guard.items.iter().all(|i| !i.new) {
+                        continue;
+                    }
+                    std::mem::take(&mut guard.items)
+                };
+                accepted.clear();
+                for (i, it) in items.iter().enumerate() {
+                    // Score `it` against the kept neighbors closer to
+                    // `u`, skipping old/old pairs (compared in the pass
+                    // that made them old). One dist_to_many covers every
+                    // check.
+                    ids.clear();
+                    for &j in accepted.iter() {
+                        let w = &items[j];
+                        if it.new || w.new {
+                            ids.push(w.n.id);
+                        }
+                    }
+                    let mut occluder: Option<(u32, f32)> = None;
+                    if !ids.is_empty() {
+                        ds.dist_to_many(ds.point(it.n.id), ids, dists);
+                        scored += ids.len() as u64;
+                        for (t, &wid) in ids.iter().enumerate() {
+                            // Every scored pair is harvested — paid for
+                            // once, used twice.
+                            knn.pair(it.n.id, wid, dists[t]);
+                            if occluder.is_none() && dists[t] < it.n.dist {
+                                occluder = Some((wid, dists[t]));
+                            }
+                        }
+                    }
+                    match occluder {
+                        // Kept: compared against every kept predecessor —
+                        // old from here on.
+                        None => accepted.push(i),
+                        // Pruned: recycle the edge toward the occluder,
+                        // reusing the distance the prune already paid.
+                        Some((wid, d)) => offers.push((wid, Neighbor::new(it.n.id, d))),
+                    }
+                }
+                pools[u].lock().items = accepted
+                    .iter()
+                    .map(|&i| Item {
+                        n: items[i].n,
+                        new: false,
+                    })
+                    .collect();
+            }
+            ndc.fetch_add(scored, Ordering::Relaxed);
+            offers
+        },
+    );
+    telemetry::add_span_ndc(ndc.load(Ordering::Relaxed));
+
+    // Phase B: apply offers to the pruned pools. Insertion order cannot
+    // change final pool content, so workers may interleave freely. (The
+    // pairs were already harvested in phase A.)
+    let offers: Vec<(u32, Neighbor)> = staged.concat();
+    parallel::par_chunks_map(
+        offers.len(),
+        4096,
+        threads,
+        || (),
+        |_, range| {
+            for &(w, nb) in &offers[range] {
+                pools[w as usize].lock().insert_new(l, nb);
+            }
+        },
+    );
+
+    // Convergence metric: surviving new-flagged items (pool content — a
+    // pure function of the offer *set*, not of insertion order).
+    parallel::par_chunks_map(
+        n,
+        parallel::CHUNK,
+        threads,
+        || (),
+        |_, range| {
+            range
+                .map(|u| pools[u].lock().items.iter().filter(|i| i.new).count())
+                .sum::<usize>()
+        },
+    )
+    .into_iter()
+    .sum()
+}
+
+/// Snapshots every pruned-pool edge `u→v` as an offer `(v, v→u)` — the
+/// raw material of both reverse augmentation and harvest mirroring.
+fn snapshot_reverse(pools: &[Mutex<Pool>], threads: usize) -> Vec<(u32, Neighbor)> {
+    let staged: Vec<Vec<(u32, Neighbor)>> = parallel::par_chunks_map(
+        pools.len(),
+        parallel::CHUNK,
+        threads,
+        || (),
+        |_, range| {
+            let mut out = Vec::new();
+            for u in range {
+                for it in pools[u].lock().items.iter() {
+                    out.push((it.n.id, Neighbor::new(u as u32, it.n.dist)));
+                }
+            }
+            out
+        },
+    );
+    staged.concat()
+}
+
+/// Symmetrization: offer every edge `u→v` back to `v` as `v→u` (same
+/// distance — no scoring), flagged new so the next round's pruning
+/// revisits it; mirrored into the harvest pools as well. With
+/// `mirror_only` the pruned pools are left untouched — used on the final
+/// round, whose pools are dead after the mirror.
+fn add_reverse_pass(
+    pools: &[Mutex<Pool>],
+    knn: &Harvest,
+    l: usize,
+    threads: usize,
+    mirror_only: bool,
+) {
+    let offers = snapshot_reverse(pools, threads);
+    parallel::par_chunks_map(
+        offers.len(),
+        4096,
+        threads,
+        || (),
+        |_, range| {
+            for &(v, nb) in &offers[range] {
+                if !mirror_only {
+                    pools[v as usize].lock().insert_new(l, nb);
+                }
+                knn.offer(v, nb);
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nndescent::{knn_recall, nn_descent};
+    use weavess_data::ground_truth::exact_knn_graph;
+    use weavess_data::synthetic::MixtureSpec;
+
+    fn dataset() -> Dataset {
+        MixtureSpec::table10(16, 1_000, 5, 3.0, 10).generate().0
+    }
+
+    #[test]
+    fn converges_to_high_graph_quality() {
+        let ds = dataset();
+        let params = RnnDescentParams {
+            k: 10,
+            r: 12,
+            l: 24,
+            outer: 3,
+            inner: 8,
+            seed: 7,
+            threads: 4,
+        };
+        let g = rnn_descent(&ds, &params, None);
+        let exact = exact_knn_graph(&ds, 10, 4);
+        let q = knn_recall(&g, &exact);
+        assert!(q > 0.85, "graph quality {q}");
+    }
+
+    #[test]
+    fn respects_k_excludes_self_and_sorts() {
+        let ds = dataset();
+        let params = RnnDescentParams {
+            k: 6,
+            r: 8,
+            l: 16,
+            outer: 2,
+            inner: 4,
+            ..Default::default()
+        };
+        let g = rnn_descent(&ds, &params, None);
+        assert_eq!(g.len(), ds.len());
+        for (v, row) in g.iter().enumerate() {
+            assert!(row.len() <= 6);
+            assert!(row.iter().all(|n| n.id != v as u32));
+            assert!(row.windows(2).all(|w| w[0].dist <= w[1].dist));
+            // Distances are the true kernel distances.
+            for n in row {
+                assert_eq!(n.dist.to_bits(), ds.dist(v as u32, n.id).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_nn_descent_quality() {
+        // The headline claim at unit scale: RNN-Descent reaches
+        // NN-Descent-level graph quality. (That it does so *faster* is
+        // asserted by the BENCH_build.json harness at bench scale.)
+        let ds = dataset();
+        let exact = exact_knn_graph(&ds, 10, 4);
+        let nd = NnDescentParams {
+            k: 10,
+            l: 20,
+            iters: 8,
+            sample: 8,
+            reverse: 10,
+            seed: 7,
+            threads: 4,
+        };
+        let q_nnd = knn_recall(&nn_descent(&ds, &nd, None), &exact);
+        let rnn = RnnDescentParams::matching(&nd);
+        let q_rnn = knn_recall(&rnn_descent(&ds, &rnn, None), &exact);
+        assert!(
+            q_rnn > q_nnd - 0.05,
+            "RNN quality {q_rnn} too far below NND {q_nnd}"
+        );
+    }
+
+    #[test]
+    fn good_initialization_improves_quality_at_equal_budget() {
+        let ds = dataset();
+        let exact = exact_knn_graph(&ds, 10, 4);
+        let params = RnnDescentParams {
+            k: 10,
+            r: 12,
+            l: 24,
+            outer: 1,
+            inner: 1,
+            seed: 7,
+            threads: 2,
+        };
+        let from_random = knn_recall(&rnn_descent(&ds, &params, None), &exact);
+        let init: Vec<Vec<Neighbor>> = exact
+            .iter()
+            .enumerate()
+            .map(|(v, row)| {
+                row.iter()
+                    .map(|&u| Neighbor::new(u, ds.dist(v as u32, u)))
+                    .collect()
+            })
+            .collect();
+        let from_exact = knn_recall(&rnn_descent(&ds, &params, Some(&init)), &exact);
+        assert!(from_exact > from_random, "{from_exact} <= {from_random}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let params = RnnDescentParams {
+            k: 8,
+            r: 10,
+            l: 20,
+            outer: 2,
+            inner: 3,
+            threads: 1,
+            ..Default::default()
+        };
+        let digest = |g: &[Vec<Neighbor>]| {
+            g.iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = rnn_descent(&ds, &params, None);
+        let b = rnn_descent(&ds, &params, None);
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        // The integration suite digests this at build scale
+        // (`tests/build_determinism.rs`); this is the fast unit-level
+        // check of the same contract.
+        let ds = dataset();
+        let digest = |threads: usize| {
+            let params = RnnDescentParams {
+                k: 10,
+                r: 12,
+                l: 24,
+                outer: 2,
+                inner: 4,
+                seed: 11,
+                threads,
+            };
+            rnn_descent(&ds, &params, None)
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        let base = digest(1);
+        assert_eq!(digest(2), base);
+        assert_eq!(digest(8), base);
+    }
+}

@@ -12,11 +12,16 @@
 //! CI runs this file under both kernel modes (default and
 //! `paper-fidelity`), so the guarantee holds for either distance flavor.
 
+use proptest::prelude::*;
 use weavess_core::algorithms::hnsw::{self, HnswParams};
 use weavess_core::algorithms::hnsw_dynamic::DynamicHnsw;
 use weavess_core::algorithms::{nsg, nsw, Algo};
+use weavess_core::index::{AnnIndex, SearchContext};
 use weavess_core::nndescent::{nn_descent, NnDescentParams};
 use weavess_core::persist::{write_hnsw, write_index};
+use weavess_core::rnndescent::{rnn_descent, RnnDescentParams};
+use weavess_data::ground_truth::ground_truth;
+use weavess_data::metrics::recall;
 use weavess_data::synthetic::MixtureSpec;
 use weavess_data::Dataset;
 
@@ -128,6 +133,97 @@ fn nn_descent_is_thread_count_independent() {
     let base = run(1);
     for &t in &THREAD_SWEEP[1..] {
         assert_eq!(base, run(t), "NN-Descent diverges at {t} threads");
+    }
+}
+
+/// RNN-Descent shares NN-Descent's determinism contract: the two-phase
+/// update pass (own-chunk rewrites, then order-independent offer
+/// application) must emit the same lists — ids AND distance bits — at any
+/// worker count.
+#[test]
+fn rnn_descent_is_thread_count_independent() {
+    let ds = dataset(400);
+    let run = |threads: usize| -> u64 {
+        let params = RnnDescentParams {
+            k: 10,
+            r: 12,
+            l: 24,
+            outer: 3,
+            inner: 6,
+            seed: 11,
+            threads,
+        };
+        let g = rnn_descent(&ds, &params, None);
+        let mut digest = 0xcbf2_9ce4_8422_2325_u64;
+        for row in &g {
+            fnv1a(&mut digest, &(row.len() as u32).to_le_bytes());
+            for n in row {
+                fnv1a(&mut digest, &n.id.to_le_bytes());
+                fnv1a(&mut digest, &n.dist.to_bits().to_le_bytes());
+            }
+        }
+        digest
+    };
+    let base = run(1);
+    for &t in &THREAD_SWEEP[1..] {
+        assert_eq!(base, run(t), "RNN-Descent diverges at {t} threads");
+    }
+}
+
+/// Swapping C1 keeps the persisted-bytes guarantee: an NSG built from
+/// RNN-Descent serializes to identical bytes at 1, 2, and 8 threads.
+#[test]
+fn rnn_built_nsg_persisted_bytes_are_thread_count_independent() {
+    let ds = dataset(400);
+    let bytes = |threads: usize| -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_index(
+            &mut buf,
+            &nsg::build(&ds, &nsg::NsgParams::tuned(threads, 3).with_rnn_c1()),
+        )
+        .unwrap();
+        buf
+    };
+    let b1 = bytes(1);
+    for &t in &THREAD_SWEEP[1..] {
+        assert_eq!(b1, bytes(t), "NSG(RNN-C1) bytes diverge at {t} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The acceptance criterion of the C1 swap, as a property over
+    /// datasets: an NSG built from RNN-Descent answers queries with
+    /// end-to-end Recall@10 close to the NN-Descent-built one. (The
+    /// builds dominate the runtime, so the case count stays small.)
+    #[test]
+    fn rnn_c1_recall_stays_near_nn_descent_c1(seed in 0u64..50) {
+        let (ds, qs) = MixtureSpec::table10(12, 700, 3, 3.0, 25)
+            .with_seed(seed)
+            .generate();
+        let nnd = nsg::build(&ds, &nsg::NsgParams::tuned(4, 3));
+        let rnn = nsg::build(&ds, &nsg::NsgParams::tuned(4, 3).with_rnn_c1());
+        let gt = ground_truth(&ds, &qs, 10, 4);
+        let mut ctx = SearchContext::new(ds.len());
+        let mut measure = |idx: &dyn AnnIndex| -> f64 {
+            let mut total = 0.0;
+            for qi in 0..qs.len() as u32 {
+                let ids: Vec<u32> = idx
+                    .search(&ds, qs.point(qi), 10, 80, &mut ctx)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                total += recall(&ids, &gt[qi as usize]);
+            }
+            total / qs.len() as f64
+        };
+        let r_nnd = measure(&nnd);
+        let r_rnn = measure(&rnn);
+        prop_assert!(
+            r_rnn >= r_nnd - 0.02,
+            "RNN-C1 recall {r_rnn:.4} fell more than 0.02 below NND-C1 {r_nnd:.4}"
+        );
     }
 }
 
