@@ -1,28 +1,37 @@
 //! Distance-kernel microbenchmark — the perf trajectory's seed artifact.
 //!
-//! Measures, per dimension, the ns/distance of the scalar reference kernel,
-//! the unrolled multi-accumulator kernel, and the batched
-//! [`Dataset::dist_to_many`] path; then an end-to-end fixed-beam search
-//! comparison (QPS and Recall@10) driving the same best-first discipline
-//! through all three scoring paths. Emits `BENCH_kernels.json` at the repo
-//! root alongside an aligned table on stdout.
+//! Measures, per dimension, the ns/distance of the scalar reference
+//! kernel, the unrolled multi-accumulator kernel, the explicit AVX2+FMA
+//! simd kernel, and the batched [`Dataset::dist_to_many`] path; then an
+//! end-to-end fixed-beam search comparison (QPS and Recall@10) driving
+//! the production beam search under each runtime-forced [`KernelTier`],
+//! plus a fused-SQ8 row (quantized codes scored in-arena through the
+//! asymmetric residual kernel). Emits `BENCH_kernels.json` at the repo
+//! root alongside aligned tables on stdout.
 //!
-//! Both runs use integer-valued coordinates, so every partial sum is exact
-//! in f32 and the three paths are bit-equal by construction — the results
-//! identity reported here is a hard guarantee, not a tolerance check.
+//! The f32 runs use integer-valued coordinates, so every partial sum is
+//! exact in f32 and all tiers are bit-equal by construction — the
+//! results-identity column is a hard guarantee, not a tolerance check.
+//! SQ8 scoring multiplies codes by fractional step sizes, so its results
+//! are tier-stable only to tolerance and are reported per tier.
+//!
+//! `--smoke` runs a reduced-budget version and exits non-zero if any
+//! tier pair diverges beyond 1e-4 relative tolerance on sampled
+//! distances, if the forced-tier searches disagree on integer data, or
+//! if the simd kernel times slower than unrolled at dim >= 96 on a host
+//! where it is available.
 
 use std::hint::black_box;
 use std::time::Instant;
 use weavess_bench::env_threads;
 use weavess_bench::report::{banner, f, Table};
+use weavess_core::quantized::QuantizedIndex;
 use weavess_core::search::{beam_search, SearchScratch, SearchStats};
-use weavess_data::distance::{scalar, unrolled};
+use weavess_data::distance::{scalar, simd, unrolled, KernelTier};
 use weavess_data::ground_truth::ground_truth;
-use weavess_data::neighbor::{insert_into_pool, Neighbor};
 use weavess_data::synthetic::MixtureSpec;
-use weavess_data::Dataset;
+use weavess_data::{host_features, Dataset};
 use weavess_graph::base::exact_knng;
-use weavess_graph::CsrGraph;
 
 /// Dimensions for the ns/distance sweep (96/128 cover the acceptance bar;
 /// 960 is GIST-shaped).
@@ -31,6 +40,8 @@ const DIMS: [usize; 6] = [8, 32, 96, 128, 256, 960];
 const MICRO_N: usize = 4_096;
 /// Element-op budget per kernel per dimension (keeps each timing ~0.1-0.3 s).
 const MICRO_BUDGET: usize = 200_000_000;
+/// Reduced budget for `--smoke` (CI gate, not a publishable number).
+const SMOKE_BUDGET: usize = 16_000_000;
 
 /// Deterministic small-integer dataset: coordinates in [-16, 16].
 fn integer_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
@@ -85,71 +96,44 @@ fn time_batched(ds: &Dataset, query: &[f32], passes: usize) -> f64 {
     ns / (passes * ds.len()) as f64
 }
 
-/// Best-first search over an explicit per-vertex scorer — the same
-/// candidate-pool discipline as [`beam_search`], so given bit-equal
-/// distances it returns bit-equal results. Used to drive the scalar and
-/// unrolled kernels end-to-end without going through `Dataset`'s
-/// compile-time kernel dispatch.
-fn beam_search_with(
-    g: &CsrGraph,
-    n: usize,
-    seeds: &[u32],
-    beam: usize,
-    visited: &mut Vec<bool>,
-    dist: &mut dyn FnMut(u32) -> f32,
-) -> Vec<Neighbor> {
-    visited.clear();
-    visited.resize(n, false);
-    let mut pool: Vec<Neighbor> = Vec::new();
-    let mut expanded: Vec<bool> = Vec::new();
-    let push = |pool: &mut Vec<Neighbor>, expanded: &mut Vec<bool>, nb: Neighbor| {
-        let pos = insert_into_pool(pool, beam, nb)?;
-        expanded.insert(pos, false);
-        expanded.truncate(pool.len());
-        Some(pos)
-    };
-    for &s in seeds {
-        if !std::mem::replace(&mut visited[s as usize], true) {
-            push(&mut pool, &mut expanded, Neighbor::new(s, dist(s)));
-        }
+/// The tiers this process can force (paper-fidelity pins scalar).
+fn runnable_tiers() -> Vec<KernelTier> {
+    if cfg!(feature = "paper-fidelity") {
+        vec![KernelTier::Scalar]
+    } else {
+        KernelTier::ALL
+            .into_iter()
+            .filter(|t| t.is_available())
+            .collect()
     }
-    let mut k = 0usize;
-    while k < pool.len() {
-        if expanded[k] {
-            k += 1;
-            continue;
-        }
-        expanded[k] = true;
-        let v = pool[k].id;
-        let mut lowest = usize::MAX;
-        for &u in g.neighbors(v) {
-            if !std::mem::replace(&mut visited[u as usize], true) {
-                if let Some(pos) = push(&mut pool, &mut expanded, Neighbor::new(u, dist(u))) {
-                    lowest = lowest.min(pos);
-                }
-            }
-        }
-        if lowest <= k {
-            k = lowest;
-        } else {
-            k += 1;
-        }
+}
+
+fn force(tier: KernelTier) {
+    if !cfg!(feature = "paper-fidelity") {
+        KernelTier::force(tier).expect("forcing an available tier");
     }
-    pool
+}
+
+struct TierRun {
+    tier: KernelTier,
+    qps_f32: f64,
+    recall_f32: f64,
+    qps_fused_sq8: f64,
+    recall_fused_sq8: f64,
+    ids_f32: Vec<Vec<u32>>,
 }
 
 struct EndToEnd {
-    qps_scalar: f64,
-    qps_unrolled: f64,
-    qps_batched: f64,
-    recall_at_10: f64,
-    identical: bool,
+    runs: Vec<TierRun>,
+    f32_identical: bool,
 }
 
-/// Fixed-beam end-to-end comparison on a clustered integer-quantized set.
-fn end_to_end(dim: usize, n: usize, beam: usize, threads: usize) -> EndToEnd {
-    // Clustered mixture, quantized to integers so all three scoring paths
-    // are bit-equal (coords stay small; sums stay < 2^24).
+/// Fixed-beam end-to-end comparison on a clustered integer-quantized set:
+/// the production beam search under each forced tier, over both the raw
+/// f32 dataset and a fused-SQ8 `QuantizedIndex` arena.
+fn end_to_end(dim: usize, n: usize, beam: usize, threads: usize, reps: usize) -> EndToEnd {
+    // Clustered mixture, quantized to integers so the f32 scoring paths
+    // are bit-equal across tiers (coords stay small; sums stay < 2^24).
     let spec = MixtureSpec {
         intrinsic_dim: Some(12),
         noise: 0.05,
@@ -169,170 +153,250 @@ fn end_to_end(dim: usize, n: usize, beam: usize, threads: usize) -> EndToEnd {
     let gt = ground_truth(&base, &queries, 10, threads);
     let seeds = [0u32, (n / 3) as u32, (2 * n / 3) as u32];
     let nq = queries.len() as u32;
+    let fused = QuantizedIndex::new(g.clone(), &base, seeds.to_vec()).with_fused_layout();
 
-    // Per-flavor search drivers, each returning all result-id lists.
-    let run_kernel = |kernel: fn(&[f32], &[f32]) -> f32| -> (f64, Vec<Vec<u32>>) {
-        let mut visited: Vec<bool> = Vec::new();
+    let recall_of = |ids: &[Vec<u32>]| {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (res, truth) in ids.iter().zip(gt.iter()) {
+            hits += res.iter().take(10).filter(|id| truth.contains(id)).count();
+            total += truth.len().min(10);
+        }
+        hits as f64 / total as f64
+    };
+
+    let mut runs = Vec::new();
+    for tier in runnable_tiers() {
+        force(tier);
+        let mut scratch = SearchScratch::new(n);
+        let mut stats = SearchStats::default();
+
+        // Raw f32 path.
         let mut best = f64::INFINITY;
-        let mut ids: Vec<Vec<u32>> = Vec::new();
-        for _ in 0..3 {
-            ids.clear();
+        let mut ids_f32: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..reps {
+            ids_f32.clear();
             let t0 = Instant::now();
             for qi in 0..nq {
-                let q = queries.point(qi);
-                let res = beam_search_with(&g, n, &seeds, beam, &mut visited, &mut |u| {
-                    kernel(q, base.point(u))
-                });
-                ids.push(res.iter().map(|nb| nb.id).collect());
+                scratch.next_epoch();
+                let res = beam_search(
+                    &base,
+                    &g,
+                    queries.point(qi),
+                    &seeds,
+                    beam,
+                    &mut scratch,
+                    &mut stats,
+                );
+                ids_f32.push(res.iter().map(|nb| nb.id).collect());
             }
             best = best.min(t0.elapsed().as_secs_f64());
         }
-        (nq as f64 / best, ids)
-    };
-    let (qps_scalar, ids_scalar) = run_kernel(scalar::squared_euclidean);
-    let (qps_unrolled, ids_unrolled) = run_kernel(unrolled::squared_euclidean);
+        let qps_f32 = nq as f64 / best;
 
-    // Batched path: the production beam search (dispatched kernels +
-    // dist_to_many + reusable scratch).
-    let mut scratch = SearchScratch::new(n);
-    let mut stats = SearchStats::default();
-    let mut best = f64::INFINITY;
-    let mut ids_batched: Vec<Vec<u32>> = Vec::new();
-    for _ in 0..3 {
-        ids_batched.clear();
-        let t0 = Instant::now();
-        for qi in 0..nq {
-            scratch.next_epoch();
-            let res = beam_search(
-                &base,
-                &g,
-                queries.point(qi),
-                &seeds,
-                beam,
-                &mut scratch,
-                &mut stats,
-            );
-            ids_batched.push(res.iter().map(|nb| nb.id).collect());
+        // Fused-SQ8 path: same beam discipline, codes scored in-arena via
+        // the asymmetric residual kernel of the forced tier.
+        let mut best = f64::INFINITY;
+        let mut ids_sq8: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..reps {
+            ids_sq8.clear();
+            let t0 = Instant::now();
+            for qi in 0..nq {
+                let res = fused.search_quantized(queries.point(qi), beam, &mut scratch, &mut stats);
+                ids_sq8.push(res.iter().map(|nb| nb.id).collect());
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
         }
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    let qps_batched = nq as f64 / best;
+        let qps_fused_sq8 = nq as f64 / best;
 
-    let identical = ids_scalar == ids_unrolled && ids_unrolled == ids_batched;
-    let mut hits = 0usize;
-    let mut total = 0usize;
-    for (res, truth) in ids_batched.iter().zip(gt.iter()) {
-        hits += res.iter().take(10).filter(|id| truth.contains(id)).count();
-        total += truth.len().min(10);
+        runs.push(TierRun {
+            tier,
+            qps_f32,
+            recall_f32: recall_of(&ids_f32),
+            qps_fused_sq8,
+            recall_fused_sq8: recall_of(&ids_sq8),
+            ids_f32,
+        });
     }
+    force(KernelTier::detect());
+
+    let f32_identical = runs.windows(2).all(|w| w[0].ids_f32 == w[1].ids_f32);
     EndToEnd {
-        qps_scalar,
-        qps_unrolled,
-        qps_batched,
-        recall_at_10: hits as f64 / total as f64,
-        identical,
+        runs,
+        f32_identical,
     }
 }
 
+/// Samples kernel agreement across tiers on non-integer data; returns
+/// divergence descriptions (empty = all within 1e-4 relative).
+fn agreement_failures() -> Vec<String> {
+    let mut fails = Vec::new();
+    for &dim in &[7usize, 96, 128, 237] {
+        let (ds, qs) = MixtureSpec::table10(dim, 64, 2, 5.0, 4).generate();
+        for qi in 0..qs.len() as u32 {
+            let q = qs.point(qi);
+            for i in 0..ds.len() as u32 {
+                let p = ds.point(i);
+                let s = scalar::squared_euclidean(q, p);
+                let u = unrolled::squared_euclidean(q, p);
+                let v = simd::squared_euclidean(q, p);
+                let tol = 1e-4 * s.abs().max(1.0);
+                if (s - u).abs() > tol || (s - v).abs() > tol {
+                    fails.push(format!(
+                        "dim {dim} q{qi} p{i}: scalar={s} unrolled={u} simd={v}"
+                    ));
+                }
+            }
+        }
+    }
+    fails
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let threads = env_threads();
     let mode = if cfg!(feature = "paper-fidelity") {
         "paper-fidelity"
     } else {
         "default"
     };
-    banner(&format!("Distance kernel bench (mode={mode})"));
+    let features = host_features();
+    let default_tier = KernelTier::detect();
+    let simd_avail = KernelTier::Simd.is_available();
+    banner(&format!(
+        "Distance kernel bench (mode={mode}, tier={default_tier}, host=[{features}]{})",
+        if smoke { ", SMOKE" } else { "" }
+    ));
 
+    let budget = if smoke { SMOKE_BUDGET } else { MICRO_BUDGET };
     let mut table = Table::new(vec![
         "dim",
         "scalar ns/d",
         "unrolled ns/d",
+        "simd ns/d",
         "batched ns/d",
-        "unrolled x",
+        "simd x",
         "batched x",
     ]);
     let mut micro_json = String::new();
+    let mut simd_regressions = Vec::new();
     for &dim in &DIMS {
         let ds = integer_dataset(MICRO_N, dim, 0x5eed);
         let qds = integer_dataset(1, dim, 0xfeed);
         let query = qds.point(0);
-        let passes = (MICRO_BUDGET / (MICRO_N * dim)).max(3);
+        let passes = (budget / (MICRO_N * dim)).max(3);
         // Warm-up pass, then measure; best of 3 to shed scheduler noise.
         time_kernel(&ds, query, 1, scalar::squared_euclidean);
-        let best3 =
-            |mut m: Box<dyn FnMut() -> f64>| (0..3).map(|_| m()).fold(f64::INFINITY, f64::min);
-        let s = {
-            let (ds, q) = (&ds, query);
-            best3(Box::new(move || {
-                time_kernel(ds, q, passes, scalar::squared_euclidean)
-            }))
+        let best3 = |kernel: fn(&[f32], &[f32]) -> f32| {
+            (0..3)
+                .map(|_| time_kernel(&ds, query, passes, kernel))
+                .fold(f64::INFINITY, f64::min)
         };
-        let u = {
-            let (ds, q) = (&ds, query);
-            best3(Box::new(move || {
-                time_kernel(ds, q, passes, unrolled::squared_euclidean)
-            }))
-        };
-        let b = {
-            let (ds, q) = (&ds, query);
-            best3(Box::new(move || time_batched(ds, q, passes)))
-        };
+        let s = best3(scalar::squared_euclidean);
+        let u = best3(unrolled::squared_euclidean);
+        let v = best3(simd::squared_euclidean);
+        let b = (0..3)
+            .map(|_| time_batched(&ds, query, passes))
+            .fold(f64::INFINITY, f64::min);
+        if simd_avail && dim >= 96 && v > u {
+            simd_regressions.push(format!("dim {dim}: simd {v:.2} ns > unrolled {u:.2} ns"));
+        }
         table.row(vec![
             dim.to_string(),
             f(s, 2),
             f(u, 2),
+            f(v, 2),
             f(b, 2),
-            f(s / u, 2),
+            f(u / v, 2),
             f(s / b, 2),
         ]);
         micro_json.push_str(&format!(
             "    {{\"dim\": {dim}, \"scalar_ns\": {s:.3}, \"unrolled_ns\": {u:.3}, \
-             \"batched_ns\": {b:.3}, \"speedup_unrolled\": {su:.3}, \"speedup_batched\": {sb:.3}}},\n",
+             \"simd_ns\": {v:.3}, \"batched_ns\": {b:.3}, \"speedup_unrolled\": {su:.3}, \
+             \"speedup_simd\": {sv:.3}, \"speedup_batched\": {sb:.3}}},\n",
             su = s / u,
+            sv = u / v,
             sb = s / b,
         ));
     }
     table.print();
     micro_json.truncate(micro_json.trim_end_matches(",\n").len());
 
-    // End-to-end: fixed beam, production-scale-ish harness set.
-    let (e2e_dim, e2e_n, e2e_beam) = (128usize, 6_000usize, 64usize);
+    // End-to-end: fixed beam, production beam search under each forced
+    // tier, raw f32 and fused SQ8.
+    let (e2e_dim, e2e_n, e2e_beam, reps) = if smoke {
+        (128usize, 2_000usize, 32usize, 2usize)
+    } else {
+        (128usize, 6_000usize, 64usize, 3usize)
+    };
     println!("\nend-to-end: dim={e2e_dim} n={e2e_n} beam={e2e_beam} (single-thread search)");
-    let e = end_to_end(e2e_dim, e2e_n, e2e_beam, threads);
-    let mut t2 = Table::new(vec!["path", "QPS", "Recall@10", "identical"]);
-    t2.row(vec![
-        "scalar".to_string(),
-        f(e.qps_scalar, 0),
-        f(e.recall_at_10, 4),
-        e.identical.to_string(),
+    let e = end_to_end(e2e_dim, e2e_n, e2e_beam, threads, reps);
+    let mut t2 = Table::new(vec![
+        "tier",
+        "QPS f32",
+        "R@10 f32",
+        "QPS fused-SQ8",
+        "R@10 fused-SQ8",
+        "identical",
     ]);
-    t2.row(vec![
-        "unrolled".to_string(),
-        f(e.qps_unrolled, 0),
-        f(e.recall_at_10, 4),
-        e.identical.to_string(),
-    ]);
-    t2.row(vec![
-        "batched".to_string(),
-        f(e.qps_batched, 0),
-        f(e.recall_at_10, 4),
-        e.identical.to_string(),
-    ]);
+    let mut tier_json = String::new();
+    for r in &e.runs {
+        t2.row(vec![
+            r.tier.to_string(),
+            f(r.qps_f32, 0),
+            f(r.recall_f32, 4),
+            f(r.qps_fused_sq8, 0),
+            f(r.recall_fused_sq8, 4),
+            e.f32_identical.to_string(),
+        ]);
+        tier_json.push_str(&format!(
+            "      {{\"tier\": \"{}\", \"qps_f32\": {:.1}, \"recall_f32\": {:.4}, \
+             \"qps_fused_sq8\": {:.1}, \"recall_fused_sq8\": {:.4}}},\n",
+            r.tier, r.qps_f32, r.recall_f32, r.qps_fused_sq8, r.recall_fused_sq8,
+        ));
+    }
     t2.print();
+    tier_json.truncate(tier_json.trim_end_matches(",\n").len());
 
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"mode\": \"{mode}\",\n  \"micro_n\": {MICRO_N},\n  \
+        "{{\n  \"bench\": \"kernels\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
+         \"host_features\": \"{features}\",\n  \"kernel_tier_default\": \"{default_tier}\",\n  \
+         \"simd_available\": {simd_avail},\n  \"micro_n\": {MICRO_N},\n  \
          \"ns_per_distance\": [\n{micro_json}\n  ],\n  \"end_to_end\": {{\n    \
          \"dim\": {e2e_dim}, \"n\": {e2e_n}, \"beam\": {e2e_beam},\n    \
-         \"qps_scalar\": {:.1}, \"qps_unrolled\": {:.1}, \"qps_batched\": {:.1},\n    \
-         \"qps_speedup_batched\": {:.3}, \"recall_at_10\": {:.4}, \"results_identical\": {}\n  }}\n}}\n",
-        e.qps_scalar,
-        e.qps_unrolled,
-        e.qps_batched,
-        e.qps_batched / e.qps_scalar,
-        e.recall_at_10,
-        e.identical,
+         \"tiers\": [\n{tier_json}\n    ],\n    \"f32_results_identical\": {}\n  }}\n}}\n",
+        e.f32_identical,
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("\nwrote BENCH_kernels.json");
+
+    // Gates: agreement always checked; perf gate only meaningful with the
+    // simd tier present. Divergence or regression fails the process so CI
+    // can block the merge.
+    let fails = agreement_failures();
+    if !fails.is_empty() {
+        eprintln!("TIER DIVERGENCE ({} samples):", fails.len());
+        for s in fails.iter().take(10) {
+            eprintln!("  {s}");
+        }
+        std::process::exit(1);
+    }
+    if !e.f32_identical {
+        eprintln!("FORCED-TIER SEARCHES DIVERGED on integer data");
+        std::process::exit(1);
+    }
+    if smoke && !simd_regressions.is_empty() {
+        eprintln!("SIMD REGRESSION vs unrolled:");
+        for s in &simd_regressions {
+            eprintln!("  {s}");
+        }
+        std::process::exit(1);
+    }
+    println!("gates: agreement ok, forced-tier identity ok{}", {
+        if smoke {
+            ", simd>=unrolled at dim>=96 ok"
+        } else {
+            ""
+        }
+    });
 }

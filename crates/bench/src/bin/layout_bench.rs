@@ -267,9 +267,12 @@ fn main() {
     cell_json.truncate(cell_json.trim_end_matches(",\n").len());
     let json = format!(
         "{{\n  \"bench\": \"layout\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
-         \"host_available_parallelism\": {host},\n  \"n\": {n},\n  \"dim\": {dim},\n  \
+         \"host_available_parallelism\": {host},\n  \
+         \"host_features\": \"{}\",\n  \"kernel_tier\": \"{}\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \
          \"k\": {K},\n  \"beam\": {BEAM},\n  \"baseline\": {{\"qps\": {baseline_qps:.1}, \
          \"recall_at_10\": {base_recall:.4}, \"ndc\": {}}},\n  \"cells\": [\n{cell_json}\n  ]\n}}\n",
+        weavess_data::host_features(),
+        weavess_data::KernelTier::active(),
         baseline_stats.ndc
     );
     std::fs::write("BENCH_layout.json", &json).expect("write BENCH_layout.json");

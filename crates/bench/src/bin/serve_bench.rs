@@ -349,6 +349,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
          \"host_available_parallelism\": {host},\n  \
+         \"host_features\": \"{}\",\n  \"kernel_tier\": \"{}\",\n  \
          \"determinism\": {{\"n\": {n_exact}, \"queries\": {nq_exact}, \
          \"partition_seed\": {PARTITION_SEED}, \"shard_counts\": [1, 2, 4, 8], \
          \"routers\": {}, \"results_identical\": {results_identical}}},\n  \
@@ -358,6 +359,8 @@ fn main() {
          \"queue\": {{\"max_batch\": {}, \"max_delay_us\": {}, \"clients\": {clients}, \
          \"arrival_seed\": {ARRIVAL_SEED}}},\n  \
          \"sweep\": [\n    {}\n  ],\n  \"fleet_metrics\": {}\n}}\n",
+        weavess_data::host_features(),
+        weavess_data::KernelTier::active(),
         routers.len(),
         (host / shards).max(1),
         queue_opts.beam,

@@ -320,6 +320,16 @@ impl<'a> QueryEngine<'a> {
             "Idle pooled search contexts.",
             self.pooled_contexts() as f64,
         ));
+        // Info-style series: constant 1, identity in the labels. Lets a
+        // dashboard join latency series against the kernel tier that
+        // produced them.
+        out.push_str(&format!(
+            "# HELP weavess_kernel_info Active distance-kernel tier and detected host SIMD features.\n\
+             # TYPE weavess_kernel_info gauge\n\
+             weavess_kernel_info{{tier=\"{}\",host_features=\"{}\"}} 1\n",
+            weavess_data::KernelTier::active(),
+            weavess_data::host_features(),
+        ));
         out.push_str(&prometheus_histogram(
             "weavess_query_latency_nanoseconds",
             "Per-query wall latency in nanoseconds.",
@@ -343,10 +353,13 @@ impl<'a> QueryEngine<'a> {
         let cum = self.cumulative.lock();
         format!(
             "{{\"queries_total\": {}, \"batches_total\": {}, \"pooled_contexts\": {}, \
+             \"kernel_tier\": \"{}\", \"host_features\": \"{}\", \
              \"latency_ns\": {}, \"ndc\": {}, \"hops\": {}}}",
             self.queries_total.get(),
             self.batches_total.get(),
             self.pooled_contexts(),
+            weavess_data::KernelTier::active(),
+            weavess_data::host_features(),
             json_histogram(&cum.latency),
             json_histogram(&cum.ndc),
             json_histogram(&cum.hops),
@@ -757,8 +770,17 @@ mod tests {
         assert!(prom.contains("weavess_batches_total 2"));
         assert!(prom.contains("weavess_query_ndc_bucket{le=\"+Inf\"}"));
         assert!(prom.contains("# TYPE weavess_query_latency_nanoseconds histogram"));
+        let tier_label = format!(
+            "weavess_kernel_info{{tier=\"{}\"",
+            weavess_data::KernelTier::active()
+        );
+        assert!(prom.contains(&tier_label));
         let json = engine.metrics_json();
         assert!(json.contains(&format!("\"queries_total\": {expect}")));
         assert!(json.contains("\"ndc\": {\"count\":"));
+        assert!(json.contains(&format!(
+            "\"kernel_tier\": \"{}\"",
+            weavess_data::KernelTier::active()
+        )));
     }
 }

@@ -1,20 +1,40 @@
-//! Cross-kernel-mode identity guard.
+//! Cross-kernel-tier identity guard.
 //!
-//! The workspace compiles with either the unrolled distance kernels
-//! (default) or the scalar reference kernels (`--features paper-fidelity`).
-//! These tests pin a golden FNV-1a digest of full search traces; the SAME
-//! constants must hold under both modes, so running the suite twice —
-//! `cargo test` and `cargo test --features paper-fidelity`, as CI does —
-//! proves the two kernel flavors route searches identically.
+//! The workspace runs one of three distance-kernel tiers: scalar
+//! (pinned by `--features paper-fidelity`), unrolled, or explicit AVX2
+//! simd — selected at runtime via [`KernelTier`]. These tests pin a
+//! golden FNV-1a digest of full search traces; the SAME constant must
+//! hold under every tier, so one `cargo test` run on an AVX2 host plus
+//! the `paper-fidelity` CI job proves all three kernel flavors route
+//! searches identically.
 //!
 //! The dataset uses small-integer coordinates: every squared difference and
 //! every partial sum is an integer far below 2^24, so f32 arithmetic is
-//! exact in ANY summation order and the two kernel flavors are bit-equal by
+//! exact in ANY summation order and all kernel flavors are bit-equal by
 //! construction, not merely close.
+//!
+//! The kernel tier is process-wide state; tests that force it serialize
+//! on [`TIER_LOCK`] so libtest's parallel runner cannot interleave them.
 
+use std::sync::Mutex;
 use weavess_core::search::{beam_search, SearchScratch, SearchStats};
-use weavess_data::Dataset;
+use weavess_data::{Dataset, KernelTier};
 use weavess_graph::base::exact_knng;
+
+/// Serializes tests that force the process-wide kernel tier.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+/// The tiers this process can actually run (paper-fidelity pins scalar).
+fn runnable_tiers() -> Vec<KernelTier> {
+    if cfg!(feature = "paper-fidelity") {
+        vec![KernelTier::Scalar]
+    } else {
+        KernelTier::ALL
+            .into_iter()
+            .filter(|t| t.is_available())
+            .collect()
+    }
+}
 
 /// Deterministic small-integer dataset: coordinates in [-16, 16].
 fn integer_dataset(n: usize, dim: usize) -> Dataset {
@@ -72,21 +92,90 @@ fn search_digest() -> u64 {
     digest
 }
 
-/// Golden digest: identical under default and `paper-fidelity` kernels.
-/// If this fails in exactly one mode, a kernel flavor changed results; if
-/// it fails in both, the search itself changed (update the constant).
+/// Golden digest: identical under every runnable kernel tier — the test
+/// forces each available tier in turn (scalar, unrolled, simd) and
+/// demands the same constant from all of them, which together with the
+/// `paper-fidelity` CI job gives the full three-column digest guard.
+/// If one tier diverges, that kernel flavor changed results; if every
+/// tier diverges, the search itself changed (update the constant).
 #[test]
-fn search_trace_digest_is_kernel_mode_independent() {
-    assert_eq!(
-        search_digest(),
-        0xc37d_01d6_cc76_4036,
-        "search trace diverged (mode: {})",
-        if cfg!(feature = "paper-fidelity") {
-            "paper-fidelity scalar kernels"
-        } else {
-            "default unrolled kernels"
+fn search_trace_digest_is_kernel_tier_independent() {
+    let _guard = TIER_LOCK.lock().unwrap();
+    let initial = KernelTier::active();
+    for tier in runnable_tiers() {
+        if !cfg!(feature = "paper-fidelity") {
+            KernelTier::force(tier).unwrap();
         }
-    );
+        assert_eq!(
+            search_digest(),
+            0xc37d_01d6_cc76_4036,
+            "search trace diverged on tier {tier}"
+        );
+    }
+    if !cfg!(feature = "paper-fidelity") {
+        KernelTier::force(initial).unwrap();
+    }
+}
+
+/// Recall parity across tiers on *non-integer* data, where tiers are
+/// only tolerance-close rather than bit-equal: reordered summation may
+/// flip individual comparisons, but recall@10 over a query block must
+/// agree within 0.0005 between any pair of tiers.
+#[test]
+fn recall_parity_across_tiers() {
+    use weavess_data::ground_truth::knn_scan;
+    use weavess_data::metrics::recall;
+    use weavess_data::synthetic::MixtureSpec;
+
+    let _guard = TIER_LOCK.lock().unwrap();
+    let initial = KernelTier::active();
+    let (base, queries) = MixtureSpec::table10(48, 1_200, 4, 5.0, 60).generate();
+    let g = exact_knng(&base, 12, 2);
+    let truth: Vec<Vec<u32>> = (0..queries.len() as u32)
+        .map(|qi| {
+            knn_scan(&base, queries.point(qi), 10, None)
+                .iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect();
+
+    let mut recalls = Vec::new();
+    for tier in runnable_tiers() {
+        if !cfg!(feature = "paper-fidelity") {
+            KernelTier::force(tier).unwrap();
+        }
+        let mut scratch = SearchScratch::new(base.len());
+        let mut stats = SearchStats::default();
+        let mut total = 0.0f64;
+        for qi in 0..queries.len() as u32 {
+            scratch.next_epoch();
+            let res = beam_search(
+                &base,
+                &g,
+                queries.point(qi),
+                &[0, 599, 1_199],
+                40,
+                &mut scratch,
+                &mut stats,
+            );
+            let got: Vec<u32> = res.iter().take(10).map(|n| n.id).collect();
+            total += recall(&truth[qi as usize], &got);
+        }
+        recalls.push((tier, total / queries.len() as f64));
+    }
+    if !cfg!(feature = "paper-fidelity") {
+        KernelTier::force(initial).unwrap();
+    }
+
+    for (ta, ra) in &recalls {
+        for (tb, rb) in &recalls {
+            assert!(
+                (ra - rb).abs() <= 0.0005,
+                "recall diverged: {ta}={ra:.5} vs {tb}={rb:.5}"
+            );
+        }
+    }
 }
 
 /// On integer data the two kernel flavors must be bit-equal — this holds in

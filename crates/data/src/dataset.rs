@@ -96,12 +96,8 @@ impl Dataset {
     /// `self.dist_to(query, ids[i])` — batching never perturbs results.
     #[inline]
     pub fn dist_to_many(&self, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
-        out.clear();
-        out.reserve(ids.len());
         debug_assert_eq!(query.len(), self.dim);
-        for &b in ids {
-            out.push(squared_euclidean(query, self.point(b)));
-        }
+        crate::distance::squared_euclidean_to_many(query, &self.data, self.dim, ids, out);
     }
 
     /// Points per work unit for the threaded scans below. Fixed (rather

@@ -1,26 +1,39 @@
-//! Euclidean distance kernels, in two compile-time-selected flavors.
+//! Euclidean distance kernels in three tiers, selected at runtime.
 //!
 //! The survey strips SIMD intrinsics, prefetching, and other
 //! hardware-specific optimizations from every algorithm so that measured
 //! differences come from the graphs themselves (§5.1 "Implementation
-//! setup"). The [`scalar`] module keeps those deliberately plain loops and
-//! is selected by the `paper-fidelity` cargo feature for survey-faithful
-//! runs. The default build uses [`unrolled`]: multi-accumulator,
-//! chunk-unrolled kernels in stable Rust that break the floating-point
-//! dependency chain so the autovectorizer can emit packed instructions —
-//! the same trick applied to every algorithm equally, so relative
-//! comparisons remain meaningful while absolute numbers approach what the
-//! hardware allows.
+//! setup"). The [`scalar`] module keeps those deliberately plain loops;
+//! [`unrolled`] holds multi-accumulator, chunk-unrolled kernels in stable
+//! Rust that break the floating-point dependency chain so the
+//! autovectorizer can emit packed instructions; [`simd`] states the
+//! vectorization outright with explicit AVX2+FMA `std::arch` intrinsics.
+//! The same tier applies to every algorithm equally, so relative
+//! comparisons remain meaningful while absolute numbers approach what
+//! the hardware allows.
 //!
-//! Within one build the kernels are fully deterministic: accumulation
-//! order is fixed, so equal inputs always produce bit-equal outputs.
-//! Across the two flavors results differ only by floating-point
-//! reassociation (≤ ~1e-4 relative on unit-scale data; see the property
-//! tests in `crates/data/tests/properties.rs`).
+//! **Selection** is a [`KernelTier`]: resolved once at first use from CPU
+//! feature detection (`simd` where AVX2+FMA exist, else `unrolled`),
+//! overridable by the `WEAVESS_KERNEL=scalar|unrolled|simd` environment
+//! variable and programmatically by [`KernelTier::force`] — so every tier
+//! is testable on any box. The `paper-fidelity` cargo feature pins the
+//! scalar tier at compile time for survey-faithful runs (the dispatcher
+//! is bypassed entirely; `force` to another tier reports an error).
+//!
+//! **Determinism contract**: within one tier the kernels are fully
+//! deterministic — accumulation order is fixed, so equal inputs always
+//! produce bit-equal outputs at any thread/worker/shard count. Across
+//! tiers results differ only by floating-point reassociation and FMA
+//! rounding (≤ ~1e-4 relative on unit-scale data; see the property tests
+//! in `crates/data/tests/properties.rs`).
 //!
 //! All graph code compares *squared* Euclidean distances: the square root is
 //! monotone, so nearest-neighbor orderings are identical and we avoid a
 //! `sqrt` per comparison.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod simd;
 
 /// Survey-faithful plain scalar loops (§5.1). Selected by the
 /// `paper-fidelity` feature; always available for tests and benches.
@@ -183,10 +196,243 @@ pub mod unrolled {
     }
 }
 
+/// One hand-written implementation level of the distance kernels.
+///
+/// Tiers order by hardware specificity: [`Scalar`](KernelTier::Scalar) is
+/// the survey-faithful reference, [`Unrolled`](KernelTier::Unrolled)
+/// relies on the autovectorizer, [`Simd`](KernelTier::Simd) is explicit
+/// AVX2+FMA. The active tier governs every dispatched entry point in this
+/// crate: [`squared_euclidean`], [`dot`], [`cosine_angle_at`],
+/// [`squared_euclidean_to_many`], the SQ8 kernels in [`crate::quant`],
+/// and the PQ ADC lookups in [`crate::pq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Plain scalar loops (§5.1 survey fidelity).
+    Scalar,
+    /// Autovectorizer-friendly multi-accumulator kernels.
+    Unrolled,
+    /// Explicit AVX2+FMA kernels (x86-64 with AVX2 and FMA only).
+    Simd,
+}
+
+/// Sentinel meaning "not resolved yet" in [`ACTIVE`].
+const TIER_UNINIT: u8 = 0xff;
+
+/// The process-wide active tier (`TIER_UNINIT` until first use). Relaxed
+/// atomics suffice: the value is a pure performance selector and every
+/// tier computes correct distances.
+static ACTIVE: AtomicU8 = AtomicU8::new(TIER_UNINIT);
+
+impl KernelTier {
+    /// All tiers, in increasing hardware specificity.
+    pub const ALL: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Unrolled, KernelTier::Simd];
+
+    /// Stable lowercase name (the `WEAVESS_KERNEL` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Unrolled => "unrolled",
+            KernelTier::Simd => "simd",
+        }
+    }
+
+    /// Parses a `WEAVESS_KERNEL` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelTier::Scalar),
+            "unrolled" => Some(KernelTier::Unrolled),
+            "simd" => Some(KernelTier::Simd),
+            _ => None,
+        }
+    }
+
+    /// True when this tier can run on the current host. `Scalar` and
+    /// `Unrolled` always can; `Simd` needs AVX2+FMA.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelTier::Scalar | KernelTier::Unrolled => true,
+            KernelTier::Simd => simd::available(),
+        }
+    }
+
+    /// The best tier the hardware supports: `simd` where AVX2+FMA exist,
+    /// else `unrolled`. (Under `paper-fidelity` the dispatcher never
+    /// consults this — the scalar tier is pinned.)
+    pub fn detect() -> KernelTier {
+        if simd::available() {
+            KernelTier::Simd
+        } else {
+            KernelTier::Unrolled
+        }
+    }
+
+    /// The tier every dispatched kernel currently routes to.
+    ///
+    /// Resolved on first call: `WEAVESS_KERNEL` if set (falling back with
+    /// a warning when it names an unavailable or unknown tier), else
+    /// [`KernelTier::detect`]. Under `paper-fidelity` this is always
+    /// [`KernelTier::Scalar`].
+    #[inline]
+    pub fn active() -> KernelTier {
+        #[cfg(feature = "paper-fidelity")]
+        {
+            KernelTier::Scalar
+        }
+        #[cfg(not(feature = "paper-fidelity"))]
+        {
+            match ACTIVE.load(Ordering::Relaxed) {
+                0 => KernelTier::Scalar,
+                1 => KernelTier::Unrolled,
+                2 => KernelTier::Simd,
+                _ => Self::init_active(),
+            }
+        }
+    }
+
+    /// Cold path of [`KernelTier::active`]: resolves env override +
+    /// detection and publishes the result.
+    #[cold]
+    #[cfg_attr(feature = "paper-fidelity", allow(dead_code))]
+    fn init_active() -> KernelTier {
+        let tier = match std::env::var("WEAVESS_KERNEL") {
+            Ok(v) => match KernelTier::parse(&v) {
+                Some(t) if t.is_available() => t,
+                Some(t) => {
+                    eprintln!(
+                        "WEAVESS_KERNEL={} requested but the {} tier is unavailable on this \
+                         host; falling back to {}",
+                        v,
+                        t.name(),
+                        KernelTier::detect().name()
+                    );
+                    KernelTier::detect()
+                }
+                None => {
+                    eprintln!(
+                        "WEAVESS_KERNEL={v} is not one of scalar|unrolled|simd; using {}",
+                        KernelTier::detect().name()
+                    );
+                    KernelTier::detect()
+                }
+            },
+            Err(_) => KernelTier::detect(),
+        };
+        ACTIVE.store(tier as u8, Ordering::Relaxed);
+        tier
+    }
+
+    /// Forces the active tier for every dispatched entry point in this
+    /// process (tests, benches, reproductions). Fails without changing
+    /// anything when the tier cannot run here — forcing `simd` on a
+    /// non-AVX2 box, or any non-scalar tier under `paper-fidelity`.
+    pub fn force(tier: KernelTier) -> Result<(), &'static str> {
+        if cfg!(feature = "paper-fidelity") && tier != KernelTier::Scalar {
+            return Err("paper-fidelity pins the scalar kernel tier");
+        }
+        if !tier.is_available() {
+            return Err("kernel tier is unavailable on this host (needs AVX2+FMA)");
+        }
+        ACTIVE.store(tier as u8, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Comma-separated list of the kernel-relevant CPU features this host
+/// exposes (empty off x86-64) — recorded in bench artifacts and the
+/// serving metrics so archived numbers stay interpretable.
+pub fn host_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats: Vec<&str> = Vec::new();
+        if std::is_x86_feature_detected!("sse4.2") {
+            feats.push("sse4.2");
+        }
+        if std::is_x86_feature_detected!("avx") {
+            feats.push("avx");
+        }
+        if std::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        if std::is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        feats.join(",")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        String::new()
+    }
+}
+
 #[cfg(feature = "paper-fidelity")]
 pub use scalar::{cosine_angle_at, dot, squared_euclidean};
+
+/// Squared Euclidean distance through the active [`KernelTier`].
 #[cfg(not(feature = "paper-fidelity"))]
-pub use unrolled::{cosine_angle_at, dot, squared_euclidean};
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    match KernelTier::active() {
+        KernelTier::Scalar => scalar::squared_euclidean(a, b),
+        KernelTier::Unrolled => unrolled::squared_euclidean(a, b),
+        KernelTier::Simd => simd::squared_euclidean(a, b),
+    }
+}
+
+/// Inner product through the active [`KernelTier`].
+#[cfg(not(feature = "paper-fidelity"))]
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    match KernelTier::active() {
+        KernelTier::Scalar => scalar::dot(a, b),
+        KernelTier::Unrolled => unrolled::dot(a, b),
+        KernelTier::Simd => simd::dot(a, b),
+    }
+}
+
+/// Cosine of the angle at `p` through the active [`KernelTier`].
+#[cfg(not(feature = "paper-fidelity"))]
+#[inline]
+pub fn cosine_angle_at(p: &[f32], a: &[f32], b: &[f32]) -> f32 {
+    match KernelTier::active() {
+        KernelTier::Scalar => scalar::cosine_angle_at(p, a, b),
+        KernelTier::Unrolled => unrolled::cosine_angle_at(p, a, b),
+        KernelTier::Simd => simd::cosine_angle_at(p, a, b),
+    }
+}
+
+/// One-query-many-points squared Euclidean over rows of a row-major
+/// matrix: the batch seam behind [`crate::Dataset::dist_to_many`]. The
+/// tier is resolved once per batch; each output is bit-equal to the
+/// corresponding single [`squared_euclidean`] call on the same tier.
+#[inline]
+pub fn squared_euclidean_to_many(
+    query: &[f32],
+    flat: &[f32],
+    dim: usize,
+    ids: &[u32],
+    out: &mut Vec<f32>,
+) {
+    #[cfg(not(feature = "paper-fidelity"))]
+    if KernelTier::active() == KernelTier::Simd {
+        simd::squared_euclidean_to_many(query, flat, dim, ids, out);
+        return;
+    }
+    out.clear();
+    out.reserve(ids.len());
+    for &id in ids {
+        let s = id as usize * dim;
+        out.push(squared_euclidean(query, &flat[s..s + dim]));
+    }
+}
 
 /// True Euclidean distance (`l2` norm of the difference), Equation 1 of the
 /// paper. Only used at reporting boundaries; internal comparisons use

@@ -6,8 +6,9 @@
 //! graph level:
 //!
 //! - [`Dataset`]: a flat, row-major `f32` matrix of base vectors.
-//! - [`distance`]: scalar Euclidean kernels (the paper strips SIMD and other
-//!   hardware-specific tricks so that algorithmic differences dominate).
+//! - [`distance`]: Euclidean kernels in three tiers — survey-faithful
+//!   scalar, autovectorizer-friendly unrolled, and explicit AVX2+FMA SIMD —
+//!   dispatched at runtime through [`KernelTier`].
 //! - [`Neighbor`]: the ubiquitous `(id, distance)` pair ordered by distance.
 //! - [`synthetic`]: seeded Gaussian-mixture generators reproducing the
 //!   paper's synthetic datasets (Table 10) and stand-ins for its eight
@@ -32,5 +33,6 @@ pub mod synthetic;
 pub mod vectors;
 
 pub use dataset::Dataset;
+pub use distance::{host_features, KernelTier};
 pub use neighbor::Neighbor;
 pub use vectors::VectorView;

@@ -13,10 +13,14 @@
 //!
 //! Asymmetric distance: for a query, precompute `m × 256` partial
 //! distances (one table per subspace); a point's distance is then `m`
-//! table lookups — independent of `dim`.
+//! table lookups — independent of `dim`. Like every scoring kernel in
+//! this crate the lookup loop is tiered: the scalar/unrolled tiers run
+//! [`adc_scalar`] (a serial table walk — lookups have no FP chain for
+//! the autovectorizer to break), the simd tier gathers eight subspace
+//! entries per `vpgatherdps` in-register.
 
 use crate::dataset::Dataset;
-use crate::distance::squared_euclidean;
+use crate::distance::{squared_euclidean, KernelTier};
 
 const CODEBOOK: usize = 256;
 const KMEANS_ITERS: usize = 8;
@@ -156,15 +160,15 @@ impl PqDataset {
         PqTables { tables }
     }
 
-    /// Asymmetric squared distance via a prepared table: `m` lookups.
+    /// Asymmetric squared distance via a prepared table: `m` lookups,
+    /// gathered in-register on the simd tier.
     #[inline]
     pub fn dist_with(&self, t: &PqTables, id: u32) -> f32 {
         let codes = &self.codes[id as usize * self.m..(id as usize + 1) * self.m];
-        let mut acc = 0.0f32;
-        for (s, &c) in codes.iter().enumerate() {
-            acc += t.tables[s * CODEBOOK + c as usize];
+        match KernelTier::active() {
+            KernelTier::Simd => crate::distance::simd::pq_adc(&t.tables, codes),
+            _ => adc_scalar(&t.tables, codes),
         }
-        acc
     }
 
     /// Reconstructs one point from its codes (lossy).
@@ -184,6 +188,21 @@ impl PqDataset {
     pub fn memory_bytes(&self) -> usize {
         self.codes.len() + self.codebooks.len() * 4
     }
+}
+
+/// Serial ADC table walk (the scalar/unrolled tiers): `tables` is a
+/// per-query `m × 256` row-major partial-distance table, `codes` the
+/// point's `m` codebook indices. Left-to-right summation, so results are
+/// bit-deterministic on these tiers; the simd tier's gathered reduction
+/// differs only by summation order.
+#[inline]
+pub fn adc_scalar(tables: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(tables.len(), codes.len() * CODEBOOK);
+    let mut acc = 0.0f32;
+    for (s, &c) in codes.iter().enumerate() {
+        acc += tables[s * CODEBOOK + c as usize];
+    }
+    acc
 }
 
 fn nearest_center(v: &[f32], book: &[f32], sub_dim: usize) -> usize {

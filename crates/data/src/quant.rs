@@ -7,29 +7,147 @@
 //! worth exploring". SQ8 is the simplest such encoding: 4× smaller
 //! vectors, asymmetric (f32 query vs u8 base) distances, exact-vector
 //! reranking left to the caller.
+//!
+//! ## Asymmetric scoring in residual form
+//!
+//! Dequantizing per candidate — `x[d] = min[d] + code·step[d]`, then
+//! `(q[d] − x[d])²` — re-pays the `min` addition for every candidate of
+//! every query. Algebraically the distance is
+//! `Σ ((q[d] − min[d]) − code·step[d])²`, so the per-dimension transform
+//! `r[d] = q[d] − min[d]` (the *residual*) can be hoisted out and
+//! computed **once per query**: every candidate then costs one fused
+//! multiply-subtract per dimension against the precomputed residual.
+//! [`sq8_distance_prepped`] is that kernel, in three [`KernelTier`]
+//! flavors (the `simd` tier additionally widens the `u8` codes to `f32`
+//! in-register — the dequantized vector never exists in memory).
+//! [`Sq8Dataset`]'s batch scoring and the fused arena's SQ8 payload both
+//! hoist the residual once per batch through [`with_sq8_residual`].
 
 use crate::dataset::Dataset;
+use crate::distance::KernelTier;
+use std::cell::RefCell;
+
+/// Per-tier SQ8 asymmetric kernels in residual form: given
+/// `residual[d] = query[d] − min[d]` and the per-dimension `step`,
+/// each computes `Σ (residual[d] − codes[d]·step[d])²`.
+///
+/// Within one tier the kernels are bit-deterministic; across tiers they
+/// differ only by summation order and FMA rounding (the crate-wide
+/// ≤ ~1e-4 relative contract). For `dim < 8` the `simd` kernel is pure
+/// scalar tail; for `dim < 16` the `unrolled` kernel is — both then
+/// bit-equal to `scalar`.
+pub mod sq8_kernels {
+    /// Plain reference loop (the scalar tier).
+    #[inline]
+    pub fn scalar(residual: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+        debug_assert_eq!(residual.len(), step.len());
+        debug_assert_eq!(residual.len(), codes.len());
+        let mut acc = 0.0f32;
+        for d in 0..residual.len() {
+            let diff = residual[d] - codes[d] as f32 * step[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Autovectorizer-friendly 16-lane chunks feeding 4 accumulators
+    /// (the unrolled tier), scalar tail identical to [`scalar`].
+    #[inline]
+    pub fn unrolled(residual: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+        debug_assert_eq!(residual.len(), step.len());
+        debug_assert_eq!(residual.len(), codes.len());
+        const CHUNK: usize = 16;
+        let mut cr = residual.chunks_exact(CHUNK);
+        let mut cs = step.chunks_exact(CHUNK);
+        let mut cc = codes.chunks_exact(CHUNK);
+        let mut acc = [0.0f32; 4];
+        for ((r, s), c) in (&mut cr).zip(&mut cs).zip(&mut cc) {
+            for (lane, slot) in acc.iter_mut().enumerate() {
+                let o = lane * 4;
+                let d0 = r[o] - c[o] as f32 * s[o];
+                let d1 = r[o + 1] - c[o + 1] as f32 * s[o + 1];
+                let d2 = r[o + 2] - c[o + 2] as f32 * s[o + 2];
+                let d3 = r[o + 3] - c[o + 3] as f32 * s[o + 3];
+                *slot += d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+            }
+        }
+        let mut tail = 0.0f32;
+        for ((r, s), c) in cr
+            .remainder()
+            .iter()
+            .zip(cs.remainder())
+            .zip(cc.remainder())
+        {
+            let d = r - *c as f32 * s;
+            tail += d * d;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    }
+
+    /// Explicit AVX2+FMA kernel (the simd tier); checked — falls back to
+    /// [`unrolled`] off AVX2 hardware.
+    #[inline]
+    pub fn simd(residual: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+        crate::distance::simd::sq8_residual_distance(residual, step, codes)
+    }
+}
+
+/// SQ8 asymmetric distance in residual form through the active
+/// [`KernelTier`] — the single definition of the scoring kernel. Both
+/// [`Sq8Dataset`] and the fused node arena's SQ8 payload call it, so a
+/// fused index is bit-identical to the split one by construction, not by
+/// coincidence.
+#[inline]
+pub fn sq8_distance_prepped(residual: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+    match KernelTier::active() {
+        KernelTier::Scalar => sq8_kernels::scalar(residual, step, codes),
+        KernelTier::Unrolled => sq8_kernels::unrolled(residual, step, codes),
+        KernelTier::Simd => sq8_kernels::simd(residual, step, codes),
+    }
+}
+
+thread_local! {
+    /// Reusable residual buffer for [`with_sq8_residual`]: one per
+    /// thread, grown to the largest dimensionality seen.
+    static SQ8_RESIDUAL: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Computes the per-query residual `r[d] = query[d] − min[d]` into a
+/// thread-local scratch buffer and passes it to `f`. Batch scoring loops
+/// call this once per batch (the per-expansion granularity of graph
+/// search), then score every candidate against the same residual —
+/// hoisting the dequantization transform out of the per-candidate loop.
+///
+/// Single-candidate paths ([`sq8_distance`]) use the same helper, so
+/// batch and single scoring share one arithmetic form and stay bit-equal
+/// within a tier.
+#[inline]
+pub fn with_sq8_residual<R>(query: &[f32], min: &[f32], f: impl FnOnce(&[f32]) -> R) -> R {
+    debug_assert_eq!(query.len(), min.len());
+    SQ8_RESIDUAL.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.extend(query.iter().zip(min).map(|(&q, &m)| q - m));
+        f(&buf)
+    })
+}
 
 /// The SQ8 asymmetric distance kernel: squared Euclidean distance from an
 /// `f32` query to one point's `u8` codes under per-dimension affine
-/// dequantization `x[d] = min[d] + codes[d] * step[d]`.
+/// dequantization `x[d] = min[d] + codes[d]·step[d]`, computed in
+/// residual form (see the module docs) through the active [`KernelTier`].
 ///
-/// This free function is the single definition of the kernel. Both
-/// [`Sq8Dataset::dist_to`] and the fused node arena's SQ8 payload call
-/// it, so a fused index is bit-identical to the split one by
-/// construction, not by coincidence.
+/// Convenience wrapper over [`with_sq8_residual`] +
+/// [`sq8_distance_prepped`] for one-off scoring; batch loops hoist the
+/// residual themselves.
 #[inline]
 pub fn sq8_distance(query: &[f32], codes: &[u8], min: &[f32], step: &[f32]) -> f32 {
     debug_assert_eq!(query.len(), codes.len());
     debug_assert_eq!(query.len(), min.len());
     debug_assert_eq!(query.len(), step.len());
-    let mut acc = 0.0f32;
-    for d in 0..query.len() {
-        let x = min[d] + codes[d] as f32 * step[d];
-        let diff = query[d] - x;
-        acc += diff * diff;
-    }
-    acc
+    with_sq8_residual(query, min, |residual| {
+        sq8_distance_prepped(residual, step, codes)
+    })
 }
 
 /// A scalar-quantized dataset: one byte per dimension per point.
@@ -98,6 +216,39 @@ impl Sq8Dataset {
     pub fn dist_to(&self, query: &[f32], id: u32) -> f32 {
         debug_assert_eq!(query.len(), self.dim);
         sq8_distance(query, self.codes_of(id), &self.min, &self.step)
+    }
+
+    /// Scores `query` against every id in `ids`, overwriting `out`
+    /// (cleared and refilled), with the per-query dequantization residual
+    /// hoisted out of the candidate loop: one `q − min` pass per batch,
+    /// then one fused kernel call per candidate. Each output is bit-equal
+    /// to [`Sq8Dataset::dist_to`] on the same tier (both run the same
+    /// residual-form kernel). When prefetching is enabled the code lines
+    /// for id `j + 2` are requested while id `j` is scored, mirroring
+    /// [`crate::VectorView::dist_to_many`].
+    #[inline]
+    pub fn dist_to_many(&self, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        debug_assert_eq!(query.len(), self.dim);
+        out.clear();
+        out.reserve(ids.len());
+        let prefetch = crate::prefetch::prefetch_enabled();
+        with_sq8_residual(query, &self.min, |residual| {
+            // Tier resolved once per batch, not once per candidate.
+            let kernel = match KernelTier::active() {
+                KernelTier::Scalar => sq8_kernels::scalar,
+                KernelTier::Unrolled => sq8_kernels::unrolled,
+                KernelTier::Simd => sq8_kernels::simd,
+            };
+            for (j, &id) in ids.iter().enumerate() {
+                if prefetch {
+                    if let Some(&ahead) = ids.get(j + 2) {
+                        let c = self.codes_of(ahead);
+                        crate::prefetch::prefetch_span(c.as_ptr(), c.len());
+                    }
+                }
+                out.push(kernel(residual, &self.step, self.codes_of(id)));
+            }
+        });
     }
 
     /// Borrows point `id`'s raw codes (`dim` bytes).

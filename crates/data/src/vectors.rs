@@ -129,6 +129,15 @@ impl VectorView for Sq8Dataset {
         let c = self.codes_of(i);
         crate::prefetch::prefetch_span(c.as_ptr(), c.len());
     }
+
+    /// Batch scoring with the per-query dequantization residual hoisted
+    /// out of the candidate loop (computed once per batch instead of per
+    /// candidate) — bit-equal to per-id [`VectorView::dist_to`] on the
+    /// same kernel tier, with the same prefetch look-ahead.
+    #[inline]
+    fn dist_to_many(&self, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        Sq8Dataset::dist_to_many(self, query, ids, out);
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! Property tests for the data substrate.
 
 use proptest::prelude::*;
-use weavess_data::distance::{cosine_angle_at, euclidean, scalar, squared_euclidean, unrolled};
+use weavess_data::distance::{
+    cosine_angle_at, euclidean, scalar, simd, squared_euclidean, unrolled,
+};
 use weavess_data::metrics::{lid_mle, recall};
 use weavess_data::neighbor::{insert_into_pool, Neighbor};
 use weavess_data::Dataset;
@@ -191,6 +193,88 @@ proptest! {
         for (&i, &d) in ids.iter().zip(out.iter()) {
             // Bit-exact, not approximate: same kernel, same inputs.
             prop_assert_eq!(d.to_bits(), ds.dist_to(&q, i).to_bits(), "id {}", i);
+        }
+    }
+
+    /// The simd kernels agree with both scalar and unrolled within a
+    /// 1e-4 relative tolerance across the 1..128 dim range (pure tail,
+    /// one lane, lanes + tail). On hosts without AVX2+FMA the simd
+    /// wrappers fall back to unrolled, so the property still holds.
+    #[test]
+    fn simd_kernels_agree_with_scalar_and_unrolled(
+        a in prop::collection::vec(-100.0f32..100.0, 1..128),
+        shift in -8.0f32..8.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|&x| x * 0.9 + shift).collect();
+        let tol = |x: f32, y: f32| (x - y).abs() <= 1e-4 * x.abs().max(y.abs()).max(1.0);
+        let dv = simd::squared_euclidean(&a, &b);
+        prop_assert!(
+            tol(dv, scalar::squared_euclidean(&a, &b))
+                && tol(dv, unrolled::squared_euclidean(&a, &b)),
+            "squared_euclidean diverged at dim {}", a.len()
+        );
+        let pv = simd::dot(&a, &b);
+        prop_assert!(
+            tol(pv, scalar::dot(&a, &b)) && tol(pv, unrolled::dot(&a, &b)),
+            "dot diverged at dim {}", a.len()
+        );
+        let c: Vec<f32> = a.iter().map(|&x| x * -0.5 + 1.0).collect();
+        let cv = simd::cosine_angle_at(&a, &b, &c);
+        let cs = scalar::cosine_angle_at(&a, &b, &c);
+        prop_assert!(
+            cv.is_nan() && cs.is_nan() || (cv - cs).abs() <= 1e-4,
+            "cosine diverged at dim {}: {} vs {}", a.len(), cv, cs
+        );
+    }
+
+    /// Simd agreement survives unaligned slice starts: AVX2 loads are
+    /// issued with `loadu`, so sub-32-byte offsets must not change the
+    /// contract. Slices carved at offsets 0..=4 from a shared buffer.
+    #[test]
+    fn simd_kernels_agree_at_unaligned_offsets(
+        buf in prop::collection::vec(-50.0f32..50.0, 40..160),
+        off in 0usize..5,
+    ) {
+        let half = buf.len() / 2;
+        prop_assume!(off < half);
+        let a = &buf[off..half];
+        let b = &buf[half + off..half + off + a.len()];
+        let tol = |x: f32, y: f32| (x - y).abs() <= 1e-4 * x.abs().max(y.abs()).max(1.0);
+        prop_assert!(
+            tol(simd::squared_euclidean(a, b), scalar::squared_euclidean(a, b)),
+            "squared_euclidean diverged at offset {off}, dim {}", a.len()
+        );
+        prop_assert!(
+            tol(simd::dot(a, b), scalar::dot(a, b)),
+            "dot diverged at offset {off}, dim {}", a.len()
+        );
+    }
+
+    /// Simd agreement at the named odd dims plus sub-lane widths
+    /// (1..8 floats never fill one AVX2 lane; the wrapper must take the
+    /// scalar tail path and stay bit-equal to scalar there).
+    #[test]
+    fn simd_kernels_agree_at_odd_dims(
+        seed in 0u64..10_000,
+    ) {
+        for dim in [1usize, 2, 3, 5, 7, 8, 9, 15, 17, 31, 33, 100] {
+            let a: Vec<f32> = (0..dim)
+                .map(|i| ((seed.wrapping_add(i as u64 * 37) % 200) as f32 - 100.0) * 0.5)
+                .collect();
+            let b: Vec<f32> = (0..dim)
+                .map(|i| ((seed.wrapping_mul(7).wrapping_add(i as u64 * 11) % 200) as f32 - 100.0) * 0.5)
+                .collect();
+            let ds = scalar::squared_euclidean(&a, &b);
+            let dv = simd::squared_euclidean(&a, &b);
+            prop_assert!(
+                (ds - dv).abs() <= 1e-4 * ds.abs().max(1.0),
+                "dim {dim}: {ds} vs {dv}"
+            );
+            if dim < 8 {
+                // Below one lane the simd wrapper is the scalar tail:
+                // bit-equal, not merely close.
+                prop_assert_eq!(ds.to_bits(), dv.to_bits(), "sub-lane dim {}", dim);
+            }
         }
     }
 

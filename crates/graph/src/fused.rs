@@ -17,8 +17,8 @@
 //! bit-identical by construction.
 
 use crate::adjacency::{CsrGraph, GraphView};
-use weavess_data::prefetch::prefetch_span;
-use weavess_data::quant::{sq8_distance, Sq8Dataset};
+use weavess_data::prefetch::{prefetch_enabled, prefetch_span};
+use weavess_data::quant::{sq8_distance, sq8_distance_prepped, with_sq8_residual, Sq8Dataset};
 use weavess_data::vectors::VectorView;
 use weavess_data::Dataset;
 
@@ -256,6 +256,47 @@ impl VectorView for FusedArena {
         // request the lines that hold it.
         let off = (1 + self.max_degree).min(block.len());
         prefetch_span(block[off..].as_ptr(), block.len() - off);
+    }
+
+    /// Batch scoring over fused blocks. For the SQ8 payload the per-query
+    /// dequantization residual is hoisted out of the candidate loop
+    /// (computed once per batch) and codes are scored by the same
+    /// residual-form kernel as the split [`Sq8Dataset`] — bit-equal to
+    /// per-id [`VectorView::dist_to`] on the same tier, and bit-identical
+    /// to split routing by construction. Other payloads keep the default
+    /// per-id path with prefetch look-ahead.
+    fn dist_to_many(&self, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        const AHEAD: usize = 2;
+        let Payload::Sq8 { min, step, .. } = &self.payload else {
+            out.clear();
+            out.reserve(ids.len());
+            if prefetch_enabled() {
+                for (j, &id) in ids.iter().enumerate() {
+                    if let Some(&ahead) = ids.get(j + AHEAD) {
+                        self.prefetch_vector(ahead);
+                    }
+                    out.push(self.dist_to(query, id));
+                }
+            } else {
+                for &id in ids {
+                    out.push(self.dist_to(query, id));
+                }
+            }
+            return;
+        };
+        out.clear();
+        out.reserve(ids.len());
+        let prefetch = prefetch_enabled();
+        with_sq8_residual(query, min, |residual| {
+            for (j, &id) in ids.iter().enumerate() {
+                if prefetch {
+                    if let Some(&ahead) = ids.get(j + AHEAD) {
+                        self.prefetch_vector(ahead);
+                    }
+                }
+                out.push(sq8_distance_prepped(residual, step, self.sq8_codes(id)));
+            }
+        });
     }
 }
 
