@@ -1,0 +1,390 @@
+//! Trace-driven adaptation benchmark — the `BENCH_adapt.json` artifact.
+//!
+//! The closed observation loop, end to end, on the skewed serving
+//! workload ([`weavess_bench::workload::ZipfWorkload`]):
+//!
+//! 1. build an NSG index and re-host it on the fused, BFS-reordered
+//!    layout (the serving configuration);
+//! 2. find the baseline operating point: the smallest scheduled beam
+//!    reaching the target recall;
+//! 3. record a *trace* query set — a large held-out sample from the same
+//!    Zipf demand (production traffic), disjoint from the evaluation
+//!    queries — at that beam, folding the routes into a
+//!    [`weavess_core::telemetry::TraceAggregate`];
+//! 4. adapt (catapult shortcut edges + hub-aware entry refresh) and
+//!    re-measure: recall parity at the *fixed* baseline beam, then the
+//!    adapted index's own iso-recall operating point — the mean-hops/NDC
+//!    reductions and p99 are the artifact's headline numbers;
+//! 5. certify determinism: the adapted index's serialized bytes must be
+//!    identical when mining runs at 1, 2, and 8 threads.
+//!
+//! `--smoke` shrinks the workload for CI. The exit code is non-zero when
+//! the determinism digests diverge or adapted recall at the fixed beam
+//! regresses by more than 0.001 — in smoke and full runs alike.
+
+use weavess_bench::datasets::NamedDataset;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::runner::{default_beams, run_at_beam, run_batch_at_beam, SweepPoint};
+use weavess_bench::workload::ZipfWorkload;
+use weavess_bench::{env_query_threads, env_threads};
+use weavess_core::adapt::AdaptParams;
+use weavess_core::algorithms::nsg::{self, NsgParams};
+use weavess_core::components::seeds::SeedStrategy;
+use weavess_core::index::{AnnIndex, FlatIndex, SearchContext};
+use weavess_core::locality::{LayoutIndex, NodeLayout};
+use weavess_core::persist::write_layout_index;
+use weavess_core::telemetry::{RecordingTracer, TraceAggregate};
+
+const K: usize = 10;
+const TARGET_RECALL: f64 = 0.85;
+const RECALL_TOLERANCE: f64 = 0.001;
+const MINING_THREADS: [usize; 3] = [1, 2, 8];
+
+/// NSG's seed strategy is `Fixed`, so the built index clones exactly —
+/// what lets one build feed the baseline, the adapted copy, and the
+/// per-thread-count determinism replicas.
+fn clone_flat(idx: &FlatIndex) -> FlatIndex {
+    let SeedStrategy::Fixed(v) = &idx.seeds else {
+        panic!("NSG seeds are Fixed");
+    };
+    FlatIndex {
+        name: idx.name,
+        graph: idx.graph.clone(),
+        seeds: SeedStrategy::Fixed(v.clone()),
+        router: idx.router.clone(),
+    }
+}
+
+/// FNV-1a over the index's serialized bytes (the exact on-disk WVSL
+/// stream, overlay segment included).
+fn index_digest(index: &LayoutIndex) -> u64 {
+    let mut bytes = Vec::new();
+    write_layout_index(&mut bytes, index).expect("serialize index");
+    let mut d: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        d ^= b as u64;
+        d = d.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    d
+}
+
+/// Records every trace query's route at `beam` and folds it into an
+/// aggregate (index id space — the ids `search_traced` reports for a
+/// reordered layout). The trace set needs no ground truth, only routes.
+fn record_traces(
+    index: &LayoutIndex,
+    base: &weavess_data::Dataset,
+    traffic: &weavess_data::Dataset,
+    beam: usize,
+) -> TraceAggregate {
+    let mut agg = TraceAggregate::new(base.len());
+    let mut ctx = SearchContext::new(base.len());
+    let mut tracer = RecordingTracer::new();
+    for qi in 0..traffic.len() as u32 {
+        tracer.clear();
+        index.search_traced(base, traffic.point(qi), K, beam, &mut ctx, &mut tracer);
+        agg.absorb(&tracer);
+    }
+    agg
+}
+
+/// The smallest scheduled beam whose recall reaches `target`, or the
+/// best-recall point when nothing does.
+fn at_recall(index: &dyn AnnIndex, ds: &NamedDataset, target: f64) -> (SweepPoint, bool) {
+    let mut best: Option<SweepPoint> = None;
+    for &beam in &default_beams(K) {
+        let p = run_at_beam(index, ds, K, beam);
+        if p.recall >= target {
+            return (p, true);
+        }
+        if best.is_none_or(|b| p.recall > b.recall) {
+            best = Some(p);
+        }
+    }
+    (best.expect("at least one beam"), false)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = env_threads();
+    let query_threads = env_query_threads();
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mode = if cfg!(feature = "paper-fidelity") {
+        "paper-fidelity"
+    } else {
+        "default"
+    };
+
+    // The skewed workload: balanced clustered base, Zipf-hot queries.
+    // Traces come from a much larger held-out sample of the same demand
+    // (the production traffic); evaluation queries stay unseen by mining.
+    let (n, dim, clusters, nq, n_trace) = if smoke {
+        (2_000, 16, 8, 150, 1_500)
+    } else {
+        (12_000, 32, 8, 400, 6_000)
+    };
+    const SKEW: f64 = 1.5;
+    const TRACE_SEED: u64 = 1_000_003;
+    let workload = ZipfWorkload::new(n, dim, clusters, SKEW, nq, 7);
+    let (base, queries) = workload.generate();
+    let traffic = workload.extra_queries(n_trace, TRACE_SEED);
+    banner(&format!(
+        "Adaptation bench (mode={mode}, host cores={host}): n={n}, dim={dim}, \
+         {clusters} clusters, Zipf({SKEW}), {n_trace} trace + {nq} eval queries"
+    ));
+    let ds = NamedDataset::from_pair("zipf", base, queries, threads);
+
+    let t0 = std::time::Instant::now();
+    let flat = nsg::build(&ds.base, &NsgParams::tuned(threads, 1));
+    let build_secs = t0.elapsed().as_secs_f64();
+    let baseline = LayoutIndex::from_flat(clone_flat(&flat), &ds.base, NodeLayout::Fused, true);
+    println!("NSG built in {} s", f(build_secs, 2));
+
+    // Baseline operating point.
+    let (pt_base, reached) = at_recall(&baseline, &ds, TARGET_RECALL);
+    if !reached {
+        eprintln!(
+            "note: baseline recall ceiling {:.4} below target {TARGET_RECALL}; \
+             using its best beam",
+            pt_base.recall
+        );
+    }
+    println!(
+        "baseline: beam={} recall={} hops={} ndc={}",
+        pt_base.beam,
+        f(pt_base.recall, 4),
+        f(pt_base.hops, 1),
+        f(pt_base.ndc, 0)
+    );
+
+    // Record the production traffic at the baseline operating point.
+    let t1 = std::time::Instant::now();
+    let agg = record_traces(&baseline, &ds.base, &traffic, pt_base.beam);
+    let trace_secs = t1.elapsed().as_secs_f64();
+    println!(
+        "traced {} routes in {} s: {} candidate pairs, {} KiB aggregate",
+        agg.routes(),
+        f(trace_secs, 2),
+        agg.num_pairs(),
+        agg.memory_bytes() / 1024
+    );
+
+    // Adapt a copy; the baseline stays live for the before-side numbers.
+    let params = AdaptParams {
+        min_gap: 2.0,
+        min_traffic: 3,
+        max_extra_degree: 4,
+        refresh_entries: 12,
+        ..AdaptParams::default()
+    };
+    let mut adapted = LayoutIndex::from_flat(clone_flat(&flat), &ds.base, NodeLayout::Fused, true);
+    let t2 = std::time::Instant::now();
+    let report = adapted.adapt(&ds.base, &agg, &params).expect("adapt");
+    let adapt_secs = t2.elapsed().as_secs_f64();
+    println!(
+        "adapted in {} s: {} candidates -> {} catapult edges on {} vertices, {} entries",
+        f(adapt_secs, 2),
+        report.candidates,
+        report.edges_added,
+        report.vertices_extended,
+        report.entries.len()
+    );
+
+    // WEAVESS_ADAPT_DEBUG=1 prints the full recall/hops curve of both
+    // sides — the view that shows *where* on the beam schedule adaptation
+    // pays (low-beam operating points) and where it washes out.
+    if std::env::var("WEAVESS_ADAPT_DEBUG").is_ok() {
+        for &b in &default_beams(K) {
+            let pb = run_at_beam(&baseline, &ds, K, b);
+            let pa = run_at_beam(&adapted, &ds, K, b);
+            println!(
+                "beam={b}: base recall {:.4} hops {:.1} | adapted recall {:.4} hops {:.1}",
+                pb.recall, pb.hops, pa.recall, pa.hops
+            );
+        }
+    }
+    // WEAVESS_ADAPT_DEBUG=1 prints the full recall/hops curve of both
+    // sides — the view that shows *where* on the beam schedule adaptation
+    // pays (low-beam operating points) and where it washes out.
+    if std::env::var("WEAVESS_ADAPT_DEBUG").is_ok() {
+        for &b in &default_beams(K) {
+            let pb = run_at_beam(&baseline, &ds, K, b);
+            let pa = run_at_beam(&adapted, &ds, K, b);
+            println!(
+                "beam={b}: base recall {:.4} hops {:.1} | adapted recall {:.4} hops {:.1}",
+                pb.recall, pb.hops, pa.recall, pa.hops
+            );
+        }
+    }
+    if std::env::var("WEAVESS_ADAPT_DEBUG").is_ok() {
+        for &e in &report.entries {
+            let ep = ds.base.point(e);
+            let cluster = (0..clusters as u32)
+                .min_by(|&a, &b| {
+                    ds.base
+                        .dist_to(ep, a)
+                        .partial_cmp(&ds.base.dist_to(ep, b))
+                        .unwrap()
+                })
+                .unwrap();
+            println!("dbge entry={e} cluster={cluster} terminals_visible_in_original_space");
+        }
+    }
+    // Recall parity at the *fixed* baseline beam.
+    let fixed = run_at_beam(&adapted, &ds, K, pt_base.beam);
+    let regression = pt_base.recall - fixed.recall;
+    let parity_ok = regression <= RECALL_TOLERANCE;
+
+    // The adapted index's own iso-recall operating point.
+    let (pt_adapt, _) = at_recall(&adapted, &ds, pt_base.recall - RECALL_TOLERANCE);
+    let hops_reduction = 1.0 - pt_adapt.hops / pt_base.hops.max(1e-9);
+    let ndc_reduction = 1.0 - pt_adapt.ndc / pt_base.ndc.max(1e-9);
+
+    // Threaded serving latency at each side's operating point.
+    let sp_base = run_batch_at_beam(&baseline, &ds, K, pt_base.beam, query_threads);
+    let sp_adapt = run_batch_at_beam(&adapted, &ds, K, pt_adapt.beam, query_threads);
+
+    let mut table = Table::new(vec![
+        "side",
+        "beam",
+        "Recall@10",
+        "hops",
+        "NDC",
+        "QPS(1t)",
+        "p99(ms)",
+    ]);
+    table.row(vec![
+        "base".into(),
+        pt_base.beam.to_string(),
+        f(pt_base.recall, 4),
+        f(pt_base.hops, 1),
+        f(pt_base.ndc, 0),
+        f(pt_base.qps, 0),
+        f(sp_base.p99_ms, 3),
+    ]);
+    table.row(vec![
+        "adapted".into(),
+        pt_adapt.beam.to_string(),
+        f(pt_adapt.recall, 4),
+        f(pt_adapt.hops, 1),
+        f(pt_adapt.ndc, 0),
+        f(pt_adapt.qps, 0),
+        f(sp_adapt.p99_ms, 3),
+    ]);
+    banner("Before vs after at iso-recall");
+    table.print();
+    println!(
+        "mean hops {}%, NDC {}%, overlay edges {}, recall at fixed beam {} -> {}",
+        f(-100.0 * hops_reduction, 1),
+        f(-100.0 * ndc_reduction, 1),
+        adapted.overlay_edges(),
+        f(pt_base.recall, 4),
+        f(fixed.recall, 4),
+    );
+
+    // Determinism: byte-identical adapted index at 1/2/8 mining threads.
+    let digests: Vec<u64> = MINING_THREADS
+        .iter()
+        .map(|&t| {
+            let mut idx =
+                LayoutIndex::from_flat(clone_flat(&flat), &ds.base, NodeLayout::Fused, true);
+            idx.adapt(
+                &ds.base,
+                &agg,
+                &AdaptParams {
+                    threads: t,
+                    ..params.clone()
+                },
+            )
+            .expect("adapt");
+            index_digest(&idx)
+        })
+        .collect();
+    let identical = digests.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "determinism: digests {:016x?} at {MINING_THREADS:?} mining threads -> identical={identical}",
+        digests
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"adapt\",\n  \"mode\": \"{mode}\",\n  \"smoke\": {smoke},\n  \
+         \"host_available_parallelism\": {host},\n  \
+         \"host_features\": \"{}\",\n  \"kernel_tier\": \"{}\",\n  \
+         \"workload\": {{\"n\": {n}, \"dim\": {dim}, \"clusters\": {clusters}, \
+         \"skew\": {SKEW}, \"queries\": {nq}, \"seed\": 7}},\n  \
+         \"build\": {{\"algo\": \"NSG\", \"layout\": \"fused+reorder\", \
+         \"build_secs\": {build_secs:.2}}},\n  \
+         \"traces\": {{\"routes\": {}, \"pairs\": {}, \"aggregate_bytes\": {}, \
+         \"beam\": {}}},\n  \
+         \"adapt\": {{\"min_gap\": {}, \"min_traffic\": {}, \"max_extra_degree\": {}, \"max_reach\": {}, \
+         \"refresh_entries\": {}, \"candidates\": {}, \"edges_added\": {}, \
+         \"vertices_extended\": {}, \"entries\": {}, \"adapt_secs\": {adapt_secs:.3}}},\n  \
+         \"baseline\": {{\"beam\": {}, \"recall\": {:.4}, \"hops\": {:.2}, \"ndc\": {:.1}, \
+         \"qps\": {:.0}, \"p99_ms\": {:.3}}},\n  \
+         \"adapted\": {{\"beam\": {}, \"recall\": {:.4}, \"hops\": {:.2}, \"ndc\": {:.1}, \
+         \"qps\": {:.0}, \"p99_ms\": {:.3}}},\n  \
+         \"parity\": {{\"fixed_beam\": {}, \"recall_base\": {:.4}, \"recall_adapted\": {:.4}, \
+         \"regression\": {:.4}, \"ok\": {parity_ok}}},\n  \
+         \"reduction\": {{\"hops_pct\": {:.1}, \"ndc_pct\": {:.1}}},\n  \
+         \"determinism\": {{\"mining_threads\": {MINING_THREADS:?}, \
+         \"digests\": [{}], \"identical\": {identical}}}\n}}\n",
+        weavess_data::host_features(),
+        weavess_data::KernelTier::active(),
+        agg.routes(),
+        agg.num_pairs(),
+        agg.memory_bytes(),
+        pt_base.beam,
+        params.min_gap,
+        params.min_traffic,
+        params.max_extra_degree,
+        params.max_reach,
+        params.refresh_entries,
+        report.candidates,
+        report.edges_added,
+        report.vertices_extended,
+        report.entries.len(),
+        pt_base.beam,
+        pt_base.recall,
+        pt_base.hops,
+        pt_base.ndc,
+        pt_base.qps,
+        sp_base.p99_ms,
+        pt_adapt.beam,
+        pt_adapt.recall,
+        pt_adapt.hops,
+        pt_adapt.ndc,
+        pt_adapt.qps,
+        sp_adapt.p99_ms,
+        pt_base.beam,
+        pt_base.recall,
+        fixed.recall,
+        regression,
+        100.0 * hops_reduction,
+        100.0 * ndc_reduction,
+        digests
+            .iter()
+            .map(|d| format!("\"{d:016x}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::fs::write("BENCH_adapt.json", &json).expect("write BENCH_adapt.json");
+    println!("\nwrote BENCH_adapt.json");
+
+    if !identical {
+        eprintln!("FAIL: adapted index bytes diverge across mining thread counts");
+        std::process::exit(1);
+    }
+    if !parity_ok {
+        eprintln!(
+            "FAIL: adapted recall at fixed beam regressed by {:.4} (> {RECALL_TOLERANCE})",
+            regression
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: identical at {MINING_THREADS:?} threads, recall regression {:.4} <= {RECALL_TOLERANCE}",
+        regression.max(0.0)
+    );
+}

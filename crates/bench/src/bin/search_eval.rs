@@ -14,7 +14,8 @@
 use weavess_bench::datasets::real_world_standins;
 use weavess_bench::report::{banner, f, mb, Table};
 use weavess_bench::runner::{
-    at_target_recall, build_timed, default_beams, degree_percentile, run_batch_at_beam, sweep,
+    at_target_recall, build_timed, default_beams, degree_percentile, route_histograms,
+    run_batch_at_beam, sweep,
 };
 use weavess_bench::{env_query_threads, env_scale, env_threads, select_algos};
 use weavess_core::algorithms::Algo;
@@ -44,7 +45,8 @@ fn main() {
         "PL",
     ]);
     let mut table5 = Table::new(vec![
-        "Dataset", "Alg", "CS", "PL", "MO(MB)", "Recall", "D_p50", "D_p99",
+        "Dataset", "Alg", "CS", "PL", "MO(MB)", "Recall", "D_p50", "D_p99", "H_p50", "H_p99",
+        "E2I_p50", "E2I_p99",
     ]);
     let query_threads = env_query_threads();
     let mut serving = Table::new(vec![
@@ -85,6 +87,10 @@ fn main() {
             // Out-degree percentiles alongside the search stats: degree is
             // what each expansion pays per hop, so the two read together.
             let hist = report.index.graph().degree_histogram();
+            // Route-shape percentiles at the same beam: hop counts and the
+            // entry-to-first-improvement tail (how much of each route is
+            // spent escaping the entry region).
+            let routes = route_histograms(report.index.as_ref(), ds, K, pt.beam);
             table5.row(vec![
                 ds.name.clone(),
                 algo.name().to_string(),
@@ -94,6 +100,10 @@ fn main() {
                 f(pt.recall, 3),
                 degree_percentile(&hist, 0.50).to_string(),
                 degree_percentile(&hist, 0.99).to_string(),
+                routes.hops.percentile(0.50).to_string(),
+                routes.hops.percentile(0.99).to_string(),
+                routes.entry_to_improve.percentile(0.50).to_string(),
+                routes.entry_to_improve.percentile(0.99).to_string(),
             ]);
             let mut worker_counts = vec![1usize];
             if query_threads > 1 {

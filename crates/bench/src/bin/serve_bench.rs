@@ -9,7 +9,9 @@
 //!    `crates/core/tests/sharding.rs` certifies; this binary re-checks it
 //!    on its own data and records `results_identical` in the artifact.
 //! 2. **Serving under load.** A realistic configuration (NSG shards,
-//!    finite beam) behind the admission queue, driven by an *open-loop*
+//!    finite beam) on the shared clustered + Zipf-skewed-query workload
+//!    ([`weavess_bench::workload::ZipfWorkload`], the one `adapt_bench`
+//!    mines), behind the admission queue, driven by an *open-loop*
 //!    arrival process: inter-arrival gaps are drawn `-ln(U)/λ` from a
 //!    seeded RNG (Poisson-like), client threads fire at the schedule
 //!    regardless of completions, and latency is measured from the
@@ -25,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 use weavess_bench::report::{banner, f, Table};
+use weavess_bench::workload::ZipfWorkload;
 use weavess_core::algorithms::nsg::{self, NsgParams};
 use weavess_core::components::seeds::SeedStrategy;
 use weavess_core::index::FlatIndex;
@@ -228,22 +231,17 @@ fn main() {
     }
     id_table.print();
 
-    // --- Half 2: open-loop QPS sweep on a realistic fleet. ---
+    // --- Half 2: open-loop QPS sweep on a realistic fleet, driven by the
+    // skewed serving workload (balanced clustered data, Zipf-hot queries).
     let (n, dim, nq, shards) = if smoke {
         (1_500, 16, 50, 2)
     } else {
         (12_000, 32, 200, 4)
     };
-    let (base, queries) = MixtureSpec {
-        intrinsic_dim: Some(12),
-        noise: 0.05,
-        shared_subspace: true,
-        ..MixtureSpec::table10(dim, n, 8, 5.0, nq)
-    }
-    .with_seed(7)
-    .generate();
+    const SKEW: f64 = 1.5;
+    let (base, queries) = ZipfWorkload::new(n, dim, 8, SKEW, nq, 7).generate();
     banner(&format!(
-        "Building {shards}-shard NSG fleet (n={n}, dim={dim})"
+        "Building {shards}-shard NSG fleet (n={n}, dim={dim}, query skew Zipf({SKEW}))"
     ));
     let t0 = Instant::now();
     let set = ShardSet::build(
@@ -354,6 +352,7 @@ fn main() {
          \"partition_seed\": {PARTITION_SEED}, \"shard_counts\": [1, 2, 4, 8], \
          \"routers\": {}, \"results_identical\": {results_identical}}},\n  \
          \"fleet\": {{\"n\": {n}, \"dim\": {dim}, \"shards\": {shards}, \
+         \"workload\": \"zipf\", \"skew\": {SKEW}, \
          \"algo\": \"NSG\", \"build_secs\": {build_secs:.2}, \
          \"workers_per_shard\": {}, \"k\": {K}, \"beam\": {}}},\n  \
          \"queue\": {{\"max_batch\": {}, \"max_delay_us\": {}, \"clients\": {clients}, \

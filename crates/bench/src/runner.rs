@@ -5,6 +5,7 @@ use crate::datasets::NamedDataset;
 use weavess_core::algorithms::Algo;
 use weavess_core::index::{AnnIndex, SearchContext};
 use weavess_core::serve::{EngineOptions, QueryEngine};
+use weavess_core::telemetry::{Histogram, RecordingTracer};
 use weavess_data::metrics::recall;
 use weavess_graph::connectivity::weak_components;
 use weavess_graph::metrics::{degree_stats, graph_quality, DegreeStats};
@@ -178,6 +179,49 @@ pub fn run_batch_at_beam(
     }
 }
 
+/// Per-query routing-shape distributions over a full query set: how many
+/// hops searches take, and how many of those are spent escaping the entry
+/// region (Table 5's path-length analysis, online).
+pub struct RouteHists {
+    /// Hops (expanded vertices) per query.
+    pub hops: Histogram,
+    /// Entry-to-first-improvement: hops before the route first beat the
+    /// best seed distance (a query that never improves records its full
+    /// hop count — it spent the whole route "escaping").
+    pub entry_to_improve: Histogram,
+}
+
+/// Runs the full query set traced at one beam width, collecting the
+/// hop-count and entry-to-first-improvement histograms.
+pub fn route_histograms(
+    index: &dyn AnnIndex,
+    ds: &NamedDataset,
+    k: usize,
+    beam: usize,
+) -> RouteHists {
+    let mut ctx = SearchContext::new(ds.base.len());
+    let mut tracer = RecordingTracer::new();
+    let mut hops = Histogram::new();
+    let mut entry_to_improve = Histogram::new();
+    for qi in 0..ds.queries.len() as u32 {
+        tracer.clear();
+        index.search_traced(
+            &ds.base,
+            ds.queries.point(qi),
+            k,
+            beam,
+            &mut ctx,
+            &mut tracer,
+        );
+        hops.record(tracer.hops() as u64);
+        entry_to_improve.record(tracer.first_improvement_hop().unwrap_or(tracer.hops()) as u64);
+    }
+    RouteHists {
+        hops,
+        entry_to_improve,
+    }
+}
+
 /// The default beam schedule for recall/efficiency curves (the paper's
 /// high-precision region).
 pub fn default_beams(k: usize) -> Vec<usize> {
@@ -292,6 +336,17 @@ mod tests {
             );
             assert!((p.ndc - serial.ndc).abs() / serial.ndc < 0.2);
         }
+    }
+
+    #[test]
+    fn route_histograms_cover_every_query() {
+        let ds = tiny();
+        let report = build_timed(Algo::KGraph, &ds, 2, 1);
+        let h = route_histograms(report.index.as_ref(), &ds, 10, 40);
+        assert_eq!(h.hops.count(), ds.queries.len() as u64);
+        assert_eq!(h.entry_to_improve.count(), ds.queries.len() as u64);
+        // Escaping the entry region cannot take longer than the route.
+        assert!(h.entry_to_improve.percentile(0.5) <= h.hops.percentile(0.5));
     }
 
     #[test]

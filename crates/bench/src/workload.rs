@@ -1,0 +1,235 @@
+//! Skewed serving workloads: a clustered base set with Zipf-distributed
+//! query traffic.
+//!
+//! The adaptation experiments (and real serving fleets) need a workload
+//! where *queries* are skewed — a few clusters take most of the traffic —
+//! while the base data stays balanced.
+//! [`MixtureSpec`](weavess_data::synthetic::MixtureSpec) varies the data;
+//! this generator varies the *demand*: base points are dealt round-robin
+//! over `clusters` Gaussian clusters (like Table 10), but each query
+//! picks its cluster from a Zipf law with exponent `skew` (cluster `c`
+//! with weight `1/(c+1)^skew`), so cluster 0 dominates and the tail is
+//! cold. Everything is deterministic from
+//! `(n, dim, clusters, skew, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use weavess_data::Dataset;
+
+/// Specification of a clustered-dataset + Zipf-query workload.
+///
+/// ```
+/// use weavess_bench::workload::ZipfWorkload;
+///
+/// let w = ZipfWorkload::new(1_000, 16, 8, 1.5, 100, 7);
+/// let (base, queries) = w.generate();
+/// assert_eq!((base.len(), base.dim()), (1_000, 16));
+/// assert_eq!(queries.len(), 100);
+/// // Same spec, same bytes.
+/// assert_eq!(base, w.generate().0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfWorkload {
+    /// Base points.
+    pub n: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Gaussian clusters the base set is balanced over.
+    pub clusters: usize,
+    /// Zipf exponent of the query-over-cluster distribution; 0 = uniform
+    /// traffic, larger = hotter head.
+    pub skew: f64,
+    /// Query points.
+    pub n_queries: usize,
+    /// Per-cluster standard deviation.
+    pub std: f32,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl ZipfWorkload {
+    /// A workload with the default per-cluster spread (SD 5, the middle of
+    /// the paper's Table 10 range).
+    pub fn new(
+        n: usize,
+        dim: usize,
+        clusters: usize,
+        skew: f64,
+        n_queries: usize,
+        seed: u64,
+    ) -> Self {
+        ZipfWorkload {
+            n,
+            dim,
+            clusters,
+            skew,
+            n_queries,
+            std: 5.0,
+            seed,
+        }
+    }
+
+    /// Generates `(base, queries)`. Base points are dealt round-robin over
+    /// the clusters (balanced data); queries draw their cluster from the
+    /// Zipf law (skewed demand) and their position from the same
+    /// per-cluster Gaussian.
+    pub fn generate(&self) -> (Dataset, Dataset) {
+        assert!(self.clusters >= 1, "need at least one cluster");
+        assert!(self.n > 0 && self.dim > 0);
+        assert!(self.skew >= 0.0, "skew must be non-negative");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let centers = self.draw_centers(&mut rng);
+
+        let mut base = Vec::with_capacity(self.n * self.dim);
+        for i in 0..self.n {
+            base.extend(self.draw_point(&centers[i % self.clusters], &mut rng));
+        }
+
+        let queries = self.draw_queries(&centers, self.n_queries, &mut rng);
+        (
+            Dataset::from_flat(base, self.n, self.dim),
+            Dataset::from_flat(queries, self.n_queries, self.dim),
+        )
+    }
+
+    /// Draws an extra query set from the same cluster centers and Zipf
+    /// demand but an independent RNG stream — a trace/evaluation split:
+    /// adaptation mines routes from one sample of the traffic and is then
+    /// measured on held-out queries from the identical distribution.
+    /// Deterministic from `(self, count, seed)` and independent of
+    /// [`ZipfWorkload::generate`] (the centers are re-derived, not stored).
+    pub fn extra_queries(&self, count: usize, seed: u64) -> Dataset {
+        let mut center_rng = StdRng::seed_from_u64(self.seed);
+        let centers = self.draw_centers(&mut center_rng);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = self.draw_queries(&centers, count, &mut rng);
+        Dataset::from_flat(queries, count, self.dim)
+    }
+
+    /// Cluster centers uniform in [0, 100]^dim, matching the MixtureSpec
+    /// scale so tuned build parameters carry over. Always the first draws
+    /// of the workload's RNG stream, so every sampler sees the same
+    /// centers.
+    fn draw_centers(&self, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        (0..self.clusters)
+            .map(|_| (0..self.dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect()
+    }
+
+    fn draw_point(&self, center: &[f32], rng: &mut StdRng) -> Vec<f32> {
+        center
+            .iter()
+            .map(|&c| c + self.std * gaussian(rng))
+            .collect()
+    }
+
+    /// `count` queries: cluster from the Zipf CDF, position from the
+    /// per-cluster Gaussian.
+    fn draw_queries(&self, centers: &[Vec<f32>], count: usize, rng: &mut StdRng) -> Vec<f32> {
+        // Zipf CDF over clusters: weight of cluster c is 1/(c+1)^skew.
+        let weights: Vec<f64> = (0..self.clusters)
+            .map(|c| 1.0 / ((c + 1) as f64).powf(self.skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(self.clusters);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+
+        let mut queries = Vec::with_capacity(count * self.dim);
+        for _ in 0..count {
+            let u: f64 = rng.gen();
+            let c = cdf.partition_point(|&p| p < u).min(self.clusters - 1);
+            queries.extend(self.draw_point(&centers[c], rng));
+        }
+        queries
+    }
+}
+
+/// Standard Gaussian draw via Box–Muller (the [`weavess_data::synthetic`]
+/// generator's is private; same construction so distributions match).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_spec_and_sensitive_to_seed() {
+        let w = ZipfWorkload::new(300, 8, 4, 1.5, 50, 42);
+        let (b1, q1) = w.generate();
+        let (b2, q2) = w.generate();
+        assert_eq!(b1, b2);
+        assert_eq!(q1, q2);
+        let (b3, _) = ZipfWorkload::new(300, 8, 4, 1.5, 50, 43).generate();
+        assert_ne!(b1, b3);
+    }
+
+    #[test]
+    fn queries_concentrate_on_the_head_cluster() {
+        let w = ZipfWorkload::new(400, 8, 8, 2.0, 400, 7);
+        let (base, queries) = w.generate();
+        // Assign each query to its nearest base cluster representative
+        // (base point c is the first draw of cluster c).
+        let mut head = 0usize;
+        for qi in 0..queries.len() as u32 {
+            let q = queries.point(qi);
+            let nearest = (0..w.clusters as u32)
+                .min_by(|&a, &b| base.dist_to(q, a).partial_cmp(&base.dist_to(q, b)).unwrap())
+                .unwrap();
+            if nearest == 0 {
+                head += 1;
+            }
+        }
+        // Zipf(2.0) over 8 clusters puts ~62% of mass on cluster 0; with
+        // 400 draws anything above 45% is unambiguous concentration.
+        assert!(
+            head as f64 > 0.45 * queries.len() as f64,
+            "head traffic {head}/{}",
+            queries.len()
+        );
+    }
+
+    #[test]
+    fn extra_queries_share_centers_but_not_draws() {
+        let w = ZipfWorkload::new(400, 8, 4, 1.5, 50, 11);
+        let (base, eval) = w.generate();
+        let extra = w.extra_queries(200, 999);
+        assert_eq!(extra, w.extra_queries(200, 999));
+        assert_ne!(extra, w.extra_queries(200, 998));
+        // Held-out queries land in the same clusters: every extra query's
+        // nearest base point is within cluster radius, far below the
+        // inter-center distance at this dimensionality.
+        for qi in 0..extra.len() as u32 {
+            let q = extra.point(qi);
+            let nearest = (0..base.len() as u32)
+                .map(|v| base.dist_to(q, v))
+                .fold(f32::INFINITY, f32::min);
+            assert!(nearest.sqrt() < 40.0, "query {qi} stranded: {nearest}");
+        }
+        // And they are not the evaluation queries re-issued.
+        assert_ne!(extra.point(0), eval.point(0));
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let w = ZipfWorkload::new(200, 4, 4, 0.0, 400, 3);
+        let (base, queries) = w.generate();
+        let mut counts = vec![0usize; w.clusters];
+        for qi in 0..queries.len() as u32 {
+            let q = queries.point(qi);
+            let nearest = (0..w.clusters as u32)
+                .min_by(|&a, &b| base.dist_to(q, a).partial_cmp(&base.dist_to(q, b)).unwrap())
+                .unwrap();
+            counts[nearest as usize] += 1;
+        }
+        // Each cluster expects ~100 of 400; none should be starved.
+        assert!(counts.iter().all(|&c| c > 40), "{counts:?}");
+    }
+}

@@ -125,6 +125,13 @@ pub trait AnnIndex: Send + Sync {
 
     /// Total index heap bytes: adjacency + auxiliary structures (Figure 6).
     fn memory_bytes(&self) -> usize;
+
+    /// Shortcut edges in the trace-mined catapult overlay segment — 0 for
+    /// every unadapted index. Serving surfaces this as the adapted-vs-base
+    /// signal ([`crate::serve::QueryEngine`] metrics).
+    fn overlay_edges(&self) -> usize {
+        0
+    }
 }
 
 /// The single-layer index shape shared by every algorithm except HNSW:

@@ -51,7 +51,12 @@
 //!   sharded counters, per-hop route tracing
 //!   ([`telemetry::RouteTracer`]), build-phase spans
 //!   ([`telemetry::BuildProfile`]), and Prometheus/JSON exposition.
+//! - [`adapt`]: trace-driven graph adaptation — mines recorded routes
+//!   ([`telemetry::TraceAggregate`]) for catapult shortcut edges (kept in
+//!   an overlay segment, base graph untouched) and hub-aware entry
+//!   refresh; deterministic at any mining thread count.
 
+pub mod adapt;
 pub mod algorithms;
 pub mod components;
 pub mod index;
@@ -67,6 +72,7 @@ pub mod serve;
 pub mod shard;
 pub mod telemetry;
 
+pub use adapt::{AdaptError, AdaptParams, AdaptReport};
 pub use index::{AnnIndex, FlatIndex, IndexError, SearchContext};
 pub use locality::{LayoutIndex, LayoutStats, NodeLayout};
 pub use search::{Router, SearchStats};
@@ -76,4 +82,4 @@ pub use serve::{
 pub use shard::{
     BatchQueue, FleetReport, QueueOptions, ShardError, ShardSet, ShardedBatchReport, ShardedEngine,
 };
-pub use telemetry::{BuildProfile, NoopTracer, RecordingTracer, RouteTracer};
+pub use telemetry::{BuildProfile, NoopTracer, RecordingTracer, RouteTracer, TraceAggregate};

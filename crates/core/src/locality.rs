@@ -16,7 +16,7 @@ use crate::index::{AnnIndex, FlatIndex, IndexError, SearchContext};
 use crate::search::Router;
 use weavess_data::{Dataset, Neighbor};
 use weavess_graph::reorder::{bfs_order, Permutation};
-use weavess_graph::{CsrGraph, FusedArena};
+use weavess_graph::{merge_overlay, strip_overlay, CsrGraph, FusedArena};
 
 /// Physical node layout for the routing structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,8 @@ pub struct LayoutStats {
     pub arena_padding_bytes: usize,
     /// Permutation bytes (both direction arrays; 0 when not reordered).
     pub permutation_bytes: usize,
+    /// Catapult overlay segment bytes (0 when the index is unadapted).
+    pub overlay_bytes: usize,
 }
 
 /// A [`FlatIndex`] re-hosted on a selectable physical layout.
@@ -70,6 +72,11 @@ pub struct LayoutIndex {
     pub(crate) seeds: SeedStrategy,
     /// `Some` when the graph/vectors were BFS-reordered.
     pub(crate) perm: Option<Permutation>,
+    /// Catapult overlay segment in index id space: `Some` once the index
+    /// has been adapted ([`LayoutIndex::adapt`]). The stored routing
+    /// graph is then the base+overlay merge; the base is recoverable
+    /// exactly via [`LayoutIndex::base_graph`].
+    pub(crate) overlay: Option<CsrGraph>,
     pub(crate) store: LayoutStore,
 }
 
@@ -132,24 +139,72 @@ impl LayoutIndex {
         ds: &Dataset,
         layout: NodeLayout,
     ) -> Self {
-        let (graph, vectors) = match &perm {
-            Some(p) => (p.apply_to_graph(graph), p.apply_to_dataset(ds)),
-            None => (graph.clone(), ds.clone()),
+        Self::assemble_with_overlay(name, router, seeds, perm, graph, None, ds, layout)
+    }
+
+    /// [`LayoutIndex::assemble`] plus an optional catapult overlay segment
+    /// (also in *original* id space — the persist format stores both
+    /// segments un-permuted). The stored routing graph becomes the
+    /// base+overlay merge.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble_with_overlay(
+        name: &'static str,
+        router: Router,
+        seeds: SeedStrategy,
+        perm: Option<Permutation>,
+        base: &CsrGraph,
+        overlay: Option<&CsrGraph>,
+        ds: &Dataset,
+        layout: NodeLayout,
+    ) -> Self {
+        let (base, vectors) = match &perm {
+            Some(p) => (p.apply_to_graph(base), p.apply_to_dataset(ds)),
+            None => (base.clone(), ds.clone()),
         };
-        let store = match layout {
-            NodeLayout::Split => LayoutStore::Split { graph, vectors },
-            NodeLayout::Fused => {
-                let arena = FusedArena::with_vectors(&graph, &vectors);
-                LayoutStore::Fused { graph, arena }
+        let (graph, overlay) = match overlay {
+            Some(o) => {
+                let o = match &perm {
+                    Some(p) => p.apply_to_graph(o),
+                    None => o.clone(),
+                };
+                (merge_overlay(&base, &o), Some(o))
             }
+            None => (base, None),
         };
+        let store = Self::store_from(graph, vectors, layout);
         LayoutIndex {
             name,
             router,
             seeds,
             perm,
+            overlay,
             store,
         }
+    }
+
+    /// Builds the physical store for a routing graph + index-space vectors.
+    fn store_from(graph: CsrGraph, vectors: Dataset, layout: NodeLayout) -> LayoutStore {
+        match layout {
+            NodeLayout::Split => LayoutStore::Split { graph, vectors },
+            NodeLayout::Fused => {
+                let arena = FusedArena::with_vectors(&graph, &vectors);
+                LayoutStore::Fused { graph, arena }
+            }
+        }
+    }
+
+    /// Swaps in an adapted routing graph (base+overlay merge, index id
+    /// space) and its overlay segment, rebuilding the physical store in
+    /// the current layout. `ds` is the caller's dataset in original id
+    /// space. Used by [`LayoutIndex::adapt`].
+    pub(crate) fn install_combined(&mut self, combined: CsrGraph, overlay: CsrGraph, ds: &Dataset) {
+        let vectors = match &self.perm {
+            Some(p) => p.apply_to_dataset(ds),
+            None => ds.clone(),
+        };
+        let layout = self.layout();
+        self.store = Self::store_from(combined, vectors, layout);
+        self.overlay = Some(overlay);
     }
 
     /// The layout this index stores its nodes in.
@@ -168,6 +223,26 @@ impl LayoutIndex {
     /// The applied permutation, if any.
     pub fn permutation(&self) -> Option<&Permutation> {
         self.perm.as_ref()
+    }
+
+    /// The catapult overlay segment (index id space), if the index has
+    /// been adapted.
+    pub fn overlay(&self) -> Option<&CsrGraph> {
+        self.overlay.as_ref()
+    }
+
+    /// The base graph in index id space — the routing graph with any
+    /// catapult overlay stripped back out (exact inverse of the merge:
+    /// overlay edges are the per-vertex suffix). Identical to
+    /// [`AnnIndex::graph`] when unadapted.
+    pub fn base_graph(&self) -> CsrGraph {
+        let graph = match &self.store {
+            LayoutStore::Split { graph, .. } | LayoutStore::Fused { graph, .. } => graph,
+        };
+        match &self.overlay {
+            Some(o) => strip_overlay(graph, o),
+            None => graph.clone(),
+        }
     }
 
     /// Per-structure memory accounting.
@@ -189,6 +264,7 @@ impl LayoutIndex {
             arena_bytes,
             arena_padding_bytes,
             permutation_bytes: self.perm.as_ref().map_or(0, |p| p.memory_bytes()),
+            overlay_bytes: self.overlay.as_ref().map_or(0, |o| o.memory_bytes()),
         }
     }
 }
@@ -317,7 +393,12 @@ impl AnnIndex for LayoutIndex {
             + s.vector_bytes
             + s.arena_bytes
             + s.permutation_bytes
+            + s.overlay_bytes
             + self.seeds.memory_bytes()
+    }
+
+    fn overlay_edges(&self) -> usize {
+        self.overlay.as_ref().map_or(0, |o| o.num_edges())
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::algorithms::hnsw::HnswIndex;
 use crate::components::seeds::SeedStrategy;
-use crate::index::{AnnIndex, FlatIndex};
+use crate::index::FlatIndex;
 use crate::locality::{LayoutIndex, NodeLayout};
 use crate::search::Router;
 use std::fs::File;
@@ -30,7 +30,9 @@ const VERSION: u32 = 1;
 const HNSW_MAGIC: &[u8; 4] = b"WVSH";
 const HNSW_VERSION: u32 = 1;
 const LAYOUT_MAGIC: &[u8; 4] = b"WVSL";
-const LAYOUT_VERSION: u32 = 1;
+/// v2 appended the optional catapult overlay segment; v1 files (no
+/// overlay section) still load.
+const LAYOUT_VERSION: u32 = 2;
 
 /// Errors from saving or loading an index.
 #[derive(Debug)]
@@ -223,10 +225,13 @@ pub fn load_index(path: &Path) -> Result<FlatIndex, PersistError> {
 }
 
 /// Saves a [`LayoutIndex`] (graph + router + seeds + permutation +
-/// layout tag). The graph is written in *original* id space — the
-/// permutation is stored separately and re-applied at load — so files
-/// saved from a reordered and an unreordered index differ only in the
-/// permutation block.
+/// layout tag + optional catapult overlay segment). Both graph segments
+/// are written in *original* id space — the permutation is stored
+/// separately and re-applied at load — so files saved from a reordered
+/// and an unreordered index differ only in the permutation block. The
+/// *base* segment is stored (overlay stripped back out), then the
+/// overlay segment; the load path re-merges them, so an adapted index
+/// round-trips without storing its adjacency twice.
 pub fn save_layout_index(path: &Path, index: &LayoutIndex) -> Result<(), PersistError> {
     let mut w = BufWriter::new(File::create(path)?);
     write_layout_index(&mut w, index)?;
@@ -246,7 +251,7 @@ pub fn write_layout_index(w: &mut impl Write, index: &LayoutIndex) -> Result<(),
         crate::locality::NodeLayout::Split => w.write_all(&[0u8])?,
         crate::locality::NodeLayout::Fused => w.write_all(&[1u8])?,
     }
-    let graph = index.graph();
+    let base = index.base_graph();
     match index.permutation() {
         Some(p) => {
             w.write_all(&[1u8])?;
@@ -254,24 +259,40 @@ pub fn write_layout_index(w: &mut impl Write, index: &LayoutIndex) -> Result<(),
             for &old in p.inverse() {
                 w.write_all(&old.to_le_bytes())?;
             }
-            // Un-apply the permutation: write adjacency in original space.
-            let lists: Vec<Vec<u32>> = (0..graph.len() as u32)
-                .map(|v| {
-                    graph
-                        .neighbors(p.to_new(v))
-                        .iter()
-                        .map(|&u| p.to_old(u))
-                        .collect()
-                })
-                .collect();
-            write_graph_lists(w, &lists)?;
+            write_graph_lists(w, &unpermute_lists(&base, p))?;
         }
         None => {
             w.write_all(&[0u8])?;
-            write_graph_lists(w, &graph.to_lists())?;
+            write_graph_lists(w, &base.to_lists())?;
         }
     }
+    // v2: the catapult overlay segment, also in original id space.
+    match index.overlay() {
+        Some(o) => {
+            w.write_all(&[1u8])?;
+            let lists = match index.permutation() {
+                Some(p) => unpermute_lists(o, p),
+                None => o.to_lists(),
+            };
+            write_graph_lists(w, &lists)?;
+        }
+        None => w.write_all(&[0u8])?,
+    }
     Ok(())
+}
+
+/// Un-applies a permutation: adjacency of `graph` rewritten in original
+/// id space.
+fn unpermute_lists(graph: &CsrGraph, p: &Permutation) -> Vec<Vec<u32>> {
+    (0..graph.len() as u32)
+        .map(|v| {
+            graph
+                .neighbors(p.to_new(v))
+                .iter()
+                .map(|&u| p.to_old(u))
+                .collect()
+        })
+        .collect()
 }
 
 /// Loads a [`LayoutIndex`] saved by [`save_layout_index`], rebuilding the
@@ -285,9 +306,9 @@ pub fn load_layout_index(path: &Path, ds: &Dataset) -> Result<LayoutIndex, Persi
         return Err(PersistError::BadFormat("wrong layout magic".into()));
     }
     let version = read_u32(&mut r)?;
-    if version != LAYOUT_VERSION {
+    if version == 0 || version > LAYOUT_VERSION {
         return Err(PersistError::BadFormat(format!(
-            "layout version {version}, expected {LAYOUT_VERSION}"
+            "layout version {version}, expected 1..={LAYOUT_VERSION}"
         )));
     }
     let name = read_str(&mut r)?;
@@ -331,12 +352,50 @@ pub fn load_layout_index(path: &Path, ds: &Dataset) -> Result<LayoutIndex, Persi
             )));
         }
     }
-    Ok(LayoutIndex::assemble(
+    // v2: the optional catapult overlay segment, validated before the
+    // merge (edge ranges are checked by `read_graph_lists`; self-loops
+    // and duplicate shortcuts can never come out of the miner, so their
+    // presence means corruption).
+    let overlay = if version >= 2 {
+        match read_u8(&mut r)? {
+            0 => None,
+            1 => {
+                let olists = read_graph_lists(&mut r)?;
+                if olists.len() != lists.len() {
+                    return Err(PersistError::BadFormat(format!(
+                        "overlay covers {} vertices but graph has {}",
+                        olists.len(),
+                        lists.len()
+                    )));
+                }
+                for (v, l) in olists.iter().enumerate() {
+                    for (i, &t) in l.iter().enumerate() {
+                        if t as usize == v {
+                            return Err(PersistError::BadFormat(format!(
+                                "overlay self-loop at vertex {v}"
+                            )));
+                        }
+                        if l[..i].contains(&t) {
+                            return Err(PersistError::BadFormat(format!(
+                                "duplicate overlay edge {v} -> {t}"
+                            )));
+                        }
+                    }
+                }
+                Some(CsrGraph::from_lists(&olists))
+            }
+            t => return Err(PersistError::BadFormat(format!("unknown overlay flag {t}"))),
+        }
+    } else {
+        None
+    };
+    Ok(LayoutIndex::assemble_with_overlay(
         Box::leak(name.into_boxed_str()),
         router,
         seeds,
         perm,
         &CsrGraph::from_lists(&lists),
+        overlay.as_ref(),
         ds,
         layout,
     ))

@@ -320,6 +320,13 @@ impl<'a> QueryEngine<'a> {
             "Idle pooled search contexts.",
             self.pooled_contexts() as f64,
         ));
+        // Adapted-vs-base signal: 0 means the served index is the base
+        // graph; nonzero means a trace-mined catapult overlay is live.
+        out.push_str(&prometheus_gauge(
+            "weavess_overlay_edges",
+            "Catapult shortcut edges in the served index's overlay segment.",
+            self.index.overlay_edges() as f64,
+        ));
         // Info-style series: constant 1, identity in the labels. Lets a
         // dashboard join latency series against the kernel tier that
         // produced them.
@@ -353,11 +360,13 @@ impl<'a> QueryEngine<'a> {
         let cum = self.cumulative.lock();
         format!(
             "{{\"queries_total\": {}, \"batches_total\": {}, \"pooled_contexts\": {}, \
+             \"overlay_edges\": {}, \
              \"kernel_tier\": \"{}\", \"host_features\": \"{}\", \
              \"latency_ns\": {}, \"ndc\": {}, \"hops\": {}}}",
             self.queries_total.get(),
             self.batches_total.get(),
             self.pooled_contexts(),
+            self.index.overlay_edges(),
             weavess_data::KernelTier::active(),
             weavess_data::host_features(),
             json_histogram(&cum.latency),

@@ -171,6 +171,37 @@ impl ShardSet {
             .map(|s| s.index.memory_bytes() + s.global_ids.len() * 4)
             .sum()
     }
+
+    /// Catapult overlay edges summed over all shards (0 until adapted).
+    pub fn overlay_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.index.overlay_edges()).sum()
+    }
+
+    /// Adapts every shard in place from its own trace aggregate (one per
+    /// shard, in shard order, each in that shard's index id space — the
+    /// ids [`crate::serve::QueryEngine::search_one_traced`] records on the
+    /// per-shard engines). Entry refresh is per shard: each shard's
+    /// entries move toward *its* observed hubs. Must run before a
+    /// [`ShardedEngine`] borrows the set; per-shard adaptation inherits
+    /// the single-index determinism contract, so the adapted set is a
+    /// pure function of `(set, aggregates, params)`.
+    pub fn adapt(
+        &mut self,
+        aggs: &[crate::telemetry::TraceAggregate],
+        params: &crate::adapt::AdaptParams,
+    ) -> Result<Vec<crate::adapt::AdaptReport>, crate::adapt::AdaptError> {
+        if aggs.len() != self.shards.len() {
+            return Err(crate::adapt::AdaptError::ShardCount {
+                shards: self.shards.len(),
+                aggs: aggs.len(),
+            });
+        }
+        self.shards
+            .iter_mut()
+            .zip(aggs)
+            .map(|(shard, agg)| shard.index.adapt(&shard.data, agg, params))
+            .collect()
+    }
 }
 
 /// Everything one scattered batch returns: merged per-query results in

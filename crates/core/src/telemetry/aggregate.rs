@@ -1,0 +1,360 @@
+//! Compact, mergeable aggregation of recorded routes — the input of the
+//! trace-mining pass in [`crate::adapt`].
+//!
+//! A [`crate::telemetry::RecordingTracer`] keeps every event of one
+//! route; retaining full event streams for a production trace set would
+//! be unbounded. A [`TraceAggregate`] folds each route down to what
+//! mining needs and then forgets it:
+//!
+//! - **per-vertex visit counts** — how often each vertex was expanded
+//!   (the observed hop histogram; hub-aware entry refresh reads it);
+//! - **per-vertex terminal counts** — how often each vertex was the
+//!   route's *convergence point* (the expanded vertex nearest the
+//!   query), which is where entries want to move on skewed traffic;
+//! - **hop-pair counts** — for each detour `(v_i … v_t)` observed on a
+//!   route (early hop `v_i`, convergence hop `v_t`, at least
+//!   [`TraceAggregate::MIN_RECORD_GAP`] hops apart), the traffic count
+//!   and the total hops a direct `v_i -> v_t` shortcut would have saved.
+//!
+//! Every field merges with commutative, associative addition, so the
+//! aggregate is invariant to route order, trace-file order, and how the
+//! trace set was partitioned across recorders — the property the
+//! adaptation determinism contract builds on.
+
+use super::tracer::{RecordingTracer, RouteEvent};
+use std::collections::BTreeMap;
+
+/// Traffic statistics of one candidate shortcut `(src, dst)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStat {
+    /// Routes that traversed `src` and later converged at `dst`.
+    pub count: u64,
+    /// Total hops a direct shortcut would have saved, summed over those
+    /// routes (`saved / count` is the mean detour length).
+    pub saved: u64,
+}
+
+/// Order-invariant aggregation of a trace set over a graph of `n`
+/// vertices. All vertex ids are in the id space the traces were recorded
+/// in (for a [`crate::locality::LayoutIndex`]: index id space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAggregate {
+    n: usize,
+    routes: u64,
+    visits: Vec<u64>,
+    terminals: Vec<u64>,
+    pairs: BTreeMap<(u32, u32), PairStat>,
+}
+
+impl TraceAggregate {
+    /// Minimum hop gap between a detour's endpoints for its pair to be
+    /// recorded at all ([`crate::adapt::AdaptParams::min_gap`] filters
+    /// further, on the *mean* gap).
+    pub const MIN_RECORD_GAP: u32 = 2;
+
+    /// Per-route cap on recorded pairs (the earliest hops — the ones with
+    /// the largest savings — win), bounding aggregate growth on deep
+    /// routes.
+    pub const MAX_PAIRS_PER_ROUTE: usize = 64;
+
+    /// An empty aggregate over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        TraceAggregate {
+            n,
+            routes: 0,
+            visits: vec![0; n],
+            terminals: vec![0; n],
+            pairs: BTreeMap::new(),
+        }
+    }
+
+    /// Number of vertices this aggregate covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the aggregate covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Routes absorbed so far.
+    pub fn routes(&self) -> u64 {
+        self.routes
+    }
+
+    /// Expansions observed per vertex (the hop histogram's support).
+    pub fn visits(&self) -> &[u64] {
+        &self.visits
+    }
+
+    /// Convergence events observed per vertex.
+    pub fn terminals(&self) -> &[u64] {
+        &self.terminals
+    }
+
+    /// The candidate-shortcut pairs with their traffic stats, in
+    /// ascending `(src, dst)` order (deterministic iteration).
+    pub fn pairs(&self) -> impl Iterator<Item = (&(u32, u32), &PairStat)> {
+        self.pairs.iter()
+    }
+
+    /// Number of distinct candidate pairs retained.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Folds one recorded route in (and drops nothing else — the tracer
+    /// stays reusable).
+    ///
+    /// # Panics
+    /// Panics if the route touches a vertex `>= n` — traces from a
+    /// different index must not be mixed in silently.
+    pub fn absorb(&mut self, tracer: &RecordingTracer) {
+        self.absorb_route(&tracer.events);
+    }
+
+    /// [`TraceAggregate::absorb`] on a raw event slice.
+    pub fn absorb_route(&mut self, events: &[RouteEvent]) {
+        self.routes += 1;
+        // Hops in traversal order; every expansion is a visit.
+        let mut route: Vec<(u32, f32)> = Vec::new();
+        for e in events {
+            if let RouteEvent::Hop { vertex, dist, .. } = *e {
+                assert!(
+                    (vertex as usize) < self.n,
+                    "trace vertex {vertex} out of range (n={})",
+                    self.n
+                );
+                self.visits[vertex as usize] += 1;
+                route.push((vertex, dist));
+            }
+        }
+        if route.is_empty() {
+            return;
+        }
+        // The convergence hop: earliest expansion at the route's minimum
+        // distance. Distances are non-negative, so bit comparison is
+        // total and exact.
+        let mut t = 0usize;
+        for (i, &(_, d)) in route.iter().enumerate() {
+            if d.to_bits() < route[t].1.to_bits() {
+                t = i;
+            }
+        }
+        let (dst, _) = route[t];
+        self.terminals[dst as usize] += 1;
+        let mut recorded = 0usize;
+        for (i, &(src, _)) in route.iter().enumerate().take(t) {
+            let gap = (t - i) as u32;
+            if gap < Self::MIN_RECORD_GAP {
+                break; // remaining gaps only shrink
+            }
+            if recorded >= Self::MAX_PAIRS_PER_ROUTE {
+                break;
+            }
+            if src == dst {
+                continue;
+            }
+            let stat = self.pairs.entry((src, dst)).or_default();
+            stat.count += 1;
+            // A shortcut src -> dst replaces the gap-hop chain with one
+            // hop.
+            stat.saved += (gap - 1) as u64;
+            recorded += 1;
+        }
+    }
+
+    /// Merges another aggregate in. Addition throughout, so merge order
+    /// (and any partitioning of the trace set across recorders) never
+    /// changes the result.
+    ///
+    /// # Panics
+    /// Panics on a vertex-count mismatch.
+    pub fn merge(&mut self, other: &TraceAggregate) {
+        assert_eq!(self.n, other.n, "aggregates cover different graphs");
+        self.routes += other.routes;
+        for (a, b) in self.visits.iter_mut().zip(&other.visits) {
+            *a += b;
+        }
+        for (a, b) in self.terminals.iter_mut().zip(&other.terminals) {
+            *a += b;
+        }
+        for (k, v) in &other.pairs {
+            let stat = self.pairs.entry(*k).or_default();
+            stat.count += v.count;
+            stat.saved += v.saved;
+        }
+    }
+
+    /// Byte-stable text export: header, one line per vertex with nonzero
+    /// counts (ascending id), one line per pair (ascending `(src, dst)`).
+    /// Equal aggregates dump equal bytes regardless of absorb order.
+    pub fn dump(&self) -> String {
+        let mut out = format!("trace-agg v1 n={} routes={}\n", self.n, self.routes);
+        for v in 0..self.n {
+            let (vis, term) = (self.visits[v], self.terminals[v]);
+            if vis != 0 || term != 0 {
+                out.push_str(&format!("v {v} {vis} {term}\n"));
+            }
+        }
+        for (&(src, dst), stat) in &self.pairs {
+            out.push_str(&format!("p {src} {dst} {} {}\n", stat.count, stat.saved));
+        }
+        out
+    }
+
+    /// Parses a [`TraceAggregate::dump`] export back.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty aggregate dump")?;
+        let rest = header
+            .strip_prefix("trace-agg v1 n=")
+            .ok_or_else(|| format!("bad header: {header}"))?;
+        let (n_str, routes_str) = rest
+            .split_once(" routes=")
+            .ok_or_else(|| format!("bad header: {header}"))?;
+        let n: usize = n_str.parse().map_err(|e| format!("bad n: {e}"))?;
+        let mut agg = TraceAggregate::new(n);
+        agg.routes = routes_str.parse().map_err(|e| format!("bad routes: {e}"))?;
+        for line in lines {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["v", id, vis, term] => {
+                    let id: usize = id.parse().map_err(|e| format!("bad vertex: {e}"))?;
+                    if id >= n {
+                        return Err(format!("vertex {id} out of range (n={n})"));
+                    }
+                    agg.visits[id] = vis.parse().map_err(|e| format!("bad visits: {e}"))?;
+                    agg.terminals[id] = term.parse().map_err(|e| format!("bad terminals: {e}"))?;
+                }
+                ["p", src, dst, count, saved] => {
+                    let src: u32 = src.parse().map_err(|e| format!("bad src: {e}"))?;
+                    let dst: u32 = dst.parse().map_err(|e| format!("bad dst: {e}"))?;
+                    if src as usize >= n || dst as usize >= n {
+                        return Err(format!("pair ({src}, {dst}) out of range (n={n})"));
+                    }
+                    agg.pairs.insert(
+                        (src, dst),
+                        PairStat {
+                            count: count.parse().map_err(|e| format!("bad count: {e}"))?,
+                            saved: saved.parse().map_err(|e| format!("bad saved: {e}"))?,
+                        },
+                    );
+                }
+                _ => return Err(format!("bad aggregate line: {line}")),
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Heap bytes of the aggregate (the "compact" claim, measurable).
+    pub fn memory_bytes(&self) -> usize {
+        self.visits.len() * 8
+            + self.terminals.len() * 8
+            + self.pairs.len()
+                * (std::mem::size_of::<(u32, u32)>() + std::mem::size_of::<PairStat>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::RouteTracer;
+
+    fn route(tracer: &mut RecordingTracer, hops: &[(u32, f32)]) {
+        tracer.clear();
+        tracer.on_seed(hops[0].0, hops[0].1);
+        for &(v, d) in hops {
+            tracer.on_hop(v, d, 1, 1);
+        }
+    }
+
+    #[test]
+    fn absorb_counts_visits_terminals_and_pairs() {
+        let mut t = RecordingTracer::new();
+        let mut agg = TraceAggregate::new(8);
+        // Convergence at hop 3 (vertex 6); detour pairs (1,6) gap 3 and
+        // (2,6) gap 2; (5,6) gap 1 is below MIN_RECORD_GAP.
+        route(&mut t, &[(1, 9.0), (2, 7.0), (5, 8.0), (6, 1.0), (7, 2.0)]);
+        agg.absorb(&t);
+        assert_eq!(agg.routes(), 1);
+        assert_eq!(agg.visits()[1], 1);
+        assert_eq!(agg.visits()[6], 1);
+        assert_eq!(agg.terminals()[6], 1);
+        assert_eq!(agg.terminals()[7], 0);
+        let pairs: Vec<_> = agg.pairs().map(|(k, s)| (*k, *s)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ((1, 6), PairStat { count: 1, saved: 2 }),
+                ((2, 6), PairStat { count: 1, saved: 1 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_and_absorb_order_are_invisible() {
+        let mut t = RecordingTracer::new();
+        let routes: Vec<Vec<(u32, f32)>> = vec![
+            vec![(0, 5.0), (1, 4.0), (2, 3.0), (3, 0.5)],
+            vec![(4, 6.0), (1, 4.5), (2, 3.5), (3, 0.25)],
+            vec![(0, 5.0), (2, 2.0), (3, 1.0), (1, 0.125)],
+        ];
+        let mut fwd = TraceAggregate::new(5);
+        for r in &routes {
+            route(&mut t, r);
+            fwd.absorb(&t);
+        }
+        let mut rev = TraceAggregate::new(5);
+        for r in routes.iter().rev() {
+            route(&mut t, r);
+            rev.absorb(&t);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.dump(), rev.dump());
+        // Partitioned recorders merged in either order give the same
+        // aggregate.
+        let mut a = TraceAggregate::new(5);
+        let mut b = TraceAggregate::new(5);
+        route(&mut t, &routes[0]);
+        a.absorb(&t);
+        for r in &routes[1..] {
+            route(&mut t, r);
+            b.absorb(&t);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, fwd);
+    }
+
+    #[test]
+    fn dump_parse_roundtrip() {
+        let mut t = RecordingTracer::new();
+        let mut agg = TraceAggregate::new(6);
+        route(&mut t, &[(0, 5.0), (4, 4.0), (2, 3.0), (5, 0.5)]);
+        agg.absorb(&t);
+        route(&mut t, &[(1, 5.0), (4, 4.0), (2, 3.0), (5, 0.75)]);
+        agg.absorb(&t);
+        let text = agg.dump();
+        let back = TraceAggregate::parse(&text).unwrap();
+        assert_eq!(back, agg);
+        assert_eq!(back.dump(), text);
+        assert!(TraceAggregate::parse("garbage").is_err());
+        assert!(TraceAggregate::parse("trace-agg v1 n=2 routes=0\nv 7 1 0\n").is_err());
+        assert!(agg.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_routes_count_but_add_nothing() {
+        let t = RecordingTracer::new();
+        let mut agg = TraceAggregate::new(3);
+        agg.absorb(&t);
+        assert_eq!(agg.routes(), 1);
+        assert!(agg.visits().iter().all(|&v| v == 0));
+        assert_eq!(agg.num_pairs(), 0);
+    }
+}

@@ -11,17 +11,22 @@
 //! - [`RouteTracer`] / [`NoopTracer`] / [`RecordingTracer`]: per-hop
 //!   route capture threaded through every routing strategy as a
 //!   monomorphized generic, free when off;
+//! - [`TraceAggregate`]: the compact, order-invariant fold of a trace
+//!   set (visit/terminal counts + hop-pair stats) that feeds the
+//!   [`crate::adapt`] mining pass without retaining event streams;
 //! - [`BuildProfile`] + [`span`]/[`profile_build`]: per-component
 //!   construction spans for all builders;
 //! - [`expose`]: Prometheus text + JSON exposition renderers behind
 //!   [`crate::serve::QueryEngine`]'s metrics surface.
 
+pub mod aggregate;
 pub mod counter;
 pub mod expose;
 pub mod histogram;
 pub mod profile;
 pub mod tracer;
 
+pub use aggregate::{PairStat, TraceAggregate};
 pub use counter::ShardedCounter;
 pub use histogram::Histogram;
 pub use profile::{add_span_ndc, profile_build, span, BuildProfile, BuildSpan};

@@ -97,6 +97,27 @@ impl RecordingTracer {
         self.hops
     }
 
+    /// 0-based index of the first hop that improved on the best seed
+    /// distance, or `None` when no expansion beat the seeds (or nothing
+    /// was recorded). This is the "entry-to-first-improvement" length:
+    /// how many expansions the router spends escaping the entry region
+    /// before it starts making progress — the quantity hub-aware entry
+    /// refresh tries to shrink.
+    pub fn first_improvement_hop(&self) -> Option<u32> {
+        let mut best_seed = f32::INFINITY;
+        for e in &self.events {
+            match *e {
+                RouteEvent::Seed { dist, .. } => best_seed = best_seed.min(dist),
+                RouteEvent::Hop { hop, dist, .. } => {
+                    if dist < best_seed {
+                        return Some(hop);
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Byte-stable text dump of the route: one line per event, distances
     /// printed as raw f32 bits (hex) alongside the decimal rendering so
     /// the dump is identical across runs, thread counts, and platforms
@@ -180,6 +201,21 @@ mod tests {
         t.clear();
         assert!(t.events.is_empty());
         assert_eq!(t.hops(), 0);
+    }
+
+    #[test]
+    fn first_improvement_ignores_non_improving_hops() {
+        let mut t = RecordingTracer::new();
+        assert_eq!(t.first_improvement_hop(), None);
+        t.on_seed(0, 2.0);
+        t.on_seed(1, 1.0);
+        t.on_hop(2, 1.5, 1, 1); // better than one seed, worse than best
+        t.on_hop(3, 0.5, 2, 1);
+        assert_eq!(t.first_improvement_hop(), Some(1));
+        t.clear();
+        t.on_seed(0, 1.0);
+        t.on_hop(0, 1.0, 1, 1); // equal is not an improvement
+        assert_eq!(t.first_improvement_hop(), None);
     }
 
     #[test]

@@ -18,16 +18,21 @@
 //!   in the original space.
 //! - [`fused`]: the cache-line-aligned fused node arena (degree +
 //!   neighbors + vector in one block).
+//! - [`overlay`]: the catapult overlay segment — budget-bounded shortcut
+//!   edges kept apart from the base graph and merged into a combined
+//!   routing graph, so trace-driven adaptation never mutates base bytes.
 
 pub mod adjacency;
 pub mod base;
 pub mod connectivity;
 pub mod fused;
 pub mod metrics;
+pub mod overlay;
 pub mod reorder;
 pub mod unionfind;
 
 pub use adjacency::{BuildGraph, CsrGraph};
 pub use fused::FusedArena;
+pub use overlay::{merge_overlay, strip_overlay, GraphOverlay, OverlayError};
 pub use reorder::{bfs_order, Permutation};
 pub use unionfind::UnionFind;

@@ -1,0 +1,254 @@
+//! The catapult overlay segment: trace-mined shortcut edges kept *apart*
+//! from the base graph.
+//!
+//! Adaptation (the `core::adapt` pass) must not disturb the base graph —
+//! caller-visible ids, persisted base bytes, and the replayability of
+//! pre-adaptation traces all depend on it staying untouched. So shortcut
+//! edges live in their own segment:
+//!
+//! - [`GraphOverlay`] is the bounded build-time container: per-vertex
+//!   extra-degree budget enforced with a typed [`OverlayError`] on every
+//!   insertion, duplicates and self-loops rejected.
+//! - A frozen overlay is just another [`CsrGraph`] over the same vertex
+//!   set; [`merge_overlay`] materializes the combined routing graph
+//!   (base edges first, overlay edges appended per vertex) so every
+//!   router traverses base+overlay transparently through the ordinary
+//!   [`crate::adjacency::GraphView`] — no hot-path branching.
+//! - [`strip_overlay`] inverts the merge exactly (overlay edges are the
+//!   per-vertex suffix), which is how persistence recovers the base
+//!   segment without storing the adjacency twice.
+
+use crate::adjacency::CsrGraph;
+
+/// A typed overlay-insertion failure. The degree budget is the contract
+/// the adaptation pass advertises ("at most `budget` extra edges per
+/// vertex"); violating it is an error callers must see, not a silent
+/// clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlayError {
+    /// Inserting would push `vertex` past the per-vertex budget.
+    DegreeBudget {
+        /// The saturated source vertex.
+        vertex: u32,
+        /// The configured per-vertex extra-degree budget.
+        budget: usize,
+    },
+    /// An endpoint is not a vertex of the graph.
+    OutOfRange {
+        /// The offending id.
+        vertex: u32,
+        /// Number of vertices.
+        n: usize,
+    },
+    /// A shortcut from a vertex to itself.
+    SelfLoop {
+        /// The vertex.
+        vertex: u32,
+    },
+    /// The overlay already holds this edge.
+    Duplicate {
+        /// Source vertex.
+        src: u32,
+        /// Target vertex.
+        dst: u32,
+    },
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::DegreeBudget { vertex, budget } => write!(
+                f,
+                "vertex {vertex} is at its extra-degree budget ({budget})"
+            ),
+            OverlayError::OutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (n={n})")
+            }
+            OverlayError::SelfLoop { vertex } => {
+                write!(f, "self-loop shortcut at vertex {vertex}")
+            }
+            OverlayError::Duplicate { src, dst } => {
+                write!(f, "duplicate overlay edge {src} -> {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// Build-time container for shortcut edges with a per-vertex extra-degree
+/// budget. Freeze into a [`CsrGraph`] overlay segment when mining is done.
+#[derive(Debug, Clone)]
+pub struct GraphOverlay {
+    lists: Vec<Vec<u32>>,
+    budget: usize,
+    edges: usize,
+}
+
+impl GraphOverlay {
+    /// An empty overlay over `n` vertices with `budget` extra edges
+    /// allowed per vertex.
+    pub fn new(n: usize, budget: usize) -> Self {
+        GraphOverlay {
+            lists: vec![Vec::new(); n],
+            budget,
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when the overlay covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The per-vertex extra-degree budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Shortcut edges inserted so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Extra out-degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.lists[v as usize].len()
+    }
+
+    /// Inserts the shortcut `src -> dst`, enforcing range, no self-loop,
+    /// no duplicate, and the per-vertex budget — each violation is a
+    /// distinct [`OverlayError`].
+    pub fn try_add(&mut self, src: u32, dst: u32) -> Result<(), OverlayError> {
+        let n = self.lists.len();
+        for v in [src, dst] {
+            if v as usize >= n {
+                return Err(OverlayError::OutOfRange { vertex: v, n });
+            }
+        }
+        if src == dst {
+            return Err(OverlayError::SelfLoop { vertex: src });
+        }
+        let list = &mut self.lists[src as usize];
+        if list.contains(&dst) {
+            return Err(OverlayError::Duplicate { src, dst });
+        }
+        if list.len() >= self.budget {
+            return Err(OverlayError::DegreeBudget {
+                vertex: src,
+                budget: self.budget,
+            });
+        }
+        list.push(dst);
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Freezes the overlay into its own CSR segment (same vertex count as
+    /// the base graph, only the shortcut edges).
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_lists(&self.lists)
+    }
+}
+
+/// Materializes the combined routing graph: for every vertex, base edges
+/// in base order followed by overlay edges in overlay order. Routers then
+/// traverse base+overlay through the ordinary adjacency interface.
+///
+/// # Panics
+/// Panics when the two segments disagree on the vertex count.
+pub fn merge_overlay(base: &CsrGraph, overlay: &CsrGraph) -> CsrGraph {
+    assert_eq!(
+        base.len(),
+        overlay.len(),
+        "base and overlay must cover the same vertices"
+    );
+    let lists: Vec<Vec<u32>> = (0..base.len() as u32)
+        .map(|v| {
+            let b = base.neighbors(v);
+            let o = overlay.neighbors(v);
+            let mut l = Vec::with_capacity(b.len() + o.len());
+            l.extend_from_slice(b);
+            l.extend_from_slice(o);
+            l
+        })
+        .collect();
+    CsrGraph::from_lists(&lists)
+}
+
+/// Recovers the base segment from a [`merge_overlay`] product: overlay
+/// edges are the per-vertex suffix, so stripping `overlay.degree(v)`
+/// trailing edges from each combined list is an exact inverse.
+///
+/// # Panics
+/// Panics when the segments disagree on vertex count or a combined list
+/// is shorter than its overlay list (i.e. `combined` was not produced by
+/// merging this overlay).
+pub fn strip_overlay(combined: &CsrGraph, overlay: &CsrGraph) -> CsrGraph {
+    assert_eq!(combined.len(), overlay.len());
+    let lists: Vec<&[u32]> = (0..combined.len() as u32)
+        .map(|v| {
+            let c = combined.neighbors(v);
+            let extra = overlay.degree(v);
+            assert!(
+                c.len() >= extra,
+                "combined degree {} < overlay degree {extra} at vertex {v}",
+                c.len()
+            );
+            &c[..c.len() - extra]
+        })
+        .collect();
+    CsrGraph::from_lists(&lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_and_validity_violations_are_typed() {
+        let mut o = GraphOverlay::new(4, 2);
+        o.try_add(0, 1).unwrap();
+        o.try_add(0, 2).unwrap();
+        assert_eq!(
+            o.try_add(0, 3),
+            Err(OverlayError::DegreeBudget {
+                vertex: 0,
+                budget: 2
+            })
+        );
+        assert_eq!(o.try_add(1, 1), Err(OverlayError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            o.try_add(1, 9),
+            Err(OverlayError::OutOfRange { vertex: 9, n: 4 })
+        );
+        o.try_add(1, 2).unwrap();
+        assert_eq!(
+            o.try_add(1, 2),
+            Err(OverlayError::Duplicate { src: 1, dst: 2 })
+        );
+        assert_eq!(o.num_edges(), 3);
+        assert_eq!(o.degree(0), 2);
+    }
+
+    #[test]
+    fn merge_appends_and_strip_inverts() {
+        let base = CsrGraph::from_lists(&[vec![1, 2], vec![0], vec![]]);
+        let mut o = GraphOverlay::new(3, 2);
+        o.try_add(0, 2).unwrap(); // duplicate of a *base* edge is allowed at
+        o.try_add(2, 0).unwrap(); // this layer; the miner filters those.
+        let overlay = o.freeze();
+        let combined = merge_overlay(&base, &overlay);
+        assert_eq!(combined.neighbors(0), &[1, 2, 2]);
+        assert_eq!(combined.neighbors(1), &[0]);
+        assert_eq!(combined.neighbors(2), &[0]);
+        assert_eq!(combined.num_edges(), base.num_edges() + overlay.num_edges());
+        let back = strip_overlay(&combined, &overlay);
+        assert_eq!(back, base);
+    }
+}
