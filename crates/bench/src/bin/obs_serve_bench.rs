@@ -1,0 +1,251 @@
+//! Serving-tier observability bench — flight-recorder overhead and
+//! online recall-auditor fidelity; splices `flight`/`audit` blocks into
+//! the `BENCH_obs.json` artifact.
+//!
+//! Two gates, both hard-failing under `--smoke`:
+//!
+//! - **flight sampling overhead**: the recorded batch path
+//!   ([`QueryEngine::search_batch_flights`] at the default 1-in-64
+//!   sampling) must stay within 5% QPS of the recorder-off path,
+//!   measured interleaved best-of-5 like `obs_bench`;
+//! - **audit fidelity**: on a seeded [`ZipfWorkload`], the auditor's
+//!   95% Wilson interval must cover the exact offline recall of the
+//!   full query set.
+
+use std::time::Instant;
+use weavess_bench::report::{banner, f, Table};
+use weavess_bench::workload::ZipfWorkload;
+use weavess_core::audit::{AuditConfig, RecallAuditor, SloEngine, SloPolicy};
+use weavess_core::components::SeedStrategy;
+use weavess_core::index::FlatIndex;
+use weavess_core::search::Router;
+use weavess_core::serve::{EngineOptions, QueryEngine};
+use weavess_core::telemetry::flight::parse_json;
+use weavess_core::telemetry::{query_fingerprint, FlightOptions, FlightRecorder};
+use weavess_data::ground_truth::ground_truth;
+use weavess_graph::base::exact_knng;
+
+const K: usize = 10;
+const BEAM: usize = 64;
+const TRIALS: usize = 5;
+
+/// One timed trial (~0.3s of repeated full passes), as in `obs_bench`:
+/// callers interleave competing entry points round-robin so clock drift
+/// and background load bias neither.
+fn qps_trial<F: FnMut()>(nq: usize, pass: &mut F) -> f64 {
+    let mut queries = 0usize;
+    let t0 = Instant::now();
+    loop {
+        pass();
+        queries += nq;
+        if t0.elapsed().as_secs_f64() > 0.3 {
+            break;
+        }
+    }
+    queries as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Splices the `flight`/`audit` blocks into an existing `BENCH_obs.json`
+/// (idempotently replacing any previous splice), or writes a standalone
+/// artifact when `obs_bench` has not run yet.
+fn splice_artifact(flight_block: &str, audit_block: &str) {
+    let addition = format!(",\n  \"flight\": {flight_block},\n  \"audit\": {audit_block}\n}}\n");
+    let merged = match std::fs::read_to_string("BENCH_obs.json") {
+        Ok(existing) => {
+            let head = match existing.find(",\n  \"flight\"") {
+                Some(pos) => &existing[..pos],
+                None => existing.trim_end().trim_end_matches('}').trim_end(),
+            };
+            format!("{head}{addition}")
+        }
+        Err(_) => format!(
+            "{{\n  \"bench\": \"obs\",\n  \"note\": \"obs_serve_bench ran standalone\"{addition}"
+        ),
+    };
+    std::fs::write("BENCH_obs.json", &merged).expect("write BENCH_obs.json");
+    println!("\nspliced flight/audit blocks into BENCH_obs.json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (n, dim, nq) = if smoke {
+        (2_000, 16, 300)
+    } else {
+        (20_000, 32, 600)
+    };
+    let mode = if cfg!(feature = "paper-fidelity") {
+        "paper-fidelity"
+    } else {
+        "default"
+    };
+    banner(&format!(
+        "Serving observability bench (mode={mode}, n={n}, dim={dim}, nq={nq}, beam={BEAM}, host cores={host})"
+    ));
+
+    let workload = ZipfWorkload::new(n, dim, 8, 1.2, nq, 42);
+    let (base, queries) = workload.generate();
+    let idx = FlatIndex {
+        name: "obs-serve",
+        graph: exact_knng(&base, 10, host),
+        // Random seeds reach every cluster; the engine reseeds its RNG
+        // per query fingerprint, so results stay deterministic.
+        seeds: SeedStrategy::Random { count: 8 },
+        router: Router::BestFirst,
+    };
+    let engine = QueryEngine::with_options(
+        &idx,
+        &base,
+        EngineOptions {
+            workers: host.min(4),
+            ..EngineOptions::default()
+        },
+    );
+
+    // --- Flight overhead: recorder-off vs recorder-on (default 1-in-64
+    // sampling), interleaved best-of-5, identical results asserted. ---
+    let recorder = FlightRecorder::new(FlightOptions::default());
+    let off = engine.search_batch(&queries, K, BEAM);
+    let on = engine.search_batch_flights(&queries, K, BEAM, &recorder);
+    assert_eq!(
+        off.results, on.results,
+        "recorded path changed search results"
+    );
+    let mut pass_off = || {
+        std::hint::black_box(engine.search_batch(&queries, K, BEAM));
+    };
+    let mut pass_on = || {
+        std::hint::black_box(engine.search_batch_flights(&queries, K, BEAM, &recorder));
+    };
+    pass_off();
+    pass_on();
+    let (mut qps_off, mut qps_on) = (0.0f64, 0.0f64);
+    for _ in 0..TRIALS {
+        qps_off = qps_off.max(qps_trial(nq, &mut pass_off));
+        qps_on = qps_on.max(qps_trial(nq, &mut pass_on));
+    }
+    let overhead_pct = (1.0 - qps_on / qps_off) * 100.0;
+    let mut t = Table::new(vec!["batch entry point", "QPS", "overhead"]);
+    t.row(vec![
+        "search_batch (recorder off)".into(),
+        f(qps_off, 0),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "search_batch_flights (1-in-64)".into(),
+        f(qps_on, 0),
+        format!("{overhead_pct:.2}%"),
+    ]);
+    banner("Flight-recorder overhead (best-of-5, interleaved)");
+    t.print();
+
+    // The export surfaces stay well-formed under real traffic.
+    parse_json(&recorder.chrome_trace_json()).expect("chrome trace must be valid JSON");
+    let stable_flights = recorder
+        .dump_stable()
+        .lines()
+        .filter(|l| l.starts_with("flight "))
+        .count();
+
+    // --- Audit fidelity: live estimate vs exact offline recall. ---
+    let auditor = RecallAuditor::new(
+        &base,
+        AuditConfig {
+            sample_every: if smoke { 2 } else { 4 },
+            k: K,
+            ..AuditConfig::default()
+        },
+    );
+    for qi in 0..queries.len() as u32 {
+        let fp = query_fingerprint(queries.point(qi));
+        auditor.observe(fp, queries.point(qi), &off.results[qi as usize], false);
+    }
+    let mut ticks = 0usize;
+    while auditor.run_pending() > 0 {
+        ticks += 1;
+    }
+    let audit = auditor.snapshot();
+
+    let truth = ground_truth(&base, &queries, K, host);
+    let mut hits = 0u64;
+    let mut trials = 0u64;
+    for (qi, exact) in truth.iter().enumerate() {
+        trials += exact.len() as u64;
+        hits += off.results[qi]
+            .iter()
+            .take(exact.len())
+            .filter(|nb| exact.contains(&nb.id))
+            .count() as u64;
+    }
+    let offline = hits as f64 / trials as f64;
+    let ci_covers = audit.ci_low <= offline && offline <= audit.ci_high;
+
+    let mut slo = SloEngine::new(SloPolicy::default());
+    let slo_report = slo.evaluate(&engine.snapshot().latency, &audit);
+
+    let mut a = Table::new(vec!["quantity", "value"]);
+    a.row(vec![
+        "audited / sampled".into(),
+        format!("{} / {}", audit.audited_total, audit.sampled_total),
+    ]);
+    a.row(vec![
+        "live recall (95% CI)".into(),
+        format!(
+            "{:.4} [{:.4}, {:.4}]",
+            audit.recall, audit.ci_low, audit.ci_high
+        ),
+    ]);
+    a.row(vec!["exact offline recall".into(), format!("{offline:.4}")]);
+    a.row(vec!["CI covers offline".into(), ci_covers.to_string()]);
+    a.row(vec![
+        "SLO states (latency/recall)".into(),
+        format!(
+            "{}/{}",
+            slo_report.latency_state.name(),
+            slo_report.recall_state.name()
+        ),
+    ]);
+    banner("Online recall audit vs exact offline recall");
+    a.print();
+
+    let flight_block = format!(
+        "{{\"sampled\": {}, \"recorded\": {}, \"stable_flights\": {stable_flights}, \
+         \"qps_off\": {qps_off:.1}, \"qps_on\": {qps_on:.1}, \
+         \"overhead_pct\": {overhead_pct:.3}}}",
+        recorder.sampled_total(),
+        recorder.recorded_total(),
+    );
+    let audit_block = format!(
+        "{{\"sampled\": {}, \"audited\": {}, \"ticks\": {ticks}, \
+         \"recall\": {:.6}, \"ci\": [{:.6}, {:.6}], \"offline_recall\": {offline:.6}, \
+         \"ci_covers_offline\": {ci_covers}, \"slo\": {}}}",
+        audit.sampled_total,
+        audit.audited_total,
+        audit.recall,
+        audit.ci_low,
+        audit.ci_high,
+        slo_report.to_json(),
+    );
+    splice_artifact(&flight_block, &audit_block);
+
+    if smoke {
+        if overhead_pct > 5.0 {
+            eprintln!(
+                "FAIL: flight sampling overhead {overhead_pct:.2}% exceeds the 5% smoke budget"
+            );
+            std::process::exit(1);
+        }
+        if !ci_covers {
+            eprintln!(
+                "FAIL: audited recall CI [{:.4}, {:.4}] does not cover exact offline recall {offline:.4}",
+                audit.ci_low, audit.ci_high
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "flight overhead {overhead_pct:.2}% (smoke budget 5%); audit CI covers offline: {ci_covers}"
+    );
+}

@@ -177,9 +177,11 @@ fn open_loop_run(
     SweepPoint {
         offered_qps,
         achieved_qps: n_arrivals as f64 / wall.as_secs_f64().max(1e-12),
-        p50_us: latency.percentile(50.0) as f64 / 1_000.0,
-        p95_us: latency.percentile(95.0) as f64 / 1_000.0,
-        p99_us: latency.percentile(99.0) as f64 / 1_000.0,
+        // `percentile` takes p in [0, 1]; the previous 50.0/95.0/99.0
+        // clamped to 1.0 and silently reported the max three times over.
+        p50_us: latency.percentile(0.50) as f64 / 1_000.0,
+        p95_us: latency.percentile(0.95) as f64 / 1_000.0,
+        p99_us: latency.percentile(0.99) as f64 / 1_000.0,
         queries: queries_run,
         batches,
         mean_batch: queries_run as f64 / (batches as f64).max(1.0),

@@ -97,6 +97,22 @@ impl Default for AdaptParams {
     }
 }
 
+impl AdaptParams {
+    /// Disables the `max_reach` median-distance gate (sets it to
+    /// infinity), admitting arbitrarily long "wormhole" shortcuts.
+    ///
+    /// This is the documented *degradation-inducing* configuration: the
+    /// gate exists precisely because ungated catapults drag searches
+    /// toward hot clusters and hurt cold-cluster recall. The online
+    /// recall auditor's tests use it to manufacture a real quality
+    /// regression (the recall SLO must flip to breach while the latency
+    /// SLO stays ok); production configurations should never ship it.
+    pub fn ungated(mut self) -> Self {
+        self.max_reach = f64::INFINITY;
+        self
+    }
+}
+
 /// A typed adaptation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdaptError {

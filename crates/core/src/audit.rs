@@ -1,0 +1,811 @@
+//! Online recall auditing and quality SLOs for the serving tier.
+//!
+//! The survey's central claim is that a graph index must be judged on
+//! the *joint* speed-vs-accuracy frontier (§5: Recall@k vs QPS/NDC) —
+//! yet a serving fleet observes only the speed half unless something
+//! re-answers live traffic exactly. This module closes that loop:
+//!
+//! - [`RecallAuditor`]: a shadow audit path that deterministically
+//!   samples served queries (the decision is a pure function of the
+//!   audit seed and the query bytes — the same replayable rule the
+//!   flight recorder uses), re-answers them by exact brute-force scan
+//!   ([`knn_scan`], block-batched `dist_to_many` under the hood) on a
+//!   budgeted background cadence, and maintains a rolling live
+//!   `Recall@k` estimate with Wilson confidence intervals, per-shard
+//!   miss attribution, and an overlay-vs-base cohort split (whether the
+//!   served index carried [`AnnIndex::overlay_edges`] at observe time);
+//! - [`SloEngine`]: rolling-window burn rates over both latency and
+//!   recall, with [`SloState`] (`ok`/`warn`/`breach`) thresholds — the
+//!   latency window is the bucket-wise delta between cumulative
+//!   [`Histogram`] snapshots, so no extra storage rides the hot path.
+//!
+//! Everything renders onto the existing Prometheus/JSON exposition via
+//! [`AuditSnapshot::to_prometheus`] / [`SloReport::to_prometheus`] and
+//! the optional blocks on [`FleetReport`](crate::shard::FleetReport).
+//!
+//! [`AnnIndex::overlay_edges`]: crate::index::AnnIndex::overlay_edges
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use weavess_data::ground_truth::knn_scan;
+use weavess_data::{Dataset, Neighbor};
+
+use crate::telemetry::flight::splitmix64;
+use crate::telemetry::histogram::{bucket_lower_bound, bucket_upper_bound, BUCKETS};
+use crate::telemetry::Histogram;
+
+/// Wilson score interval for a binomial proportion: the `z`-score
+/// confidence interval on `successes / trials` that stays inside
+/// `[0, 1]` and behaves sanely at small counts (unlike the normal
+/// approximation). Returns `(0, 1)` for zero trials. `z = 1.96` gives
+/// the conventional 95% interval.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - margin) / denom).max(0.0),
+        ((center + margin) / denom).min(1.0),
+    )
+}
+
+/// Tuning knobs for a [`RecallAuditor`].
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Audit 1 in this many served queries (0 disables sampling).
+    pub sample_every: u64,
+    /// Sampling seed; the audited set is a pure function of
+    /// `(seed, query bytes)` — replayable and independent of workers,
+    /// shards, and time.
+    pub seed: u64,
+    /// Neighbors audited per query (`Recall@k`'s k).
+    pub k: usize,
+    /// Rolling window: audited queries contributing to the live
+    /// estimate (older outcomes age out).
+    pub window: usize,
+    /// Exact scans per [`RecallAuditor::run_pending`] call — the budget
+    /// that keeps the background cadence from starving serving.
+    pub budget_per_tick: usize,
+    /// Sampled queries held while awaiting their exact scan; beyond
+    /// this the oldest is dropped (and counted).
+    pub max_pending: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            sample_every: 16,
+            seed: 0xA0D17,
+            k: 10,
+            window: 256,
+            budget_per_tick: 8,
+            max_pending: 1024,
+        }
+    }
+}
+
+/// A sampled served query awaiting its exact re-answer.
+struct PendingAudit {
+    query: Vec<f32>,
+    served: Vec<u32>,
+    overlay: bool,
+}
+
+/// One audited query's outcome in the rolling window.
+struct AuditOutcome {
+    hits: u64,
+    trials: u64,
+}
+
+#[derive(Default)]
+struct AuditorInner {
+    pending: VecDeque<PendingAudit>,
+    window: VecDeque<AuditOutcome>,
+    window_hits: u64,
+    window_trials: u64,
+    audited_total: u64,
+    sampled_total: u64,
+    dropped_total: u64,
+    hits_total: u64,
+    trials_total: u64,
+    /// (hits, trials) per shard, attributed by ground-truth ownership.
+    per_shard: Vec<(u64, u64)>,
+    /// (hits, trials) for [base, overlay] cohorts.
+    cohort: [(u64, u64); 2],
+}
+
+/// The online recall auditor: observe served queries, exact-scan a
+/// deterministic sample on a budget, expose a rolling live `Recall@k`.
+pub struct RecallAuditor<'a> {
+    base: &'a Dataset,
+    cfg: AuditConfig,
+    /// Global id → shard, when serving is sharded: lets a miss be
+    /// attributed to the shard that *owned* the missed true neighbor.
+    shard_of: Option<Vec<u32>>,
+    num_shards: usize,
+    inner: Mutex<AuditorInner>,
+}
+
+impl<'a> RecallAuditor<'a> {
+    /// An auditor re-answering against `base` (the dataset the serving
+    /// tier indexes — global id space).
+    pub fn new(base: &'a Dataset, cfg: AuditConfig) -> Self {
+        assert!(cfg.k > 0, "audit k must be positive");
+        assert!(cfg.window > 0, "audit window must be positive");
+        RecallAuditor {
+            base,
+            cfg,
+            shard_of: None,
+            num_shards: 0,
+            inner: Mutex::new(AuditorInner::default()),
+        }
+    }
+
+    /// Attaches a global-id → shard map (e.g. derived from
+    /// [`ShardSet::shards`](crate::shard::ShardSet::shards)' global id
+    /// lists) enabling per-shard miss attribution: each ground-truth
+    /// neighbor is a trial for the shard owning it.
+    pub fn with_shard_map(mut self, shard_of: Vec<u32>, num_shards: usize) -> Self {
+        assert_eq!(shard_of.len(), self.base.len(), "map must cover the base");
+        self.shard_of = Some(shard_of);
+        self.num_shards = num_shards;
+        self.inner.lock().per_shard = vec![(0, 0); num_shards];
+        self
+    }
+
+    /// The auditor's knobs.
+    pub fn config(&self) -> &AuditConfig {
+        &self.cfg
+    }
+
+    /// The deterministic sampling decision: pure function of
+    /// `(self.cfg.seed, fingerprint)` — the identical mechanism (and
+    /// therefore the identical replayability contract) as
+    /// [`FlightRecorder::is_sampled`](crate::telemetry::FlightRecorder::is_sampled).
+    #[inline]
+    pub fn should_audit(&self, fingerprint: u64) -> bool {
+        self.cfg.sample_every > 0
+            && splitmix64(self.cfg.seed ^ fingerprint).is_multiple_of(self.cfg.sample_every)
+    }
+
+    /// Offers one served query to the auditor. When the query's
+    /// fingerprint is sampled, the query and its served ids are queued
+    /// for exact re-answer; `overlay` tags which cohort the outcome
+    /// lands in (`true` when the served index carried overlay edges —
+    /// i.e. `index.overlay_edges() > 0` at serve time). Returns whether
+    /// the query was enqueued.
+    pub fn observe(
+        &self,
+        fingerprint: u64,
+        query: &[f32],
+        served: &[Neighbor],
+        overlay: bool,
+    ) -> bool {
+        if !self.should_audit(fingerprint) {
+            return false;
+        }
+        let mut g = self.inner.lock();
+        g.sampled_total += 1;
+        if g.pending.len() >= self.cfg.max_pending {
+            g.pending.pop_front();
+            g.dropped_total += 1;
+        }
+        g.pending.push_back(PendingAudit {
+            query: query.to_vec(),
+            served: served.iter().map(|n| n.id).collect(),
+            overlay,
+        });
+        true
+    }
+
+    /// Runs up to [`AuditConfig::budget_per_tick`] exact scans off the
+    /// pending queue — the budgeted background cadence. Returns how many
+    /// audits ran. Scans execute outside the lock, so serving threads
+    /// calling [`observe`](Self::observe) are never blocked on a scan.
+    pub fn run_pending(&self) -> usize {
+        let mut ran = 0;
+        while ran < self.cfg.budget_per_tick {
+            let Some(job) = self.inner.lock().pending.pop_front() else {
+                break;
+            };
+            let exact = knn_scan(self.base, &job.query, self.cfg.k, None);
+            self.apply(&job, &exact);
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Folds one finished audit into the rolling window and cumulative
+    /// attribution.
+    fn apply(&self, job: &PendingAudit, exact: &[Neighbor]) {
+        let trials = exact.len() as u64;
+        let hits = job
+            .served
+            .iter()
+            .take(exact.len())
+            .filter(|id| exact.iter().any(|e| e.id == **id))
+            .count() as u64;
+        let mut g = self.inner.lock();
+        g.audited_total += 1;
+        g.hits_total += hits;
+        g.trials_total += trials;
+        g.window_hits += hits;
+        g.window_trials += trials;
+        g.window.push_back(AuditOutcome { hits, trials });
+        while g.window.len() > self.cfg.window {
+            let old = g.window.pop_front().unwrap();
+            g.window_hits -= old.hits;
+            g.window_trials -= old.trials;
+        }
+        let cohort = job.overlay as usize;
+        g.cohort[cohort].0 += hits;
+        g.cohort[cohort].1 += trials;
+        if let Some(shard_of) = &self.shard_of {
+            for e in exact {
+                let s = shard_of[e.id as usize] as usize;
+                let hit = job.served.iter().take(exact.len()).any(|id| *id == e.id);
+                g.per_shard[s].0 += hit as u64;
+                g.per_shard[s].1 += 1;
+            }
+        }
+    }
+
+    /// A point-in-time copy of the audit state.
+    pub fn snapshot(&self) -> AuditSnapshot {
+        let g = self.inner.lock();
+        let (ci_low, ci_high) = wilson_interval(g.window_hits, g.window_trials, 1.96);
+        AuditSnapshot {
+            k: self.cfg.k,
+            sampled_total: g.sampled_total,
+            audited_total: g.audited_total,
+            pending: g.pending.len(),
+            dropped_total: g.dropped_total,
+            window_hits: g.window_hits,
+            window_trials: g.window_trials,
+            recall: if g.window_trials == 0 {
+                0.0
+            } else {
+                g.window_hits as f64 / g.window_trials as f64
+            },
+            ci_low,
+            ci_high,
+            lifetime_hits: g.hits_total,
+            lifetime_trials: g.trials_total,
+            per_shard: g.per_shard.clone(),
+            cohort_base: g.cohort[0],
+            cohort_overlay: g.cohort[1],
+        }
+    }
+}
+
+/// A point-in-time view of the auditor, renderable as Prometheus text
+/// or JSON and attachable to a
+/// [`FleetReport`](crate::shard::FleetReport).
+#[derive(Debug, Clone, Default)]
+pub struct AuditSnapshot {
+    /// `Recall@k`'s k.
+    pub k: usize,
+    /// Served queries the sampler selected since creation.
+    pub sampled_total: u64,
+    /// Audits completed since creation.
+    pub audited_total: u64,
+    /// Sampled queries still awaiting their exact scan.
+    pub pending: usize,
+    /// Sampled queries dropped because the pending queue was full.
+    pub dropped_total: u64,
+    /// Result-slot hits inside the rolling window.
+    pub window_hits: u64,
+    /// Result-slot trials inside the rolling window (`k` per audit).
+    pub window_trials: u64,
+    /// Rolling live `Recall@k` point estimate (0 with no data).
+    pub recall: f64,
+    /// Wilson 95% lower bound on the rolling recall.
+    pub ci_low: f64,
+    /// Wilson 95% upper bound on the rolling recall.
+    pub ci_high: f64,
+    /// Hits since creation (not windowed).
+    pub lifetime_hits: u64,
+    /// Trials since creation (not windowed).
+    pub lifetime_trials: u64,
+    /// Per-shard `(hits, trials)`, attributed by ground-truth ownership
+    /// (empty without a shard map).
+    pub per_shard: Vec<(u64, u64)>,
+    /// `(hits, trials)` for queries served by a base-only index.
+    pub cohort_base: (u64, u64),
+    /// `(hits, trials)` for queries served with a live overlay.
+    pub cohort_overlay: (u64, u64),
+}
+
+impl AuditSnapshot {
+    /// Lifetime recall point estimate (0 with no data).
+    pub fn lifetime_recall(&self) -> f64 {
+        if self.lifetime_trials == 0 {
+            0.0
+        } else {
+            self.lifetime_hits as f64 / self.lifetime_trials as f64
+        }
+    }
+
+    /// The audit surface in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        use crate::telemetry::expose::{prometheus_counter, prometheus_gauge};
+        let mut out = String::new();
+        out.push_str(&prometheus_counter(
+            "weavess_audit_sampled_total",
+            "Served queries selected for audit.",
+            self.sampled_total,
+        ));
+        out.push_str(&prometheus_counter(
+            "weavess_audit_completed_total",
+            "Audits completed (exact re-answers).",
+            self.audited_total,
+        ));
+        out.push_str(&prometheus_counter(
+            "weavess_audit_dropped_total",
+            "Sampled queries dropped by the bounded pending queue.",
+            self.dropped_total,
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_audit_pending",
+            "Sampled queries awaiting exact scan.",
+            self.pending as f64,
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_audit_recall",
+            "Rolling live Recall@k point estimate.",
+            self.recall,
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_audit_recall_ci_low",
+            "Wilson 95% lower bound on the rolling recall.",
+            self.ci_low,
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_audit_recall_ci_high",
+            "Wilson 95% upper bound on the rolling recall.",
+            self.ci_high,
+        ));
+        if !self.per_shard.is_empty() {
+            out.push_str(
+                "# HELP weavess_audit_shard_recall Per-shard recall of ground-truth \
+                 neighbors owned by the shard.\n\
+                 # TYPE weavess_audit_shard_recall gauge\n",
+            );
+            for (s, (hits, trials)) in self.per_shard.iter().enumerate() {
+                let r = if *trials == 0 {
+                    0.0
+                } else {
+                    *hits as f64 / *trials as f64
+                };
+                out.push_str(&format!(
+                    "weavess_audit_shard_recall{{shard=\"{s}\"}} {r}\n"
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP weavess_audit_cohort_recall Recall split by overlay-vs-base serving \
+             cohort.\n# TYPE weavess_audit_cohort_recall gauge\n",
+        );
+        for (name, (hits, trials)) in [("base", self.cohort_base), ("overlay", self.cohort_overlay)]
+        {
+            let r = if trials == 0 {
+                0.0
+            } else {
+                hits as f64 / trials as f64
+            };
+            out.push_str(&format!(
+                "weavess_audit_cohort_recall{{cohort=\"{name}\"}} {r}\n"
+            ));
+        }
+        out
+    }
+
+    /// The audit surface as a JSON object.
+    pub fn to_json(&self) -> String {
+        let per_shard: Vec<String> = self
+            .per_shard
+            .iter()
+            .map(|(h, t)| format!("{{\"hits\": {h}, \"trials\": {t}}}"))
+            .collect();
+        format!(
+            "{{\"k\": {}, \"sampled_total\": {}, \"audited_total\": {}, \"pending\": {}, \
+             \"dropped_total\": {}, \"window_hits\": {}, \"window_trials\": {}, \
+             \"recall\": {:.6}, \"ci_low\": {:.6}, \"ci_high\": {:.6}, \
+             \"lifetime_recall\": {:.6}, \"per_shard\": [{}], \
+             \"cohort_base\": {{\"hits\": {}, \"trials\": {}}}, \
+             \"cohort_overlay\": {{\"hits\": {}, \"trials\": {}}}}}",
+            self.k,
+            self.sampled_total,
+            self.audited_total,
+            self.pending,
+            self.dropped_total,
+            self.window_hits,
+            self.window_trials,
+            self.recall,
+            self.ci_low,
+            self.ci_high,
+            self.lifetime_recall(),
+            per_shard.join(", "),
+            self.cohort_base.0,
+            self.cohort_base.1,
+            self.cohort_overlay.0,
+            self.cohort_overlay.1,
+        )
+    }
+}
+
+/// SLO threshold state, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum SloState {
+    /// Within budget.
+    #[default]
+    Ok,
+    /// Burning budget faster than the warn ratio allows.
+    Warn,
+    /// Budget exhausted (latency) or confidently below target (recall).
+    Breach,
+}
+
+impl SloState {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warn => "warn",
+            SloState::Breach => "breach",
+        }
+    }
+
+    /// Gauge encoding: 0 ok, 1 warn, 2 breach.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            SloState::Ok => 0.0,
+            SloState::Warn => 1.0,
+            SloState::Breach => 2.0,
+        }
+    }
+}
+
+/// SLO targets and budgets.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// A query is "slow" above this latency, nanoseconds.
+    pub latency_threshold_ns: u64,
+    /// Allowed fraction of slow queries per window (the error budget).
+    pub latency_budget: f64,
+    /// Live `Recall@k` must stay at or above this.
+    pub recall_target: f64,
+    /// Burn-rate fraction of the latency budget that flips ok → warn.
+    pub warn_ratio: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            latency_threshold_ns: 1_000_000,
+            latency_budget: 0.05,
+            recall_target: 0.9,
+            warn_ratio: 0.5,
+        }
+    }
+}
+
+/// One SLO evaluation over the most recent window.
+#[derive(Debug, Clone, Default)]
+pub struct SloReport {
+    /// Latency SLO state.
+    pub latency_state: SloState,
+    /// Latency burn rate: over-threshold fraction / budget (1.0 = the
+    /// whole budget burned this window).
+    pub latency_burn: f64,
+    /// Estimated over-threshold queries in the window.
+    pub window_slow: f64,
+    /// Queries in the window.
+    pub window_queries: u64,
+    /// Recall SLO state.
+    pub recall_state: SloState,
+    /// Rolling recall point estimate the state was computed from.
+    pub recall_estimate: f64,
+    /// Wilson 95% interval on the rolling recall.
+    pub recall_ci: (f64, f64),
+    /// Audit trials the recall state is based on.
+    pub recall_trials: u64,
+}
+
+impl SloReport {
+    /// The SLO surface in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        use crate::telemetry::expose::prometheus_gauge;
+        let mut out = String::new();
+        out.push_str(&prometheus_gauge(
+            "weavess_slo_latency_state",
+            "Latency SLO state: 0 ok, 1 warn, 2 breach.",
+            self.latency_state.as_gauge(),
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_slo_latency_burn",
+            "Latency burn rate: window over-threshold fraction / budget.",
+            self.latency_burn,
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_slo_recall_state",
+            "Recall SLO state: 0 ok, 1 warn, 2 breach.",
+            self.recall_state.as_gauge(),
+        ));
+        out.push_str(&prometheus_gauge(
+            "weavess_slo_recall_estimate",
+            "Rolling live Recall@k estimate the SLO state derives from.",
+            self.recall_estimate,
+        ));
+        out
+    }
+
+    /// The SLO surface as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"latency_state\": \"{}\", \"latency_burn\": {:.6}, \"window_slow\": {:.3}, \
+             \"window_queries\": {}, \"recall_state\": \"{}\", \"recall_estimate\": {:.6}, \
+             \"recall_ci\": [{:.6}, {:.6}], \"recall_trials\": {}}}",
+            self.latency_state.name(),
+            self.latency_burn,
+            self.window_slow,
+            self.window_queries,
+            self.recall_state.name(),
+            self.recall_estimate,
+            self.recall_ci.0,
+            self.recall_ci.1,
+            self.recall_trials,
+        )
+    }
+}
+
+/// Estimated samples above `threshold` in a histogram, with linear
+/// interpolation inside the threshold's bucket (the same within-bucket
+/// model [`Histogram::percentile`] uses).
+fn over_threshold(h: &Histogram, threshold: u64) -> f64 {
+    let mut over = 0.0;
+    for (b, &c) in h.bucket_counts().iter().enumerate().take(BUCKETS) {
+        if c == 0 {
+            continue;
+        }
+        let lower = bucket_lower_bound(b);
+        let upper = bucket_upper_bound(b);
+        if lower > threshold {
+            over += c as f64;
+        } else if upper > threshold {
+            let width = (upper - lower) as f64 + 1.0;
+            over += c as f64 * ((upper - threshold) as f64 / width);
+        }
+    }
+    over
+}
+
+/// The rolling-window SLO evaluator.
+///
+/// Feed it the serving tier's *cumulative* latency histogram each
+/// evaluation; it differences against the previous snapshot (bucket-wise
+/// — cumulative counts are monotone) so the window is exactly "what
+/// happened since last evaluate", with no extra accounting on the hot
+/// path.
+pub struct SloEngine {
+    policy: SloPolicy,
+    last_latency: Option<Histogram>,
+}
+
+impl SloEngine {
+    /// An evaluator with the given policy.
+    pub fn new(policy: SloPolicy) -> Self {
+        SloEngine {
+            policy,
+            last_latency: None,
+        }
+    }
+
+    /// The evaluator's policy.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Evaluates both SLOs: latency from the delta of `latency_cum`
+    /// against the previous call's snapshot (the first call sees the
+    /// whole history as its window), recall from the auditor's rolling
+    /// window.
+    ///
+    /// Latency: burn = (over-threshold fraction) / budget; `warn` at
+    /// [`SloPolicy::warn_ratio`], `breach` at 1.0. Recall: `breach` when
+    /// the Wilson 95% *upper* bound sits below target (a confident
+    /// violation — noisy small windows stay out of breach), `warn` when
+    /// only the point estimate does.
+    pub fn evaluate(&mut self, latency_cum: &Histogram, audit: &AuditSnapshot) -> SloReport {
+        let window = match &self.last_latency {
+            Some(prev) => {
+                let mut delta = latency_cum.clone();
+                delta.subtract_counts(prev);
+                delta
+            }
+            None => latency_cum.clone(),
+        };
+        self.last_latency = Some(latency_cum.clone());
+
+        let total = window.count();
+        let slow = over_threshold(&window, self.policy.latency_threshold_ns);
+        let frac = if total == 0 { 0.0 } else { slow / total as f64 };
+        let burn = if self.policy.latency_budget <= 0.0 {
+            if frac > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            frac / self.policy.latency_budget
+        };
+        let latency_state = if burn >= 1.0 {
+            SloState::Breach
+        } else if burn >= self.policy.warn_ratio {
+            SloState::Warn
+        } else {
+            SloState::Ok
+        };
+
+        let recall_state = if audit.window_trials == 0 {
+            SloState::Ok
+        } else if audit.ci_high < self.policy.recall_target {
+            SloState::Breach
+        } else if audit.recall < self.policy.recall_target {
+            SloState::Warn
+        } else {
+            SloState::Ok
+        };
+
+        SloReport {
+            latency_state,
+            latency_burn: burn,
+            window_slow: slow,
+            window_queries: total,
+            recall_state,
+            recall_estimate: audit.recall,
+            recall_ci: (audit.ci_low, audit.ci_high),
+            recall_trials: audit.window_trials,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(90, 100, 1.96);
+        assert!(lo < 0.9 && 0.9 < hi, "({lo}, {hi})");
+        assert!(lo > 0.8 && hi < 0.97, "({lo}, {hi})");
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo0, _) = wilson_interval(0, 50, 1.96);
+        let (_, hi1) = wilson_interval(50, 50, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi1 <= 1.0 && hi1 > 0.9);
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_trials() {
+        let (lo1, hi1) = wilson_interval(9, 10, 1.96);
+        let (lo2, hi2) = wilson_interval(900, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn over_threshold_interpolates_within_the_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(40); // bucket 6: 32..=63
+        }
+        // Threshold 47: 16 of the 32-wide bucket above it → half the
+        // samples estimated over.
+        let over = over_threshold(&h, 47);
+        assert!((over - 50.0).abs() < 1.0, "over={over}");
+        assert_eq!(over_threshold(&h, 63), 0.0);
+        assert_eq!(over_threshold(&h, 10), 100.0);
+    }
+
+    #[test]
+    fn slo_latency_states_follow_the_burn_rate() {
+        let policy = SloPolicy {
+            latency_threshold_ns: 1000,
+            latency_budget: 0.10,
+            recall_target: 0.9,
+            warn_ratio: 0.5,
+        };
+        let audit = AuditSnapshot::default();
+        // 2% slow: burn 0.2 → ok.
+        let mut engine = SloEngine::new(policy.clone());
+        let mut h = Histogram::new();
+        for _ in 0..98 {
+            h.record(100);
+        }
+        for _ in 0..2 {
+            h.record(1 << 20);
+        }
+        assert_eq!(engine.evaluate(&h, &audit).latency_state, SloState::Ok);
+        // Second window adds 6 more slow of 14 → well over budget.
+        for _ in 0..6 {
+            h.record(1 << 20);
+        }
+        for _ in 0..8 {
+            h.record(100);
+        }
+        let r = engine.evaluate(&h, &audit);
+        assert_eq!(r.window_queries, 14);
+        assert_eq!(r.latency_state, SloState::Breach);
+        // Third window: all fast again → ok (the window resets).
+        for _ in 0..50 {
+            h.record(100);
+        }
+        assert_eq!(engine.evaluate(&h, &audit).latency_state, SloState::Ok);
+    }
+
+    #[test]
+    fn slo_recall_breach_requires_a_confident_interval() {
+        let mut engine = SloEngine::new(SloPolicy::default());
+        let h = Histogram::new();
+        // Tiny window below target: the Wilson upper bound (~0.94 for
+        // 8/10) still covers 0.9 → warn, not breach.
+        let noisy = AuditSnapshot {
+            window_hits: 8,
+            window_trials: 10,
+            recall: 0.8,
+            ci_low: wilson_interval(8, 10, 1.96).0,
+            ci_high: wilson_interval(8, 10, 1.96).1,
+            ..Default::default()
+        };
+        assert_eq!(engine.evaluate(&h, &noisy).recall_state, SloState::Warn);
+        // Big window at the same estimate: CI upper (~0.82) < 0.9 → breach.
+        let confident = AuditSnapshot {
+            window_hits: 800,
+            window_trials: 1000,
+            recall: 0.8,
+            ci_low: wilson_interval(800, 1000, 1.96).0,
+            ci_high: wilson_interval(800, 1000, 1.96).1,
+            ..Default::default()
+        };
+        assert_eq!(
+            engine.evaluate(&h, &confident).recall_state,
+            SloState::Breach
+        );
+        // No data → ok.
+        assert_eq!(
+            engine.evaluate(&h, &AuditSnapshot::default()).recall_state,
+            SloState::Ok
+        );
+    }
+
+    #[test]
+    fn audit_exposition_renders() {
+        let snap = AuditSnapshot {
+            k: 10,
+            sampled_total: 5,
+            audited_total: 4,
+            window_hits: 36,
+            window_trials: 40,
+            recall: 0.9,
+            ci_low: 0.77,
+            ci_high: 0.96,
+            per_shard: vec![(18, 20), (18, 20)],
+            cohort_base: (36, 40),
+            ..Default::default()
+        };
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("weavess_audit_recall 0.9\n"));
+        assert!(prom.contains("weavess_audit_shard_recall{shard=\"1\"} 0.9\n"));
+        assert!(prom.contains("weavess_audit_cohort_recall{cohort=\"base\"} 0.9\n"));
+        let json = snap.to_json();
+        assert!(json.contains("\"recall\": 0.900000"));
+        assert!(json.contains("\"per_shard\": [{\"hits\": 18, \"trials\": 20}"));
+    }
+}

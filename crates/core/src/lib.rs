@@ -55,9 +55,16 @@
 //!   ([`telemetry::TraceAggregate`]) for catapult shortcut edges (kept in
 //!   an overlay segment, base graph untouched) and hub-aware entry
 //!   refresh; deterministic at any mining thread count.
+//! - [`audit`]: the online recall auditor and SLO engine — a shadow
+//!   audit path that exact-scans a deterministic sample of served
+//!   queries on a budget, maintains a rolling live `Recall@k` with
+//!   Wilson confidence intervals (per-shard and overlay-vs-base
+//!   attribution), and evaluates latency/recall burn rates into
+//!   ok/warn/breach states on the existing exposition surface.
 
 pub mod adapt;
 pub mod algorithms;
+pub mod audit;
 pub mod components;
 pub mod index;
 pub mod locality;
@@ -73,6 +80,10 @@ pub mod shard;
 pub mod telemetry;
 
 pub use adapt::{AdaptError, AdaptParams, AdaptReport};
+pub use audit::{
+    wilson_interval, AuditConfig, AuditSnapshot, RecallAuditor, SloEngine, SloPolicy, SloReport,
+    SloState,
+};
 pub use index::{AnnIndex, FlatIndex, IndexError, SearchContext};
 pub use locality::{LayoutIndex, LayoutStats, NodeLayout};
 pub use search::{Router, SearchStats};
@@ -80,6 +91,10 @@ pub use serve::{
     BatchReport, EngineOptions, EngineSnapshot, LatencySummary, QueryEngine, WorkerReport,
 };
 pub use shard::{
-    BatchQueue, FleetReport, QueueOptions, ShardError, ShardSet, ShardedBatchReport, ShardedEngine,
+    BatchQueue, FleetReport, QueueOptions, QueueSnapshot, ShardError, ShardSet, ShardedBatchReport,
+    ShardedEngine,
 };
-pub use telemetry::{BuildProfile, NoopTracer, RecordingTracer, RouteTracer, TraceAggregate};
+pub use telemetry::{
+    query_fingerprint, BuildProfile, Flight, FlightObserver, FlightOptions, FlightRecorder,
+    NoFlight, NoopTracer, RecordingTracer, RouteTracer, TraceAggregate,
+};

@@ -44,6 +44,9 @@ use crate::search::SearchStats;
 use crate::telemetry::expose::{
     json_histogram, prometheus_counter, prometheus_gauge, prometheus_histogram,
 };
+use crate::telemetry::flight::{
+    query_fingerprint, Flight, FlightObserver, FlightRecorder, NoFlight, SpanRec, Stage,
+};
 use crate::telemetry::{Histogram, ShardedCounter};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -160,17 +163,33 @@ impl BatchReport {
     }
 }
 
-/// FNV-1a over the query's raw f32 bits: a stable, position-independent
-/// per-query seed component.
-fn hash_query(query: &[f32]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &x in query {
-        for b in x.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    h
+/// One query's deterministic flight fields as collected inside a worker
+/// loop; the parent assembles full [`Flight`]s from these after joining
+/// (single-engine path) or after gathering per-shard parts (sharded
+/// path).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueryFlightPart {
+    /// Query index within the batch.
+    pub qi: u32,
+    /// [`query_fingerprint`] of the query vector.
+    pub fingerprint: u64,
+    /// This engine's search latency for the query, nanoseconds.
+    pub lat_ns: u64,
+    /// Distance computations for the query on this engine.
+    pub ndc: u64,
+    /// Expanded vertices for the query on this engine.
+    pub hops: u64,
+}
+
+/// A batch's flight material: the seed-sampled parts (in ascending `qi`
+/// order — a deterministic set) plus the batch's slowest query
+/// (timing-dependent, offered to the recorder's high-water mark).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchFlightParts {
+    /// Seed-sampled query parts, ascending `qi`.
+    pub sampled: Vec<QueryFlightPart>,
+    /// The batch's slowest query.
+    pub slowest: Option<QueryFlightPart>,
 }
 
 /// Cumulative (cross-batch) distributions, updated once per batch under
@@ -412,7 +431,7 @@ impl<'a> QueryEngine<'a> {
         tracer: &mut dyn crate::telemetry::RouteTracer,
     ) -> Vec<Neighbor> {
         let mut ctx = self.checkout();
-        ctx.rng = StdRng::seed_from_u64(self.opts.seed ^ hash_query(query));
+        ctx.rng = StdRng::seed_from_u64(self.opts.seed ^ query_fingerprint(query));
         let out = self
             .index
             .search_traced(self.ds, query, k, beam, &mut ctx, tracer);
@@ -429,7 +448,21 @@ impl<'a> QueryEngine<'a> {
         beam: usize,
         ctx: &mut SearchContext,
     ) -> Vec<Neighbor> {
-        ctx.rng = StdRng::seed_from_u64(self.opts.seed ^ hash_query(query));
+        self.run_query_fp(query, query_fingerprint(query), k, beam, ctx)
+    }
+
+    /// [`run_query`](Self::run_query) with the fingerprint already
+    /// computed — the batch loop hashes each query exactly once and
+    /// shares the value between RNG reseeding and flight sampling.
+    fn run_query_fp(
+        &self,
+        query: &[f32],
+        fp: u64,
+        k: usize,
+        beam: usize,
+        ctx: &mut SearchContext,
+    ) -> Vec<Neighbor> {
+        ctx.rng = StdRng::seed_from_u64(self.opts.seed ^ fp);
         self.index.search(self.ds, query, k, beam, ctx)
     }
 
@@ -441,6 +474,48 @@ impl<'a> QueryEngine<'a> {
     /// don't idle the other workers; determinism is unaffected because
     /// per-query state never depends on the claiming worker.
     pub fn search_batch(&self, queries: &Dataset, k: usize, beam: usize) -> BatchReport {
+        self.search_batch_obs(queries, k, beam, &NoFlight).0
+    }
+
+    /// [`search_batch`](Self::search_batch) with the per-query flight
+    /// recorder enabled: every seed-sampled query (and the batch's
+    /// slowest, when it beats the recorder's high-water mark) lands in
+    /// `rec`'s ring as a single-[`Stage::Search`]-span flight, with a
+    /// [`Stage::QueueWait`] span prepended when the admission queue
+    /// noted one. Results are identical to the plain path.
+    pub fn search_batch_flights(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        rec: &FlightRecorder,
+    ) -> BatchReport {
+        let (report, parts) = self.search_batch_obs(queries, k, beam, rec);
+        let batch = rec.next_batch();
+        for p in &parts.sampled {
+            rec.push(assemble_unsharded(rec, batch, p, k, beam, &report, true));
+        }
+        if let Some(p) = parts.slowest {
+            if !rec.is_sampled(p.fingerprint) && rec.keep_slowest(p.lat_ns) {
+                rec.push(assemble_unsharded(rec, batch, &p, k, beam, &report, false));
+            }
+        }
+        report
+    }
+
+    /// The generic batch loop: with [`NoFlight`] every flight branch is
+    /// `if false` and compiles away; with a recorder each query pays one
+    /// sampling hash plus a copy of its deterministic counters. Flights
+    /// are *collected*, not pushed — the caller owns assembly so the
+    /// sharded tier can gather per-shard parts into one flight per
+    /// query.
+    pub(crate) fn search_batch_obs<F: FlightObserver>(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        obs: &F,
+    ) -> (BatchReport, BatchFlightParts) {
         let nq = queries.len();
         let workers = self.opts.effective_workers().min(nq).max(1);
         let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(nq);
@@ -450,14 +525,16 @@ impl<'a> QueryEngine<'a> {
         let mut latency_hist = Histogram::new();
         let mut ndc_hist = Histogram::new();
         let mut hops_hist = Histogram::new();
+        let mut flights = BatchFlightParts::default();
         let t0 = Instant::now();
 
         if nq > 0 {
             let cursor = AtomicUsize::new(0);
             // Each worker returns (claimed queries with results and
-            // latencies, its per-worker report, its local histograms);
-            // the parent scatters results back into input order and
-            // merges the aggregates (order-independent by construction).
+            // latencies, its per-worker report, its local histograms,
+            // its flight parts); the parent scatters results back into
+            // input order and merges the aggregates (order-independent
+            // by construction).
             let mut parts = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -469,14 +546,17 @@ impl<'a> QueryEngine<'a> {
                             let mut lat_h = Histogram::new();
                             let mut ndc_h = Histogram::new();
                             let mut hops_h = Histogram::new();
+                            let mut sampled: Vec<QueryFlightPart> = Vec::new();
+                            let mut slowest: Option<QueryFlightPart> = None;
                             loop {
                                 let qi = cursor.fetch_add(1, Ordering::Relaxed);
                                 if qi >= nq {
                                     break;
                                 }
+                                let q = queries.point(qi as u32);
+                                let fp = query_fingerprint(q);
                                 let tq = Instant::now();
-                                let res =
-                                    self.run_query(queries.point(qi as u32), k, beam, &mut ctx);
+                                let res = self.run_query_fp(q, fp, k, beam, &mut ctx);
                                 let nanos = tq.elapsed().as_nanos() as u64;
                                 // Per-query counters: take what this query
                                 // added, fold into the worker total.
@@ -485,6 +565,21 @@ impl<'a> QueryEngine<'a> {
                                 lat_h.record(nanos);
                                 ndc_h.record(qstats.ndc);
                                 hops_h.record(qstats.hops);
+                                if F::ENABLED {
+                                    let part = QueryFlightPart {
+                                        qi: qi as u32,
+                                        fingerprint: fp,
+                                        lat_ns: nanos,
+                                        ndc: qstats.ndc,
+                                        hops: qstats.hops,
+                                    };
+                                    if obs.recorder().is_some_and(|r| r.is_sampled(fp)) {
+                                        sampled.push(part);
+                                    }
+                                    if slowest.is_none_or(|s| nanos > s.lat_ns) {
+                                        slowest = Some(part);
+                                    }
+                                }
                                 got.push((qi, res, nanos));
                             }
                             self.restore(ctx);
@@ -492,7 +587,7 @@ impl<'a> QueryEngine<'a> {
                                 queries_claimed: got.len() as u64,
                                 stats: acc,
                             };
-                            (got, report, lat_h, ndc_h, hops_h)
+                            (got, report, lat_h, ndc_h, hops_h, sampled, slowest)
                         })
                     })
                     .collect();
@@ -501,15 +596,28 @@ impl<'a> QueryEngine<'a> {
                     .map(|h| h.join().expect("query worker panicked"))
                     .collect::<Vec<_>>()
             });
-            for (got, report, lat_h, ndc_h, hops_h) in parts.drain(..) {
+            for (got, report, lat_h, ndc_h, hops_h, sampled, slowest) in parts.drain(..) {
                 stats.merge(report.stats);
                 latency_hist.merge(&lat_h);
                 ndc_hist.merge(&ndc_h);
                 hops_hist.merge(&hops_h);
                 per_worker.push(report);
+                if F::ENABLED {
+                    flights.sampled.extend(sampled);
+                    if let Some(s) = slowest {
+                        if flights.slowest.is_none_or(|g| s.lat_ns > g.lat_ns) {
+                            flights.slowest = Some(s);
+                        }
+                    }
+                }
                 for (qi, res, _) in got {
                     results[qi] = res;
                 }
+            }
+            if F::ENABLED {
+                // The sampled *set* is deterministic; sort by batch
+                // position so its order is too (claim order is not).
+                flights.sampled.sort_by_key(|p| p.qi);
             }
         }
 
@@ -522,7 +630,7 @@ impl<'a> QueryEngine<'a> {
             cum.ndc.merge(&ndc_hist);
             cum.hops.merge(&hops_hist);
         }
-        BatchReport {
+        let report = BatchReport {
             results,
             stats,
             wall,
@@ -532,7 +640,54 @@ impl<'a> QueryEngine<'a> {
             latency_hist,
             ndc_hist,
             hops_hist,
-        }
+        };
+        (report, flights)
+    }
+}
+
+/// Assembles an unsharded flight from one worker part: an optional
+/// queue-wait span (claimed from the recorder's notes) followed by the
+/// single search span.
+fn assemble_unsharded(
+    rec: &FlightRecorder,
+    batch: u64,
+    p: &QueryFlightPart,
+    k: usize,
+    beam: usize,
+    report: &BatchReport,
+    sampled: bool,
+) -> Flight {
+    let mut spans = Vec::with_capacity(2);
+    let mut t = 0u64;
+    if let Some(waited) = rec.take_queue_wait(p.fingerprint) {
+        spans.push(SpanRec {
+            stage: Stage::QueueWait,
+            shard: None,
+            start_ns: 0,
+            dur_ns: waited,
+            ndc: 0,
+            hops: 0,
+        });
+        t = waited;
+    }
+    spans.push(SpanRec {
+        stage: Stage::Search,
+        shard: None,
+        start_ns: t,
+        dur_ns: p.lat_ns,
+        ndc: p.ndc,
+        hops: p.hops,
+    });
+    Flight {
+        batch,
+        qi: p.qi,
+        fingerprint: p.fingerprint,
+        k,
+        beam,
+        results: report.results[p.qi as usize].iter().map(|n| n.id).collect(),
+        sampled,
+        total_ns: t + p.lat_ns,
+        spans,
     }
 }
 
@@ -750,15 +905,15 @@ mod tests {
 
     #[test]
     fn latency_summary_percentiles_at_bucket_resolution() {
-        // Samples 1..=100ns: bucket 6 covers 32..=63 (cumulative 63), so
-        // p50 reports 63; p95/p99 land in bucket 7 (64..=127), clamped to
-        // the observed max of 100. Mean and max are exact.
+        // Samples 1..=100ns: rank 50 lands in bucket 6 (32..=63) and
+        // interpolates to ~50ns; p95/p99 land in bucket 7 (64..=127),
+        // clamped to the observed max of 100. Mean and max are exact.
         let mut h = Histogram::new();
         for v in 1..=100u64 {
             h.record(v);
         }
         let s = LatencySummary::from_histogram(&h);
-        assert_eq!(s.p50, Duration::from_nanos(63));
+        assert_eq!(s.p50, Duration::from_nanos(50));
         assert_eq!(s.p95, Duration::from_nanos(100));
         assert_eq!(s.p99, Duration::from_nanos(100));
         assert_eq!(s.max, Duration::from_nanos(100));

@@ -21,6 +21,7 @@ use crate::locality::{LayoutIndex, NodeLayout};
 use crate::search::SearchStats;
 use crate::serve::{BatchReport, EngineOptions, EngineSnapshot, LatencySummary, QueryEngine};
 use crate::telemetry::expose::{json_histogram, prometheus_counter, prometheus_histogram};
+use crate::telemetry::flight::{Flight, FlightObserver, FlightRecorder, NoFlight, SpanRec, Stage};
 use crate::telemetry::{Histogram, ShardedCounter};
 use weavess_data::{Dataset, Neighbor};
 
@@ -243,7 +244,9 @@ impl ShardedBatchReport {
 }
 
 /// Fleet-level observability: per-shard [`EngineSnapshot`]s plus their
-/// order-independent merge, renderable as Prometheus text or JSON.
+/// order-independent merge, renderable as Prometheus text or JSON, with
+/// optional admission-queue, recall-audit, and SLO blocks attached by
+/// the serving loop.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
     /// Snapshots in shard order.
@@ -256,12 +259,39 @@ pub struct FleetReport {
     pub logical_queries: u64,
     /// Batches answered by the fleet.
     pub logical_batches: u64,
+    /// Admission-queue view, when a [`super::BatchQueue`] fronts the
+    /// fleet (attach with [`FleetReport::with_queue`]).
+    pub queue: Option<super::QueueSnapshot>,
+    /// Live recall-audit view, when a
+    /// [`RecallAuditor`](crate::audit::RecallAuditor) shadows the fleet
+    /// (attach with [`FleetReport::with_audit`]).
+    pub audit: Option<crate::audit::AuditSnapshot>,
+    /// Latest SLO evaluation (attach with [`FleetReport::with_slo`]).
+    pub slo: Option<crate::audit::SloReport>,
 }
 
 impl FleetReport {
     /// Queries answered by the fleet, counting a scattered query once.
     pub fn logical_queries(&self) -> u64 {
         self.logical_queries
+    }
+
+    /// Attaches the admission queue's snapshot to the exposition.
+    pub fn with_queue(mut self, queue: super::QueueSnapshot) -> Self {
+        self.queue = Some(queue);
+        self
+    }
+
+    /// Attaches the recall auditor's snapshot to the exposition.
+    pub fn with_audit(mut self, audit: crate::audit::AuditSnapshot) -> Self {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Attaches an SLO evaluation to the exposition.
+    pub fn with_slo(mut self, slo: crate::audit::SloReport) -> Self {
+        self.slo = Some(slo);
+        self
     }
 
     /// Fleet metrics in Prometheus text exposition format: logical
@@ -314,6 +344,39 @@ impl FleetReport {
             "Expanded vertices per (query, shard), merged.",
             &self.merged.hops,
         ));
+        if let Some(q) = &self.queue {
+            out.push_str(&prometheus_counter(
+                "weavess_queue_batches_total",
+                "Coalesced batches executed by the admission queue.",
+                q.stats.batches_total,
+            ));
+            out.push_str(&prometheus_counter(
+                "weavess_queue_queries_total",
+                "Queries admitted through the queue.",
+                q.stats.queries_total,
+            ));
+            out.push_str(&crate::telemetry::expose::prometheus_gauge(
+                "weavess_queue_depth",
+                "Queries pending admission right now.",
+                q.depth as f64,
+            ));
+            out.push_str(&prometheus_histogram(
+                "weavess_queue_batch_size",
+                "Closed-batch sizes.",
+                &q.stats.batch_size,
+            ));
+            out.push_str(&prometheus_histogram(
+                "weavess_queue_wait_nanoseconds",
+                "Per-query admission delay (enqueue to batch close) in nanoseconds.",
+                &q.stats.queue_delay_ns,
+            ));
+        }
+        if let Some(a) = &self.audit {
+            out.push_str(&a.to_prometheus());
+        }
+        if let Some(s) = &self.slo {
+            out.push_str(&s.to_prometheus());
+        }
         out
     }
 
@@ -331,9 +394,27 @@ impl FleetReport {
                 )
             })
             .collect();
+        let mut extra = String::new();
+        if let Some(q) = &self.queue {
+            extra.push_str(&format!(
+                ", \"queue\": {{\"batches_total\": {}, \"queries_total\": {}, \
+                 \"depth\": {}, \"batch_size\": {}, \"wait_ns\": {}}}",
+                q.stats.batches_total,
+                q.stats.queries_total,
+                q.depth,
+                json_histogram(&q.stats.batch_size),
+                json_histogram(&q.stats.queue_delay_ns),
+            ));
+        }
+        if let Some(a) = &self.audit {
+            extra.push_str(&format!(", \"audit\": {}", a.to_json()));
+        }
+        if let Some(s) = &self.slo {
+            extra.push_str(&format!(", \"slo\": {}", s.to_json()));
+        }
         format!(
             "{{\"shards\": {}, \"logical_queries\": {}, \"logical_batches\": {}, \
-             \"latency_ns\": {}, \"ndc\": {}, \"hops\": {}, \"per_shard\": [{}]}}",
+             \"latency_ns\": {}, \"ndc\": {}, \"hops\": {}, \"per_shard\": [{}]{}}}",
             self.per_shard.len(),
             self.logical_queries,
             self.logical_batches,
@@ -341,6 +422,7 @@ impl FleetReport {
             json_histogram(&self.merged.ndc),
             json_histogram(&self.merged.hops),
             per_shard.join(", "),
+            extra,
         )
     }
 }
@@ -427,11 +509,41 @@ impl<'a> ShardedEngine<'a> {
     /// worker pool concurrently, then per-query pools are gathered in
     /// input order.
     pub fn search_batch(&self, queries: &Dataset, k: usize, beam: usize) -> ShardedBatchReport {
+        self.search_batch_obs(queries, k, beam, &NoFlight)
+    }
+
+    /// [`search_batch`](Self::search_batch) with the per-query flight
+    /// recorder enabled: every seed-sampled query lands in `rec`'s ring
+    /// as one flight whose spans attribute the batch-scoped scatter, one
+    /// [`Stage::ShardSearch`] per shard (with that shard's latency, NDC,
+    /// and hops for this query), and the per-query top-k merge — plus a
+    /// queue-wait span when the admission queue noted one. Results are
+    /// identical to the plain path.
+    pub fn search_batch_flights(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        rec: &FlightRecorder,
+    ) -> ShardedBatchReport {
+        self.search_batch_obs(queries, k, beam, rec)
+    }
+
+    /// The generic scatter-gather: with [`NoFlight`] every flight branch
+    /// compiles away to exactly the old batch path.
+    fn search_batch_obs<F: FlightObserver>(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        obs: &F,
+    ) -> ShardedBatchReport {
+        use crate::serve::BatchFlightParts;
         let nq = queries.len();
         let t0 = Instant::now();
         // Scatter: one scope thread per shard; slot results by shard index
         // so the gather below is independent of completion order.
-        let mut shard_results: Vec<(Vec<Vec<Neighbor>>, BatchReport)> =
+        let mut shard_results: Vec<(Vec<Vec<Neighbor>>, BatchReport, BatchFlightParts)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .engines
@@ -439,14 +551,15 @@ impl<'a> ShardedEngine<'a> {
                     .zip(&self.set.shards)
                     .map(|(engine, shard)| {
                         scope.spawn(move || {
-                            let mut report = engine.search_batch(queries, k, beam);
+                            let (mut report, parts) =
+                                engine.search_batch_obs(queries, k, beam, obs);
                             let mut globalized = std::mem::take(&mut report.results);
                             for pool in &mut globalized {
                                 for n in pool.iter_mut() {
                                     n.id = shard.to_global(n.id);
                                 }
                             }
-                            (globalized, report)
+                            (globalized, report, parts)
                         })
                     })
                     .collect();
@@ -455,25 +568,49 @@ impl<'a> ShardedEngine<'a> {
                     .map(|h| h.join().expect("shard scatter panicked"))
                     .collect()
             });
+        let scatter_ns = t0.elapsed().as_nanos() as u64;
 
         // Gather: order-stable per-query merge plus associative aggregate
         // merges, all in shard order (any order would give the same
         // answer; shard order keeps `per_shard` indexable).
         let mut per_query: Vec<Vec<Vec<Neighbor>>> = Vec::with_capacity(nq);
         per_query.resize_with(nq, || Vec::with_capacity(self.engines.len()));
-        for (globalized, _) in &mut shard_results {
+        for (globalized, _, _) in &mut shard_results {
             for (qi, pool) in globalized.drain(..).enumerate() {
                 per_query[qi].push(pool);
             }
         }
-        let results: Vec<Vec<Neighbor>> = per_query.iter().map(|p| merge_topk(p, k)).collect();
+        let mut merge_ns: Vec<u64> = Vec::new();
+        let results: Vec<Vec<Neighbor>> = if F::ENABLED {
+            merge_ns.reserve(nq);
+            per_query
+                .iter()
+                .map(|p| {
+                    let tm = Instant::now();
+                    let merged = merge_topk(p, k);
+                    merge_ns.push(tm.elapsed().as_nanos() as u64);
+                    merged
+                })
+                .collect()
+        } else {
+            per_query.iter().map(|p| merge_topk(p, k)).collect()
+        };
+
+        if F::ENABLED {
+            if let Some(rec) = obs.recorder() {
+                let parts: Vec<&BatchFlightParts> =
+                    shard_results.iter().map(|(_, _, p)| p).collect();
+                self.assemble_flights(rec, k, beam, scatter_ns, &merge_ns, &parts, &results);
+            }
+        }
+
         let mut stats = SearchStats::default();
         let mut latency_hist = Histogram::new();
         let mut ndc_hist = Histogram::new();
         let mut hops_hist = Histogram::new();
         let per_shard: Vec<BatchReport> = shard_results
             .drain(..)
-            .map(|(_, report)| {
+            .map(|(_, report, _)| {
                 stats.merge(report.stats);
                 latency_hist.merge(&report.latency_hist);
                 ndc_hist.merge(&report.ndc_hist);
@@ -495,6 +632,135 @@ impl<'a> ShardedEngine<'a> {
         }
     }
 
+    /// Builds one flight per seed-sampled query from the per-shard parts
+    /// (every shard samples the same fingerprint set, so part lists
+    /// align), plus the batch's slowest shard-search when it beats the
+    /// recorder's high-water mark.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_flights(
+        &self,
+        rec: &FlightRecorder,
+        k: usize,
+        beam: usize,
+        scatter_ns: u64,
+        merge_ns: &[u64],
+        parts: &[&crate::serve::BatchFlightParts],
+        results: &[Vec<Neighbor>],
+    ) {
+        let batch = rec.next_batch();
+        let n_sampled = parts.first().map_or(0, |p| p.sampled.len());
+        debug_assert!(
+            parts.iter().all(|p| p.sampled.len() == n_sampled),
+            "sampling must be shard-independent"
+        );
+        for j in 0..n_sampled {
+            let lead = parts[0].sampled[j];
+            let qi = lead.qi;
+            let mut spans = Vec::with_capacity(parts.len() + 3);
+            let mut t = 0u64;
+            if let Some(waited) = rec.take_queue_wait(lead.fingerprint) {
+                spans.push(SpanRec {
+                    stage: Stage::QueueWait,
+                    shard: None,
+                    start_ns: 0,
+                    dur_ns: waited,
+                    ndc: 0,
+                    hops: 0,
+                });
+                t = waited;
+            }
+            spans.push(SpanRec {
+                stage: Stage::Scatter,
+                shard: None,
+                start_ns: t,
+                dur_ns: scatter_ns,
+                ndc: 0,
+                hops: 0,
+            });
+            for (s, shard_parts) in parts.iter().enumerate() {
+                let p = shard_parts.sampled[j];
+                debug_assert_eq!(p.qi, qi, "per-shard sampled sets must align");
+                spans.push(SpanRec {
+                    stage: Stage::ShardSearch,
+                    shard: Some(s as u32),
+                    start_ns: t,
+                    dur_ns: p.lat_ns,
+                    ndc: p.ndc,
+                    hops: p.hops,
+                });
+            }
+            let m = merge_ns.get(qi as usize).copied().unwrap_or(0);
+            spans.push(SpanRec {
+                stage: Stage::Merge,
+                shard: None,
+                start_ns: t + scatter_ns,
+                dur_ns: m,
+                ndc: 0,
+                hops: 0,
+            });
+            rec.push(Flight {
+                batch,
+                qi,
+                fingerprint: lead.fingerprint,
+                k,
+                beam,
+                results: results[qi as usize].iter().map(|n| n.id).collect(),
+                sampled: true,
+                total_ns: t + scatter_ns + m,
+                spans,
+            });
+        }
+        // The slowest shard-search across the batch: timing-dependent by
+        // nature, kept only above the high-water mark and excluded from
+        // the stable dump.
+        let slowest = parts
+            .iter()
+            .enumerate()
+            .filter_map(|(s, p)| p.slowest.map(|x| (s, x)))
+            .max_by_key(|(_, x)| x.lat_ns);
+        if let Some((s, p)) = slowest {
+            if !rec.is_sampled(p.fingerprint) && rec.keep_slowest(p.lat_ns) {
+                let m = merge_ns.get(p.qi as usize).copied().unwrap_or(0);
+                rec.push(Flight {
+                    batch,
+                    qi: p.qi,
+                    fingerprint: p.fingerprint,
+                    k,
+                    beam,
+                    results: results[p.qi as usize].iter().map(|n| n.id).collect(),
+                    sampled: false,
+                    total_ns: scatter_ns + m,
+                    spans: vec![
+                        SpanRec {
+                            stage: Stage::Scatter,
+                            shard: None,
+                            start_ns: 0,
+                            dur_ns: scatter_ns,
+                            ndc: 0,
+                            hops: 0,
+                        },
+                        SpanRec {
+                            stage: Stage::ShardSearch,
+                            shard: Some(s as u32),
+                            start_ns: 0,
+                            dur_ns: p.lat_ns,
+                            ndc: p.ndc,
+                            hops: p.hops,
+                        },
+                        SpanRec {
+                            stage: Stage::Merge,
+                            shard: None,
+                            start_ns: scatter_ns,
+                            dur_ns: m,
+                            ndc: 0,
+                            hops: 0,
+                        },
+                    ],
+                });
+            }
+        }
+    }
+
     /// Fleet-level cumulative metrics: per-shard snapshots and their
     /// merge.
     pub fn fleet_report(&self) -> FleetReport {
@@ -512,6 +778,9 @@ impl<'a> ShardedEngine<'a> {
             merged,
             logical_queries: self.queries_total.get(),
             logical_batches: self.batches_total.get(),
+            queue: None,
+            audit: None,
+            slo: None,
         }
     }
 

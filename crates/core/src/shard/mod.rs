@@ -40,7 +40,7 @@ pub mod queue;
 pub use engine::{FleetReport, Shard, ShardSet, ShardedBatchReport, ShardedEngine};
 pub use merge::{merge_topk, merge_two};
 pub use partition::{partition_ids, partition_key};
-pub use queue::{BatchExecutor, BatchQueue, QueueOptions, QueueStats};
+pub use queue::{BatchExecutor, BatchQueue, QueueOptions, QueueSnapshot, QueueStats};
 
 use crate::index::IndexError;
 

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use super::engine::ShardedEngine;
 use crate::serve::QueryEngine;
+use crate::telemetry::flight::{query_fingerprint, FlightRecorder};
 use crate::telemetry::Histogram;
 use weavess_data::{Dataset, Neighbor};
 
@@ -42,6 +43,21 @@ pub trait BatchExecutor: Sync {
     fn dim(&self) -> usize;
     /// Answers `queries`, one result pool per query, in input order.
     fn execute(&self, queries: &Dataset, k: usize, beam: usize) -> Vec<Vec<Neighbor>>;
+    /// [`execute`](Self::execute) while recording per-query flights into
+    /// `rec`. The default ignores the recorder, so third-party executors
+    /// stay correct without opting in; both engines override it with
+    /// their flight-recording batch paths. Results must be identical to
+    /// [`execute`](Self::execute).
+    fn execute_recorded(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        rec: &FlightRecorder,
+    ) -> Vec<Vec<Neighbor>> {
+        let _ = rec;
+        self.execute(queries, k, beam)
+    }
 }
 
 impl BatchExecutor for QueryEngine<'_> {
@@ -52,6 +68,16 @@ impl BatchExecutor for QueryEngine<'_> {
     fn execute(&self, queries: &Dataset, k: usize, beam: usize) -> Vec<Vec<Neighbor>> {
         self.search_batch(queries, k, beam).results
     }
+
+    fn execute_recorded(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        rec: &FlightRecorder,
+    ) -> Vec<Vec<Neighbor>> {
+        self.search_batch_flights(queries, k, beam, rec).results
+    }
 }
 
 impl BatchExecutor for ShardedEngine<'_> {
@@ -61,6 +87,16 @@ impl BatchExecutor for ShardedEngine<'_> {
 
     fn execute(&self, queries: &Dataset, k: usize, beam: usize) -> Vec<Vec<Neighbor>> {
         self.search_batch(queries, k, beam).results
+    }
+
+    fn execute_recorded(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        beam: usize,
+        rec: &FlightRecorder,
+    ) -> Vec<Vec<Neighbor>> {
+        self.search_batch_flights(queries, k, beam, rec).results
     }
 }
 
@@ -103,6 +139,18 @@ pub struct QueueStats {
     pub queue_delay_ns: Histogram,
 }
 
+/// A point-in-time queue view: the cumulative [`QueueStats`] plus the
+/// instantaneous depth gauge — the unit
+/// [`FleetReport`](crate::shard::FleetReport) exposes on the
+/// Prometheus/JSON surface.
+#[derive(Debug, Clone, Default)]
+pub struct QueueSnapshot {
+    /// Cumulative accounting at snapshot time.
+    pub stats: QueueStats,
+    /// Queries pending admission right now.
+    pub depth: usize,
+}
+
 struct PendingQuery {
     ticket: u64,
     query: Vec<f32>,
@@ -124,6 +172,7 @@ pub struct BatchQueue<'a, E: BatchExecutor + ?Sized> {
     opts: QueueOptions,
     inner: Mutex<QueueInner>,
     cv: Condvar,
+    flights: Option<&'a FlightRecorder>,
 }
 
 impl<'a, E: BatchExecutor + ?Sized> BatchQueue<'a, E> {
@@ -135,7 +184,19 @@ impl<'a, E: BatchExecutor + ?Sized> BatchQueue<'a, E> {
             opts,
             inner: Mutex::new(QueueInner::default()),
             cv: Condvar::new(),
+            flights: None,
         }
+    }
+
+    /// A queue that records per-query flights: each seed-sampled query's
+    /// admission wait is noted into `rec` (surfacing as a
+    /// [`Stage::QueueWait`](crate::telemetry::Stage) span on its flight)
+    /// and batches execute through
+    /// [`BatchExecutor::execute_recorded`].
+    pub fn with_flights(exec: &'a E, opts: QueueOptions, rec: &'a FlightRecorder) -> Self {
+        let mut q = Self::new(exec, opts);
+        q.flights = Some(rec);
+        q
     }
 
     /// The queue's knobs.
@@ -146,6 +207,20 @@ impl<'a, E: BatchExecutor + ?Sized> BatchQueue<'a, E> {
     /// A copy of the cumulative queue accounting.
     pub fn stats(&self) -> QueueStats {
         self.inner.lock().unwrap().stats.clone()
+    }
+
+    /// Queries pending admission right now (the queue-depth gauge).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().pending.len()
+    }
+
+    /// Stats plus the instantaneous depth, read under one lock.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        let g = self.inner.lock().unwrap();
+        QueueSnapshot {
+            stats: g.stats.clone(),
+            depth: g.pending.len(),
+        }
     }
 
     /// Submits one query and blocks until its batch has been answered.
@@ -200,7 +275,23 @@ impl<'a, E: BatchExecutor + ?Sized> BatchQueue<'a, E> {
                     flat.extend_from_slice(&p.query);
                 }
                 let queries = Dataset::from_flat(flat, batch.len(), dim);
-                let results = self.exec.execute(&queries, self.opts.k, self.opts.beam);
+                let results = match self.flights {
+                    Some(rec) => {
+                        // Note admission waits for the queries whose
+                        // flights the engine will assemble, *before*
+                        // executing so the spans are claimable there.
+                        for p in &batch {
+                            let fp = query_fingerprint(&p.query);
+                            if rec.is_sampled(fp) {
+                                let waited = closed_at.saturating_duration_since(p.enqueued);
+                                rec.note_queue_wait(fp, waited.as_nanos() as u64);
+                            }
+                        }
+                        self.exec
+                            .execute_recorded(&queries, self.opts.k, self.opts.beam, rec)
+                    }
+                    None => self.exec.execute(&queries, self.opts.k, self.opts.beam),
+                };
                 debug_assert_eq!(results.len(), batch.len());
 
                 g = self.inner.lock().unwrap();

@@ -9,10 +9,13 @@
 //! is commutative and associative, so the merged distribution is
 //! independent of how queries were partitioned.
 //!
-//! Resolution contract: a percentile is exact *within its bucket* —
-//! the reported value is the bucket's inclusive upper bound, clamped to
-//! the observed `[min, max]`. A single-sample histogram therefore reports
-//! that sample exactly, and relative error is bounded by 2× (one octave).
+//! Resolution contract: a percentile is exact *within its bucket* — the
+//! reported value interpolates linearly between the bucket's bounds by
+//! the rank's position among the bucket's samples, clamped to the
+//! observed `[min, max]`. A single-sample histogram therefore reports
+//! that sample exactly, and relative error is bounded by 2× (one
+//! octave). Before interpolation the report was the bucket's upper
+//! bound, which snapped every tail quantile to a power of two.
 
 /// Number of buckets: bucket 0 holds the value 0, bucket `b ≥ 1` holds
 /// values in `[2^(b-1), 2^b - 1]`, and bucket 64 holds `[2^63, u64::MAX]`.
@@ -54,6 +57,16 @@ pub fn bucket_upper_bound(b: usize) -> u64 {
         u64::MAX
     } else {
         (1u64 << b) - 1
+    }
+}
+
+/// Inclusive lower bound of a bucket (0 for bucket 0, else `2^(b-1)`).
+#[inline]
+pub fn bucket_lower_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
     }
 }
 
@@ -126,10 +139,32 @@ impl Histogram {
         &self.counts
     }
 
-    /// Nearest-rank percentile at bucket resolution: the inclusive upper
-    /// bound of the bucket holding the `ceil(p·count)`-th smallest sample,
-    /// clamped to the observed `[min, max]`. `p` is in `[0, 1]`; returns
-    /// 0 on an empty histogram.
+    /// Bucket-wise subtraction of an `earlier` snapshot of the same
+    /// cumulative histogram — the rolling-window primitive: cumulative
+    /// counts are monotone, so the difference is exactly the samples
+    /// recorded between the two snapshots. `min`/`max` keep the
+    /// cumulative envelope (the window's true extremes are not
+    /// recoverable from buckets), which keeps percentile clamps valid
+    /// as a superset.
+    pub fn subtract_counts(&mut self, earlier: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(earlier.counts.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        self.count = self.count.saturating_sub(earlier.count);
+        self.sum = self.sum.saturating_sub(earlier.sum);
+    }
+
+    /// Nearest-rank percentile with within-bucket linear interpolation:
+    /// the `ceil(p·count)`-th smallest sample is located in its log2
+    /// bucket, then positioned linearly between the bucket's bounds by
+    /// its rank among that bucket's samples, and clamped to the observed
+    /// `[min, max]` (so a single sample — and the extremes — stay exact).
+    /// `p` is in `[0, 1]`; returns 0 on an empty histogram.
+    ///
+    /// Without interpolation the report was the bucket's inclusive upper
+    /// bound, which snapped every tail quantile (p99 in particular) to
+    /// `2^b - 1`; interpolation keeps the worst-case octave error bound
+    /// but removes the power-of-two staircase.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -137,9 +172,17 @@ impl Histogram {
         let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (b, &c) in self.counts.iter().enumerate() {
+            let before = cum;
             cum += c;
             if cum >= rank {
-                return bucket_upper_bound(b).clamp(self.min, self.max);
+                let lower = bucket_lower_bound(b);
+                let upper = bucket_upper_bound(b);
+                // Fraction of the bucket below the rank: rank - before of
+                // the bucket's c samples, mapped onto the value range so
+                // rank == before + c lands on the upper bound.
+                let within = (rank - before) as f64 / c as f64;
+                let est = lower as f64 + within * (upper - lower) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
             }
         }
         self.max
@@ -196,16 +239,47 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_bucket_upper_bounds() {
-        // 1..=100: bucket 6 covers 32..=63 (cumulative 63), bucket 7
-        // covers 64..=127 (cumulative 100, clamped to max 100).
+    fn percentiles_interpolate_within_buckets() {
+        // 1..=100: rank 50 lands in bucket 6 (32..=63, 32 samples, 31
+        // below), so p50 = 32 + (19/32)·31 ≈ 50 — not the bucket's upper
+        // bound 63 the pre-interpolation report snapped to. p95 (rank 95)
+        // interpolates inside bucket 7 (64..=127) and clamps to max 100.
         let mut h = Histogram::new();
         for v in 1..=100u64 {
             h.record(v);
         }
-        assert_eq!(h.percentile(0.50), 63);
+        assert_eq!(h.percentile(0.50), 50);
         assert_eq!(h.percentile(0.95), 100);
         assert_eq!(h.mean(), 50.5);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let mut h = Histogram::new();
+        for v in [3u64, 40, 41, 900, 901, 902, 65_000] {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0);
+            assert!(p >= last, "p{i} = {p} < previous {last}");
+            assert!((3..=65_000).contains(&p), "p{i} = {p} outside [min, max]");
+            last = p;
+        }
+        assert_eq!(h.percentile(1.0), 65_000);
+    }
+
+    #[test]
+    fn tail_quantiles_do_not_snap_to_powers_of_two() {
+        // 1000 samples of 1500 ns: every percentile is in bucket 11
+        // (1024..=2047); interpolation + the max clamp report the exact
+        // value instead of 2047.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(1500);
+        }
+        assert_eq!(h.percentile(0.99), 1500);
+        assert_eq!(h.percentile(0.50), 1500);
     }
 
     #[test]

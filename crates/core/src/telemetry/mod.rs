@@ -17,17 +17,27 @@
 //! - [`BuildProfile`] + [`span`]/[`profile_build`]: per-component
 //!   construction spans for all builders;
 //! - [`expose`]: Prometheus text + JSON exposition renderers behind
-//!   [`crate::serve::QueryEngine`]'s metrics surface.
+//!   [`crate::serve::QueryEngine`]'s metrics surface;
+//! - [`flight`]: the per-query flight recorder — stage-attributed
+//!   lifecycle spans (queue wait → scatter → shard search → merge) with
+//!   deterministic seeded sampling, a bounded ring, Chrome trace-event
+//!   export, and a byte-stable dump; compile-away via the same
+//!   monomorphization contract as the tracer.
 
 pub mod aggregate;
 pub mod counter;
 pub mod expose;
+pub mod flight;
 pub mod histogram;
 pub mod profile;
 pub mod tracer;
 
 pub use aggregate::{PairStat, TraceAggregate};
 pub use counter::ShardedCounter;
+pub use flight::{
+    query_fingerprint, Flight, FlightObserver, FlightOptions, FlightRecorder, NoFlight, SpanRec,
+    Stage,
+};
 pub use histogram::Histogram;
 pub use profile::{add_span_ndc, profile_build, span, BuildProfile, BuildSpan};
 pub use tracer::{NoopTracer, RecordingTracer, RouteEvent, RouteTracer};

@@ -1,0 +1,382 @@
+//! Integration suite for the online recall auditor and SLO engine.
+//!
+//! The quality contracts:
+//!
+//! - **sampling purity**: the audit decision is a pure function of
+//!   `(seed, query bytes)` — replayable, independent of serving order;
+//! - **statistical honesty**: on a seeded workload, the auditor's 95%
+//!   Wilson interval covers the exact offline recall of the full query
+//!   set, and the audited-subset estimate matches an offline recompute
+//!   of the same subset exactly;
+//! - **attribution**: per-shard trials split by ground-truth ownership
+//!   and sum to the window totals; cohorts split base vs overlay serves;
+//! - **budget**: exact scans run on the `budget_per_tick` cadence and
+//!   the pending queue drops oldest (counted) past `max_pending`;
+//! - **the SLO flip**: an adaptation overlay mined ungated
+//!   ([`AdaptParams::ungated`]) on skewed traffic degrades recall enough
+//!   that the recall SLO goes to breach while the latency SLO stays ok.
+
+use weavess_core::adapt::AdaptParams;
+use weavess_core::algorithms::nsg::{self, NsgParams};
+use weavess_core::audit::{AuditConfig, RecallAuditor, SloEngine, SloPolicy, SloState};
+use weavess_core::components::SeedStrategy;
+use weavess_core::index::{AnnIndex, FlatIndex, SearchContext};
+use weavess_core::search::Router;
+use weavess_core::serve::QueryEngine;
+use weavess_core::shard::{ShardSet, ShardedEngine};
+use weavess_core::telemetry::{query_fingerprint, RecordingTracer, TraceAggregate};
+use weavess_core::{LayoutIndex, NodeLayout};
+use weavess_data::ground_truth::knn_scan;
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
+use weavess_graph::base::exact_knng;
+
+const K: usize = 10;
+const BEAM: usize = 24;
+
+fn setup(seed: u64, n: usize, nq: usize) -> (Dataset, Dataset) {
+    MixtureSpec::table10(12, n, 3, 5.0, nq)
+        .with_seed(seed)
+        .generate()
+}
+
+fn flat(ds: &Dataset) -> FlatIndex {
+    FlatIndex {
+        name: "audit-test",
+        graph: exact_knng(ds, 10, 2),
+        seeds: SeedStrategy::Fixed(vec![0]),
+        router: Router::BestFirst,
+    }
+}
+
+fn cfg(sample_every: u64) -> AuditConfig {
+    AuditConfig {
+        sample_every,
+        seed: 0xA0D17,
+        k: K,
+        window: 4096,
+        budget_per_tick: 1024,
+        max_pending: 4096,
+    }
+}
+
+/// Exact Recall@K of `served` against a brute-force scan, with the
+/// auditor's own trial semantics (every ground-truth id is one trial).
+fn offline_recall(
+    base: &Dataset,
+    queries: &Dataset,
+    served: &[Vec<weavess_data::Neighbor>],
+) -> f64 {
+    let mut hits = 0u64;
+    let mut trials = 0u64;
+    for qi in 0..queries.len() as u32 {
+        let exact = knn_scan(base, queries.point(qi), K, None);
+        trials += exact.len() as u64;
+        hits += served[qi as usize]
+            .iter()
+            .take(exact.len())
+            .filter(|n| exact.iter().any(|e| e.id == n.id))
+            .count() as u64;
+    }
+    hits as f64 / trials as f64
+}
+
+#[test]
+fn sampling_is_a_pure_function_of_seed_and_query() {
+    let (ds, qs) = setup(11, 300, 64);
+    let a = RecallAuditor::new(&ds, cfg(4));
+    let b = RecallAuditor::new(&ds, cfg(4));
+    let mut sampled = 0;
+    for qi in 0..qs.len() as u32 {
+        let fp = query_fingerprint(qs.point(qi));
+        // Two independent auditors with the same config agree on every
+        // query, in any order — the decision carries no internal state.
+        assert_eq!(a.should_audit(fp), b.should_audit(fp));
+        sampled += a.should_audit(fp) as u32;
+    }
+    assert!(sampled > 0, "vacuous: nothing sampled");
+    assert!(sampled < qs.len() as u32, "vacuous: everything sampled");
+    // A different seed draws a different subset.
+    let c = RecallAuditor::new(
+        &ds,
+        AuditConfig {
+            seed: 0xBEEF,
+            ..cfg(4)
+        },
+    );
+    let differs = (0..qs.len() as u32)
+        .map(|qi| query_fingerprint(qs.point(qi)))
+        .any(|fp| a.should_audit(fp) != c.should_audit(fp));
+    assert!(differs);
+    // Unsampled queries are never enqueued.
+    for qi in 0..qs.len() as u32 {
+        let fp = query_fingerprint(qs.point(qi));
+        if !a.should_audit(fp) {
+            assert!(!a.observe(fp, qs.point(qi), &[], false));
+        }
+    }
+    assert_eq!(a.snapshot().pending, 0);
+}
+
+#[test]
+fn audit_ci_covers_exact_offline_recall() {
+    let (ds, qs) = setup(42, 900, 200);
+    let idx = flat(&ds);
+    let engine = QueryEngine::new(&idx, &ds);
+    let report = engine.search_batch(&qs, K, BEAM);
+
+    let auditor = RecallAuditor::new(&ds, cfg(2));
+    let mut audited = Vec::new();
+    for qi in 0..qs.len() as u32 {
+        let fp = query_fingerprint(qs.point(qi));
+        if auditor.observe(fp, qs.point(qi), &report.results[qi as usize], false) {
+            audited.push(qi);
+        }
+    }
+    while auditor.run_pending() > 0 {}
+    let snap = auditor.snapshot();
+    assert_eq!(snap.audited_total, audited.len() as u64);
+    assert_eq!(snap.pending, 0);
+
+    // The audited-subset estimate must equal an offline recompute of the
+    // same subset (same scan, same trial semantics) to the bit.
+    let sub_queries = qs.subset(&audited);
+    let sub_served: Vec<_> = audited
+        .iter()
+        .map(|&qi| report.results[qi as usize].clone())
+        .collect();
+    let subset_exact = offline_recall(&ds, &sub_queries, &sub_served);
+    assert_eq!(snap.recall, subset_exact);
+
+    // And the 95% interval covers the exact offline recall of the FULL
+    // workload — the auditor's estimate generalizes off its sample.
+    let full = offline_recall(&ds, &qs, &report.results);
+    assert!(
+        snap.ci_low <= full && full <= snap.ci_high,
+        "offline recall {full:.4} outside audited CI [{:.4}, {:.4}] (estimate {:.4})",
+        snap.ci_low,
+        snap.ci_high,
+        snap.recall
+    );
+}
+
+#[test]
+fn budget_cadence_and_pending_drops_are_accounted() {
+    let (ds, qs) = setup(7, 200, 64);
+    let auditor = RecallAuditor::new(
+        &ds,
+        AuditConfig {
+            sample_every: 1,
+            budget_per_tick: 3,
+            max_pending: 8,
+            ..cfg(1)
+        },
+    );
+    let served = knn_scan(&ds, qs.point(0), K, None);
+    for qi in 0..12u32 {
+        assert!(auditor.observe(
+            query_fingerprint(qs.point(qi)),
+            qs.point(qi),
+            &served,
+            false
+        ));
+    }
+    // 12 offered into a queue of 8: the 4 oldest were dropped, counted.
+    let snap = auditor.snapshot();
+    assert_eq!(snap.sampled_total, 12);
+    assert_eq!(snap.pending, 8);
+    assert_eq!(snap.dropped_total, 4);
+    // The background cadence drains budget_per_tick at a time.
+    assert_eq!(auditor.run_pending(), 3);
+    assert_eq!(auditor.run_pending(), 3);
+    assert_eq!(auditor.run_pending(), 2);
+    assert_eq!(auditor.run_pending(), 0);
+    let snap = auditor.snapshot();
+    assert_eq!(snap.audited_total, 8);
+    assert_eq!(snap.window_trials, 8 * K as u64);
+}
+
+#[test]
+fn per_shard_and_cohort_attribution() {
+    let (ds, qs) = setup(5, 400, 80);
+    let shards = 3usize;
+    let set = ShardSet::build(&ds, shards, 0xD15C0, NodeLayout::Fused, false, 1, |d, _| {
+        FlatIndex {
+            name: "audit-shard",
+            graph: exact_knng(d, 6, 1),
+            seeds: SeedStrategy::Fixed((0..d.len() as u32).collect()),
+            router: Router::BestFirst,
+        }
+    })
+    .expect("shard build");
+    let engine = ShardedEngine::new(&set);
+    let report = engine.search_batch(&qs, K, BEAM);
+
+    // Ground-truth ownership map: which shard holds each base id.
+    let mut shard_of = vec![0u32; ds.len()];
+    for (s, shard) in set.shards().iter().enumerate() {
+        for &gid in shard.global_ids() {
+            shard_of[gid as usize] = s as u32;
+        }
+    }
+    let auditor = RecallAuditor::new(&ds, cfg(2)).with_shard_map(shard_of, shards);
+    for qi in 0..qs.len() as u32 {
+        let fp = query_fingerprint(qs.point(qi));
+        auditor.observe(fp, qs.point(qi), &report.results[qi as usize], false);
+    }
+    while auditor.run_pending() > 0 {}
+    let snap = auditor.snapshot();
+
+    // Every ground-truth id becomes one trial for the shard that owns
+    // it, so shard trials partition the window trials.
+    assert_eq!(snap.per_shard.len(), shards);
+    let shard_trials: u64 = snap.per_shard.iter().map(|(_, t)| t).sum();
+    assert_eq!(shard_trials, snap.window_trials);
+    assert!(
+        snap.per_shard.iter().all(|&(_, t)| t > 0),
+        "every shard should own some ground truth: {:?}",
+        snap.per_shard
+    );
+    // All serves were tagged base-cohort.
+    assert_eq!(snap.cohort_base.1, snap.window_trials);
+    assert_eq!(snap.cohort_overlay, (0, 0));
+}
+
+/// Serves every query through the layout index and audits all of them
+/// (`sample_every = 1`), tagging the cohort by whether the index carried
+/// overlay edges. Returns the audit snapshot.
+fn serve_and_audit(
+    idx: &LayoutIndex,
+    base: &Dataset,
+    queries: &Dataset,
+    beam: usize,
+    auditor: &RecallAuditor<'_>,
+) -> weavess_core::audit::AuditSnapshot {
+    let overlay = idx.overlay_edges() > 0;
+    let mut ctx = SearchContext::new(base.len());
+    for qi in 0..queries.len() as u32 {
+        let q = queries.point(qi);
+        let served = idx.search(base, q, K, beam, &mut ctx);
+        auditor.observe(query_fingerprint(q), q, &served, overlay);
+    }
+    while auditor.run_pending() > 0 {}
+    auditor.snapshot()
+}
+
+#[test]
+fn ungated_overlay_breaches_the_recall_slo_while_latency_stays_ok() {
+    // More, well-separated clusters and a tight serving beam: the regime
+    // where wormhole eviction actually loses cold-cluster routes.
+    let (base, queries) = MixtureSpec::table10(12, 900, 6, 5.0, 150)
+        .with_seed(71)
+        .generate();
+    let serve_beam = 10;
+    let flat = nsg::build(&base, &NsgParams::tuned(2, 3));
+    let mut idx = LayoutIndex::from_flat(flat, &base, NodeLayout::Fused, true);
+
+    // Baseline: serve everything, audit everything. The engine borrow
+    // ends before `adapt` needs the index mutably, so only its latency
+    // histogram survives the phase.
+    let baseline_latency = {
+        let engine = QueryEngine::new(&idx, &base);
+        let _ = engine.search_batch(&queries, K, serve_beam);
+        engine.snapshot().latency
+    };
+    let auditor = RecallAuditor::new(&base, cfg(1));
+    let baseline = serve_and_audit(&idx, &base, &queries, serve_beam, &auditor);
+    assert_eq!(baseline.cohort_overlay, (0, 0));
+
+    // Skewed traffic: a spatially coherent hot region — the third of
+    // queries closest to query 0 (one cluster's worth of traffic) —
+    // mined with the reach gate disabled and the entry set replaced by
+    // observed hubs: the documented wormhole failure mode of
+    // trace-driven adaptation, amplified.
+    let mut by_dist: Vec<u32> = (1..queries.len() as u32).collect();
+    let q0 = queries.point(0).to_vec();
+    by_dist.sort_by_key(|&qi| {
+        let d: f32 = queries
+            .point(qi)
+            .iter()
+            .zip(&q0)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        d.to_bits()
+    });
+    let mut hot: Vec<u32> = vec![0];
+    hot.extend(&by_dist[..queries.len() / 3]);
+    let hot_queries = queries.subset(&hot);
+    let mut agg = TraceAggregate::new(base.len());
+    let mut ctx = SearchContext::new(base.len());
+    let mut tracer = RecordingTracer::new();
+    for _round in 0..4 {
+        for qi in 0..hot_queries.len() as u32 {
+            tracer.clear();
+            idx.search_traced(
+                &base,
+                hot_queries.point(qi),
+                K,
+                serve_beam,
+                &mut ctx,
+                &mut tracer,
+            );
+            agg.absorb(&tracer);
+        }
+    }
+    let params = AdaptParams {
+        min_gap: 1.0,
+        min_traffic: 1,
+        max_extra_degree: 8,
+        refresh_entries: 8,
+        keep_base_entries: false,
+        ..AdaptParams::default()
+    }
+    .ungated();
+    let outcome = idx.adapt(&base, &agg, &params).expect("adapt");
+    assert!(outcome.edges_added > 0, "no overlay mined: {outcome:?}");
+    assert!(idx.overlay_edges() > 0);
+
+    // Degraded phase: fresh auditor window, same query set.
+    let engine2 = QueryEngine::new(&idx, &base);
+    let _ = engine2.search_batch(&queries, K, serve_beam);
+    let degraded_auditor = RecallAuditor::new(&base, cfg(1));
+    let degraded = serve_and_audit(&idx, &base, &queries, serve_beam, &degraded_auditor);
+    assert_eq!(degraded.cohort_base, (0, 0));
+
+    // The wormholes must have cost real recall: confidently separated
+    // windows, not noise.
+    assert!(
+        degraded.ci_high < baseline.ci_low,
+        "no confident degradation: baseline [{:.4},{:.4}] degraded [{:.4},{:.4}]",
+        baseline.ci_low,
+        baseline.ci_high,
+        degraded.ci_low,
+        degraded.ci_high
+    );
+
+    // An SLO targeting healthy recall, with a latency threshold far
+    // above anything this workload produces.
+    let policy = SloPolicy {
+        latency_threshold_ns: 60_000_000_000, // 60s: never exceeded
+        latency_budget: 0.05,
+        recall_target: (degraded.ci_high + baseline.ci_low) / 2.0,
+        warn_ratio: 0.5,
+    };
+    let mut slo = SloEngine::new(policy);
+    let report = slo.evaluate(&baseline_latency, &baseline);
+    assert_eq!(report.latency_state, SloState::Ok);
+    assert_eq!(
+        report.recall_state,
+        SloState::Ok,
+        "baseline should satisfy the SLO: {report:?}"
+    );
+    // Second evaluation windows the latency histogram to the degraded
+    // phase only (bucket-wise delta) and flips recall to breach.
+    let report = slo.evaluate(&engine2.snapshot().latency, &degraded);
+    assert_eq!(
+        report.recall_state,
+        SloState::Breach,
+        "ungated overlay should breach: {report:?}"
+    );
+    assert_eq!(report.latency_state, SloState::Ok);
+    assert!(report.latency_burn < 1.0);
+}

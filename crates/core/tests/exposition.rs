@@ -1,0 +1,290 @@
+//! Parser-based conformance suite for the metrics exposition surfaces.
+//!
+//! Every Prometheus text block the serving tier can emit is checked
+//! against the exposition-format rules a real scraper enforces:
+//!
+//! - every sample series has a matching `# HELP` and `# TYPE` line
+//!   *above* its first sample, and each family is declared exactly once;
+//! - histogram `le` buckets are cumulative, end with `le="+Inf"`, and
+//!   the `+Inf` bucket equals the family's `_count`;
+//! - series names are stable across snapshots of the same process (no
+//!   per-scrape renames — dashboards key on them);
+//! - every JSON surface parses with the in-tree JSON parser.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use weavess_core::audit::{AuditConfig, RecallAuditor, SloEngine, SloPolicy};
+use weavess_core::components::SeedStrategy;
+use weavess_core::index::FlatIndex;
+use weavess_core::search::Router;
+use weavess_core::serve::QueryEngine;
+use weavess_core::shard::{BatchQueue, QueueOptions, ShardSet, ShardedEngine};
+use weavess_core::telemetry::flight::parse_json;
+use weavess_core::telemetry::query_fingerprint;
+use weavess_core::NodeLayout;
+use weavess_data::synthetic::MixtureSpec;
+use weavess_data::Dataset;
+use weavess_graph::base::exact_knng;
+
+const K: usize = 10;
+const BEAM: usize = 24;
+
+/// One parsed sample line: family name (label-set and value stripped),
+/// the optional `le` label, and the value.
+struct Sample {
+    family: String,
+    series: String,
+    le: Option<String>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Sample {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+    let name_end = series.find('{').unwrap_or(series.len());
+    let name = &series[..name_end];
+    // `_bucket`/`_sum`/`_count` samples belong to their histogram family.
+    let family = name
+        .strip_suffix("_bucket")
+        .or_else(|| name.strip_suffix("_sum"))
+        .or_else(|| name.strip_suffix("_count"))
+        .unwrap_or(name)
+        .to_string();
+    let le = series[name_end..]
+        .split(&['{', ',', '}'][..])
+        .filter_map(|kv| kv.trim().strip_prefix("le=\""))
+        .map(|v| v.trim_end_matches('"').to_string())
+        .next();
+    Sample {
+        family,
+        series: series.to_string(),
+        le,
+        value: value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}")),
+    }
+}
+
+/// Enforces the exposition-format rules and returns the set of series
+/// names (for cross-snapshot stability checks). Bucket series are
+/// excluded from the returned set: histograms render sparsely (only
+/// occupied buckets), so the `le` set legitimately grows with traffic
+/// while every other series name must stay fixed.
+fn check_exposition(text: &str) -> BTreeSet<String> {
+    let mut helped = BTreeSet::new();
+    let mut typed = BTreeMap::new(); // family -> declared type
+    let mut series = BTreeSet::new();
+    let mut seen = BTreeSet::new();
+    let mut buckets: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let fam = rest.split(' ').next().unwrap().to_string();
+            assert!(helped.insert(fam.clone()), "duplicate HELP for {fam}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let fam = it.next().unwrap().to_string();
+            let ty = it.next().expect("TYPE has a kind").to_string();
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&ty.as_str()),
+                "unknown type {ty} for {fam}"
+            );
+            assert!(
+                typed.insert(fam.clone(), ty).is_none(),
+                "duplicate TYPE for {fam}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let s = parse_sample(line);
+        assert!(
+            helped.contains(&s.family),
+            "sample before/without HELP: {line}"
+        );
+        let ty = typed
+            .get(&s.family)
+            .unwrap_or_else(|| panic!("sample before/without TYPE: {line}"));
+        if s.series.contains("_bucket") {
+            assert_eq!(ty, "histogram", "{line}");
+            // Bucket series carry exactly one le label each; group them
+            // by everything except the le pair so labeled histograms
+            // (if ever added) would still check per-series.
+            let key = s.family.clone();
+            buckets
+                .entry(key)
+                .or_default()
+                .push((s.le.clone().expect("bucket has le"), s.value));
+        } else if s.series.ends_with("_count") && *ty == "histogram" {
+            counts.insert(s.family.clone(), s.value);
+        }
+        let is_bucket = s.series.contains("_bucket");
+        assert!(
+            seen.insert(s.series.clone()),
+            "duplicate series: {}",
+            s.series
+        );
+        if !is_bucket {
+            series.insert(s.series.clone());
+        }
+    }
+
+    // Histogram bucket discipline.
+    for (fam, ty) in &typed {
+        if ty != "histogram" {
+            continue;
+        }
+        let bs = buckets
+            .get(fam)
+            .unwrap_or_else(|| panic!("histogram {fam} has no buckets"));
+        assert_eq!(bs.last().unwrap().0, "+Inf", "{fam} must end at +Inf");
+        let mut prev = f64::NEG_INFINITY;
+        for (le, v) in bs {
+            assert!(*v >= prev, "{fam} buckets not cumulative at le={le}");
+            prev = *v;
+        }
+        let count = counts
+            .get(fam)
+            .unwrap_or_else(|| panic!("histogram {fam} has no _count"));
+        assert_eq!(bs.last().unwrap().1, *count, "{fam}: +Inf bucket != _count");
+    }
+    series
+}
+
+fn dataset(n: usize, nq: usize) -> (Dataset, Dataset) {
+    MixtureSpec::table10(12, n, 3, 5.0, nq)
+        .with_seed(321)
+        .generate()
+}
+
+fn shard_builder(d: &Dataset, _s: usize) -> FlatIndex {
+    FlatIndex {
+        name: "expo-shard",
+        graph: exact_knng(d, 6, 1),
+        seeds: SeedStrategy::Fixed((0..d.len() as u32).collect()),
+        router: Router::BestFirst,
+    }
+}
+
+#[test]
+fn engine_prometheus_exposition_conforms_and_is_stable() {
+    let (ds, qs) = dataset(300, 40);
+    let idx = FlatIndex {
+        name: "expo",
+        graph: exact_knng(&ds, 8, 2),
+        seeds: SeedStrategy::Fixed(vec![0]),
+        router: Router::BestFirst,
+    };
+    let engine = QueryEngine::new(&idx, &ds);
+    engine.search_batch(&qs, K, BEAM);
+    let first = check_exposition(&engine.metrics_prometheus());
+    assert!(!first.is_empty());
+    // More traffic must change values, never series names.
+    engine.search_batch(&qs, K, BEAM);
+    let second = check_exposition(&engine.metrics_prometheus());
+    assert_eq!(first, second, "series names must be scrape-stable");
+    // The JSON surface parses.
+    parse_json(&engine.metrics_json()).expect("metrics_json is valid JSON");
+}
+
+#[test]
+fn fleet_exposition_with_queue_audit_and_slo_conforms() {
+    let (ds, qs) = dataset(400, 60);
+    let set = ShardSet::build(&ds, 2, 0xD15C0, NodeLayout::Fused, false, 1, shard_builder)
+        .expect("shard build");
+    let engine = ShardedEngine::new(&set);
+    let report = engine.search_batch(&qs, K, BEAM);
+
+    // Exercise the queue so its wait histogram is non-empty.
+    let queue = BatchQueue::new(
+        &engine,
+        QueueOptions {
+            max_batch: 4,
+            max_delay: std::time::Duration::from_millis(2),
+            k: K,
+            beam: BEAM,
+        },
+    );
+    std::thread::scope(|scope| {
+        for qi in 0..16u32 {
+            let queue = &queue;
+            let q = qs.point(qi);
+            scope.spawn(move || queue.submit(q));
+        }
+    });
+
+    // And the auditor + SLO engine on real served traffic.
+    let auditor = RecallAuditor::new(
+        &ds,
+        AuditConfig {
+            sample_every: 2,
+            ..AuditConfig::default()
+        },
+    )
+    .with_shard_map(
+        {
+            let mut shard_of = vec![0u32; ds.len()];
+            for (s, shard) in set.shards().iter().enumerate() {
+                for &gid in shard.global_ids() {
+                    shard_of[gid as usize] = s as u32;
+                }
+            }
+            shard_of
+        },
+        2,
+    );
+    for qi in 0..qs.len() as u32 {
+        let fp = query_fingerprint(qs.point(qi));
+        auditor.observe(fp, qs.point(qi), &report.results[qi as usize], false);
+    }
+    while auditor.run_pending() > 0 {}
+    let audit = auditor.snapshot();
+    let mut slo = SloEngine::new(SloPolicy::default());
+    let slo_report = slo.evaluate(&engine.fleet_report().merged.latency, &audit);
+
+    let full = engine
+        .fleet_report()
+        .with_queue(queue.snapshot())
+        .with_audit(audit.clone())
+        .with_slo(slo_report.clone());
+    let first = check_exposition(&full.to_prometheus());
+    for expected in [
+        "weavess_fleet_queries_total",
+        "weavess_queue_depth",
+        "weavess_queue_wait_nanoseconds",
+        "weavess_audit_recall",
+        "weavess_audit_shard_recall",
+        "weavess_slo_recall_state",
+        "weavess_slo_latency_burn",
+    ] {
+        assert!(
+            first.iter().any(|s| s.starts_with(expected)),
+            "missing series family {expected}"
+        );
+    }
+
+    // Stability: another round of traffic, same series names.
+    let report2 = engine.search_batch(&qs, K, BEAM);
+    for qi in 0..qs.len() as u32 {
+        let fp = query_fingerprint(qs.point(qi));
+        auditor.observe(fp, qs.point(qi), &report2.results[qi as usize], false);
+    }
+    while auditor.run_pending() > 0 {}
+    let audit2 = auditor.snapshot();
+    let slo2 = slo.evaluate(&engine.fleet_report().merged.latency, &audit2);
+    let again = engine
+        .fleet_report()
+        .with_queue(queue.snapshot())
+        .with_audit(audit2)
+        .with_slo(slo2);
+    let second = check_exposition(&again.to_prometheus());
+    assert_eq!(first, second, "series names must be scrape-stable");
+
+    // Every JSON surface parses with the in-tree parser.
+    parse_json(&full.to_json()).expect("fleet JSON is valid");
+    parse_json(&again.to_json()).expect("fleet JSON is valid");
+}

@@ -8,6 +8,9 @@
 //!                [--k 10] [--threads N]
 //! weavess gt     --base base.fvecs --queries q.fvecs --k 100 --out gt.ivecs
 //! weavess info   --index index.wvss
+//! weavess serve  --index index.wvss --base base.fvecs --queries q.fvecs \
+//!                [--k 10] [--beam 60] [--workers N] [--sample-every 64] \
+//!                [--audit-every 16] [--trace-out trace.json] [--metrics-out m.prom]
 //! ```
 //!
 //! Only algorithms with self-contained seed strategies can round-trip
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&opts),
         "gt" => cmd_gt(&opts),
         "info" => cmd_info(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -69,6 +73,9 @@ USAGE:
   weavess eval   --algo <NAME> --base <fvecs> --queries <fvecs> --gt <ivecs> [--k 10] [--beam 60] [--threads N]
   weavess gt     --base <fvecs> --queries <fvecs> [--k 100] [--threads N] --out <ivecs>
   weavess info   --index <wvss>
+  weavess serve  --index <wvss> --base <fvecs> --queries <fvecs> [--k 10] [--beam 60]
+                 [--workers N] [--sample-every 64] [--audit-every 16]
+                 [--trace-out <json>] [--metrics-out <prom>]
 
 Algorithms: KGraph NGT-panng NGT-onng SPTAG-KDT SPTAG-BKT NSW IEH FANNG
             HNSW EFANNA DPG NSG HCNNG Vamana NSSG k-DR OA";
@@ -271,6 +278,106 @@ fn cmd_gt(opts: &Opts) -> Result<(), String> {
     let gt = ground_truth(&base, &queries, k, threads);
     write_ivecs(Path::new(out), &gt).map_err(|e| e.to_string())?;
     eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// Serves the query file through the batch engine with the full
+/// observability stack attached: per-query flight recorder (seeded
+/// tail-sampling), online recall auditor (exact shadow re-answers), and
+/// the latency/recall SLO engine. Prometheus exposition goes to stdout
+/// or `--metrics-out`; `--trace-out` writes the sampled flights as
+/// Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use weavess::core::audit::{AuditConfig, RecallAuditor, SloEngine, SloPolicy};
+    use weavess::core::serve::{EngineOptions, QueryEngine};
+    use weavess::core::telemetry::{query_fingerprint, FlightOptions, FlightRecorder};
+
+    let index = load_index(Path::new(need(opts, "index")?)).map_err(|e| e.to_string())?;
+    let base = read_fvecs(Path::new(need(opts, "base")?)).map_err(|e| e.to_string())?;
+    let queries = read_fvecs(Path::new(need(opts, "queries")?)).map_err(|e| e.to_string())?;
+    let k = num(opts, "k", 10usize)?;
+    let beam = num(opts, "beam", 60usize)?;
+    let workers = num(opts, "workers", default_threads())?;
+    let sample_every = num(opts, "sample-every", 64u64)?;
+    let audit_every = num(opts, "audit-every", 16u64)?;
+    if base.len() != index.graph.len() {
+        return Err(format!(
+            "index covers {} points but base file holds {}",
+            index.graph.len(),
+            base.len()
+        ));
+    }
+
+    let engine = QueryEngine::with_options(
+        &index,
+        &base,
+        EngineOptions {
+            workers,
+            ..EngineOptions::default()
+        },
+    );
+    let recorder = FlightRecorder::new(FlightOptions {
+        sample_every,
+        ..FlightOptions::default()
+    });
+    let t0 = std::time::Instant::now();
+    let report = engine.search_batch_flights(&queries, k, beam, &recorder);
+    let secs = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "{} queries in {:.3}s ({:.0} QPS); {} flights recorded ({} sampled)",
+        queries.len(),
+        secs,
+        queries.len() as f64 / secs,
+        recorder.recorded_total(),
+        recorder.sampled_total(),
+    );
+
+    let auditor = RecallAuditor::new(
+        &base,
+        AuditConfig {
+            sample_every: audit_every,
+            k,
+            ..AuditConfig::default()
+        },
+    );
+    for qi in 0..queries.len() as u32 {
+        let q = queries.point(qi);
+        auditor.observe(
+            query_fingerprint(q),
+            q,
+            &report.results[qi as usize],
+            index.overlay_edges() > 0,
+        );
+    }
+    while auditor.run_pending() > 0 {}
+    let audit = auditor.snapshot();
+    let mut slo = SloEngine::new(SloPolicy::default());
+    let slo_report = slo.evaluate(&engine.snapshot().latency, &audit);
+    eprintln!(
+        "audit: {} exact re-answers, live Recall@{k} {:.4} [{:.4}, {:.4}]; \
+         SLO latency={} recall={}",
+        audit.audited_total,
+        audit.recall,
+        audit.ci_low,
+        audit.ci_high,
+        slo_report.latency_state.name(),
+        slo_report.recall_state.name(),
+    );
+
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, recorder.chrome_trace_json()).map_err(|e| e.to_string())?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    let mut prom = engine.metrics_prometheus();
+    prom.push_str(&audit.to_prometheus());
+    prom.push_str(&slo_report.to_prometheus());
+    match opts.get("metrics-out") {
+        Some(path) => {
+            std::fs::write(path, &prom).map_err(|e| e.to_string())?;
+            eprintln!("wrote metrics to {path}");
+        }
+        None => print!("{prom}"),
+    }
     Ok(())
 }
 
